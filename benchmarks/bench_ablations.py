@@ -1,0 +1,208 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper exhibits — these quantify the knobs the implementation exposes:
+the pad-source substitution, FNW group granularity, hashed vs algebraic HWL,
+and DynDEUCE's greedy morphing threshold.
+"""
+
+from dataclasses import replace
+
+from benchmarks.common import record, run_once
+from repro.analysis.tables import render_table
+from repro.sim.config import SimConfig
+from repro.sim.runner import run
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import generate_trace
+
+N = 2_000
+WORKLOADS = ("libq", "mcf", "lbm", "Gems")
+
+
+def _pad_source_ablation():
+    rows = []
+    for kind in ("blake2", "aes"):
+        for workload in ("mcf",):
+            r = run(
+                SimConfig(workload, "deuce", n_writes=600, pad_kind=kind)
+            )
+            rows.append(
+                {
+                    "pad_source": kind,
+                    "workload": workload,
+                    "flips_pct": round(r.avg_flips_pct, 2),
+                }
+            )
+    return rows
+
+
+def test_ablation_pad_source(benchmark):
+    """The BLAKE2 surrogate must match real AES statistically."""
+    rows = run_once(benchmark, _pad_source_ablation)
+    record(
+        "ablation_pad_source",
+        render_table(["pad_source", "workload", "flips_pct"], rows,
+                     title="Ablation: AES vs BLAKE2 pad source (DEUCE, mcf)"),
+    )
+    flips = {r["pad_source"]: r["flips_pct"] for r in rows}
+    assert abs(flips["aes"] - flips["blake2"]) < 1.5
+
+
+def _fnw_group_ablation():
+    rows = []
+    for group_bits in (8, 16, 32, 64):
+        total = 0.0
+        for workload in WORKLOADS:
+            r = run(
+                SimConfig(
+                    workload, "encr-fnw", n_writes=N, fnw_group_bits=group_bits
+                )
+            )
+            total += r.avg_flips_pct
+        rows.append(
+            {
+                "group_bits": group_bits,
+                "overhead_bits": 512 // group_bits,
+                "avg_flips_pct": round(total / len(WORKLOADS), 2),
+            }
+        )
+    return rows
+
+
+def test_ablation_fnw_group_size(benchmark):
+    """Finer FNW groups flip fewer data bits but carry more flip bits."""
+    rows = run_once(benchmark, _fnw_group_ablation)
+    record(
+        "ablation_fnw_group",
+        render_table(
+            ["group_bits", "overhead_bits", "avg_flips_pct"], rows,
+            title="Ablation: FNW group granularity (encrypted, 4 workloads)",
+        ),
+    )
+    flips = {r["group_bits"]: r["avg_flips_pct"] for r in rows}
+    # Coarser groups save less of the 50% avalanche.
+    assert flips[8] < flips[64]
+
+
+def _hwl_variant_ablation():
+    rows = []
+    workload = "mcf"
+    profile = replace(get_profile(workload), working_set_lines=128)
+    trace = generate_trace(profile, 8_000, seed=0)
+    base = run(
+        SimConfig(workload, "encr-dcw", 8_000), trace=trace
+    ).lifetime.max_position_rate
+    for mode, region in (
+        ("none", None),
+        ("hwl", 16),
+        ("hwl-hashed", 128),
+        ("sr-hwl", 128),
+    ):
+        r = run(
+            SimConfig(
+                workload,
+                "deuce",
+                8_000,
+                wear_leveling=mode,
+                gap_write_interval=1,
+                hwl_region_lines=region,
+            ),
+            trace=trace,
+        )
+        rows.append(
+            {
+                "variant": mode,
+                "lifetime_vs_encr": round(
+                    base / r.lifetime.max_position_rate, 2
+                ),
+                "perfect_bound": round(
+                    base / r.lifetime.mean_position_rate, 2
+                ),
+            }
+        )
+    return rows
+
+
+def test_ablation_hwl_variants(benchmark):
+    """Algebraic vs hashed HWL vs no intra-line leveling (mcf)."""
+    rows = run_once(benchmark, _hwl_variant_ablation)
+    record(
+        "ablation_hwl",
+        render_table(
+            ["variant", "lifetime_vs_encr", "perfect_bound"], rows,
+            title="Ablation: HWL variants (DEUCE on mcf)",
+        ),
+    )
+    lifetime = {r["variant"]: r["lifetime_vs_encr"] for r in rows}
+    assert lifetime["hwl"] > 1.5 * lifetime["none"]
+    assert lifetime["hwl-hashed"] > 1.3 * lifetime["none"]
+
+
+def _epoch_extreme_ablation():
+    rows = []
+    for epoch in (2, 4, 64, 128):
+        total = 0.0
+        for workload in WORKLOADS:
+            r = run(SimConfig(workload, "deuce", n_writes=N, epoch_interval=epoch))
+            total += r.avg_flips_pct
+        rows.append(
+            {"epoch": epoch, "avg_flips_pct": round(total / len(WORKLOADS), 2)}
+        )
+    return rows
+
+
+def test_ablation_extreme_epochs(benchmark):
+    """Beyond the paper's 8-32 sweep: degenerate and huge epochs."""
+    rows = run_once(benchmark, _epoch_extreme_ablation)
+    record(
+        "ablation_epochs",
+        render_table(["epoch", "avg_flips_pct"], rows,
+                     title="Ablation: extreme epoch intervals (4 workloads)"),
+    )
+    flips = {r["epoch"]: r["avg_flips_pct"] for r in rows}
+    # Epoch 2 re-encrypts the full line every other write: near-50% cost
+    # on half the writes pushes the average well above the default.
+    assert flips[2] > flips[64]
+
+
+def _write_pausing_ablation():
+    from collections import Counter
+
+    from repro.perf.system import CoreConfig, simulate_execution
+
+    rows = []
+    profile = get_profile("mcf")
+    hist = Counter({4: 1})  # encrypted-memory write durations
+    for label, core in (
+        ("baseline", CoreConfig()),
+        ("write-pausing", CoreConfig(write_pausing=True)),
+        ("power-tokens-8", CoreConfig(max_concurrent_write_slots=8)),
+    ):
+        ex = simulate_execution(
+            profile, hist, instructions=400_000, seed=0, core=core
+        )
+        rows.append(
+            {
+                "controller": label,
+                "exec_ms": round(ex.exec_time_ns / 1e6, 3),
+                "avg_read_ns": round(ex.avg_read_latency_ns, 1),
+            }
+        )
+    return rows
+
+
+def test_ablation_write_pausing(benchmark):
+    """Write pausing [6] and power tokens [22] on the encrypted baseline."""
+    rows = run_once(benchmark, _write_pausing_ablation)
+    record(
+        "ablation_write_pausing",
+        render_table(
+            ["controller", "exec_ms", "avg_read_ns"], rows,
+            title="Ablation: controller policies (mcf, encrypted writes)",
+        ),
+    )
+    by = {r["controller"]: r for r in rows}
+    # Pausing cuts read latency behind long encrypted writes.
+    assert by["write-pausing"]["avg_read_ns"] < by["baseline"]["avg_read_ns"]
+    assert by["write-pausing"]["exec_ms"] <= by["baseline"]["exec_ms"]
+    # A power cap can only slow things down.
+    assert by["power-tokens-8"]["exec_ms"] >= by["baseline"]["exec_ms"] * 0.99

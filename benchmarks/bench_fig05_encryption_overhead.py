@@ -1,0 +1,21 @@
+"""Figure 1b / Figure 5: encryption's ~4x bit-write overhead.
+
+Regenerates the paper's opening measurement: average modified bits per write
+for unencrypted and encrypted memory under DCW and FNW.  Paper: 12.2%,
+10.5%, 50%, 43% — encryption costs almost 4x.
+"""
+
+from benchmarks.common import BENCH_WRITES, record, run_once
+from repro.sim.experiments import fig5_encryption_overhead
+
+
+def test_fig5_encryption_overhead(benchmark):
+    result = run_once(benchmark, fig5_encryption_overhead, n_writes=BENCH_WRITES)
+    record("fig5", result.render())
+    avg = result.averages
+    # Shape assertions: who wins and by roughly what factor.
+    assert avg["Encr-DCW"] > 3.0 * avg["NoEncr-DCW"]
+    assert 49.0 <= avg["Encr-DCW"] <= 51.0
+    assert 41.5 <= avg["Encr-FNW"] <= 44.0
+    assert 9.5 <= avg["NoEncr-DCW"] <= 15.0
+    assert avg["NoEncr-FNW"] <= avg["NoEncr-DCW"]

@@ -1,0 +1,17 @@
+"""Figure 8: DEUCE sensitivity to tracking granularity.
+
+Paper: 1B 21.4%, 2B 23.7%, 4B 26.8%, 8B 32.2% — finer tracking flips fewer
+bits at the cost of more metadata (64 bits/line at 1B vs 8 bits at 8B).
+"""
+
+from benchmarks.common import BENCH_WRITES, record, run_once
+from repro.sim.experiments import fig8_word_size
+
+
+def test_fig8_word_size_sweep(benchmark):
+    result = run_once(benchmark, fig8_word_size, n_writes=BENCH_WRITES)
+    record("fig8", result.render())
+    avg = result.averages
+    assert avg["1B"] < avg["2B"] < avg["4B"] < avg["8B"]
+    assert 20.0 <= avg["2B"] <= 27.0  # paper: 23.7
+    assert 29.0 <= avg["8B"] <= 37.0  # paper: 32.2

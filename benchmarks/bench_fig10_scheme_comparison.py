@@ -1,0 +1,40 @@
+"""Figure 10: the headline scheme comparison.
+
+Paper averages: Encr-FNW 43%, DEUCE 23.7%, DynDEUCE 22.0%, DEUCE+FNW 20.3%,
+NoEncr-FNW 10.5%.  DEUCE and DynDEUCE remove two-thirds of the extra flips
+encryption causes; DynDEUCE rescues the dense writers (Gems, soplex) where
+DEUCE alone exceeds FNW.
+"""
+
+from benchmarks.common import BENCH_WRITES, record, run_once
+from repro.sim.experiments import fig10_scheme_comparison
+
+
+def test_fig10_scheme_comparison(benchmark):
+    result = run_once(
+        benchmark, fig10_scheme_comparison, n_writes=BENCH_WRITES
+    )
+    record("fig10", result.render())
+    avg = result.averages
+
+    # Global ordering.
+    assert (
+        avg["NoEncr-FNW"]
+        < avg["DEUCE+FNW"]
+        <= avg["DynDEUCE"]
+        <= avg["DEUCE"]
+        < avg["Encr-FNW"]
+    )
+    # DEUCE removes roughly two-thirds of encryption's extra flips:
+    # (50 - DEUCE) / (50 - NoEncr-FNW) >= 0.6.
+    recovered = (50.0 - avg["DEUCE"]) / (50.0 - avg["NoEncr-FNW"])
+    assert recovered >= 0.60
+
+    # Dense writers: DEUCE above 43%, DynDEUCE below DEUCE.
+    rows = {r["workload"]: r for r in result.rows}
+    for workload in ("Gems", "soplex"):
+        assert rows[workload]["DEUCE"] > 43.0
+        assert rows[workload]["DynDEUCE"] < rows[workload]["DEUCE"]
+    # Sparse writers: DEUCE far below FNW.
+    for workload in ("libq", "mcf", "omnetpp"):
+        assert rows[workload]["DEUCE"] < 0.5 * avg["Encr-FNW"]

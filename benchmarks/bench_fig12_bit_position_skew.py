@@ -1,0 +1,27 @@
+"""Figure 12: non-uniformity of bit writes within a line.
+
+Paper: the hottest bit position receives ~6x (mcf) to ~27x (libquantum) the
+average position's writes — the reason DEUCE alone only buys 1.1x lifetime.
+"""
+
+from benchmarks.common import BENCH_WRITES, record, run_once
+from repro.analysis.charts import sparkline
+from repro.sim.experiments import bit_position_profile, fig12_bit_position_skew
+
+
+def test_fig12_bit_position_skew(benchmark):
+    result = run_once(
+        benchmark, fig12_bit_position_skew, n_writes=4 * BENCH_WRITES
+    )
+    lines = [result.render(), ""]
+    for workload in ("mcf", "libq"):
+        profile = bit_position_profile(workload, n_writes=4 * BENCH_WRITES)
+        lines.append(f"{workload} per-bit-position writes (normalized):")
+        lines.append(sparkline(profile.tolist(), width=100))
+    record("fig12", "\n".join(lines))
+
+    skew = {r["workload"]: r["max_over_mean"] for r in result.rows}
+    # libquantum is dramatically more skewed than mcf.
+    assert skew["libq"] > 2.5 * skew["mcf"]
+    assert 4.0 <= skew["mcf"] <= 9.0  # paper: ~6x
+    assert skew["libq"] >= 14.0  # paper: ~27x

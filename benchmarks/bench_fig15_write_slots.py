@@ -1,0 +1,25 @@
+"""Figure 15: write slots consumed per write request.
+
+Paper: encrypted memory uses all 4 slots; FNW on encrypted memory barely
+helps (~3.96 — fragmentation); DEUCE drops to 2.64; unencrypted memory needs
+1.92.  DEUCE bridges two-thirds of the encrypted/unencrypted gap.
+"""
+
+from benchmarks.common import BENCH_WRITES, record, run_once
+from repro.sim.experiments import fig15_write_slots
+
+
+def test_fig15_write_slots(benchmark):
+    result = run_once(benchmark, fig15_write_slots, n_writes=BENCH_WRITES)
+    record("fig15", result.render())
+    avg = result.averages
+
+    assert avg["Encr"] >= 3.99  # every encrypted write touches all 4 regions
+    assert avg["Encr-FNW"] >= 3.8  # fragmentation: FNW cannot free a slot
+    # Our slot model charges one slot per 128-bit region with any flip, so
+    # absolute counts run higher than the paper's (3.2 vs 2.64 for DEUCE,
+    # 2.8 vs 1.92 unencrypted) — but the ordering and the headline claim
+    # ("DEUCE bridges two-thirds of the gap") hold.
+    assert avg["NoEncr"] < avg["DEUCE"] < avg["Encr"]
+    bridged = (avg["Encr"] - avg["DEUCE"]) / (avg["Encr"] - avg["NoEncr"])
+    assert bridged >= 0.5

@@ -1,0 +1,25 @@
+"""Figure 16: system speedup over the encrypted-memory baseline.
+
+Paper: FNW on encrypted memory is performance-neutral (write-slot
+fragmentation), DEUCE gains 27% on average, and disabling encryption (FNW
+only) gains 40%.  DEUCE bridges roughly two-thirds of the gap.
+"""
+
+from benchmarks.common import BENCH_WRITES, record, run_once
+from repro.sim.experiments import fig16_speedup
+
+
+def test_fig16_speedup(benchmark):
+    result = run_once(benchmark, fig16_speedup, n_writes=BENCH_WRITES)
+    record("fig16", result.render())
+    avg = result.averages
+
+    # FNW on encrypted memory: no meaningful speedup.
+    assert avg["Encr-FNW"] <= 1.06
+    # DEUCE provides a large speedup; unencrypted is the upper bound.
+    assert avg["DEUCE"] >= 1.12
+    assert avg["NoEncr-FNW"] >= avg["DEUCE"] * 0.98
+    # DEUCE bridges at least half of the gap to unencrypted memory.
+    gap = avg["NoEncr-FNW"] - 1.0
+    assert gap > 0
+    assert (avg["DEUCE"] - 1.0) / gap >= 0.5

@@ -1,0 +1,28 @@
+"""Figure 17: speedup, memory energy, memory power, and EDP vs Encr.
+
+Paper: FNW trims energy ~11% (EDP ~4%); DEUCE cuts energy 43% and EDP 43%
+while power falls less (28%) because execution also gets shorter.
+"""
+
+from benchmarks.common import BENCH_WRITES, record, run_once
+from repro.sim.experiments import fig17_energy_power_edp
+
+
+def test_fig17_energy_power_edp(benchmark):
+    result = run_once(benchmark, fig17_energy_power_edp, n_writes=BENCH_WRITES)
+    record("fig17", result.render())
+    rows = {r["scheme"]: r for r in result.rows}
+
+    deuce = rows["DEUCE"]
+    fnw = rows["Encr-FNW"]
+    noencr = rows["NoEncr-FNW"]
+
+    # DEUCE: large energy cut, smaller power cut (shorter execution).
+    assert deuce["energy"] <= 0.70  # paper: 0.57
+    assert deuce["power"] >= deuce["energy"]
+    assert deuce["edp"] <= 0.65
+    # FNW: modest energy savings, little else.
+    assert 0.80 <= fnw["energy"] <= 0.95  # paper: ~0.89
+    assert fnw["edp"] >= deuce["edp"]
+    # Unencrypted FNW is the floor.
+    assert noencr["edp"] <= deuce["edp"]

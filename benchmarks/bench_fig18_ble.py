@@ -1,0 +1,22 @@
+"""Figure 18: DEUCE is orthogonal to Block-Level Encryption.
+
+Paper: BLE 33%, DEUCE 24%, BLE+DEUCE 19.9% — combining per-block counters
+with per-word dual-counter tracking beats either alone.
+"""
+
+from benchmarks.common import BENCH_WRITES, record, run_once
+from repro.sim.experiments import fig18_ble
+
+
+def test_fig18_ble_combination(benchmark):
+    result = run_once(benchmark, fig18_ble, n_writes=BENCH_WRITES)
+    record("fig18", result.render())
+    avg = result.averages
+
+    assert 29.0 <= avg["BLE"] <= 38.0  # paper: 33%
+    assert avg["DEUCE"] < avg["BLE"]
+    assert avg["BLE+DEUCE"] < avg["BLE"]
+    assert avg["BLE+DEUCE"] <= avg["DEUCE"] + 0.5
+    # Dense workloads defeat BLE too (all four blocks rewritten).
+    rows = {r["workload"]: r for r in result.rows}
+    assert rows["Gems"]["BLE"] >= 49.0

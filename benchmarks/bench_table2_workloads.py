@@ -1,0 +1,17 @@
+"""Table 2: benchmark characteristics (MPKI / WBPKI of the 12 workloads)."""
+
+from benchmarks.common import record, run_once
+from repro.sim.experiments import table2_workloads
+
+
+def test_table2_workload_characteristics(benchmark):
+    result = run_once(benchmark, table2_workloads)
+    record("table2", result.render())
+    rows = {r["workload"]: r for r in result.rows}
+    assert len(rows) == 12
+    # Verbatim Table 2 spot checks.
+    assert rows["libq"]["read_mpki"] == 22.9
+    assert rows["libq"]["wbpki"] == 9.78
+    assert rows["astar"]["wbpki"] == 1.29
+    # Selection criterion: every workload has >= 1 WBPKI.
+    assert all(r["wbpki"] >= 1.0 for r in result.rows)

@@ -1,0 +1,27 @@
+"""Table 3: storage overhead vs effectiveness.
+
+Paper: FNW 32 bits / 42.7%, DEUCE 32 bits / 23.7%, DynDEUCE 33 bits / 22.0%,
+DEUCE+FNW 64 bits / 20.3%.
+"""
+
+from benchmarks.common import BENCH_WRITES, record, run_once
+from repro.sim.experiments import table3_storage_overhead
+
+
+def test_table3_storage_overhead(benchmark):
+    result = run_once(benchmark, table3_storage_overhead, n_writes=BENCH_WRITES)
+    record("table3", result.render())
+    rows = {r["scheme"]: r for r in result.rows}
+
+    # Exact storage overheads from the paper's table.
+    assert rows["FNW"]["overhead_bits"] == 32
+    assert rows["DEUCE"]["overhead_bits"] == 32
+    assert rows["DynDEUCE"]["overhead_bits"] == 33
+    assert rows["DEUCE+FNW"]["overhead_bits"] == 64
+
+    # Effectiveness ordering at equal (or nearly equal) storage.
+    assert rows["DEUCE"]["avg_flips_pct"] < rows["FNW"]["avg_flips_pct"]
+    assert rows["DynDEUCE"]["avg_flips_pct"] <= rows["DEUCE"]["avg_flips_pct"]
+    assert (
+        rows["DEUCE+FNW"]["avg_flips_pct"] <= rows["DynDEUCE"]["avg_flips_pct"]
+    )

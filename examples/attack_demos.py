@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Attack demonstrations: why the counter, and why DEUCE is still safe.
+
+Walks the paper's threat models (section 2) against the three encryption
+configurations of Figure 2, then audits DEUCE's dual-counter write path for
+pad reuse — the invariant its security argument rests on (section 4.3.5).
+
+Run:  python examples/attack_demos.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.pads import Blake2PadSource
+from repro.memory import bitops
+from repro.schemes.deuce import Deuce
+from repro.security import (
+    AddressTweakedMemory,
+    BusSnooper,
+    CounterModeMemory,
+    CounterResetMemory,
+    GlobalKeyMemory,
+    audit_deuce_write_path,
+)
+from repro.workloads.generator import WriteRecord
+
+KEY = b"attack-demo-key!"
+SECRET = b"SSN:078-05-1120 " * 4  # the sensitive line contents
+
+
+def stolen_dimm_demo(pads) -> None:
+    print("--- Stolen-DIMM dictionary attack (Figure 2a vs 2b) ---")
+    weak = GlobalKeyMemory(pads)
+    weak.write(0x000, SECRET)
+    weak.write(0x040, SECRET)   # another process stores the same record
+    weak.write(0x080, bytes(64))
+    groups = weak.snapshot().equal_content_groups()
+    print(f"global key: attacker finds equal-plaintext groups {groups}")
+
+    tweaked = AddressTweakedMemory(pads)
+    tweaked.write(0x000, SECRET)
+    tweaked.write(0x040, SECRET)
+    print(
+        "address-tweaked: equal-plaintext groups "
+        f"{tweaked.snapshot().equal_content_groups()} (attack defeated)\n"
+    )
+
+
+def bus_snoop_demo(pads) -> None:
+    print("--- Bus-snooping attack (Figure 2b vs 2c) ---")
+    for name, mem in (
+        ("address-tweaked", AddressTweakedMemory(pads)),
+        ("counter-mode", CounterModeMemory(pads)),
+    ):
+        snooper = BusSnooper()
+        for value in (SECRET, bytes(64), SECRET):  # the secret comes back
+            snooper.observe(0x40, mem.write(0x40, value))
+        repeats = snooper.repeated_ciphertexts(0x40)
+        verdict = "LEAKED value recurrence" if repeats else "nothing leaked"
+        print(f"{name}: snooper sees {repeats} repeated ciphertexts -> {verdict}")
+    print()
+
+
+def pad_reuse_demo(pads) -> None:
+    print("--- Counter-reset (pad reuse) attack, footnote 1 ---")
+    mem = CounterResetMemory(pads)  # adversary pins the counter at zero
+    snooper = BusSnooper()
+    snooper.observe(0x40, mem.write(0x40, SECRET))
+    snooper.observe(0x40, mem.write(0x40, bytes(64)))
+    leaked = snooper.xor_pairs(0x40)[0]
+    assert leaked == bitops.xor(SECRET, bytes(64))
+    print("with a pinned counter, ciphertext XOR == plaintext XOR:")
+    print(f"  attacker recovers: {leaked[:16]!r}...  (== the secret!)\n")
+
+
+def deuce_audit_demo(pads) -> None:
+    print("--- DEUCE pad-uniqueness audit (section 4.3.5) ---")
+    rng = random.Random(1)
+    scheme = Deuce(pads, epoch_interval=8)
+    data = bytes(rng.randrange(256) for _ in range(64))
+    scheme.install(0x40, data)
+    records = []
+    for _ in range(500):
+        ba = bytearray(data)
+        for _ in range(rng.randint(1, 3)):
+            ba[2 * rng.randrange(32)] ^= rng.randrange(1, 256)
+        data = bytes(ba)
+        records.append(WriteRecord(0x40, data))
+    auditor = audit_deuce_write_path(scheme, records)
+    print(
+        f"500 writebacks audited, {auditor.n_uses} (pad, plaintext) uses "
+        f"recorded, violations: {len(auditor.violations)}"
+    )
+    print(
+        "DEUCE never reuses a pad with different data: unmodified words\n"
+        "keep their old ciphertext bit-for-bit, modified words always get\n"
+        "a fresh leading-counter pad.\n"
+    )
+
+
+def main() -> None:
+    pads = Blake2PadSource(KEY)
+    print("== Threat-model walkthrough ==\n")
+    stolen_dimm_demo(pads)
+    bus_snoop_demo(pads)
+    pad_reuse_demo(pads)
+    deuce_audit_demo(pads)
+    print(
+        "Conclusion: per-line counters defeat both attack models, and\n"
+        "DEUCE keeps that guarantee while writing ~2x fewer bits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""From CPU accesses to PCM writebacks: the whole Table-1 pipeline.
+
+The paper's writebacks are L4 evictions.  This example builds the pipeline
+from first principles: a synthetic CPU access stream flows through a
+write-back cache hierarchy; whatever the last level evicts becomes the
+writeback trace; the trace is characterized and then costed under the
+encryption schemes — showing that the *shape of the application's stores*
+(not calibration) is what decides DEUCE's win.
+
+Run:  python examples/cache_hierarchy.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.sim import SimConfig, run
+from repro.workloads import analyze_trace, recommend_scheme
+from repro.workloads.cpu import CpuWorkload, collect_writebacks
+
+
+def pipeline(pattern: str) -> None:
+    workload = CpuWorkload(
+        pattern=pattern, working_set_bytes=256 * 1024, seed=3
+    )
+    trace, hierarchy = collect_writebacks(workload, n_accesses=40_000)
+
+    print(f"--- {pattern} access pattern ---")
+    print("cache behaviour:")
+    for level in hierarchy.levels:
+        s = level.stats
+        print(
+            f"  {level.name}: {s.accesses} accesses, "
+            f"{100 * s.hit_rate:.1f}% hits, {s.writebacks} writebacks out"
+        )
+    print(f"PCM sees {trace.n_writes} writebacks")
+
+    stats = analyze_trace(trace)
+    print(
+        f"writeback character: {stats.avg_words_modified:.1f} words/write, "
+        f"{stats.avg_bits_per_modified_word:.1f} bits/word, "
+        f"{stats.avg_blocks_touched:.1f} AES blocks touched"
+    )
+    scheme, _ = recommend_scheme(stats)
+    print(f"analyzer recommends: {scheme}")
+
+    rows = []
+    for candidate in ("encr-dcw", "deuce", "dyndeuce"):
+        result = run(
+            SimConfig(trace.profile_name, candidate, n_writes=trace.n_writes),
+            trace=trace,
+        )
+        rows.append(
+            {"scheme": candidate, "flips_pct": round(result.avg_flips_pct, 1)}
+        )
+    print(render_table(["scheme", "flips_pct"], rows,
+                       title="cost on the organic trace:"))
+    print()
+
+
+def main() -> None:
+    print("== CPU -> caches -> PCM writebacks ==\n")
+    pipeline("object")   # header updates: sparse writebacks
+    pipeline("stream")   # memcpy-style: dense writebacks
+    print(
+        "Takeaway: cache write-back coalescing preserves store sparsity —\n"
+        "object-update workloads reach the PCM as sparse writebacks that\n"
+        "DEUCE re-encrypts cheaply, streaming fills arrive dense and pay\n"
+        "the avalanche no matter what."
+    )
+
+
+if __name__ == "__main__":
+    main()

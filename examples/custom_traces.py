@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Bring your own workload: characterize a custom write stream.
+
+The library's traces are just (address, new line contents) sequences, so any
+application's write stream can be analyzed and simulated.  This example
+builds two synthetic application traces by hand — an append-only log and an
+in-place B-tree-ish node updater — characterizes them with the trace
+analyzer, lets it recommend a scheme, and then verifies the recommendation
+by simulating the candidates on the exact same trace.
+
+Run:  python examples/custom_traces.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.sim import SimConfig, run
+from repro.workloads import Trace, WriteRecord, analyze_trace, recommend_scheme
+
+LINE = 64
+
+
+def log_structured_trace(n_writes: int = 2000, seed: int = 0) -> Trace:
+    """Append-only log: each line is filled once, sequentially, with fresh
+    payloads — every word of the line changes when it is written."""
+    rng = random.Random(seed)
+    n_lines = 256
+    initial = {addr: bytes(LINE) for addr in range(n_lines)}
+    records = []
+    for i in range(n_writes):
+        addr = i % n_lines
+        payload = bytes(rng.randrange(256) for _ in range(LINE))
+        records.append(WriteRecord(addr, payload))
+    return Trace("applog", seed, LINE, initial, records)
+
+
+def btree_node_trace(n_writes: int = 2000, seed: int = 0) -> Trace:
+    """In-place index updates: each 64-byte "node" has a hot header (keys
+    count, version) and occasionally gets one 8-byte pointer swapped."""
+    rng = random.Random(seed)
+    n_lines = 256
+    lines = {
+        addr: bytearray(rng.randrange(256) for _ in range(LINE))
+        for addr in range(n_lines)
+    }
+    initial = {addr: bytes(data) for addr, data in lines.items()}
+    records = []
+    for _ in range(n_writes):
+        addr = rng.randrange(n_lines)
+        node = lines[addr]
+        # Bump the 2-byte version counter in the header.
+        version = int.from_bytes(node[0:2], "little") + 1
+        node[0:2] = version.to_bytes(2, "little", signed=False)
+        if rng.random() < 0.3:  # occasionally replace one pointer slot
+            slot = 8 + 8 * rng.randrange(7)
+            node[slot: slot + 8] = rng.randbytes(8)
+        records.append(WriteRecord(addr, bytes(node)))
+    return Trace("btree", seed, LINE, initial, records)
+
+
+def study(name: str, trace: Trace) -> None:
+    print(f"--- {name} ({trace.n_writes} writebacks) ---")
+    stats = analyze_trace(trace)
+    print(render_table(
+        list(stats.summary()), [stats.summary()], title="characterization:"
+    ))
+    scheme, why = recommend_scheme(stats)
+    print(f"recommended scheme: {scheme}  ({why})\n")
+
+    rows = []
+    for candidate in ("encr-dcw", "encr-fnw", "deuce", "dyndeuce"):
+        result = run(
+            SimConfig(trace.profile_name, candidate, n_writes=trace.n_writes),
+            trace=trace,
+        )
+        rows.append(
+            {
+                "scheme": candidate,
+                "flips_pct": round(result.avg_flips_pct, 1),
+                "slots": round(result.avg_slots_per_write, 2),
+            }
+        )
+    print(render_table(["scheme", "flips_pct", "slots"], rows,
+                       title="measured on this exact trace:"))
+    best = min(rows, key=lambda r: r["flips_pct"])
+    print(f"cheapest encrypted scheme: {best['scheme']}\n")
+
+
+def main() -> None:
+    print("== Custom-trace characterization ==\n")
+    study("append-only log", log_structured_trace())
+    study("B-tree node updates", btree_node_trace())
+    print(
+        "Takeaway: the analyzer's density heuristic predicts the simulation\n"
+        "outcome — dense streams want FNW's bound, sparse in-place updates\n"
+        "want DEUCE."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Lifetime study: why DEUCE needs Horizontal Wear Leveling.
+
+Reproduces the section-5 story end to end on one workload:
+
+1. show the per-bit-position write skew (Figure 12) — some cells take ~20x
+   the average;
+2. show that DEUCE's 2x flip reduction buys almost no lifetime without
+   intra-line leveling (Figure 14's middle bar);
+3. enable HWL and watch lifetime track the flip reduction, then translate
+   it into absolute years for a 32 GB DIMM.
+
+Run:  python examples/lifetime_study.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.charts import sparkline
+from repro.sim import SimConfig, run
+from repro.sim.runner import cached_trace
+from repro.wear.lifetime import absolute_lifetime_years
+from repro.workloads import get_profile
+from repro.workloads.trace import generate_trace
+
+WORKLOAD = "libq"
+N_WRITES = 12_000
+
+
+def main() -> None:
+    print(f"== Lifetime study on {WORKLOAD} ==\n")
+
+    # Step 1: the skew problem (Figure 12).
+    r = run(SimConfig(WORKLOAD, "noencr-dcw", n_writes=N_WRITES))
+    profile = r.wear.position_writes[:512].astype(float)
+    profile /= profile.mean() or 1.0
+    print("Writes per bit position, normalized to the average:")
+    print(" ", sparkline(profile.tolist(), width=96))
+    print(f"  hottest position gets {profile.max():.0f}x the average\n")
+
+    # Step 2 & 3: lifetime with and without HWL, against the encrypted
+    # baseline, all on the identical trace.
+    wl_profile = replace(get_profile(WORKLOAD), working_set_lines=128)
+    trace = generate_trace(wl_profile, N_WRITES, seed=0)
+    configs = {
+        "encrypted baseline": SimConfig(WORKLOAD, "encr-dcw", N_WRITES),
+        "DEUCE (no HWL)": SimConfig(WORKLOAD, "deuce", N_WRITES),
+        "DEUCE + HWL": SimConfig(
+            WORKLOAD,
+            "deuce",
+            N_WRITES,
+            wear_leveling="hwl",
+            gap_write_interval=1,
+            hwl_region_lines=16,
+        ),
+    }
+    rates = {}
+    flips = {}
+    for name, config in configs.items():
+        result = run(config, trace=trace)
+        rates[name] = result.lifetime.max_position_rate
+        flips[name] = result.avg_flips_pct
+    base_rate = rates["encrypted baseline"]
+
+    print("Scheme comparison (identical writeback stream):")
+    for name in configs:
+        lifetime = base_rate / rates[name]
+        print(
+            f"  {name:20s} flips {flips[name]:5.1f}%   "
+            f"lifetime vs baseline {lifetime:5.2f}x"
+        )
+
+    # Absolute years for a 32 GB DIMM (Table 1) under a heavy write load.
+    writes_per_second = 20e6  # aggregate writebacks/s hitting the DIMM
+    n_lines = 32 * 2**30 // 64
+    print("\nAbsolute lifetime at 20M writebacks/s over a 32 GB DIMM:")
+    for name in configs:
+        years = absolute_lifetime_years(
+            rates[name], writes_per_second, n_memory_lines=n_lines
+        )
+        print(f"  {name:20s} {years:8.1f} years")
+
+    print(
+        "\nTakeaway: HWL costs no storage (the rotation amount is derived\n"
+        "from Start-Gap's registers) and converts DEUCE's flip reduction\n"
+        "into actual endurance."
+    )
+
+
+if __name__ == "__main__":
+    main()

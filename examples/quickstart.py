@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: an encrypted, wear-leveled PCM main memory in five minutes.
+
+Creates a DEUCE-protected memory controller, writes and reads lines through
+it, and shows the write-efficiency win over naive counter-mode encryption:
+the same update stream costs ~4x fewer cell programs under DEUCE.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SecureMemoryController
+
+KEY = b"please-use-a-real-key-in-prod!!!"
+LINE = 64
+
+
+def small_update(rng: random.Random, line: bytes, hot_words: list[int]) -> bytes:
+    """Mutate a couple of the line's hot words, like a real writeback does.
+
+    Real applications keep touching the same fields of a structure; that
+    footprint stability is exactly what DEUCE exploits.
+    """
+    data = bytearray(line)
+    for _ in range(rng.randint(1, 3)):
+        w = rng.choice(hot_words)
+        data[2 * w] ^= rng.randrange(1, 256)
+    return bytes(data)
+
+
+def drive(controller: SecureMemoryController, seed: int = 0) -> None:
+    """Install 32 lines, then send 2000 sparse writebacks."""
+    rng = random.Random(seed)
+    lines = {
+        addr: bytes(rng.randrange(256) for _ in range(LINE))
+        for addr in range(0, 32 * LINE, LINE)
+    }
+    footprints = {
+        addr: rng.sample(range(LINE // 2), 4) for addr in lines
+    }
+    for addr, data in lines.items():
+        controller.write(addr, data)
+    for _ in range(2000):
+        addr = rng.choice(list(lines))
+        lines[addr] = small_update(rng, lines[addr], footprints[addr])
+        controller.write(addr, lines[addr])
+        assert controller.read(addr) == lines[addr]  # decryption is exact
+
+
+def main() -> None:
+    print("== DEUCE quickstart ==\n")
+
+    deuce = SecureMemoryController(scheme="deuce", key=KEY, wear_leveling="hwl")
+    baseline = SecureMemoryController(
+        scheme="encr-dcw", key=KEY, wear_leveling="none"
+    )
+    drive(deuce)
+    drive(baseline)
+
+    print("Same 2000-writeback stream, two secure-memory designs:\n")
+    for name, mc in (("counter-mode (baseline)", baseline), ("DEUCE", deuce)):
+        flips_pct = 100 * mc.stats.avg_flips_per_write / (8 * LINE)
+        print(
+            f"  {name:24s} {mc.stats.avg_flips_per_write:7.1f} bit flips/write"
+            f"  ({flips_pct:4.1f}% of the line)"
+            f"  {mc.stats.avg_slots_per_write:.2f} write slots"
+        )
+
+    ratio = baseline.stats.total_flips / deuce.stats.total_flips
+    print(f"\nDEUCE wrote {ratio:.1f}x fewer bits for identical data & security.")
+    print(
+        f"Estimated lifetime vs the baseline: {deuce.lifetime().normalized:.1f}x"
+    )
+    print("\nEvery read was verified against the plaintext: decryption exact.")
+
+
+if __name__ == "__main__":
+    main()

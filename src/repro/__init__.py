@@ -1,0 +1,45 @@
+"""DEUCE: Write-Efficient Encryption for Non-Volatile Memories.
+
+A full reproduction of Young, Nair & Qureshi (ASPLOS 2015): dual-counter
+encryption (DEUCE) and every substrate the paper's evaluation relies on — a
+from-scratch AES, counter-mode one-time pads, DCW/FNW/BLE baselines,
+DynDEUCE and the combined schemes, a per-bit PCM wear model, Start-Gap and
+Horizontal Wear Leveling, SPEC-like workload models, and bank-level
+performance/energy models.
+
+Quick start::
+
+    from repro import SecureMemoryController
+
+    mc = SecureMemoryController(scheme="deuce", key=b"0123456789abcdef")
+    mc.write(0x40, b"hello world".ljust(64, b"\\0"))
+    assert mc.read(0x40).startswith(b"hello world")
+
+Paper figures::
+
+    from repro.sim.experiments import fig10_scheme_comparison
+    print(fig10_scheme_comparison().render())
+"""
+
+from repro.memory.controller import ControllerStats, SecureMemoryController
+from repro.schemes import SCHEME_NAMES, WriteOutcome, WriteScheme, make_scheme
+from repro.sim import RunResult, SimConfig, run
+from repro.workloads import PROFILES, WORKLOAD_NAMES, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PROFILES",
+    "SCHEME_NAMES",
+    "WORKLOAD_NAMES",
+    "ControllerStats",
+    "RunResult",
+    "SecureMemoryController",
+    "SimConfig",
+    "WriteOutcome",
+    "WriteScheme",
+    "__version__",
+    "generate_trace",
+    "make_scheme",
+    "run",
+]

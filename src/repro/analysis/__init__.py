@@ -1,0 +1,17 @@
+"""Reporting helpers: text tables and ASCII charts."""
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, hbar, sparkline
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.tables import format_cell, render_comparison, render_table
+
+__all__ = [
+    "bar_chart",
+    "format_cell",
+    "generate_report",
+    "grouped_bar_chart",
+    "hbar",
+    "render_comparison",
+    "render_table",
+    "sparkline",
+    "write_report",
+]

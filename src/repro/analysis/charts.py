@@ -1,0 +1,85 @@
+"""ASCII bar charts for terminal-friendly figure reproduction.
+
+Each paper figure is a bar chart over workloads or configurations; these
+helpers render the same series as horizontal text bars so a reader can see
+the *shape* (who wins, where the crossovers are) straight from the benchmark
+output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def hbar(value: float, scale: float, width: int = 40, char: str = "#") -> str:
+    """One horizontal bar scaled so ``scale`` fills ``width`` characters."""
+    if scale <= 0:
+        return ""
+    n = int(round(width * max(0.0, value) / scale))
+    return char * min(n, width)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+    precision: int = 1,
+) -> str:
+    """Render {label: value} as a horizontal ASCII bar chart."""
+    if not values:
+        return title
+    scale = max(values.values()) or 1.0
+    label_w = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        lines.append(
+            f"{str(label):<{label_w}}  {value:>{6 + precision}.{precision}f}{unit} "
+            f"|{hbar(value, scale, width)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    series: Mapping[str, Mapping[str, float]],
+    labels: Sequence[str],
+    title: str = "",
+    width: int = 30,
+    precision: int = 1,
+) -> str:
+    """Render multiple series ({series: {label: value}}) grouped by label."""
+    chars = "#*+o@%=~"
+    all_values = [
+        v for values in series.values() for v in values.values()
+    ]
+    scale = max(all_values) if all_values else 1.0
+    name_w = max(len(name) for name in series)
+    lines = [title] if title else []
+    for label in labels:
+        lines.append(f"{label}:")
+        for i, (name, values) in enumerate(series.items()):
+            if label not in values:
+                continue
+            v = values[label]
+            lines.append(
+                f"  {name:<{name_w}} {v:>{6 + precision}.{precision}f} "
+                f"|{hbar(v, scale, width, chars[i % len(chars)])}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 64) -> str:
+    """Compact profile of a numeric series (e.g. per-bit-position wear)."""
+    if not len(values):
+        return ""
+    blocks = " .:-=+*#%@"
+    n = len(values)
+    step = max(1, n // width)
+    buckets = [
+        max(values[i: i + step]) for i in range(0, n, step)
+    ]
+    top = max(buckets) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1, int(v / top * (len(blocks) - 1)))]
+        for v in buckets
+    )

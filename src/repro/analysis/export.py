@@ -1,0 +1,65 @@
+"""CSV export of experiment results.
+
+Each :class:`~repro.sim.experiments.ExperimentResult` can be written as a
+CSV for plotting in external tools; :func:`export_all` dumps the full
+registry into a directory (one file per exhibit plus an index).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.experiments import ExperimentResult
+
+
+def export_csv(result: "ExperimentResult", path: str | Path) -> Path:
+    """Write one experiment's rows (plus the average row) as CSV."""
+    path = Path(path)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=result.columns)
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow({col: row.get(col, "") for col in result.columns})
+        if result.averages:
+            avg = {result.columns[0]: "AVG", **result.averages}
+            writer.writerow({col: avg.get(col, "") for col in result.columns})
+    return path
+
+
+def export_all(
+    directory: str | Path,
+    n_writes: int = 3_000,
+    experiments: list[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[Path]:
+    """Run experiments and export each to ``directory``; returns the paths."""
+    from repro.sim.experiments import EXPERIMENTS  # lazy: avoids a cycle
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    names = experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments: {unknown}")
+    written = []
+    index_rows = []
+    for name in names:
+        if progress is not None:
+            progress(f"exporting {name} ...")
+        fn = EXPERIMENTS[name]
+        result = fn() if name == "table2" else fn(n_writes=n_writes)
+        path = export_csv(result, directory / f"{name}.csv")
+        written.append(path)
+        index_rows.append(
+            {"experiment": name, "title": result.title, "file": path.name}
+        )
+    index = directory / "index.csv"
+    with open(index, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=["experiment", "title", "file"])
+        writer.writeheader()
+        writer.writerows(index_rows)
+    written.append(index)
+    return written

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment results.
+
+The benchmarks print the same rows the paper's tables and figure captions
+report; this module does the formatting.  No plotting dependencies — the
+output is aligned monospace text suitable for terminals and logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_cell(value: object, precision: int = 2) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Iterable[Mapping[str, object]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render rows (dicts) as an aligned text table.
+
+    Missing keys render as ``-``.  Column order follows ``columns``.
+    """
+    materialized = [
+        [format_cell(row.get(col, "-"), precision) for col in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in materialized)) if materialized else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_comparison(
+    label_key: str,
+    series: Mapping[str, Mapping[str, float]],
+    labels: Sequence[str],
+    title: str = "",
+    precision: int = 1,
+) -> str:
+    """Render {series_name: {label: value}} with one column per series."""
+    columns = [label_key, *series.keys()]
+    rows = []
+    for label in labels:
+        row: dict[str, object] = {label_key: label}
+        for name, values in series.items():
+            if label in values:
+                row[name] = values[label]
+        rows.append(row)
+    return render_table(columns, rows, title=title, precision=precision)

@@ -1,0 +1,177 @@
+"""Command-line interface: ``deuce-sim``.
+
+Subcommands
+-----------
+``run``
+    Stream a workload trace through one scheme and print the summary.
+``experiment``
+    Reproduce one of the paper's figures/tables (or ``all``).
+``report``
+    Run every experiment and write a Markdown reproduction report.
+``list``
+    Show available workloads, schemes, and experiments.
+
+Examples
+--------
+::
+
+    deuce-sim run --workload mcf --scheme deuce --writes 10000
+    deuce-sim experiment fig10
+    deuce-sim list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import render_table
+from repro.schemes import SCHEME_NAMES
+from repro.sim.config import SimConfig
+from repro.sim.experiments import EXPERIMENTS
+from repro.sim.runner import run
+from repro.workloads.profiles import WORKLOAD_NAMES
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SimConfig(
+        workload=args.workload,
+        scheme=args.scheme,
+        n_writes=args.writes,
+        seed=args.seed,
+        word_bytes=args.word_bytes,
+        epoch_interval=args.epoch_interval,
+        wear_leveling=args.wear_leveling,
+        pad_kind=args.pad_kind,
+    )
+    result = run(config)
+    print(render_table(list(result.summary_row()), [result.summary_row()]))
+    if result.lifetime is not None:
+        print(f"lifetime vs encrypted baseline: {result.lifetime.normalized:.2f}x")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(
+                f"unknown experiment {name!r}; choose from "
+                f"{', '.join(EXPERIMENTS)} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+        fn = EXPERIMENTS[name]
+        result = fn() if name == "table2" else fn(n_writes=args.writes)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_all
+
+    paths = export_all(args.output, n_writes=args.writes, progress=print)
+    print(f"{len(paths)} CSV files written to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.workloads.stats import analyze_trace, recommend_scheme
+    from repro.workloads.trace import Trace, generate_trace
+
+    if args.trace_file:
+        trace = Trace.load(args.trace_file)
+        source = args.trace_file
+    else:
+        trace = generate_trace(args.workload, args.writes, seed=args.seed)
+        source = f"generated {args.workload} trace"
+    stats = analyze_trace(trace)
+    print(render_table(list(stats.summary()), [stats.summary()],
+                       title=f"write behaviour of {source}:"))
+    scheme, why = recommend_scheme(stats)
+    print(f"recommended scheme: {scheme}")
+    print(f"rationale: {why}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+
+    path = write_report(
+        args.output, n_writes=args.writes, progress=print
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("workloads: " + ", ".join(WORKLOAD_NAMES))
+    print("schemes:   " + ", ".join(SCHEME_NAMES))
+    print("experiments: " + ", ".join(EXPERIMENTS) + ", all")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="deuce-sim",
+        description="DEUCE (ASPLOS'15) secure-NVM write-efficiency simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one (workload, scheme) simulation")
+    p_run.add_argument("--workload", choices=WORKLOAD_NAMES, required=True)
+    p_run.add_argument("--scheme", choices=SCHEME_NAMES, default="deuce")
+    p_run.add_argument("--writes", type=int, default=10_000)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--word-bytes", type=int, default=2)
+    p_run.add_argument("--epoch-interval", type=int, default=32)
+    p_run.add_argument(
+        "--wear-leveling", choices=("none", "hwl", "hwl-hashed"), default="none"
+    )
+    p_run.add_argument("--pad-kind", choices=("blake2", "aes"), default="blake2")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_exp = sub.add_parser("experiment", help="reproduce a paper figure/table")
+    p_exp.add_argument("name", help=f"one of {', '.join(EXPERIMENTS)} or 'all'")
+    p_exp.add_argument("--writes", type=int, default=5_000)
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_report = sub.add_parser(
+        "report", help="run all experiments into a Markdown report"
+    )
+    p_report.add_argument("--output", default="deuce_report.md")
+    p_report.add_argument("--writes", type=int, default=3_000)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_export = sub.add_parser(
+        "export", help="export every experiment's rows as CSV"
+    )
+    p_export.add_argument("--output", default="deuce_csv")
+    p_export.add_argument("--writes", type=int, default=3_000)
+    p_export.set_defaults(func=_cmd_export)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="characterize a trace and recommend a scheme"
+    )
+    p_analyze.add_argument(
+        "--trace-file", help="a trace saved with Trace.save()"
+    )
+    p_analyze.add_argument("--workload", choices=WORKLOAD_NAMES, default="mcf")
+    p_analyze.add_argument("--writes", type=int, default=3_000)
+    p_analyze.add_argument("--seed", type=int, default=0)
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_list = sub.add_parser("list", help="list workloads/schemes/experiments")
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Cryptographic substrate: AES, counter-mode pads, line encryption."""
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.ctr import CounterModeEngine, mix_pads, xor_bytes
+from repro.crypto.pads import (
+    AesPadSource,
+    Blake2PadSource,
+    CachingPadSource,
+    PadSource,
+    make_pad_source,
+)
+from repro.crypto.rekey import VersionedPadSource
+
+__all__ = [
+    "AES",
+    "BLOCK_SIZE",
+    "AesPadSource",
+    "Blake2PadSource",
+    "CachingPadSource",
+    "CounterModeEngine",
+    "PadSource",
+    "VersionedPadSource",
+    "make_pad_source",
+    "mix_pads",
+    "xor_bytes",
+]

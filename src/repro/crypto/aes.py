@@ -1,0 +1,225 @@
+"""Pure-Python AES block cipher (FIPS-197).
+
+DEUCE's counter-mode encryption (paper section 2.4) uses an AES engine to turn
+``(key, line address, counter)`` into a one-time pad.  This module provides
+that engine from scratch: key expansion and the forward/inverse cipher for
+AES-128, AES-192, and AES-256, operating on 16-byte blocks.
+
+The implementation favours clarity over raw speed.  It precomputes the
+standard S-box and the xtime (GF(2^8) doubling) table once at import.  For
+simulation sweeps that need millions of pads, prefer
+:class:`repro.crypto.pads.Blake2PadSource`, which is a drop-in surrogate
+validated to have the same avalanche behaviour (see DESIGN.md).
+
+Example
+-------
+>>> key = bytes(range(16))
+>>> cipher = AES(key)
+>>> block = bytes(16)
+>>> plain = cipher.decrypt_block(cipher.encrypt_block(block))
+>>> plain == block
+True
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 16
+_NB = 4  # state columns, fixed by the standard
+
+_KEY_ROUNDS = {16: 10, 24: 12, 32: 14}
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Construct the AES S-box from first principles.
+
+    The S-box is the multiplicative inverse in GF(2^8) followed by the
+    standard affine transform.  Building it (rather than hard-coding 256
+    opaque constants) keeps the implementation auditable; the unit tests
+    additionally pin the table against the FIPS-197 values.
+    """
+    # Exp/log tables over GF(2^8) with generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 = x + 2x in GF(2^8)
+        x ^= (x << 1) ^ (0x1B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = [0] * 256
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        # affine transform: s = inv ^ rot1 ^ rot2 ^ rot3 ^ rot4 ^ 0x63
+        s = inv
+        for shift in (1, 2, 3, 4):
+            s ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[value] = s ^ 0x63
+
+    inv_sbox = [0] * 256
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return bytes(sbox), bytes(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+# xtime: multiplication by 2 in GF(2^8), table-driven.
+XTIME = bytes(((v << 1) ^ 0x1B) & 0xFF if v & 0x80 else (v << 1) for v in range(256))
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two GF(2^8) elements (schoolbook, used by InvMixColumns)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = XTIME[a]
+        b >>= 1
+    return result
+
+
+# Precomputed multiply-by-constant tables used by MixColumns / InvMixColumns.
+MUL2 = XTIME
+MUL3 = bytes(XTIME[v] ^ v for v in range(256))
+MUL9 = bytes(_gf_mul(v, 9) for v in range(256))
+MUL11 = bytes(_gf_mul(v, 11) for v in range(256))
+MUL13 = bytes(_gf_mul(v, 13) for v in range(256))
+MUL14 = bytes(_gf_mul(v, 14) for v in range(256))
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(XTIME[_RCON[-1]])
+
+
+class AES:
+    """AES block cipher with a fixed key.
+
+    Parameters
+    ----------
+    key:
+        16, 24, or 32 bytes selecting AES-128/192/256.
+
+    The round keys are expanded once in the constructor; ``encrypt_block`` and
+    ``decrypt_block`` then operate on arbitrary 16-byte blocks.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in _KEY_ROUNDS:
+            raise ValueError(
+                f"AES key must be 16, 24, or 32 bytes, got {len(key)}"
+            )
+        self.key = bytes(key)
+        self.rounds = _KEY_ROUNDS[len(key)]
+        self._round_keys = self._expand_key(self.key)
+
+    # -- key schedule -----------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        """FIPS-197 key expansion, returned as one flat word list per round."""
+        nk = len(key) // 4
+        words: list[list[int]] = [list(key[4 * i: 4 * i + 4]) for i in range(nk)]
+        total_words = _NB * (self.rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        # Group into per-round 16-byte keys.
+        round_keys = []
+        for r in range(self.rounds + 1):
+            rk: list[int] = []
+            for w in words[4 * r: 4 * r + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    # -- forward cipher ---------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = [block[c * 4 + r] for r in range(4) for c in range(4)]
+        state = self._add_round_key(state, 0)
+        for rnd in range(1, self.rounds):
+            state = [SBOX[b] for b in state]
+            state = _shift_rows(state)
+            state = _mix_columns(state)
+            state = self._add_round_key(state, rnd)
+        state = [SBOX[b] for b in state]
+        state = _shift_rows(state)
+        state = self._add_round_key(state, self.rounds)
+        return bytes(state[r * 4 + c] for c in range(4) for r in range(4))
+
+    # -- inverse cipher ---------------------------------------------------
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = [block[c * 4 + r] for r in range(4) for c in range(4)]
+        state = self._add_round_key(state, self.rounds)
+        for rnd in range(self.rounds - 1, 0, -1):
+            state = _inv_shift_rows(state)
+            state = [INV_SBOX[b] for b in state]
+            state = self._add_round_key(state, rnd)
+            state = _inv_mix_columns(state)
+        state = _inv_shift_rows(state)
+        state = [INV_SBOX[b] for b in state]
+        state = self._add_round_key(state, 0)
+        return bytes(state[r * 4 + c] for c in range(4) for r in range(4))
+
+    def _add_round_key(self, state: list[int], rnd: int) -> list[int]:
+        rk = self._round_keys[rnd]
+        # Round key bytes are column-major; state here is row-major.
+        return [
+            state[r * 4 + c] ^ rk[c * 4 + r]
+            for r in range(4)
+            for c in range(4)
+        ]
+
+
+def _shift_rows(state: list[int]) -> list[int]:
+    out = list(state)
+    for r in range(1, 4):
+        row = state[r * 4: r * 4 + 4]
+        out[r * 4: r * 4 + 4] = row[r:] + row[:r]
+    return out
+
+
+def _inv_shift_rows(state: list[int]) -> list[int]:
+    out = list(state)
+    for r in range(1, 4):
+        row = state[r * 4: r * 4 + 4]
+        out[r * 4: r * 4 + 4] = row[-r:] + row[:-r]
+    return out
+
+
+def _mix_columns(state: list[int]) -> list[int]:
+    out = [0] * 16
+    for c in range(4):
+        a0, a1, a2, a3 = (state[r * 4 + c] for r in range(4))
+        out[0 * 4 + c] = MUL2[a0] ^ MUL3[a1] ^ a2 ^ a3
+        out[1 * 4 + c] = a0 ^ MUL2[a1] ^ MUL3[a2] ^ a3
+        out[2 * 4 + c] = a0 ^ a1 ^ MUL2[a2] ^ MUL3[a3]
+        out[3 * 4 + c] = MUL3[a0] ^ a1 ^ a2 ^ MUL2[a3]
+    return out
+
+
+def _inv_mix_columns(state: list[int]) -> list[int]:
+    out = [0] * 16
+    for c in range(4):
+        a0, a1, a2, a3 = (state[r * 4 + c] for r in range(4))
+        out[0 * 4 + c] = MUL14[a0] ^ MUL11[a1] ^ MUL13[a2] ^ MUL9[a3]
+        out[1 * 4 + c] = MUL9[a0] ^ MUL14[a1] ^ MUL11[a2] ^ MUL13[a3]
+        out[2 * 4 + c] = MUL13[a0] ^ MUL9[a1] ^ MUL14[a2] ^ MUL11[a3]
+        out[3 * 4 + c] = MUL11[a0] ^ MUL13[a1] ^ MUL9[a2] ^ MUL14[a3]
+    return out

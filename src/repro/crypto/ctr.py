@@ -1,0 +1,93 @@
+"""Counter-mode line encryption engine.
+
+Implements the paper's Figure 4: encryption and decryption of a cache line by
+XOR with a one-time pad generated from ``(key, line address, per-line
+counter)``.  The engine is scheme-agnostic; DEUCE layers its dual-counter word
+selection (Figure 7) on top via :func:`mix_pads`.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.pads import PadSource
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+class CounterModeEngine:
+    """Encrypt/decrypt whole lines with counter-mode OTPs.
+
+    Parameters
+    ----------
+    pads:
+        The pad source (AES or surrogate).
+    line_bytes:
+        Cache-line size; the paper fixes 64 bytes.
+    """
+
+    def __init__(self, pads: PadSource, line_bytes: int = 64) -> None:
+        if line_bytes <= 0:
+            raise ValueError("line_bytes must be positive")
+        self.pads = pads
+        self.line_bytes = line_bytes
+
+    def pad(self, address: int, counter: int) -> bytes:
+        """The full-line pad for (address, counter)."""
+        return self.pads.line_pad(address, counter, self.line_bytes)
+
+    def encrypt(self, plaintext: bytes, address: int, counter: int) -> bytes:
+        """Encrypt a line under the given counter value (Figure 4a)."""
+        self._check(plaintext)
+        return xor_bytes(plaintext, self.pad(address, counter))
+
+    def decrypt(self, ciphertext: bytes, address: int, counter: int) -> bytes:
+        """Decrypt a line; identical to encryption in counter mode."""
+        self._check(ciphertext)
+        return xor_bytes(ciphertext, self.pad(address, counter))
+
+    def _check(self, data: bytes) -> None:
+        if len(data) != self.line_bytes:
+            raise ValueError(
+                f"line must be {self.line_bytes} bytes, got {len(data)}"
+            )
+
+
+def mix_pads(
+    pad_leading: bytes,
+    pad_trailing: bytes,
+    modified: list[bool],
+    word_bytes: int,
+) -> bytes:
+    """Build DEUCE's effective per-line pad (Figure 7).
+
+    Words whose modified bit is set take their slice from the leading-counter
+    pad; unmodified words take the trailing-counter pad.  The result can be
+    XORed with the stored line exactly like an ordinary counter-mode pad.
+
+    Parameters
+    ----------
+    pad_leading, pad_trailing:
+        Full-line pads generated with LCTR and TCTR respectively.
+    modified:
+        One flag per word; ``len(modified) * word_bytes`` must equal the
+        line size.
+    word_bytes:
+        DEUCE tracking granularity (2 bytes by default in the paper).
+    """
+    if len(pad_leading) != len(pad_trailing):
+        raise ValueError("pad length mismatch")
+    if len(modified) * word_bytes != len(pad_leading):
+        raise ValueError(
+            f"{len(modified)} words x {word_bytes} bytes != "
+            f"{len(pad_leading)}-byte line"
+        )
+    out = bytearray(len(pad_leading))
+    for w, is_mod in enumerate(modified):
+        lo = w * word_bytes
+        hi = lo + word_bytes
+        out[lo:hi] = pad_leading[lo:hi] if is_mod else pad_trailing[lo:hi]
+    return bytes(out)

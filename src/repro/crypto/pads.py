@@ -1,0 +1,200 @@
+"""One-time pad (OTP) sources for counter-mode memory encryption.
+
+Counter-mode encryption (paper section 2.3-2.4) never feeds data through the
+block cipher.  Instead the cipher turns ``(secret key, line address, line
+counter)`` into a pseudorandom *pad*; the pad is XORed with the line for both
+encryption and decryption.  Security rests on each (address, counter) pair
+producing a pad exactly once.
+
+This module defines the :class:`PadSource` interface and two implementations:
+
+* :class:`AesPadSource` — the real thing: AES (from :mod:`repro.crypto.aes`)
+  in counter mode, one 16-byte block per pad block, exactly as a hardware AES
+  engine would generate it.
+* :class:`Blake2PadSource` — a fast surrogate backed by ``hashlib.blake2b``
+  (C implementation in the standard library).  It is a keyed PRF with the
+  same avalanche property (each distinct input yields a pad that differs in
+  ~50% of bits), which is the only statistical property the paper's write
+  analysis depends on.  Sweeps over millions of writebacks use this source;
+  functional tests use AES.
+
+Both sources are deterministic for a given key, so traces are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Protocol
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+
+#: Pad block width.  AES fixes this at 16 bytes; the BLAKE2 surrogate honours
+#: the same framing so the two sources are interchangeable.
+PAD_BLOCK_BYTES = BLOCK_SIZE
+
+
+class PadSource(Protocol):
+    """Anything that can produce counter-mode pads.
+
+    Implementations must be pure functions of ``(key, address, counter,
+    block_index)`` — calling :meth:`pad_block` twice with the same arguments
+    must return the same bytes, and any change to an argument should change
+    roughly half the output bits (avalanche).
+    """
+
+    def pad_block(self, address: int, counter: int, block_index: int) -> bytes:
+        """Return the 16-byte pad block for one AES block of a line."""
+        ...
+
+    def line_pad(self, address: int, counter: int, n_bytes: int) -> bytes:
+        """Return a pad covering ``n_bytes`` (concatenated pad blocks)."""
+        ...
+
+
+def _pack_tweak(address: int, counter: int, block_index: int) -> bytes:
+    """Serialize the pad inputs into the cipher's 16-byte input block.
+
+    Layout: 6-byte line address, 7-byte counter, 1-byte block index, 2 bytes
+    of zero padding.  28-bit line counters (the paper's provisioning) fit with
+    room to spare; we allow up to 56 bits so lifetime studies never wrap.
+    """
+    if address < 0 or address >= 1 << 48:
+        raise ValueError(f"line address out of range: {address}")
+    if counter < 0 or counter >= 1 << 56:
+        raise ValueError(f"counter out of range: {counter}")
+    if block_index < 0 or block_index >= 256:
+        raise ValueError(f"block index out of range: {block_index}")
+    return (
+        address.to_bytes(6, "little")
+        + counter.to_bytes(7, "little")
+        + bytes([block_index])
+        + b"\x00\x00"
+    )
+
+
+class _PadSourceBase:
+    """Shared ``line_pad`` plumbing for concrete pad sources."""
+
+    def pad_block(self, address: int, counter: int, block_index: int) -> bytes:
+        raise NotImplementedError
+
+    def line_pad(self, address: int, counter: int, n_bytes: int) -> bytes:
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        n_blocks = -(-n_bytes // PAD_BLOCK_BYTES)
+        pad = b"".join(
+            self.pad_block(address, counter, i) for i in range(n_blocks)
+        )
+        return pad[:n_bytes]
+
+
+class AesPadSource(_PadSourceBase):
+    """Counter-mode pads from a real AES engine.
+
+    Parameters
+    ----------
+    key:
+        AES key (16/24/32 bytes).  In hardware this is the processor-held
+        secret; the memory side never sees it.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(key)
+        self.key = bytes(key)
+
+    def pad_block(self, address: int, counter: int, block_index: int) -> bytes:
+        tweak = _pack_tweak(address, counter, block_index)
+        return self._aes.encrypt_block(tweak)
+
+
+class Blake2PadSource(_PadSourceBase):
+    """Fast keyed-PRF pads for large simulation sweeps.
+
+    Uses ``blake2b`` in keyed mode.  One hash call yields up to 64 bytes, so
+    a whole 64-byte line pad costs a single C-speed call; ``pad_block``
+    slices the per-counter digest to preserve AES's 16-byte block framing.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self.key = bytes(key)
+        self._key64 = hashlib.blake2b(self.key, digest_size=64).digest()
+
+    def _digest(self, address: int, counter: int, lane: int) -> bytes:
+        msg = struct.pack("<QQB", address, counter, lane)
+        return hashlib.blake2b(msg, key=self._key64, digest_size=64).digest()
+
+    def pad_block(self, address: int, counter: int, block_index: int) -> bytes:
+        if block_index < 0:
+            raise ValueError(f"block index out of range: {block_index}")
+        lane, offset = divmod(block_index * PAD_BLOCK_BYTES, 64)
+        return self._digest(address, counter, lane)[offset: offset + PAD_BLOCK_BYTES]
+
+    def line_pad(self, address: int, counter: int, n_bytes: int) -> bytes:
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        chunks = []
+        produced = 0
+        lane = 0
+        while produced < n_bytes:
+            digest = self._digest(address, counter, lane)
+            chunks.append(digest)
+            produced += len(digest)
+            lane += 1
+        return b"".join(chunks)[:n_bytes]
+
+
+class CachingPadSource(_PadSourceBase):
+    """Memoizing wrapper around another :class:`PadSource`.
+
+    DEUCE reads regenerate both the LCTR and TCTR pads on every access; a
+    small cache mirrors the hardware's ability to hold recent pads and spares
+    the simulation recomputing them.  The cache is a plain FIFO over whole
+    line pads keyed by ``(address, counter)``.
+    """
+
+    def __init__(self, inner: PadSource, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._inner = inner
+        self._capacity = capacity
+        self._cache: dict[tuple[int, int, int], bytes] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def pad_block(self, address: int, counter: int, block_index: int) -> bytes:
+        key = (address, counter, block_index)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        pad = self._inner.pad_block(address, counter, block_index)
+        if len(self._cache) >= self._capacity:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = pad
+        return pad
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def make_pad_source(kind: str, key: bytes) -> PadSource:
+    """Factory used by simulation configs.
+
+    Parameters
+    ----------
+    kind:
+        ``"aes"`` for the real cipher or ``"blake2"`` for the fast surrogate.
+    key:
+        Secret key bytes.
+    """
+    if kind == "aes":
+        return AesPadSource(key)
+    if kind == "blake2":
+        return Blake2PadSource(key)
+    raise ValueError(f"unknown pad source kind: {kind!r}")

@@ -1,0 +1,27 @@
+"""Memory substrate: bit utilities, line images, the PCM array model."""
+
+from repro.memory.line import StoredLine, make_meta, meta_flips
+from repro.memory.pcm import (
+    READ_LATENCY_NS,
+    SLOT_BITS,
+    SLOT_FLIP_BUDGET,
+    SLOT_LATENCY_NS,
+    PcmArray,
+    WearSummary,
+    slots_for_positions,
+    slots_for_write,
+)
+
+__all__ = [
+    "READ_LATENCY_NS",
+    "SLOT_BITS",
+    "SLOT_FLIP_BUDGET",
+    "SLOT_LATENCY_NS",
+    "PcmArray",
+    "StoredLine",
+    "WearSummary",
+    "make_meta",
+    "meta_flips",
+    "slots_for_positions",
+    "slots_for_write",
+]

@@ -1,0 +1,158 @@
+"""Bit-level helpers shared by the PCM model and the write schemes.
+
+The paper's figure of merit (section 3.3) is the number of *modified bits* per
+writeback, so almost everything in this repo eventually reduces to "XOR two
+byte strings and count ones".  These helpers keep that fast (numpy look-up
+table) and put the other recurring bit manipulations — word diffs, per-bit
+expansion, line rotation for horizontal wear leveling — in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: popcount of every byte value, used to vectorize bit-flip counting.
+POPCOUNT8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint32)
+
+
+def popcount(data: bytes) -> int:
+    """Number of set bits in a byte string."""
+    if not data:
+        return 0
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return int(POPCOUNT8[arr].sum())
+
+
+def bit_flips(old: bytes, new: bytes) -> int:
+    """Number of bit positions that differ between two equal-length strings."""
+    if len(old) != len(new):
+        raise ValueError(f"length mismatch: {len(old)} vs {len(new)}")
+    if not old:
+        return 0
+    a = np.frombuffer(old, dtype=np.uint8)
+    b = np.frombuffer(new, dtype=np.uint8)
+    return int(POPCOUNT8[a ^ b].sum())
+
+
+def xor(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings (numpy-backed)."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    if not a:
+        return b""
+    return (
+        np.frombuffer(a, dtype=np.uint8) ^ np.frombuffer(b, dtype=np.uint8)
+    ).tobytes()
+
+
+def directional_flips(old: bytes, new: bytes) -> tuple[int, int]:
+    """(SET, RESET) cell-program counts between two stored images.
+
+    PCM programs are asymmetric [2]: SET (0 -> 1, crystallize) is slow and
+    RESET (1 -> 0, melt-quench) is fast but power-hungry, so schemes and
+    energy models sometimes need the two directions separately.  Returns
+    ``(zeros_to_ones, ones_to_zeros)``; their sum equals
+    :func:`bit_flips`.
+    """
+    if len(old) != len(new):
+        raise ValueError(f"length mismatch: {len(old)} vs {len(new)}")
+    if not old:
+        return 0, 0
+    a = np.frombuffer(old, dtype=np.uint8)
+    b = np.frombuffer(new, dtype=np.uint8)
+    sets = int(POPCOUNT8[(~a) & b].sum())
+    resets = int(POPCOUNT8[a & (~b)].sum())
+    return sets, resets
+
+
+def changed_words(old: bytes, new: bytes, word_bytes: int) -> list[int]:
+    """Indices of the ``word_bytes``-sized words that differ.
+
+    This is the comparison the DEUCE write path performs after its
+    read-before-write (section 4.3.2).
+    """
+    _check_word_args(len(old), len(new), word_bytes)
+    return [
+        w
+        for w in range(len(old) // word_bytes)
+        if old[w * word_bytes: (w + 1) * word_bytes]
+        != new[w * word_bytes: (w + 1) * word_bytes]
+    ]
+
+
+def word_flip_counts(old: bytes, new: bytes, word_bytes: int) -> list[int]:
+    """Bit flips per word between two lines (used by DynDEUCE's estimator)."""
+    _check_word_args(len(old), len(new), word_bytes)
+    a = np.frombuffer(old, dtype=np.uint8)
+    b = np.frombuffer(new, dtype=np.uint8)
+    per_byte = POPCOUNT8[a ^ b]
+    return per_byte.reshape(-1, word_bytes).sum(axis=1).astype(int).tolist()
+
+
+def to_bit_array(data: bytes) -> np.ndarray:
+    """Expand bytes into a uint8 array of individual bits (MSB first)."""
+    if not data:
+        return np.zeros(0, dtype=np.uint8)
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+
+
+def from_bit_array(bits: np.ndarray) -> bytes:
+    """Inverse of :func:`to_bit_array`."""
+    if bits.size % 8 != 0:
+        raise ValueError("bit array length must be a multiple of 8")
+    return np.packbits(bits.astype(np.uint8)).tobytes()
+
+
+def flipped_positions(old: bytes, new: bytes) -> np.ndarray:
+    """Bit positions (0 = MSB of byte 0) that differ between two lines.
+
+    The per-bit wear model (Figure 12 / section 5) accumulates these.
+    """
+    if len(old) != len(new):
+        raise ValueError(f"length mismatch: {len(old)} vs {len(new)}")
+    diff = to_bit_array(xor(old, new))
+    return np.nonzero(diff)[0]
+
+
+def rotate_bits(data: bytes, amount: int) -> bytes:
+    """Rotate a line left by ``amount`` bit positions (HWL, section 5.3).
+
+    A positive amount moves every bit toward lower positions, wrapping
+    around, i.e. bit ``i`` of the input lands at ``(i - amount) mod n``.
+    """
+    bits = to_bit_array(data)
+    n = bits.size
+    if n == 0:
+        return b""
+    return from_bit_array(np.roll(bits, -(amount % n)))
+
+
+def unrotate_bits(data: bytes, amount: int) -> bytes:
+    """Undo :func:`rotate_bits` with the same amount."""
+    return rotate_bits(data, -amount)
+
+
+def invert(data: bytes) -> bytes:
+    """Bitwise complement (Flip-N-Write's inversion)."""
+    if not data:
+        return b""
+    return (~np.frombuffer(data, dtype=np.uint8)).astype(np.uint8).tobytes()
+
+
+def hamming_weight_fraction(data: bytes) -> float:
+    """Fraction of set bits — handy sanity metric for pad avalanche tests."""
+    if not data:
+        return 0.0
+    return popcount(data) / (8 * len(data))
+
+
+def _check_word_args(len_old: int, len_new: int, word_bytes: int) -> None:
+    if len_old != len_new:
+        raise ValueError(f"length mismatch: {len_old} vs {len_new}")
+    if word_bytes <= 0:
+        raise ValueError("word_bytes must be positive")
+    if len_old % word_bytes != 0:
+        raise ValueError(
+            f"line of {len_old} bytes is not a whole number of "
+            f"{word_bytes}-byte words"
+        )

@@ -1,0 +1,228 @@
+"""Write-back cache hierarchy — where the writeback stream comes from.
+
+Table 1's system puts four cache levels (32KB/256KB/1MB private + a 64MB
+shared L4) between the cores and PCM; *the PCM only ever sees L4
+evictions*.  This module implements that substrate functionally: a
+set-associative, write-back/write-allocate cache with LRU replacement that
+holds real line contents, composable into a hierarchy.  Stores mutate the
+cached bytes; evicting a dirty line emits a writeback with the actual data —
+exactly the records the schemes consume.
+
+Used by :func:`repro.workloads.cpu.collect_writebacks` to derive writeback
+traces from first principles (an access stream), complementing the
+calibrated statistical generator.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Writeback sink signature: (line address, line contents).
+WritebackSink = Callable[[int, bytes], None]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """Misses per thousand accesses (proxy for MPKI in tests)."""
+        return 1000.0 * self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """One write-back, write-allocate cache level with LRU replacement.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    ways:
+        Associativity.
+    line_bytes:
+        Line size (64 throughout the paper).
+    fetch:
+        Where misses get their data: ``fetch(address) -> bytes``.  For a
+        lower cache level, this is the next level's :meth:`load`; for the
+        last level, main memory.
+    writeback_sink:
+        Where dirty evictions go: the next level's :meth:`store_line`, or
+        the PCM write path for the last level.
+    name:
+        Label for stats reporting.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int,
+        fetch: Callable[[int], bytes],
+        writeback_sink: WritebackSink,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        n_lines = size_bytes // line_bytes
+        if n_lines < ways or n_lines % ways:
+            raise ValueError(
+                f"{size_bytes}B / {line_bytes}B lines does not divide into "
+                f"{ways} ways"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = n_lines // ways
+        self._fetch = fetch
+        self._sink = writeback_sink
+        # set index -> OrderedDict of tag -> (bytearray data, dirty flag);
+        # OrderedDict order is LRU (oldest first).
+        self._sets: list[OrderedDict[int, list]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.stats = CacheStats()
+
+    # -- addressing ----------------------------------------------------------
+
+    def _locate(self, line_address: int) -> tuple[OrderedDict, int]:
+        return self._sets[line_address % self.n_sets], line_address // self.n_sets
+
+    # -- line movement -----------------------------------------------------------
+
+    def _ensure_resident(self, line_address: int) -> list:
+        """Fetch (allocating and possibly evicting) and return the entry."""
+        cache_set, tag = self._locate(line_address)
+        entry = cache_set.get(tag)
+        self.stats.accesses += 1
+        if entry is not None:
+            self.stats.hits += 1
+            cache_set.move_to_end(tag)
+            return entry
+        self.stats.misses += 1
+        if len(cache_set) >= self.ways:
+            victim_tag, (victim_data, dirty) = cache_set.popitem(last=False)
+            if dirty:
+                victim_address = victim_tag * self.n_sets + (
+                    line_address % self.n_sets
+                )
+                self._sink(victim_address, bytes(victim_data))
+                self.stats.writebacks += 1
+        entry = [bytearray(self._fetch(line_address)), False]
+        cache_set[tag] = entry
+        return entry
+
+    # -- public interface ------------------------------------------------------------
+
+    def load(self, line_address: int) -> bytes:
+        """Read a whole line through this level."""
+        return bytes(self._ensure_resident(line_address)[0])
+
+    def store(self, line_address: int, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset`` within a line (write-allocate)."""
+        if offset < 0 or offset + len(data) > self.line_bytes:
+            raise ValueError("store crosses the line boundary")
+        entry = self._ensure_resident(line_address)
+        entry[0][offset: offset + len(data)] = data
+        entry[1] = True
+
+    def store_line(self, line_address: int, data: bytes) -> None:
+        """Accept a full-line writeback from the level above."""
+        if len(data) != self.line_bytes:
+            raise ValueError(f"line must be {self.line_bytes} bytes")
+        entry = self._ensure_resident(line_address)
+        entry[0][:] = data
+        entry[1] = True
+
+    def flush(self) -> int:
+        """Write every dirty line to the sink; returns lines written."""
+        flushed = 0
+        for set_index, cache_set in enumerate(self._sets):
+            for tag, (data, dirty) in list(cache_set.items()):
+                if dirty:
+                    self._sink(tag * self.n_sets + set_index, bytes(data))
+                    self.stats.writebacks += 1
+                    flushed += 1
+            cache_set.clear()
+        return flushed
+
+
+class MemoryHierarchy:
+    """A chain of cache levels over a backing line store.
+
+    Parameters
+    ----------
+    levels:
+        (size_bytes, ways) per level, outermost last — e.g. Table 1's
+        ``[(32*1024, 8), (256*1024, 8), (1024*1024, 8), (l4_size, 8)]``.
+    backing:
+        address -> line contents for cold misses (missing lines read as
+        zeros and are added on first touch).
+    writeback_sink:
+        Receives the last level's dirty evictions — the PCM write stream.
+    """
+
+    def __init__(
+        self,
+        levels: list[tuple[int, int]],
+        backing: dict[int, bytes],
+        writeback_sink: WritebackSink,
+        line_bytes: int = 64,
+    ) -> None:
+        if not levels:
+            raise ValueError("at least one cache level required")
+        self.line_bytes = line_bytes
+        self.backing = backing
+
+        def backing_fetch(address: int) -> bytes:
+            line = backing.get(address)
+            if line is None:
+                line = bytes(line_bytes)
+                backing[address] = line
+            return line
+
+        def backing_sink(address: int, data: bytes) -> None:
+            backing[address] = data
+            writeback_sink(address, data)
+
+        # Build from the last level toward the first.
+        fetch = backing_fetch
+        sink: WritebackSink = backing_sink
+        self.levels: list[SetAssociativeCache] = []
+        for i, (size, ways) in reversed(list(enumerate(levels))):
+            cache = SetAssociativeCache(
+                size, ways, line_bytes, fetch, sink, name=f"L{i + 1}"
+            )
+            self.levels.insert(0, cache)
+            fetch = cache.load
+            sink = cache.store_line
+
+        self.first = self.levels[0]
+        self.last = self.levels[-1]
+
+    def load(self, address: int) -> bytes:
+        """CPU load of the line containing ``address``."""
+        return self.first.load(address // self.line_bytes)
+
+    def store(self, address: int, data: bytes) -> None:
+        """CPU store of ``data`` at byte address ``address``."""
+        line, offset = divmod(address, self.line_bytes)
+        self.first.store(line, offset, data)
+
+    def flush_all(self) -> int:
+        """Flush every level outward (e.g. at power-down)."""
+        flushed = 0
+        for level in self.levels:
+            flushed += level.flush()
+        return flushed

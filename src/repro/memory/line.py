@@ -1,0 +1,65 @@
+"""Physical line images stored in the PCM array.
+
+A *stored line* is what actually sits in the PCM cells: the (possibly
+encrypted, possibly bit-flipped) data bytes plus the scheme's per-line
+metadata bits (FNW flip bits, DEUCE modified bits, DynDEUCE mode bit).  The
+per-line write counter is kept alongside; following the paper we do not count
+counter increments in the modified-bits figure of merit because every
+encrypted configuration pays for them identically (section 3.3 counts "the
+Flip bit in FNW"-style metadata).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def make_meta(n_bits: int) -> np.ndarray:
+    """A zeroed metadata bit vector."""
+    if n_bits < 0:
+        raise ValueError("n_bits must be non-negative")
+    return np.zeros(n_bits, dtype=np.uint8)
+
+
+def meta_flips(old: np.ndarray, new: np.ndarray) -> int:
+    """Number of metadata bits that differ."""
+    if old.shape != new.shape:
+        raise ValueError(f"metadata shape mismatch: {old.shape} vs {new.shape}")
+    return int(np.count_nonzero(old != new))
+
+
+@dataclass
+class StoredLine:
+    """One cache line's physical state in PCM.
+
+    Attributes
+    ----------
+    data:
+        The stored data bytes (64 for the paper's configuration).
+    meta:
+        Scheme metadata bits (uint8 0/1 vector); contents are scheme-defined.
+    counter:
+        The per-line write counter of counter-mode encryption.  Stored in
+        plaintext per section 2.4.
+    """
+
+    data: bytes
+    meta: np.ndarray = field(default_factory=lambda: make_meta(0))
+    counter: int = 0
+
+    def __post_init__(self) -> None:
+        self.data = bytes(self.data)
+        self.meta = np.asarray(self.meta, dtype=np.uint8)
+
+    @property
+    def n_data_bits(self) -> int:
+        return 8 * len(self.data)
+
+    @property
+    def n_meta_bits(self) -> int:
+        return int(self.meta.size)
+
+    def copy(self) -> "StoredLine":
+        return StoredLine(self.data, self.meta.copy(), self.counter)

@@ -1,0 +1,180 @@
+"""PCM array model: per-bit wear tracking and write-slot accounting.
+
+Two PCM realities drive the paper's evaluation:
+
+* **Endurance** — every cell tolerates a bounded number of programs, so the
+  per-bit write distribution (not just the average) determines lifetime
+  (section 5).  :class:`PcmArray` accumulates exactly which bit positions of
+  which lines were programmed, optionally after the horizontal-wear-leveling
+  rotation.
+* **Write power** — the write circuitry can program 128 bits per *slot*
+  (150 ns each), provisioned for at most 64 flips via internal Flip-N-Write
+  (section 6.1, [19, 22]).  A 64-byte line spans four slots; a slot is
+  consumed only when its 128-bit region contains at least one flipped bit,
+  which is why bit-flip reduction shortens writes only when the surviving
+  flips also *cluster* (the fragmentation effect of Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.schemes.base import WriteOutcome
+
+#: Write-region width from the 8Gb PCM prototype the paper cites [19].
+SLOT_BITS = 128
+#: Max flips one slot's current budget can program (internal FNW provisioned).
+SLOT_FLIP_BUDGET = 64
+#: Program latency of one slot.
+SLOT_LATENCY_NS = 150.0
+#: Read latency of the array (Table 1).
+READ_LATENCY_NS = 75.0
+
+
+def slots_for_positions(
+    flipped_positions: np.ndarray,
+    line_bits: int,
+    slot_bits: int = SLOT_BITS,
+) -> int:
+    """Write slots consumed by a write that flips the given bit positions.
+
+    Each ``slot_bits``-wide region of the line needs one slot iff any of its
+    bits flip.  Metadata bits (positions >= ``line_bits``) ride along with
+    the last region, matching hardware where the 32 tracking bits live in
+    the same row as the data.
+    """
+    if flipped_positions.size == 0:
+        return 0
+    n_regions = -(-line_bits // slot_bits)
+    regions = np.minimum(flipped_positions // slot_bits, n_regions - 1)
+    return int(np.unique(regions).size)
+
+
+def slots_for_write(
+    outcome: WriteOutcome, line_bits: int, slot_bits: int = SLOT_BITS
+) -> int:
+    """Slots consumed by a :class:`WriteOutcome` (data + metadata flips)."""
+    positions = outcome.flipped_data_positions
+    if outcome.flipped_meta_positions.size:
+        meta = outcome.flipped_meta_positions + line_bits
+        positions = np.concatenate([positions, meta])
+    return slots_for_positions(positions, line_bits, slot_bits)
+
+
+@dataclass
+class WearSummary:
+    """Aggregate wear statistics over the tracked array region.
+
+    Attributes
+    ----------
+    total_writes:
+        Number of line writebacks applied.
+    total_flips:
+        Total cell programs.
+    position_writes:
+        Programs per *bit position* summed over all lines — the profile of
+        Figure 12 and the input to the lifetime model.
+    max_line_bit_writes:
+        The single most-worn cell's program count.
+    """
+
+    total_writes: int
+    total_flips: int
+    position_writes: np.ndarray
+    max_line_bit_writes: int
+
+    @property
+    def mean_position_writes(self) -> float:
+        return float(self.position_writes.mean()) if self.position_writes.size else 0.0
+
+    @property
+    def max_over_mean(self) -> float:
+        """Figure 12's metric: hottest bit position over the average."""
+        mean = self.mean_position_writes
+        return float(self.position_writes.max()) / mean if mean > 0 else 0.0
+
+
+class PcmArray:
+    """Per-bit wear accounting for a set of lines.
+
+    Parameters
+    ----------
+    line_bytes:
+        Data bytes per line.
+    meta_bits:
+        Scheme metadata bits per line; they occupy cells too and are rotated
+        together with the data under HWL ("including any metadata bits
+        associated with the line", section 5.3).
+    track_per_line:
+        When True, keeps a full (line, bit) wear matrix so the most-worn
+        *cell* is known exactly; when False only the per-position aggregate
+        is kept (cheaper, sufficient for HWL-on studies).
+    """
+
+    def __init__(
+        self,
+        line_bytes: int = 64,
+        meta_bits: int = 0,
+        track_per_line: bool = True,
+    ) -> None:
+        if line_bytes <= 0 or meta_bits < 0:
+            raise ValueError("invalid geometry")
+        self.line_bytes = line_bytes
+        self.meta_bits = meta_bits
+        self.bits_per_line = 8 * line_bytes + meta_bits
+        self.track_per_line = track_per_line
+        self.position_writes = np.zeros(self.bits_per_line, dtype=np.int64)
+        self._line_wear: dict[int, np.ndarray] = {}
+        self.total_writes = 0
+        self.total_flips = 0
+
+    def apply_write(self, outcome: WriteOutcome, rotation: int = 0) -> int:
+        """Record one write's cell programs; returns the flip count.
+
+        Parameters
+        ----------
+        outcome:
+            The scheme's write outcome (logical flip positions).
+        rotation:
+            HWL rotation amount for this line at this moment: logical bit
+            ``i`` resides in physical cell ``(i + rotation) % bits_per_line``.
+        """
+        positions = outcome.flipped_data_positions
+        if outcome.flipped_meta_positions.size:
+            meta = outcome.flipped_meta_positions + 8 * self.line_bytes
+            positions = np.concatenate([positions, meta])
+        if rotation:
+            positions = (positions + rotation) % self.bits_per_line
+        np.add.at(self.position_writes, positions, 1)
+        if self.track_per_line:
+            wear = self._line_wear.get(outcome.address)
+            if wear is None:
+                wear = np.zeros(self.bits_per_line, dtype=np.int64)
+                self._line_wear[outcome.address] = wear
+            np.add.at(wear, positions, 1)
+        self.total_writes += 1
+        self.total_flips += int(positions.size)
+        return int(positions.size)
+
+    def line_wear(self, address: int) -> np.ndarray:
+        """Per-bit program counts for one line (zeros if never written)."""
+        if not self.track_per_line:
+            raise RuntimeError("per-line tracking disabled for this array")
+        wear = self._line_wear.get(address)
+        if wear is None:
+            return np.zeros(self.bits_per_line, dtype=np.int64)
+        return wear.copy()
+
+    def summary(self) -> WearSummary:
+        if self.track_per_line and self._line_wear:
+            max_cell = max(int(w.max()) for w in self._line_wear.values())
+        else:
+            max_cell = int(self.position_writes.max()) if self.total_writes else 0
+        return WearSummary(
+            total_writes=self.total_writes,
+            total_flips=self.total_flips,
+            position_writes=self.position_writes.copy(),
+            max_line_bit_writes=max_cell,
+        )

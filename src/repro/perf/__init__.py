@@ -1,0 +1,32 @@
+"""Performance substrate: bank timing, system model, energy model."""
+
+from repro.perf.energy import (
+    EnergyConfig,
+    EnergyReport,
+    energy_report,
+)
+from repro.perf.queueing import (
+    QueueingEstimate,
+    analytic_read_latency,
+    per_bank_rates,
+    write_service_moments,
+)
+from repro.perf.system import CoreConfig, ExecutionResult, simulate_execution
+from repro.perf.timing import BankModel, BankStats, MemorySystem, MemorySystemStats
+
+__all__ = [
+    "BankModel",
+    "BankStats",
+    "CoreConfig",
+    "EnergyConfig",
+    "EnergyReport",
+    "ExecutionResult",
+    "MemorySystem",
+    "MemorySystemStats",
+    "QueueingEstimate",
+    "analytic_read_latency",
+    "energy_report",
+    "per_bank_rates",
+    "simulate_execution",
+    "write_service_moments",
+]

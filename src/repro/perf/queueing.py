@@ -1,0 +1,115 @@
+"""Analytic M/G/1 cross-check for the bank timing model.
+
+The event-driven bank model (:mod:`repro.perf.timing`) is the ground truth
+for Figures 15-17, but an analytic model makes its behaviour auditable: a
+PCM bank under Poisson read/write traffic with read priority is an M/G/1
+queue with two non-preemptive priority classes, whose mean read waiting
+time has the classical closed form
+
+    W_read = R / (1 - rho_read),   R = sum_i lambda_i * E[S_i^2] / 2
+
+(reads are the high-priority class; the residual term R includes the
+write class because a read can arrive while a long write occupies the
+bank).  Tests verify the event simulation agrees with this form in its
+domain of validity (open-loop, moderate load) — the kind of cross-model
+validation a simulator needs before its absolute numbers are trusted.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.memory.pcm import READ_LATENCY_NS, SLOT_LATENCY_NS
+
+
+@dataclass
+class QueueingEstimate:
+    """Analytic latency estimate for one bank."""
+
+    read_utilization: float
+    write_utilization: float
+    residual_ns: float
+    read_wait_ns: float
+    read_latency_ns: float
+
+    @property
+    def total_utilization(self) -> float:
+        return self.read_utilization + self.write_utilization
+
+    @property
+    def stable(self) -> bool:
+        """Is the queue stable (all work eventually served)?"""
+        return self.total_utilization < 1.0
+
+
+def write_service_moments(
+    slot_histogram: Counter, slot_latency_ns: float = SLOT_LATENCY_NS
+) -> tuple[float, float]:
+    """(E[S], E[S^2]) of the write service time from a slot histogram."""
+    total = sum(slot_histogram.values())
+    if total == 0:
+        raise ValueError("slot_histogram is empty")
+    mean = 0.0
+    second = 0.0
+    for slots, count in slot_histogram.items():
+        service = max(1, slots) * slot_latency_ns
+        weight = count / total
+        mean += weight * service
+        second += weight * service * service
+    return mean, second
+
+
+def analytic_read_latency(
+    read_rate_per_ns: float,
+    write_rate_per_ns: float,
+    slot_histogram: Counter,
+    read_latency_ns: float = READ_LATENCY_NS,
+    slot_latency_ns: float = SLOT_LATENCY_NS,
+) -> QueueingEstimate:
+    """Mean read latency of one bank under priority M/G/1 assumptions.
+
+    Parameters
+    ----------
+    read_rate_per_ns / write_rate_per_ns:
+        Per-bank Poisson arrival rates.
+    slot_histogram:
+        Write-slot distribution (defines the write service time).
+    """
+    if read_rate_per_ns < 0 or write_rate_per_ns < 0:
+        raise ValueError("arrival rates must be non-negative")
+    s_w_mean, s_w_2 = write_service_moments(slot_histogram, slot_latency_ns)
+    s_r_2 = read_latency_ns * read_latency_ns
+
+    rho_r = read_rate_per_ns * read_latency_ns
+    rho_w = write_rate_per_ns * s_w_mean
+    residual = (
+        read_rate_per_ns * s_r_2 + write_rate_per_ns * s_w_2
+    ) / 2.0
+    if rho_r >= 1.0:
+        wait = float("inf")
+    else:
+        wait = residual / (1.0 - rho_r)
+    return QueueingEstimate(
+        read_utilization=rho_r,
+        write_utilization=rho_w,
+        residual_ns=residual,
+        read_wait_ns=wait,
+        read_latency_ns=wait + read_latency_ns,
+    )
+
+
+def per_bank_rates(
+    read_mpki: float,
+    wbpki: float,
+    n_banks: int,
+    cpi: float,
+    freq_ghz: float,
+) -> tuple[float, float]:
+    """Per-bank arrival rates (per ns) for a core at a given CPI."""
+    if n_banks < 1:
+        raise ValueError("n_banks must be >= 1")
+    instr_per_ns = freq_ghz / cpi
+    reads = instr_per_ns * read_mpki / 1000.0 / n_banks
+    writes = instr_per_ns * wbpki / 1000.0 / n_banks
+    return reads, writes

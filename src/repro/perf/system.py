@@ -1,0 +1,168 @@
+"""System performance model (Figure 16's speedups).
+
+Rate mode makes all eight cores statistically identical, so we simulate one
+core's slice of the machine: its share of the PCM banks, its Table 2 request
+rates, and an in-order-at-the-miss-level core model:
+
+* the core retires instructions at ``cpi_base`` until an L4 miss;
+* an L4 read miss stalls the core for the read's memory latency (queueing
+  included) beyond an overlappable ``hide_ns`` window;
+* writebacks are fire-and-forget until the bank's write queue fills, at
+  which point the core stalls for the forced drain (section 6.2's
+  "servicing the writes quickly can reduce the memory contention for
+  reads").
+
+Write durations are drawn from the *measured* write-slot distribution of the
+scheme under test (the coupling between Figures 10, 15 and 16).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.perf.timing import MemorySystem
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """One core's slice of the baseline system (Table 1).
+
+    Attributes
+    ----------
+    cpi_base:
+        Cycles per instruction with a perfect memory system (4-wide core).
+    freq_ghz:
+        Core frequency.
+    banks_per_core:
+        PCM banks in this core's slice (32 banks / 8 cores).
+    write_queue_depth:
+        Controller write queue entries per bank.
+    hide_ns:
+        Read latency the out-of-order window can overlap with execution.
+    """
+
+    cpi_base: float = 0.30
+    freq_ghz: float = 4.0
+    banks_per_core: int = 4
+    write_queue_depth: int = 8
+    hide_ns: float = 30.0
+    write_pausing: bool = False
+    max_concurrent_write_slots: int | None = None
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing a fixed instruction budget."""
+
+    workload: str
+    scheme: str
+    instructions: int
+    exec_time_ns: float
+    avg_read_latency_ns: float
+    avg_slots_per_write: float
+    reads: int
+    writes: int
+
+    @property
+    def ipc(self) -> float:
+        if self.exec_time_ns <= 0:
+            return 0.0
+        return self.instructions / self.exec_time_ns  # per ns; relative use only
+
+    def speedup_over(self, baseline: "ExecutionResult") -> float:
+        """Execution-time ratio (Figure 16's metric)."""
+        if self.exec_time_ns <= 0:
+            return float("inf")
+        return baseline.exec_time_ns / self.exec_time_ns
+
+
+def simulate_execution(
+    profile: WorkloadProfile,
+    slot_histogram: Counter,
+    instructions: int = 2_000_000,
+    core: CoreConfig | None = None,
+    seed: int = 0,
+    scheme: str = "",
+) -> ExecutionResult:
+    """Execute ``instructions`` of a workload against a memory scheme.
+
+    Parameters
+    ----------
+    profile:
+        Workload (provides MPKI / WBPKI request rates).
+    slot_histogram:
+        Write-slot distribution measured for the scheme (from
+        :class:`~repro.sim.results.RunResult.slot_histogram`); write
+        durations are drawn from it.
+    instructions:
+        Instruction budget for this core.
+    core:
+        Core/memory-slice parameters.
+    seed:
+        RNG seed for request interleaving (same seed -> same arrival
+        pattern across schemes, so execution-time differences come only
+        from write durations).
+    """
+    core = core or CoreConfig()
+    if not slot_histogram:
+        raise ValueError("slot_histogram is empty")
+    rng = random.Random(f"{profile.name}:{seed}:perf")
+    memory = MemorySystem(
+        n_banks=core.banks_per_core,
+        write_queue_depth=core.write_queue_depth,
+        write_pausing=core.write_pausing,
+        max_concurrent_write_slots=core.max_concurrent_write_slots,
+    )
+
+    # Pre-expand the slot distribution for cheap sampling.
+    slot_values: list[int] = []
+    slot_weights: list[int] = []
+    for slots, count in sorted(slot_histogram.items()):
+        slot_values.append(max(1, slots))
+        slot_weights.append(count)
+
+    ns_per_instr = core.cpi_base / core.freq_ghz
+    rate_per_instr = (profile.read_mpki + profile.wbpki) / 1000.0
+    p_read = profile.read_mpki / (profile.read_mpki + profile.wbpki)
+
+    now = 0.0
+    instructions_done = 0
+    reads = writes = 0
+    total_read_latency = 0.0
+    while instructions_done < instructions:
+        # Instructions until the next memory event (geometric approx of the
+        # per-instruction miss process).
+        gap = min(
+            instructions - instructions_done,
+            max(1, int(rng.expovariate(rate_per_instr))),
+        )
+        instructions_done += gap
+        now += gap * ns_per_instr
+        if instructions_done >= instructions:
+            break
+        address = rng.randrange(profile.working_set_lines)
+        if rng.random() < p_read:
+            latency = memory.read(now, address)
+            total_read_latency += latency
+            now += max(0.0, latency - core.hide_ns)
+            reads += 1
+        else:
+            slots = rng.choices(slot_values, weights=slot_weights)[0]
+            stall = memory.write(now, address, slots)
+            now += stall
+            writes += 1
+
+    stats = memory.stats()
+    return ExecutionResult(
+        workload=profile.name,
+        scheme=scheme,
+        instructions=instructions,
+        exec_time_ns=now,
+        avg_read_latency_ns=(total_read_latency / reads) if reads else 0.0,
+        avg_slots_per_write=stats.avg_slots_per_write,
+        reads=reads,
+        writes=writes,
+    )

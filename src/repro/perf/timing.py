@@ -1,0 +1,285 @@
+"""PCM bank timing: an event-driven model of the read/write path.
+
+The paper's performance results (Figures 15-17) all flow from one mechanism:
+writes occupy a bank for ``slots x 150 ns`` (section 6.1), and while a bank
+drains a write, reads queue behind it.  Fewer bit flips -> fewer slots ->
+shorter writes -> less read queueing -> higher performance.
+
+:class:`BankModel` is a per-bank accounting model with the controller
+policies that matter:
+
+* reads have priority over *queued* writes, but cannot preempt a write that
+  already started;
+* writes sit in a finite write queue and drain when the bank is idle;
+* when the write queue fills, the oldest write is forced out ahead of
+  everything — this is the write-induced stall that makes encrypted memory
+  slow.
+
+The model processes requests in arrival order, which is exact for a FIFO
+bank with idle-drain and gives deterministic, testable behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.memory.pcm import READ_LATENCY_NS, SLOT_LATENCY_NS
+
+
+@dataclass
+class BankStats:
+    """Counters accumulated by one :class:`BankModel`."""
+
+    reads: int = 0
+    writes: int = 0
+    total_read_latency_ns: float = 0.0
+    total_write_slots: int = 0
+    busy_ns: float = 0.0
+    forced_write_drains: int = 0
+    paused_writes: int = 0
+
+    @property
+    def avg_read_latency_ns(self) -> float:
+        return self.total_read_latency_ns / self.reads if self.reads else 0.0
+
+
+class BankModel:
+    """One PCM bank: FIFO service, read priority, finite write queue.
+
+    Parameters
+    ----------
+    read_latency_ns:
+        Array read time (75 ns in Table 1).
+    slot_latency_ns:
+        One write slot (150 ns per 128-bit slot [19]).
+    write_queue_depth:
+        Pending writes the controller buffers per bank before it must
+        stall the core to drain one.
+    write_pausing:
+        Enable write pausing [6]: a read arriving while a write is in
+        flight waits only until the current *slot* boundary instead of the
+        whole write; the write's remaining slots resume afterwards.
+    """
+
+    def __init__(
+        self,
+        read_latency_ns: float = READ_LATENCY_NS,
+        slot_latency_ns: float = SLOT_LATENCY_NS,
+        write_queue_depth: int = 8,
+        write_pausing: bool = False,
+    ) -> None:
+        if write_queue_depth < 1:
+            raise ValueError("write_queue_depth must be >= 1")
+        self.read_latency_ns = read_latency_ns
+        self.slot_latency_ns = slot_latency_ns
+        self.write_queue_depth = write_queue_depth
+        self.write_pausing = write_pausing
+        self.free_at = 0.0
+        # In-flight write window (for pausing): set while the bank's
+        # current occupation is a write.
+        self._write_started_at: float | None = None
+        self._write_queue: deque[tuple[float, float]] = deque()  # (arrival, dur)
+        self.stats = BankStats()
+
+    # -- internals ---------------------------------------------------------
+
+    def _drain_idle_writes(self, now: float) -> None:
+        """Service queued writes for as long as the bank is idle before now."""
+        while self._write_queue and self.free_at < now:
+            arrival, duration = self._write_queue[0]
+            start = max(self.free_at, arrival)
+            if start >= now:
+                break
+            self._write_queue.popleft()
+            self.free_at = start + duration
+            self._write_started_at = start
+            self.stats.busy_ns += duration
+
+    def _force_drain_one(self, now: float) -> float:
+        """Drain the oldest write immediately; returns its completion time."""
+        arrival, duration = self._write_queue.popleft()
+        start = max(self.free_at, arrival, now)
+        self.free_at = start + duration
+        self._write_started_at = start
+        self.stats.busy_ns += duration
+        self.stats.forced_write_drains += 1
+        return self.free_at
+
+    def _pause_write_for_read(self, now: float) -> float:
+        """Write pausing: the read starts at the next slot boundary.
+
+        Returns the read's start time.  The paused write's remaining slots
+        are pushed back by the read's duration.
+        """
+        started = self._write_started_at
+        if started is None or now >= self.free_at or now < started:
+            return max(now, self.free_at)
+        # Next slot boundary at or after `now`.
+        elapsed_slots = int((now - started) // self.slot_latency_ns) + 1
+        boundary = min(
+            started + elapsed_slots * self.slot_latency_ns, self.free_at
+        )
+        self.free_at += self.read_latency_ns  # write resumes after the read
+        self.stats.paused_writes += 1
+        return boundary
+
+    # -- request API ---------------------------------------------------------
+
+    def read(self, now: float) -> float:
+        """Issue a read at ``now``; returns its latency in ns.
+
+        The read waits for the in-flight operation but bypasses queued
+        writes (read priority).  With write pausing enabled, an in-flight
+        write yields at its next slot boundary instead.
+        """
+        self._drain_idle_writes(now)
+        in_write = (
+            self._write_started_at is not None
+            and self._write_started_at <= now < self.free_at
+        )
+        if self.write_pausing and in_write:
+            start = self._pause_write_for_read(now)
+            done = start + self.read_latency_ns
+        else:
+            start = max(now, self.free_at)
+            done = start + self.read_latency_ns
+            self.free_at = done
+            self._write_started_at = None
+        self.stats.busy_ns += self.read_latency_ns
+        latency = done - now
+        self.stats.reads += 1
+        self.stats.total_read_latency_ns += latency
+        return latency
+
+    def write(self, now: float, slots: int) -> float:
+        """Issue a write of ``slots`` write-slots at ``now``.
+
+        Returns the stall imposed on the issuing core: zero while the write
+        queue has room, otherwise the time until the forced drain of the
+        oldest write frees a slot.
+        """
+        self._drain_idle_writes(now)
+        duration = max(1, slots) * self.slot_latency_ns
+        self.stats.writes += 1
+        self.stats.total_write_slots += max(1, slots)
+        self._write_queue.append((now, duration))
+        if len(self._write_queue) <= self.write_queue_depth:
+            return 0.0
+        done = self._force_drain_one(now)
+        return max(0.0, done - now)
+
+    @property
+    def queued_writes(self) -> int:
+        return len(self._write_queue)
+
+
+@dataclass
+class MemorySystemStats:
+    """Aggregate over all banks of a memory system."""
+
+    reads: int = 0
+    writes: int = 0
+    total_read_latency_ns: float = 0.0
+    total_write_slots: int = 0
+    total_core_stall_ns: float = 0.0
+    per_bank: list[BankStats] = field(default_factory=list)
+
+    @property
+    def avg_read_latency_ns(self) -> float:
+        return self.total_read_latency_ns / self.reads if self.reads else 0.0
+
+    @property
+    def avg_slots_per_write(self) -> float:
+        return self.total_write_slots / self.writes if self.writes else 0.0
+
+
+class MemorySystem:
+    """A set of banks with hash-spread request routing.
+
+    Parameters
+    ----------
+    n_banks / read_latency_ns / slot_latency_ns / write_queue_depth /
+    write_pausing:
+        Forwarded to each :class:`BankModel`.
+    max_concurrent_write_slots:
+        Power-token budget [22]: a rank-wide cap on write slots in flight
+        (current capacity limits how many 128-bit slot programs can run at
+        once).  ``None`` disables the constraint.  The check is applied at
+        issue time: a write that would exceed the budget is delayed until
+        an in-flight write completes.
+    """
+
+    def __init__(
+        self,
+        n_banks: int = 4,
+        read_latency_ns: float = READ_LATENCY_NS,
+        slot_latency_ns: float = SLOT_LATENCY_NS,
+        write_queue_depth: int = 8,
+        write_pausing: bool = False,
+        max_concurrent_write_slots: int | None = None,
+    ) -> None:
+        if n_banks < 1:
+            raise ValueError("n_banks must be >= 1")
+        if max_concurrent_write_slots is not None and max_concurrent_write_slots < 1:
+            raise ValueError("max_concurrent_write_slots must be >= 1")
+        self.banks = [
+            BankModel(
+                read_latency_ns,
+                slot_latency_ns,
+                write_queue_depth,
+                write_pausing=write_pausing,
+            )
+            for _ in range(n_banks)
+        ]
+        self.slot_latency_ns = slot_latency_ns
+        self.max_concurrent_write_slots = max_concurrent_write_slots
+        self._active_writes: list[tuple[float, int]] = []  # (end, slots)
+        self.power_delays = 0
+
+    def bank_for(self, address: int) -> BankModel:
+        return self.banks[address % len(self.banks)]
+
+    def read(self, now: float, address: int) -> float:
+        return self.bank_for(address).read(now)
+
+    def _power_token_delay(self, now: float, slots: int) -> float:
+        """Delay (ns) before this write may start under the token budget."""
+        budget = self.max_concurrent_write_slots
+        if budget is None:
+            return 0.0
+        self._active_writes = [
+            (end, s) for end, s in self._active_writes if end > now
+        ]
+        start = now
+        active = sorted(self._active_writes)
+        in_flight = sum(s for _, s in active)
+        while in_flight + min(slots, budget) > budget and active:
+            end, s = active.pop(0)
+            in_flight -= s
+            start = end
+        if start > now:
+            self.power_delays += 1
+        return start - now
+
+    def write(self, now: float, address: int, slots: int) -> float:
+        # The power delay postpones when the write can occupy the bank; it
+        # does not stall the issuing core (the write sits in the queue).
+        delay = self._power_token_delay(now, max(1, slots))
+        arrival = now + delay
+        stall = self.bank_for(address).write(arrival, slots)
+        if self.max_concurrent_write_slots is not None:
+            end = arrival + max(1, slots) * self.slot_latency_ns
+            self._active_writes.append((end, max(1, slots)))
+        return stall
+
+    def stats(self) -> MemorySystemStats:
+        agg = MemorySystemStats()
+        for bank in self.banks:
+            s = bank.stats
+            agg.reads += s.reads
+            agg.writes += s.writes
+            agg.total_read_latency_ns += s.total_read_latency_ns
+            agg.total_write_slots += s.total_write_slots
+            agg.per_bank.append(s)
+        return agg

@@ -1,0 +1,99 @@
+"""Write schemes: baselines, DEUCE, and its combinations.
+
+Every class here implements :class:`repro.schemes.base.WriteScheme`; the
+registry in :func:`make_scheme` is what simulation configs and the CLI use
+to instantiate schemes by name.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.pads import PadSource
+from repro.schemes.base import WriteOutcome, WriteScheme
+from repro.schemes.ble import BlockLevelEncryption
+from repro.schemes.ble_deuce import BleDeuce
+from repro.schemes.counter_mode import EncryptedDCW
+from repro.schemes.dcw import PlainDCW
+from repro.schemes.deuce import Deuce
+from repro.schemes.deuce_fnw import DeuceFnw
+from repro.schemes.dyndeuce import DynDeuce
+from repro.schemes.fnw import EncryptedFNW, FnwCodec, PlainFNW
+from repro.schemes.invmm import INvmm
+
+#: Scheme names accepted by :func:`make_scheme`, in presentation order.
+SCHEME_NAMES = (
+    "noencr-dcw",
+    "noencr-fnw",
+    "encr-dcw",
+    "encr-fnw",
+    "deuce",
+    "dyndeuce",
+    "deuce+fnw",
+    "ble",
+    "ble+deuce",
+    "invmm",
+)
+
+#: Schemes that need a pad source (i.e. that encrypt).
+ENCRYPTED_SCHEMES = frozenset(
+    name for name in SCHEME_NAMES if name not in ("noencr-dcw", "noencr-fnw")
+)
+
+
+def make_scheme(
+    name: str,
+    pads: PadSource | None = None,
+    line_bytes: int = 64,
+    word_bytes: int = 2,
+    epoch_interval: int = 32,
+    fnw_group_bits: int = 16,
+) -> WriteScheme:
+    """Instantiate a write scheme by its table name.
+
+    Parameters mirror the paper's defaults: 64-byte lines, 2-byte DEUCE
+    words, epoch interval 32, 16-bit FNW groups.
+    """
+    if name in ENCRYPTED_SCHEMES and pads is None:
+        raise ValueError(f"scheme {name!r} requires a pad source")
+    if name == "noencr-dcw":
+        return PlainDCW(line_bytes)
+    if name == "noencr-fnw":
+        return PlainFNW(line_bytes, fnw_group_bits)
+    if name == "encr-dcw":
+        return EncryptedDCW(pads, line_bytes)
+    if name == "encr-fnw":
+        return EncryptedFNW(pads, line_bytes, fnw_group_bits)
+    if name == "deuce":
+        return Deuce(pads, line_bytes, word_bytes, epoch_interval)
+    if name == "dyndeuce":
+        return DynDeuce(pads, line_bytes, word_bytes, epoch_interval)
+    if name == "deuce+fnw":
+        return DeuceFnw(
+            pads, line_bytes, word_bytes, epoch_interval, fnw_group_bits
+        )
+    if name == "ble":
+        return BlockLevelEncryption(pads, line_bytes)
+    if name == "ble+deuce":
+        return BleDeuce(pads, line_bytes, word_bytes, epoch_interval)
+    if name == "invmm":
+        return INvmm(pads, line_bytes)
+    raise ValueError(f"unknown scheme: {name!r} (choose from {SCHEME_NAMES})")
+
+
+__all__ = [
+    "ENCRYPTED_SCHEMES",
+    "SCHEME_NAMES",
+    "BleDeuce",
+    "BlockLevelEncryption",
+    "Deuce",
+    "DeuceFnw",
+    "DynDeuce",
+    "EncryptedDCW",
+    "EncryptedFNW",
+    "FnwCodec",
+    "INvmm",
+    "PlainDCW",
+    "PlainFNW",
+    "WriteOutcome",
+    "WriteScheme",
+    "make_scheme",
+]

@@ -1,0 +1,198 @@
+"""Write-scheme interface.
+
+Every technique the paper evaluates — DCW, FNW, full-line counter-mode
+encryption, DEUCE, DynDEUCE, DEUCE+FNW, BLE, BLE+DEUCE — is a *write scheme*:
+a policy that, given the plaintext a core writes back, decides what bit
+pattern lands in the PCM cells and how per-line metadata changes.  All of
+them implement :class:`WriteScheme`, which makes the simulator, the wear
+model, and the benchmarks scheme-agnostic.
+
+Schemes are *functional*, not just counting models: ``read`` must return the
+exact plaintext most recently written, with decryption actually performed via
+the pad source.  Tests rely on this to prove, e.g., that DEUCE's dual-counter
+decode (paper Figure 7) reconstructs the line correctly in every epoch state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memory import bitops
+from repro.memory.line import StoredLine, meta_flips
+
+
+@dataclass
+class WriteOutcome:
+    """Everything observable about one writeback's effect on the PCM cells.
+
+    Attributes
+    ----------
+    address:
+        Line address written.
+    data_flips:
+        Bits that changed among the stored data bits (after DCW — unchanged
+        cells are not rewritten).
+    metadata_flips:
+        Bits that changed among the scheme metadata (FNW flip bits, DEUCE
+        modified bits, mode bits).  Counted in the paper's figure of merit.
+    flipped_data_positions:
+        Bit indices (0..511) of the data bits that changed; feeds per-bit
+        wear tracking (Figure 12, lifetime model).
+    flipped_meta_positions:
+        Metadata bit indices that changed, offset into the metadata region.
+    set_flips / reset_flips:
+        The data flips split by program direction (0->1 SETs vs 1->0
+        RESETs); PCM programs are asymmetric in latency and power [2].
+    words_reencrypted:
+        For word-tracking schemes, how many words were re-encrypted on this
+        write (diagnostic; 0 for schemes without word tracking).
+    full_line_reencrypted:
+        True when the scheme rewrote the entire line (e.g. DEUCE epoch
+        start).
+    mode:
+        Free-form scheme mode label for diagnostics (DynDEUCE reports
+        ``"deuce"`` or ``"fnw"``).
+    """
+
+    address: int
+    data_flips: int
+    metadata_flips: int = 0
+    set_flips: int = 0
+    reset_flips: int = 0
+    flipped_data_positions: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    flipped_meta_positions: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    words_reencrypted: int = 0
+    full_line_reencrypted: bool = False
+    mode: str = ""
+
+    @property
+    def total_flips(self) -> int:
+        """Data + metadata flips — the paper's figure of merit per write."""
+        return self.data_flips + self.metadata_flips
+
+
+class WriteScheme(ABC):
+    """A memory write policy (encryption and/or flip reduction).
+
+    Concrete schemes own a per-address :class:`StoredLine` map.  The write
+    path is split so subclasses only implement the interesting part:
+
+    * :meth:`install` places a line for the first time (initial encryption
+      when pages are brought into memory, per section 3.1).
+    * :meth:`write` handles a writeback and returns a :class:`WriteOutcome`.
+    * :meth:`read` returns the current plaintext.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in results tables.
+    line_bytes:
+        Cache-line size (64 in the paper).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        if line_bytes <= 0:
+            raise ValueError("line_bytes must be positive")
+        self.line_bytes = line_bytes
+        self._lines: dict[int, StoredLine] = {}
+
+    # -- storage accounting ------------------------------------------------
+
+    @property
+    @abstractmethod
+    def metadata_bits_per_line(self) -> int:
+        """Per-line storage overhead in bits, excluding the line counter.
+
+        This is the column reported in the paper's Table 3.
+        """
+
+    @property
+    def n_data_bits(self) -> int:
+        return 8 * self.line_bytes
+
+    # -- line lifecycle ----------------------------------------------------
+
+    def install(self, address: int, plaintext: bytes) -> StoredLine:
+        """Place a line into memory for the first time (initial encryption).
+
+        Returns the stored image.  Installation is not counted as a
+        writeback in the statistics, mirroring section 3.1 ("relevant pages
+        have already been brought into memory and been initially
+        encrypted").
+        """
+        self._check_line(plaintext)
+        stored = self._install(address, plaintext)
+        self._lines[address] = stored
+        return stored
+
+    @abstractmethod
+    def _install(self, address: int, plaintext: bytes) -> StoredLine:
+        """Scheme-specific initial placement."""
+
+    def write(self, address: int, plaintext: bytes) -> WriteOutcome:
+        """Apply a writeback and report its cell-level effect."""
+        self._check_line(plaintext)
+        if address not in self._lines:
+            raise KeyError(
+                f"line {address:#x} was never installed; call install() first"
+            )
+        return self._write(address, plaintext)
+
+    @abstractmethod
+    def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
+        """Scheme-specific write path."""
+
+    @abstractmethod
+    def read(self, address: int) -> bytes:
+        """Return the plaintext currently stored at ``address``."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def stored(self, address: int) -> StoredLine:
+        """The physical image of a line (for wear tracking and tests)."""
+        return self._lines[address]
+
+    def addresses(self) -> list[int]:
+        return list(self._lines)
+
+    def _check_line(self, data: bytes) -> None:
+        if len(data) != self.line_bytes:
+            raise ValueError(
+                f"line must be {self.line_bytes} bytes, got {len(data)}"
+            )
+
+    def _outcome(
+        self,
+        address: int,
+        old: StoredLine,
+        new: StoredLine,
+        **extra: object,
+    ) -> WriteOutcome:
+        """Diff two stored images into a :class:`WriteOutcome`.
+
+        Data Comparison Write is implicit here: only differing cells count
+        as flips, because PCM never rewrites a cell that already holds the
+        target value (section 1, [7]).
+        """
+        data_positions = bitops.flipped_positions(old.data, new.data)
+        meta_positions = np.nonzero(old.meta != new.meta)[0]
+        sets, resets = bitops.directional_flips(old.data, new.data)
+        return WriteOutcome(
+            address=address,
+            data_flips=int(data_positions.size),
+            metadata_flips=meta_flips(old.meta, new.meta),
+            set_flips=sets,
+            reset_flips=resets,
+            flipped_data_positions=data_positions,
+            flipped_meta_positions=meta_positions.astype(np.int64),
+            **extra,  # type: ignore[arg-type]
+        )

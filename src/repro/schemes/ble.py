@@ -1,0 +1,102 @@
+"""Block-Level Encryption (BLE) [Kong & Zhou, DSN'10] — section 7.1.
+
+BLE provisions one counter per 16-byte AES block (four per 64-byte line) and
+re-encrypts only the blocks whose content changed, incrementing just those
+blocks' counters.  It reduces the encrypted write overhead from 50% to ~33%
+but still rewrites a full 16-byte block when a single bit in it changes —
+the coarseness DEUCE's 2-byte tracking removes.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.pads import PAD_BLOCK_BYTES, PadSource
+from repro.memory import bitops
+from repro.memory.line import StoredLine, make_meta
+from repro.schemes.base import WriteOutcome, WriteScheme
+
+
+class BlockLevelEncryption(WriteScheme):
+    """Counter-mode encryption with per-AES-block counters.
+
+    Per-block counters are kept in ``self._block_counters``; the
+    ``StoredLine.counter`` field mirrors the number of writebacks for
+    diagnostics.  Counter bits are not charged to the figure of merit (the
+    paper charges neither BLE's nor the baseline's counters).
+    """
+
+    name = "ble"
+
+    def __init__(self, pads: PadSource, line_bytes: int = 64) -> None:
+        super().__init__(line_bytes)
+        if line_bytes % PAD_BLOCK_BYTES != 0:
+            raise ValueError(
+                f"line_bytes={line_bytes} is not a whole number of "
+                f"{PAD_BLOCK_BYTES}-byte AES blocks"
+            )
+        self.pads = pads
+        self.block_bytes = PAD_BLOCK_BYTES
+        self.n_blocks = line_bytes // self.block_bytes
+        self._block_counters: dict[int, list[int]] = {}
+
+    @property
+    def metadata_bits_per_line(self) -> int:
+        return 0  # counters excluded, as for the line-counter baseline
+
+    def block_counters(self, address: int) -> list[int]:
+        """The per-block counters of a line (read-only copy)."""
+        return list(self._block_counters[address])
+
+    def _block_pad(self, address: int, counter: int, block: int) -> bytes:
+        return self.pads.pad_block(address, counter, block)
+
+    def _install(self, address: int, plaintext: bytes) -> StoredLine:
+        counters = [0] * self.n_blocks
+        self._block_counters[address] = counters
+        stored = b"".join(
+            bitops.xor(
+                plaintext[b * self.block_bytes: (b + 1) * self.block_bytes],
+                self._block_pad(address, 0, b),
+            )
+            for b in range(self.n_blocks)
+        )
+        return StoredLine(stored, make_meta(0), 0)
+
+    def read(self, address: int) -> bytes:
+        line = self._lines[address]
+        counters = self._block_counters[address]
+        return b"".join(
+            bitops.xor(
+                line.data[b * self.block_bytes: (b + 1) * self.block_bytes],
+                self._block_pad(address, counters[b], b),
+            )
+            for b in range(self.n_blocks)
+        )
+
+    def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
+        old = self._lines[address]
+        old_plain = self.read(address)
+        counters = self._block_counters[address]
+
+        stored = bytearray(old.data)
+        blocks_reencrypted = 0
+        for b in range(self.n_blocks):
+            lo = b * self.block_bytes
+            hi = lo + self.block_bytes
+            if plaintext[lo:hi] == old_plain[lo:hi]:
+                continue
+            counters[b] += 1
+            stored[lo:hi] = bitops.xor(
+                plaintext[lo:hi], self._block_pad(address, counters[b], b)
+            )
+            blocks_reencrypted += 1
+
+        new = StoredLine(bytes(stored), make_meta(0), old.counter + 1)
+        self._lines[address] = new
+        return self._outcome(
+            address,
+            old,
+            new,
+            words_reencrypted=blocks_reencrypted,
+            full_line_reencrypted=(blocks_reencrypted == self.n_blocks),
+            mode="ble",
+        )

@@ -1,0 +1,162 @@
+"""BLE+DEUCE — dual-counter encryption inside each AES block (Figure 18).
+
+The paper notes DEUCE is orthogonal to Block-Level Encryption and the two
+combine for greater benefit (33% and 24% standalone, 19.9% together).  Here
+each 16-byte block keeps its own counter (BLE) *and* its own DEUCE epoch:
+when a block's content changes, its counter increments; at block-epoch starts
+the whole block is re-encrypted and its modified bits reset, and in between
+only the words of the block modified this epoch are re-encrypted with the
+block's leading counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.pads import PAD_BLOCK_BYTES, PadSource
+from repro.memory import bitops
+from repro.memory.line import StoredLine
+from repro.schemes.base import WriteOutcome, WriteScheme
+from repro.schemes.deuce import _check_epoch_interval
+
+
+class BleDeuce(WriteScheme):
+    """Per-block counters + per-word dual-counter re-encryption.
+
+    Metadata layout: one modified bit per word across the whole line,
+    grouped block-major (words of block 0 first).  With the 2-byte default
+    this is the same 32 bits/line as plain DEUCE.
+    """
+
+    name = "ble+deuce"
+
+    def __init__(
+        self,
+        pads: PadSource,
+        line_bytes: int = 64,
+        word_bytes: int = 2,
+        epoch_interval: int = 32,
+    ) -> None:
+        super().__init__(line_bytes)
+        if line_bytes % PAD_BLOCK_BYTES != 0:
+            raise ValueError(
+                f"line_bytes={line_bytes} is not a whole number of "
+                f"{PAD_BLOCK_BYTES}-byte AES blocks"
+            )
+        if word_bytes <= 0 or PAD_BLOCK_BYTES % word_bytes != 0:
+            raise ValueError(
+                f"word_bytes={word_bytes} must divide the "
+                f"{PAD_BLOCK_BYTES}-byte AES block"
+            )
+        self.pads = pads
+        self.block_bytes = PAD_BLOCK_BYTES
+        self.n_blocks = line_bytes // self.block_bytes
+        self.word_bytes = word_bytes
+        self.words_per_block = self.block_bytes // word_bytes
+        self.n_words = line_bytes // word_bytes
+        self.epoch_interval = _check_epoch_interval(epoch_interval)
+        self._epoch_mask = ~(epoch_interval - 1)
+        self._block_counters: dict[int, list[int]] = {}
+
+    @property
+    def metadata_bits_per_line(self) -> int:
+        return self.n_words
+
+    def block_counters(self, address: int) -> list[int]:
+        return list(self._block_counters[address])
+
+    # -- per-block helpers ----------------------------------------------------
+
+    def _block_pad(self, address: int, counter: int, block: int) -> bytes:
+        return self.pads.pad_block(address, counter, block)
+
+    def _block_slice(self, data: bytes, block: int) -> bytes:
+        lo = block * self.block_bytes
+        return data[lo: lo + self.block_bytes]
+
+    def _block_meta(self, meta: np.ndarray, block: int) -> np.ndarray:
+        lo = block * self.words_per_block
+        return meta[lo: lo + self.words_per_block]
+
+    def _mixed_block_pad(
+        self, address: int, block: int, counter: int, modified: np.ndarray
+    ) -> bytes:
+        """DEUCE's per-word pad mux, scoped to one AES block."""
+        tctr = counter & self._epoch_mask
+        lead = self._block_pad(address, counter, block)
+        if counter == tctr or not modified.any():
+            return lead if counter == tctr else self._block_pad(
+                address, tctr, block
+            )
+        trail = self._block_pad(address, tctr, block)
+        out = bytearray(self.block_bytes)
+        for w in range(self.words_per_block):
+            lo = w * self.word_bytes
+            hi = lo + self.word_bytes
+            out[lo:hi] = lead[lo:hi] if modified[w] else trail[lo:hi]
+        return bytes(out)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _install(self, address: int, plaintext: bytes) -> StoredLine:
+        self._block_counters[address] = [0] * self.n_blocks
+        stored = b"".join(
+            bitops.xor(
+                self._block_slice(plaintext, b), self._block_pad(address, 0, b)
+            )
+            for b in range(self.n_blocks)
+        )
+        return StoredLine(stored, np.zeros(self.n_words, dtype=np.uint8), 0)
+
+    def read(self, address: int) -> bytes:
+        line = self._lines[address]
+        counters = self._block_counters[address]
+        parts = []
+        for b in range(self.n_blocks):
+            pad = self._mixed_block_pad(
+                address, b, counters[b], self._block_meta(line.meta, b)
+            )
+            parts.append(bitops.xor(self._block_slice(line.data, b), pad))
+        return b"".join(parts)
+
+    def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
+        old = self._lines[address]
+        old_plain = self.read(address)
+        counters = self._block_counters[address]
+
+        stored = bytearray(old.data)
+        meta = old.meta.copy()
+        words_reenc = 0
+        blocks_full = 0
+        for b in range(self.n_blocks):
+            new_block = self._block_slice(plaintext, b)
+            if new_block == self._block_slice(old_plain, b):
+                continue
+            counters[b] += 1
+            counter = counters[b]
+            block_meta = self._block_meta(meta, b)
+            if counter % self.epoch_interval == 0:
+                block_meta[:] = 0
+                pad = self._block_pad(address, counter, b)
+                blocks_full += 1
+                words_reenc += self.words_per_block
+            else:
+                newly = bitops.changed_words(
+                    self._block_slice(old_plain, b), new_block, self.word_bytes
+                )
+                block_meta[newly] = 1
+                pad = self._mixed_block_pad(address, b, counter, block_meta)
+                words_reenc += int(block_meta.sum())
+            lo = b * self.block_bytes
+            stored[lo: lo + self.block_bytes] = bitops.xor(new_block, pad)
+
+        new = StoredLine(bytes(stored), meta, old.counter + 1)
+        self._lines[address] = new
+        return self._outcome(
+            address,
+            old,
+            new,
+            words_reencrypted=words_reenc,
+            full_line_reencrypted=(blocks_full == self.n_blocks),
+            mode="ble+deuce",
+        )

@@ -1,0 +1,35 @@
+"""Data Comparison Write (DCW) on unencrypted memory.
+
+DCW [Zhou et al., ISCA'09] is the paper's unencrypted baseline: the memory
+reads the line before writing and only programs cells whose value changes.
+In this codebase DCW is implicit in how :class:`~repro.schemes.base
+.WriteScheme` counts flips (old vs new stored image), so the scheme itself is
+the simplest possible one — store the plaintext as-is.
+"""
+
+from __future__ import annotations
+
+from repro.memory.line import StoredLine, make_meta
+from repro.schemes.base import WriteOutcome, WriteScheme
+
+
+class PlainDCW(WriteScheme):
+    """Unencrypted memory with data-comparison writes (paper's "NoEncr DCW")."""
+
+    name = "noencr-dcw"
+
+    @property
+    def metadata_bits_per_line(self) -> int:
+        return 0
+
+    def _install(self, address: int, plaintext: bytes) -> StoredLine:
+        return StoredLine(plaintext, make_meta(0))
+
+    def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
+        old = self._lines[address]
+        new = StoredLine(plaintext, make_meta(0), old.counter + 1)
+        self._lines[address] = new
+        return self._outcome(address, old, new)
+
+    def read(self, address: int) -> bytes:
+        return self._lines[address].data

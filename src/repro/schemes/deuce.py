@@ -1,0 +1,183 @@
+"""DEUCE — Dual Counter Encryption (paper section 4).
+
+DEUCE keeps one physical per-line counter but derives two *virtual* counters
+from it:
+
+* **LCTR** (leading counter): the line counter itself, incremented on every
+  write.
+* **TCTR** (trailing counter): LCTR with the ``log2(epoch_interval)`` least
+  significant bits masked off.  It therefore equals LCTR once every
+  ``epoch_interval`` writes — the start of an *epoch* — and is frozen in
+  between.
+
+Each tracked word carries one *modified bit*.  At an epoch start the whole
+line is re-encrypted with the fresh counter and all modified bits reset.  In
+between, a write re-encrypts (with LCTR) exactly the words whose modified bit
+is set — words written at least once this epoch — while untouched words keep
+their TCTR-encrypted image in the cells, contributing zero flips.
+
+Decryption (Figure 7) generates both pads and muxes per word on the modified
+bit.  Security (section 4.3.5): a pad value is only ever XORed with data when
+the counter is fresh, so no pad is reused with different data; the
+pad-uniqueness auditor in :mod:`repro.security.invariants` checks this
+mechanically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.ctr import mix_pads
+from repro.crypto.pads import PadSource
+from repro.memory import bitops
+from repro.memory.line import StoredLine
+from repro.schemes.base import WriteOutcome, WriteScheme
+
+
+def _check_epoch_interval(epoch_interval: int) -> int:
+    if epoch_interval < 2 or epoch_interval & (epoch_interval - 1):
+        raise ValueError(
+            "epoch_interval must be a power of two >= 2 (LSB masking), got "
+            f"{epoch_interval}"
+        )
+    return epoch_interval
+
+
+class Deuce(WriteScheme):
+    """Dual Counter Encryption.
+
+    Parameters
+    ----------
+    pads:
+        Counter-mode pad source.
+    line_bytes:
+        Cache-line size (64).
+    word_bytes:
+        Tracking granularity; the paper's default is 2 bytes (32 modified
+        bits per 64-byte line).  Section 4.4 sweeps 1/2/4/8.
+    epoch_interval:
+        Writes between full-line re-encryptions; power of two.  The paper's
+        default is 32 (section 4.5 sweeps 8/16/32).
+    """
+
+    name = "deuce"
+
+    def __init__(
+        self,
+        pads: PadSource,
+        line_bytes: int = 64,
+        word_bytes: int = 2,
+        epoch_interval: int = 32,
+    ) -> None:
+        super().__init__(line_bytes)
+        if word_bytes <= 0 or line_bytes % word_bytes != 0:
+            raise ValueError(
+                f"word_bytes={word_bytes} must divide line_bytes={line_bytes}"
+            )
+        self.pads = pads
+        self.word_bytes = word_bytes
+        self.n_words = line_bytes // word_bytes
+        self.epoch_interval = _check_epoch_interval(epoch_interval)
+        self._epoch_mask = ~(epoch_interval - 1)
+
+    # -- counters -----------------------------------------------------------
+
+    def leading_counter(self, line: StoredLine) -> int:
+        return line.counter
+
+    def trailing_counter(self, line: StoredLine) -> int:
+        return line.counter & self._epoch_mask
+
+    @property
+    def metadata_bits_per_line(self) -> int:
+        return self.n_words
+
+    # -- pads ----------------------------------------------------------------
+
+    def _pad(self, address: int, counter: int) -> bytes:
+        return self.pads.line_pad(address, counter, self.line_bytes)
+
+    def _effective_pad(self, address: int, line: StoredLine) -> bytes:
+        """The per-word-muxed pad for the line's current state (Figure 7)."""
+        lctr = self.leading_counter(line)
+        tctr = self.trailing_counter(line)
+        modified = [bool(b) for b in line.meta]
+        if lctr == tctr or not any(modified):
+            return self._pad(address, lctr if lctr == tctr else tctr)
+        return mix_pads(
+            self._pad(address, lctr),
+            self._pad(address, tctr),
+            modified,
+            self.word_bytes,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _install(self, address: int, plaintext: bytes) -> StoredLine:
+        stored = bitops.xor(plaintext, self._pad(address, 0))
+        return StoredLine(stored, np.zeros(self.n_words, dtype=np.uint8), 0)
+
+    def read(self, address: int) -> bytes:
+        line = self._lines[address]
+        return bitops.xor(line.data, self._effective_pad(address, line))
+
+    def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
+        old = self._lines[address]
+        old_plain = self.read(address)  # the read-before-write of 4.3.2
+        counter = old.counter + 1
+
+        if counter % self.epoch_interval == 0:
+            new = self._epoch_write(address, plaintext, counter)
+            outcome = self._outcome(
+                address,
+                old,
+                new,
+                words_reencrypted=self.n_words,
+                full_line_reencrypted=True,
+                mode="deuce",
+            )
+        else:
+            new, n_reenc = self._partial_write(
+                address, old, old_plain, plaintext, counter
+            )
+            outcome = self._outcome(
+                address,
+                old,
+                new,
+                words_reencrypted=n_reenc,
+                full_line_reencrypted=False,
+                mode="deuce",
+            )
+        self._lines[address] = new
+        return outcome
+
+    def _epoch_write(
+        self, address: int, plaintext: bytes, counter: int
+    ) -> StoredLine:
+        """Epoch start: full re-encryption, modified bits reset."""
+        stored = bitops.xor(plaintext, self._pad(address, counter))
+        return StoredLine(stored, np.zeros(self.n_words, dtype=np.uint8), counter)
+
+    def _partial_write(
+        self,
+        address: int,
+        old: StoredLine,
+        old_plain: bytes,
+        plaintext: bytes,
+        counter: int,
+    ) -> tuple[StoredLine, int]:
+        """Mid-epoch write: re-encrypt the epoch's modified-word set."""
+        newly_modified = bitops.changed_words(old_plain, plaintext, self.word_bytes)
+        meta = old.meta.copy()
+        meta[newly_modified] = 1
+
+        modified = [bool(b) for b in meta]
+        tctr = counter & self._epoch_mask
+        pad = mix_pads(
+            self._pad(address, counter),
+            self._pad(address, tctr),
+            modified,
+            self.word_bytes,
+        )
+        stored = bitops.xor(plaintext, pad)
+        return StoredLine(stored, meta, counter), int(sum(modified))

@@ -1,0 +1,136 @@
+"""DEUCE+FNW — dedicated storage for both techniques (section 4.7, Table 3).
+
+The paper's upper-bound configuration: the line carries DEUCE's 32 modified
+bits *and* FNW's 32 flip bits (64 bits total).  DEUCE decides which words get
+re-encrypted; FNW then stores each re-encrypted group plain or inverted,
+whichever is closer to the cells' current contents.  Words DEUCE leaves
+untouched are never inverted (inverting them could only add flips), so they
+contribute zero flips just as in plain DEUCE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.ctr import mix_pads
+from repro.crypto.pads import PadSource
+from repro.memory import bitops
+from repro.memory.line import StoredLine
+from repro.schemes.base import WriteOutcome, WriteScheme
+from repro.schemes.deuce import _check_epoch_interval
+from repro.schemes.fnw import FnwCodec
+
+
+class DeuceFnw(WriteScheme):
+    """DEUCE layered with Flip-N-Write, each with dedicated metadata.
+
+    Metadata layout: ``meta[0:n_words]`` are DEUCE modified bits,
+    ``meta[n_words:]`` are FNW flip bits (one per FNW group).
+    """
+
+    name = "deuce+fnw"
+
+    def __init__(
+        self,
+        pads: PadSource,
+        line_bytes: int = 64,
+        word_bytes: int = 2,
+        epoch_interval: int = 32,
+        fnw_group_bits: int = 16,
+    ) -> None:
+        super().__init__(line_bytes)
+        if word_bytes <= 0 or line_bytes % word_bytes != 0:
+            raise ValueError(
+                f"word_bytes={word_bytes} must divide line_bytes={line_bytes}"
+            )
+        self.pads = pads
+        self.word_bytes = word_bytes
+        self.n_words = line_bytes // word_bytes
+        self.epoch_interval = _check_epoch_interval(epoch_interval)
+        self._epoch_mask = ~(epoch_interval - 1)
+        self.codec = FnwCodec(line_bytes, fnw_group_bits)
+
+    @property
+    def metadata_bits_per_line(self) -> int:
+        return self.n_words + self.codec.n_groups  # 64 for the defaults
+
+    # -- metadata accessors ---------------------------------------------------
+
+    def _modified(self, meta: np.ndarray) -> np.ndarray:
+        return meta[: self.n_words]
+
+    def _flip_bits(self, meta: np.ndarray) -> np.ndarray:
+        return meta[self.n_words:]
+
+    def _make_meta(
+        self, modified: np.ndarray, flip_bits: np.ndarray
+    ) -> np.ndarray:
+        return np.concatenate([modified, flip_bits]).astype(np.uint8)
+
+    # -- pads -------------------------------------------------------------------
+
+    def _pad(self, address: int, counter: int) -> bytes:
+        return self.pads.line_pad(address, counter, self.line_bytes)
+
+    def _mixed_pad(
+        self, address: int, counter: int, modified: np.ndarray
+    ) -> bytes:
+        tctr = counter & self._epoch_mask
+        if counter == tctr or not modified.any():
+            return self._pad(address, counter if counter == tctr else tctr)
+        return mix_pads(
+            self._pad(address, counter),
+            self._pad(address, tctr),
+            [bool(b) for b in modified],
+            self.word_bytes,
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _install(self, address: int, plaintext: bytes) -> StoredLine:
+        stored = bitops.xor(plaintext, self._pad(address, 0))
+        meta = self._make_meta(
+            np.zeros(self.n_words, dtype=np.uint8),
+            self.codec.fresh_flip_bits(),
+        )
+        return StoredLine(stored, meta, 0)
+
+    def read(self, address: int) -> bytes:
+        line = self._lines[address]
+        ciphertext = self.codec.decode(line.data, self._flip_bits(line.meta))
+        pad = self._mixed_pad(address, line.counter, self._modified(line.meta))
+        return bitops.xor(ciphertext, pad)
+
+    # -- write path ------------------------------------------------------------------
+
+    def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
+        old = self._lines[address]
+        old_plain = self.read(address)
+        counter = old.counter + 1
+
+        if counter % self.epoch_interval == 0:
+            modified = np.zeros(self.n_words, dtype=np.uint8)
+            full = True
+        else:
+            newly = bitops.changed_words(old_plain, plaintext, self.word_bytes)
+            modified = self._modified(old.meta).copy()
+            modified[newly] = 1
+            full = False
+
+        ciphertext = bitops.xor(
+            plaintext, self._mixed_pad(address, counter, modified)
+        )
+        stored, flip_bits = self.codec.encode(
+            old.data, self._flip_bits(old.meta), ciphertext
+        )
+        new = StoredLine(stored, self._make_meta(modified, flip_bits), counter)
+        self._lines[address] = new
+        n_reenc = self.n_words if full else int(modified.sum())
+        return self._outcome(
+            address,
+            old,
+            new,
+            words_reencrypted=n_reenc,
+            full_line_reencrypted=full,
+            mode="deuce+fnw",
+        )

@@ -1,0 +1,224 @@
+"""DynDEUCE — dynamically morphing between DEUCE and FNW (section 4.6).
+
+Dense writers (the paper calls out Gems and soplex) modify most words of a
+line on every write, making DEUCE re-encrypt everything — 50% flips — where
+plain Flip-N-Write on the ciphertext would at least cap flips near 43%.
+DynDEUCE gets the better of both with only **one extra mode bit per line**:
+the 32 tracking bits are *modified bits* while the line operates as DEUCE and
+are repurposed as FNW *flip bits* once the line morphs.
+
+Rules (Figure 11):
+
+* At every epoch start the mode returns to DEUCE (full re-encryption,
+  tracking bits reset) — morphing FNW→DEUCE mid-epoch is impossible because
+  the epoch's modified-word history is gone.
+* On each mid-epoch write while in DEUCE mode, the controller computes the
+  exact bit flips of both candidates — continue as DEUCE, or re-encrypt the
+  whole line and FNW-encode it — and switches to FNW iff it is strictly
+  cheaper (counting the mode-bit flip itself).
+* Once in FNW mode, the line stays FNW until the next epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.ctr import mix_pads
+from repro.crypto.pads import PadSource
+from repro.memory import bitops
+from repro.memory.line import StoredLine
+from repro.schemes.base import WriteOutcome, WriteScheme
+from repro.schemes.deuce import _check_epoch_interval
+from repro.schemes.fnw import FnwCodec
+
+MODE_DEUCE = 0
+MODE_FNW = 1
+
+
+class DynDeuce(WriteScheme):
+    """DEUCE that morphs to Flip-N-Write when FNW would flip fewer bits.
+
+    Metadata layout: ``meta[0:n_words]`` are the tracking bits (modified
+    bits in DEUCE mode, flip bits in FNW mode); ``meta[n_words]`` is the
+    mode bit.
+    """
+
+    name = "dyndeuce"
+
+    def __init__(
+        self,
+        pads: PadSource,
+        line_bytes: int = 64,
+        word_bytes: int = 2,
+        epoch_interval: int = 32,
+    ) -> None:
+        super().__init__(line_bytes)
+        if word_bytes <= 0 or line_bytes % word_bytes != 0:
+            raise ValueError(
+                f"word_bytes={word_bytes} must divide line_bytes={line_bytes}"
+            )
+        self.pads = pads
+        self.word_bytes = word_bytes
+        self.n_words = line_bytes // word_bytes
+        self.epoch_interval = _check_epoch_interval(epoch_interval)
+        self._epoch_mask = ~(epoch_interval - 1)
+        # FNW reuses the same granularity so the tracking bits map 1:1.
+        self.codec = FnwCodec(line_bytes, word_bytes * 8)
+
+    @property
+    def metadata_bits_per_line(self) -> int:
+        return self.n_words + 1  # tracking bits + ModeBit (Table 3: 33)
+
+    # -- metadata accessors --------------------------------------------------
+
+    @staticmethod
+    def _tracking(meta: np.ndarray) -> np.ndarray:
+        return meta[:-1]
+
+    @staticmethod
+    def _mode(meta: np.ndarray) -> int:
+        return int(meta[-1])
+
+    def _make_meta(self, tracking: np.ndarray, mode: int) -> np.ndarray:
+        meta = np.empty(self.n_words + 1, dtype=np.uint8)
+        meta[:-1] = tracking
+        meta[-1] = mode
+        return meta
+
+    # -- pads ------------------------------------------------------------------
+
+    def _pad(self, address: int, counter: int) -> bytes:
+        return self.pads.line_pad(address, counter, self.line_bytes)
+
+    def _deuce_pad(
+        self, address: int, counter: int, tracking: np.ndarray
+    ) -> bytes:
+        tctr = counter & self._epoch_mask
+        if counter == tctr or not tracking.any():
+            return self._pad(address, counter if counter == tctr else tctr)
+        return mix_pads(
+            self._pad(address, counter),
+            self._pad(address, tctr),
+            [bool(b) for b in tracking],
+            self.word_bytes,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _install(self, address: int, plaintext: bytes) -> StoredLine:
+        stored = bitops.xor(plaintext, self._pad(address, 0))
+        meta = self._make_meta(
+            np.zeros(self.n_words, dtype=np.uint8), MODE_DEUCE
+        )
+        return StoredLine(stored, meta, 0)
+
+    def read(self, address: int) -> bytes:
+        line = self._lines[address]
+        tracking = self._tracking(line.meta)
+        if self._mode(line.meta) == MODE_FNW:
+            ciphertext = self.codec.decode(line.data, tracking)
+            return bitops.xor(ciphertext, self._pad(address, line.counter))
+        return bitops.xor(
+            line.data, self._deuce_pad(address, line.counter, tracking)
+        )
+
+    # -- write path -----------------------------------------------------------------
+
+    def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
+        old = self._lines[address]
+        old_plain = self.read(address)
+        counter = old.counter + 1
+
+        if counter % self.epoch_interval == 0:
+            new = self._epoch_write(address, plaintext, counter)
+            outcome = self._outcome(
+                address,
+                old,
+                new,
+                words_reencrypted=self.n_words,
+                full_line_reencrypted=True,
+                mode="deuce",
+            )
+        elif self._mode(old.meta) == MODE_FNW:
+            new = self._fnw_write(address, old, plaintext, counter)
+            outcome = self._outcome(
+                address,
+                old,
+                new,
+                words_reencrypted=self.n_words,
+                full_line_reencrypted=True,
+                mode="fnw",
+            )
+        else:
+            new, label, n_reenc = self._choose_write(
+                address, old, old_plain, plaintext, counter
+            )
+            outcome = self._outcome(
+                address,
+                old,
+                new,
+                words_reencrypted=n_reenc,
+                full_line_reencrypted=(label == "fnw"),
+                mode=label,
+            )
+        self._lines[address] = new
+        return outcome
+
+    def _epoch_write(
+        self, address: int, plaintext: bytes, counter: int
+    ) -> StoredLine:
+        stored = bitops.xor(plaintext, self._pad(address, counter))
+        meta = self._make_meta(
+            np.zeros(self.n_words, dtype=np.uint8), MODE_DEUCE
+        )
+        return StoredLine(stored, meta, counter)
+
+    def _fnw_write(
+        self, address: int, old: StoredLine, plaintext: bytes, counter: int
+    ) -> StoredLine:
+        ciphertext = bitops.xor(plaintext, self._pad(address, counter))
+        stored, flip_bits = self.codec.encode(
+            old.data, self._tracking(old.meta), ciphertext
+        )
+        return StoredLine(stored, self._make_meta(flip_bits, MODE_FNW), counter)
+
+    def _deuce_candidate(
+        self,
+        address: int,
+        old: StoredLine,
+        old_plain: bytes,
+        plaintext: bytes,
+        counter: int,
+    ) -> StoredLine:
+        newly = bitops.changed_words(old_plain, plaintext, self.word_bytes)
+        tracking = self._tracking(old.meta).copy()
+        tracking[newly] = 1
+        pad = self._deuce_pad(address, counter, tracking)
+        stored = bitops.xor(plaintext, pad)
+        return StoredLine(stored, self._make_meta(tracking, MODE_DEUCE), counter)
+
+    def _choose_write(
+        self,
+        address: int,
+        old: StoredLine,
+        old_plain: bytes,
+        plaintext: bytes,
+        counter: int,
+    ) -> tuple[StoredLine, str, int]:
+        """Figure 11: evaluate both modes, pick the cheaper (ties: DEUCE)."""
+        deuce_line = self._deuce_candidate(
+            address, old, old_plain, plaintext, counter
+        )
+        fnw_line = self._fnw_write(address, old, plaintext, counter)
+        cost_deuce = self._cost(old, deuce_line)
+        cost_fnw = self._cost(old, fnw_line)
+        if cost_fnw < cost_deuce:
+            return fnw_line, "fnw", self.n_words
+        n_reenc = int(self._tracking(deuce_line.meta).sum())
+        return deuce_line, "deuce", n_reenc
+
+    @staticmethod
+    def _cost(old: StoredLine, new: StoredLine) -> int:
+        return bitops.bit_flips(old.data, new.data) + int(
+            np.count_nonzero(old.meta != new.meta)
+        )

@@ -1,0 +1,163 @@
+"""i-NVMM: incremental partial-memory encryption [Chhabra & Solihin, ISCA'11].
+
+The related-work comparison of section 7.2.  i-NVMM keeps the *hot* working
+set in plaintext and encrypts pages incrementally as they go cold, plus a
+bulk encryption pass on power-down.  Writes to hot lines therefore cost only
+their true bit flips (no avalanche) — but the scheme trades security for it:
+
+* a writeback of a hot line crosses the memory bus in plaintext, so it does
+  **not** protect against bus snooping (the paper's key criticism);
+* a stolen DIMM yanked while powered exposes the hot working set.
+
+Both weaknesses are observable through this implementation's
+:meth:`INvmm.snapshot` / outcome plaintext accounting, which the security
+tests and attack demos exercise.
+
+Cold-line encryption uses ordinary counter-mode with the per-line counter,
+advanced incrementally by a background sweep emulated at write granularity.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.pads import PadSource
+from repro.memory import bitops
+from repro.memory.line import StoredLine, make_meta
+from repro.schemes.base import WriteOutcome, WriteScheme
+
+#: meta[0] == 1 when the stored image is encrypted.
+_ENCRYPTED_BIT = 0
+
+
+class INvmm(WriteScheme):
+    """Partial working-set encryption with incremental cold sweeps.
+
+    Parameters
+    ----------
+    pads:
+        Counter-mode pad source (used for cold lines and power-down).
+    idle_threshold:
+        Writebacks (to anything) after which an untouched line is deemed
+        cold and becomes eligible for the encryption sweep.
+    sweep_lines_per_write:
+        Background encryption bandwidth: cold lines encrypted per
+        writeback.
+    """
+
+    name = "invmm"
+
+    def __init__(
+        self,
+        pads: PadSource,
+        line_bytes: int = 64,
+        idle_threshold: int = 256,
+        sweep_lines_per_write: int = 1,
+    ) -> None:
+        super().__init__(line_bytes)
+        if idle_threshold < 1:
+            raise ValueError("idle_threshold must be >= 1")
+        if sweep_lines_per_write < 0:
+            raise ValueError("sweep_lines_per_write must be >= 0")
+        self.pads = pads
+        self.idle_threshold = idle_threshold
+        self.sweep_lines_per_write = sweep_lines_per_write
+        self._tick = 0
+        self._last_write: dict[int, int] = {}
+        self._sweep_order: list[int] = []
+        self._sweep_pos = 0
+        #: Flips spent by background encryption sweeps (reported separately;
+        #: they are memory-internal writes, not writebacks).
+        self.sweep_flips = 0
+        self.sweep_encryptions = 0
+
+    @property
+    def metadata_bits_per_line(self) -> int:
+        return 1  # the encrypted flag
+
+    # -- helpers ------------------------------------------------------------
+
+    def _pad(self, address: int, counter: int) -> bytes:
+        return self.pads.line_pad(address, counter, self.line_bytes)
+
+    def is_encrypted(self, address: int) -> bool:
+        return bool(self._lines[address].meta[_ENCRYPTED_BIT])
+
+    def _encrypt_line(self, address: int) -> int:
+        """Encrypt a plaintext-resident line in place; returns flips."""
+        line = self._lines[address]
+        counter = line.counter + 1
+        stored = bitops.xor(line.data, self._pad(address, counter))
+        meta = make_meta(1)
+        meta[_ENCRYPTED_BIT] = 1
+        new = StoredLine(stored, meta, counter)
+        flips = bitops.bit_flips(line.data, stored) + 1  # + the flag bit
+        self._lines[address] = new
+        return flips
+
+    def _sweep(self) -> None:
+        """Advance the background sweep, encrypting cold plaintext lines."""
+        if not self._sweep_order:
+            self._sweep_order = sorted(self._lines)
+        for _ in range(min(self.sweep_lines_per_write, len(self._sweep_order))):
+            address = self._sweep_order[self._sweep_pos % len(self._sweep_order)]
+            self._sweep_pos += 1
+            line = self._lines.get(address)
+            if line is None or line.meta[_ENCRYPTED_BIT]:
+                continue
+            idle = self._tick - self._last_write.get(address, 0)
+            if idle >= self.idle_threshold:
+                self.sweep_flips += self._encrypt_line(address)
+                self.sweep_encryptions += 1
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _install(self, address: int, plaintext: bytes) -> StoredLine:
+        # Pages arrive encrypted (they were cold on disk / first placement).
+        meta = make_meta(1)
+        meta[_ENCRYPTED_BIT] = 1
+        self._last_write[address] = self._tick
+        self._sweep_order = []
+        return StoredLine(bitops.xor(plaintext, self._pad(address, 0)), meta, 0)
+
+    def read(self, address: int) -> bytes:
+        line = self._lines[address]
+        if line.meta[_ENCRYPTED_BIT]:
+            return bitops.xor(line.data, self._pad(address, line.counter))
+        return line.data
+
+    def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
+        old = self._lines[address]
+        self._tick += 1
+        self._last_write[address] = self._tick
+        # A written line is hot: it lives (and travels) in plaintext.
+        new = StoredLine(plaintext, make_meta(1), old.counter)
+        self._lines[address] = new
+        outcome = self._outcome(
+            address,
+            old,
+            new,
+            full_line_reencrypted=bool(old.meta[_ENCRYPTED_BIT]),
+            mode="plaintext",
+        )
+        self._sweep()
+        return outcome
+
+    # -- security surface ----------------------------------------------------------
+
+    def snapshot(self) -> dict[int, bytes]:
+        """What a stolen DIMM exposes: every line's stored image."""
+        return {addr: line.data for addr, line in self._lines.items()}
+
+    def plaintext_lines(self) -> list[int]:
+        """Addresses currently resident in plaintext (the hot set)."""
+        return [
+            addr
+            for addr, line in self._lines.items()
+            if not line.meta[_ENCRYPTED_BIT]
+        ]
+
+    def power_down(self) -> int:
+        """Encrypt the entire hot set (graceful shutdown); returns flips."""
+        flips = 0
+        for address in self.plaintext_lines():
+            flips += self._encrypt_line(address)
+        return flips

@@ -1,0 +1,45 @@
+"""Attack models, integrity protection, and security auditing."""
+
+from repro.security.attacks import (
+    AddressTweakedMemory,
+    BusSnooper,
+    CounterModeMemory,
+    CounterResetMemory,
+    GlobalKeyMemory,
+    StolenDimmView,
+)
+from repro.security.endurance import (
+    AttackReport,
+    ThrottlingGuard,
+    WriteStreamDetector,
+)
+from repro.security.invariants import (
+    PadReuse,
+    PadUsageAuditor,
+    audit_deuce_write_path,
+)
+from repro.security.merkle import (
+    IntegrityError,
+    MerkleTree,
+    TamperedCounterStore,
+    VerifiedRead,
+)
+
+__all__ = [
+    "AddressTweakedMemory",
+    "AttackReport",
+    "BusSnooper",
+    "CounterModeMemory",
+    "CounterResetMemory",
+    "GlobalKeyMemory",
+    "IntegrityError",
+    "MerkleTree",
+    "PadReuse",
+    "PadUsageAuditor",
+    "StolenDimmView",
+    "TamperedCounterStore",
+    "ThrottlingGuard",
+    "VerifiedRead",
+    "WriteStreamDetector",
+    "audit_deuce_write_path",
+]

@@ -1,0 +1,157 @@
+"""Attack-model demonstrations (sections 2.1-2.2).
+
+The paper motivates encryption with two adversaries: a **stolen DIMM**
+attacker who streams the array contents at leisure, and a **bus snooper**
+who observes every write crossing the memory bus.  This module implements
+both attackers against the encryption configurations of Figure 2 and shows
+which configuration defeats which attack:
+
+* global-key ECB-style encryption leaks equal lines (dictionary attack);
+* address-tweaked encryption defeats the dictionary attack but leaks
+  *when a line's content returns to a previous value* to a bus snooper;
+* per-line-counter encryption (the baseline DEUCE builds on) defeats both.
+
+These are simulations of information leakage, not cryptanalysis: the
+attacker wins when it can distinguish or correlate plaintexts from
+ciphertext observations alone.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.crypto.pads import PadSource
+from repro.memory import bitops
+
+
+@dataclass
+class StolenDimmView:
+    """What a stolen-DIMM attacker sees: one snapshot of all stored lines."""
+
+    lines: dict[int, bytes]
+
+    def equal_content_groups(self) -> list[list[int]]:
+        """Groups of addresses whose stored images are identical.
+
+        Under a global-key scheme, identical ciphertext means identical
+        plaintext — the dictionary attack.  Any group with more than one
+        member is leakage.
+        """
+        groups: dict[bytes, list[int]] = defaultdict(list)
+        for addr, data in self.lines.items():
+            groups[data].append(addr)
+        return [sorted(g) for g in groups.values() if len(g) > 1]
+
+
+@dataclass
+class BusSnooper:
+    """Observes every (address, ciphertext) write on the memory bus."""
+
+    observed: dict[int, list[bytes]] = field(default_factory=dict)
+
+    def observe(self, address: int, ciphertext: bytes) -> None:
+        self.observed.setdefault(address, []).append(ciphertext)
+
+    def repeated_ciphertexts(self, address: int) -> int:
+        """Writes whose ciphertext repeats an earlier one for this line.
+
+        With no counter, re-writing the same plaintext produces the same
+        ciphertext, telling the snooper "the value came back" — leakage
+        that per-line counters remove.
+        """
+        seen: set[bytes] = set()
+        repeats = 0
+        for ct in self.observed.get(address, ()):
+            if ct in seen:
+                repeats += 1
+            seen.add(ct)
+        return repeats
+
+    def xor_pairs(self, address: int) -> list[bytes]:
+        """XOR of consecutive ciphertexts to one line.
+
+        If the pad was reused (counter reset attack, footnote 1), this XOR
+        equals the XOR of the plaintexts — directly useful to the attacker.
+        Under proper counter mode it is pad-randomized noise.
+        """
+        cts = self.observed.get(address, ())
+        return [bitops.xor(a, b) for a, b in zip(cts, cts[1:])]
+
+
+class GlobalKeyMemory:
+    """Figure 2(a): every line encrypted with the same pad (no tweak).
+
+    Deliberately weak — used to demonstrate the dictionary attack.
+    """
+
+    def __init__(self, pads: PadSource, line_bytes: int = 64) -> None:
+        self.pads = pads
+        self.line_bytes = line_bytes
+        self._lines: dict[int, bytes] = {}
+
+    def _pad(self) -> bytes:
+        return self.pads.line_pad(0, 0, self.line_bytes)
+
+    def write(self, address: int, plaintext: bytes) -> bytes:
+        ct = bitops.xor(plaintext, self._pad())
+        self._lines[address] = ct
+        return ct
+
+    def snapshot(self) -> StolenDimmView:
+        return StolenDimmView(dict(self._lines))
+
+
+class AddressTweakedMemory:
+    """Figure 2(b): pad depends on the line address but not on a counter."""
+
+    def __init__(self, pads: PadSource, line_bytes: int = 64) -> None:
+        self.pads = pads
+        self.line_bytes = line_bytes
+        self._lines: dict[int, bytes] = {}
+
+    def _pad(self, address: int) -> bytes:
+        return self.pads.line_pad(address, 0, self.line_bytes)
+
+    def write(self, address: int, plaintext: bytes) -> bytes:
+        ct = bitops.xor(plaintext, self._pad(address))
+        self._lines[address] = ct
+        return ct
+
+    def snapshot(self) -> StolenDimmView:
+        return StolenDimmView(dict(self._lines))
+
+
+class CounterModeMemory:
+    """Figure 2(c): per-line counter — the secure baseline."""
+
+    def __init__(self, pads: PadSource, line_bytes: int = 64) -> None:
+        self.pads = pads
+        self.line_bytes = line_bytes
+        self._lines: dict[int, bytes] = {}
+        self._counters: dict[int, int] = {}
+
+    def write(self, address: int, plaintext: bytes) -> bytes:
+        counter = self._counters.get(address, -1) + 1
+        self._counters[address] = counter
+        ct = bitops.xor(
+            plaintext, self.pads.line_pad(address, counter, self.line_bytes)
+        )
+        self._lines[address] = ct
+        return ct
+
+    def snapshot(self) -> StolenDimmView:
+        return StolenDimmView(dict(self._lines))
+
+
+class CounterResetMemory(CounterModeMemory):
+    """Counter mode under footnote 1's bus-tampering attack: the adversary
+    forces the counter back to zero, causing pad reuse.
+
+    Exists to demonstrate *why* pad uniqueness matters: the snooper's
+    :meth:`BusSnooper.xor_pairs` becomes the plaintext XOR.
+    """
+
+    def write(self, address: int, plaintext: bytes) -> bytes:
+        self._counters[address] = -1  # tampered: always resets to 0
+        return super().write(address, plaintext)

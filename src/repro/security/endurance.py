@@ -1,0 +1,142 @@
+"""Online detection of malicious write streams (section 7.3, ref [23]).
+
+PCM's limited endurance invites a second class of attack the paper
+distinguishes from information attacks: a hostile (or pathological) program
+hammering a few lines to wear them out.  Qureshi et al. [HPCA 2011] showed
+such streams can be detected online with a small tracking structure; wear
+leveling can then be sped up, or the stream throttled.
+
+:class:`WriteStreamDetector` implements the practical variant: a
+Misra-Gries heavy-hitter table over the write stream.  A line whose
+estimated frequency within the current window exceeds ``threshold`` times
+the uniform share is reported as an attack line.  The table is O(k) state
+regardless of memory size — the property that makes the technique
+implementable in a memory controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AttackReport:
+    """Detector verdict for one window."""
+
+    window_writes: int
+    suspects: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def attack_detected(self) -> bool:
+        return bool(self.suspects)
+
+
+class WriteStreamDetector:
+    """Misra-Gries heavy-hitter detector over line-write streams.
+
+    Parameters
+    ----------
+    table_size:
+        Tracked candidate lines (the controller's CAM size).  Frequencies
+        are underestimated by at most ``window/table_size``, so the table
+        must be larger than ``threshold_share`` would require —
+        ``table_size >= 2 / threshold_share`` is a safe rule.
+    window:
+        Writes per detection window.
+    threshold_share:
+        Fraction of the window's writes to one line that constitutes an
+        attack (uniform traffic over any realistic working set gives each
+        line far below 1%).
+    """
+
+    def __init__(
+        self,
+        table_size: int = 64,
+        window: int = 4096,
+        threshold_share: float = 0.05,
+    ) -> None:
+        if table_size < 1:
+            raise ValueError("table_size must be >= 1")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0 < threshold_share <= 1:
+            raise ValueError("threshold_share must be in (0, 1]")
+        self.table_size = table_size
+        self.window = window
+        self.threshold_share = threshold_share
+        self._counts: dict[int, int] = {}
+        self._window_writes = 0
+        self.windows_completed = 0
+        self.reports: list[AttackReport] = []
+
+    # -- stream interface ---------------------------------------------------
+
+    def on_write(self, address: int) -> AttackReport | None:
+        """Feed one write; returns a report when a window completes."""
+        counts = self._counts
+        if address in counts:
+            counts[address] += 1
+        elif len(counts) < self.table_size:
+            counts[address] = 1
+        else:
+            # Misra-Gries decrement step: every tracked counter pays one.
+            for key in list(counts):
+                counts[key] -= 1
+                if counts[key] == 0:
+                    del counts[key]
+        self._window_writes += 1
+        if self._window_writes < self.window:
+            return None
+        return self._close_window()
+
+    def _close_window(self) -> AttackReport:
+        threshold = self.threshold_share * self._window_writes
+        suspects = {
+            addr: count
+            for addr, count in self._counts.items()
+            if count >= threshold
+        }
+        report = AttackReport(self._window_writes, suspects)
+        self.reports.append(report)
+        self.windows_completed += 1
+        self._counts = {}
+        self._window_writes = 0
+        return report
+
+    @property
+    def under_attack(self) -> bool:
+        """Did the most recent completed window flag an attack?"""
+        return bool(self.reports) and self.reports[-1].attack_detected
+
+
+class ThrottlingGuard:
+    """Response policy: exponentially throttle flagged attack lines.
+
+    Wraps a detector; ``delay_for`` returns the extra service delay (in
+    write-slot units) the controller should impose on a write to a flagged
+    line.  The delay doubles with every consecutive window the line stays
+    hot and resets when it cools down.
+    """
+
+    def __init__(
+        self, detector: WriteStreamDetector, base_delay_slots: int = 1
+    ) -> None:
+        if base_delay_slots < 1:
+            raise ValueError("base_delay_slots must be >= 1")
+        self.detector = detector
+        self.base_delay_slots = base_delay_slots
+        self._strikes: dict[int, int] = {}
+
+    def on_write(self, address: int) -> int:
+        """Feed a write; returns the throttle delay (slots) to apply."""
+        report = self.detector.on_write(address)
+        if report is not None:
+            flagged = set(report.suspects)
+            self._strikes = {
+                addr: self._strikes.get(addr, 0) + 1
+                for addr in flagged
+            }
+        strikes = self._strikes.get(address, 0)
+        if strikes == 0:
+            return 0
+        return self.base_delay_slots * (2 ** min(strikes - 1, 6))

@@ -1,0 +1,217 @@
+"""Merkle-tree integrity protection (paper footnote 1, refs [14][16]).
+
+Counter-mode encryption protects *confidentiality*, but an adversary who can
+tamper with the bus or the array can mount the counter-reset attack: force a
+line's counter back to an old value and harvest pad reuse.  The classical
+defence the paper points to is a Merkle tree over the counters (a *Bonsai
+Merkle Tree* [16]): the processor keeps only the root on chip; any
+modification of a counter (or of a tree node held in untrusted memory) makes
+root verification fail.
+
+This module implements that defence as a standalone, testable component:
+
+* :class:`MerkleTree` — a binary hash tree over per-line counters with an
+  on-chip root, supporting reads with verification and verified updates.
+* :class:`TamperedCounterStore` — an adversary wrapper used by tests and
+  the attack demos to show the tree catching counter resets.
+
+Hashing uses keyed BLAKE2 (the same primitive as the fast pad source); a
+hardware implementation would use a dedicated hash engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+class IntegrityError(Exception):
+    """Raised when a verification against the on-chip root fails."""
+
+
+def _hash_pair(key: bytes, left: bytes, right: bytes) -> bytes:
+    return hashlib.blake2b(left + right, key=key, digest_size=16).digest()
+
+
+def _hash_leaf(key: bytes, index: int, counter: int) -> bytes:
+    payload = index.to_bytes(8, "little") + counter.to_bytes(8, "little")
+    return hashlib.blake2b(payload, key=key, digest_size=16).digest()
+
+
+@dataclass
+class VerifiedRead:
+    """Result of a verified counter read."""
+
+    index: int
+    counter: int
+    verified: bool
+
+
+class MerkleTree:
+    """Binary Merkle tree over ``n_leaves`` per-line counters.
+
+    The tree nodes live in (untrusted) memory — here a flat list — and only
+    ``root`` is trusted on-chip state.  ``update`` recomputes the leaf-to-
+    root path after first verifying the *old* path, so a tampered sibling
+    cannot be laundered into a fresh root.
+
+    Parameters
+    ----------
+    n_leaves:
+        Number of counters protected (padded up to a power of two).
+    key:
+        MAC key for the hash (on-chip secret).
+    """
+
+    def __init__(self, n_leaves: int, key: bytes = b"merkle-key") -> None:
+        if n_leaves < 1:
+            raise ValueError("n_leaves must be >= 1")
+        self.n_leaves = n_leaves
+        self.key = bytes(key)
+        size = 1
+        while size < n_leaves:
+            size *= 2
+        self._size = size
+        self._counters = [0] * n_leaves
+        # Heap layout: nodes[1] is the root, children of i are 2i, 2i+1;
+        # leaves occupy [size, 2*size).
+        self._nodes = [b""] * (2 * size)
+        for i in range(size):
+            if i < n_leaves:
+                self._nodes[size + i] = _hash_leaf(self.key, i, 0)
+            else:
+                # Padding leaves get a distinct domain so they can never
+                # collide with a real counter leaf.
+                self._nodes[size + i] = hashlib.blake2b(
+                    b"pad" + i.to_bytes(8, "little"),
+                    key=self.key,
+                    digest_size=16,
+                ).digest()
+        for i in range(size - 1, 0, -1):
+            self._nodes[i] = _hash_pair(
+                self.key, self._nodes[2 * i], self._nodes[2 * i + 1]
+            )
+        #: Trusted on-chip root.
+        self.root = self._nodes[1]
+        self.verifications = 0
+        self.failures = 0
+
+    # -- internal path helpers ---------------------------------------------
+
+    def _path_ok(self, index: int) -> bool:
+        """Recompute the leaf's path bottom-up and compare with the root."""
+        node = self._size + index
+        digest = _hash_leaf(self.key, index, self._counters[index])
+        if digest != self._nodes[node]:
+            return False
+        while node > 1:
+            sibling = node ^ 1
+            left, right = (
+                (self._nodes[node], self._nodes[sibling])
+                if node % 2 == 0
+                else (self._nodes[sibling], self._nodes[node])
+            )
+            parent_digest = _hash_pair(self.key, left, right)
+            node //= 2
+            if parent_digest != self._nodes[node]:
+                return False
+            digest = parent_digest
+        return digest == self.root
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_leaves:
+            raise ValueError(f"leaf index {index} out of range")
+
+    # -- public API -----------------------------------------------------------
+
+    def read(self, index: int) -> VerifiedRead:
+        """Read a counter, verifying its path against the on-chip root."""
+        self._check_index(index)
+        self.verifications += 1
+        ok = self._path_ok(index)
+        if not ok:
+            self.failures += 1
+        return VerifiedRead(index, self._counters[index], ok)
+
+    def read_or_raise(self, index: int) -> int:
+        """Read a counter; raise :class:`IntegrityError` on tampering."""
+        result = self.read(index)
+        if not result.verified:
+            raise IntegrityError(
+                f"counter {index} failed Merkle verification "
+                "(counter-reset / tampering attack?)"
+            )
+        return result.counter
+
+    def update(self, index: int, counter: int) -> None:
+        """Set a counter and recompute its path into the trusted root.
+
+        The old path is verified first; updating through a tampered path
+        raises instead of absorbing the attacker's value.
+        """
+        self._check_index(index)
+        if not self._path_ok(index):
+            self.failures += 1
+            raise IntegrityError(
+                f"refusing to update counter {index}: existing path is "
+                "corrupt"
+            )
+        self._counters[index] = counter
+        node = self._size + index
+        self._nodes[node] = _hash_leaf(self.key, index, counter)
+        while node > 1:
+            parent = node // 2
+            self._nodes[parent] = _hash_pair(
+                self.key, self._nodes[2 * parent], self._nodes[2 * parent + 1]
+            )
+            node = parent
+        self.root = self._nodes[1]
+
+    def increment(self, index: int) -> int:
+        """Verified read-modify-write of a counter (the per-write path)."""
+        counter = self.read_or_raise(index) + 1
+        self.update(index, counter)
+        return counter
+
+    # -- adversary interface (tests / demos) ------------------------------------
+
+    def tamper_counter(self, index: int, counter: int) -> None:
+        """Adversary: overwrite a counter in untrusted memory directly."""
+        self._check_index(index)
+        self._counters[index] = counter
+
+    def tamper_node(self, node_index: int, value: bytes) -> None:
+        """Adversary: overwrite a tree node in untrusted memory."""
+        if not 1 <= node_index < len(self._nodes):
+            raise ValueError("node index out of range")
+        self._nodes[node_index] = value
+
+
+class TamperedCounterStore:
+    """Counter store that replays stale counters after a trigger.
+
+    Models the footnote-1 bus-tampering adversary: after ``arm`` is called,
+    reads of the target line return the counter value captured earlier,
+    which would cause pad reuse if the controller trusted it.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[int, int] = {}
+        self._stale: dict[int, int] = {}
+        self._armed: set[int] = set()
+
+    def write(self, index: int, counter: int) -> None:
+        self._counters[index] = counter
+
+    def read(self, index: int) -> int:
+        if index in self._armed:
+            return self._stale.get(index, 0)
+        return self._counters.get(index, 0)
+
+    def capture(self, index: int) -> None:
+        """Adversary snapshots the current counter for later replay."""
+        self._stale[index] = self._counters.get(index, 0)
+
+    def arm(self, index: int) -> None:
+        """Adversary starts replaying the stale counter."""
+        self._armed.add(index)

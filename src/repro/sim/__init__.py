@@ -1,0 +1,16 @@
+"""Simulation layer: configs, the runner, result containers, experiments."""
+
+from repro.sim.config import DEFAULT_KEY, DEFAULT_N_WRITES, SimConfig
+from repro.sim.results import RunResult
+from repro.sim.runner import build_scheme, cached_trace, run, run_suite
+
+__all__ = [
+    "DEFAULT_KEY",
+    "DEFAULT_N_WRITES",
+    "RunResult",
+    "SimConfig",
+    "build_scheme",
+    "cached_trace",
+    "run",
+    "run_suite",
+]

@@ -1,0 +1,75 @@
+"""Simulation configuration.
+
+One :class:`SimConfig` pins everything that determines a run's outcome:
+the workload, the scheme and its parameters, the trace length and seed, the
+pad source, and the wear-leveling mode.  Identical configs produce identical
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Default trace length: long enough for flip statistics to converge to
+#: well under a percentage point while keeping full-suite sweeps fast.
+DEFAULT_N_WRITES = 20_000
+
+#: Default secret key for pad sources (any bytes; simulations only).
+DEFAULT_KEY = b"deuce-repro-key!"
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything needed to reproduce one (workload, scheme) run.
+
+    Attributes
+    ----------
+    workload:
+        Table 2 benchmark name.
+    scheme:
+        Scheme registry name (see :data:`repro.schemes.SCHEME_NAMES`).
+    n_writes:
+        Writebacks to stream through the scheme.
+    seed:
+        Trace generator seed.
+    pad_kind:
+        ``"blake2"`` (fast surrogate, default) or ``"aes"`` (real cipher).
+    key:
+        Pad-source secret key.
+    line_bytes / word_bytes / epoch_interval / fnw_group_bits:
+        Scheme geometry; defaults are the paper's (64B lines, 2B DEUCE
+        words, epoch 32, 16-bit FNW groups).
+    wear_leveling:
+        ``"none"``, ``"hwl"`` (Start-Gap-derived rotation), or
+        ``"hwl-hashed"`` (footnote-2 keyed rotation).
+    gap_write_interval:
+        Start-Gap's ψ (writes per gap movement).
+    hwl_region_lines:
+        Lines per Start-Gap region.  Defaults to the trace's working set;
+        set smaller to accelerate Start increments so a short simulated
+        window exhibits the rotation coverage a real device accumulates
+        over its lifetime (the paper's Start advances "several hundred
+        thousand" times, section 5.3).
+    track_per_line_wear:
+        Keep the full (line, bit) wear matrix (needed for exact hottest-
+        cell queries; the per-position aggregate is always kept).
+    """
+
+    workload: str
+    scheme: str
+    n_writes: int = DEFAULT_N_WRITES
+    seed: int = 0
+    pad_kind: str = "blake2"
+    key: bytes = DEFAULT_KEY
+    line_bytes: int = 64
+    word_bytes: int = 2
+    epoch_interval: int = 32
+    fnw_group_bits: int = 16
+    wear_leveling: str = "none"
+    gap_write_interval: int = 100
+    hwl_region_lines: int | None = None
+    track_per_line_wear: bool = False
+
+    def with_(self, **changes: object) -> "SimConfig":
+        """A modified copy (dataclasses.replace convenience)."""
+        return replace(self, **changes)  # type: ignore[arg-type]

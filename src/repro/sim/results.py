@@ -1,0 +1,80 @@
+"""Result containers for simulation runs."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.memory.pcm import WearSummary
+from repro.wear.lifetime import LifetimeReport
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of streaming one trace through one scheme.
+
+    All percentages are relative to the 512 data bits per line, matching
+    the paper's normalization (metadata flips are *counted* but the
+    denominator stays 512 — section 3.3 reports "modified bits per
+    cacheline" including metadata flips).
+    """
+
+    workload: str
+    scheme: str
+    n_writes: int
+    line_bits: int
+    meta_bits: int
+    total_flips: int = 0
+    data_flips: int = 0
+    meta_flips: int = 0
+    set_flips: int = 0
+    reset_flips: int = 0
+    total_slots: int = 0
+    total_words_reencrypted: int = 0
+    full_reencryptions: int = 0
+    slot_histogram: Counter = field(default_factory=Counter)
+    mode_histogram: Counter = field(default_factory=Counter)
+    wear: WearSummary | None = None
+    lifetime: LifetimeReport | None = None
+
+    @property
+    def avg_flips_per_write(self) -> float:
+        return self.total_flips / self.n_writes if self.n_writes else 0.0
+
+    @property
+    def avg_flips_pct(self) -> float:
+        """Modified bits per write as % of the line's data bits."""
+        if not self.n_writes:
+            return 0.0
+        return 100.0 * self.total_flips / (self.n_writes * self.line_bits)
+
+    @property
+    def avg_data_flips_pct(self) -> float:
+        if not self.n_writes:
+            return 0.0
+        return 100.0 * self.data_flips / (self.n_writes * self.line_bits)
+
+    @property
+    def avg_slots_per_write(self) -> float:
+        return self.total_slots / self.n_writes if self.n_writes else 0.0
+
+    @property
+    def avg_words_reencrypted(self) -> float:
+        return (
+            self.total_words_reencrypted / self.n_writes if self.n_writes else 0.0
+        )
+
+    def summary_row(self) -> dict[str, object]:
+        """Flat dict for tables and JSON dumps."""
+        row: dict[str, object] = {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "n_writes": self.n_writes,
+            "flips_pct": round(self.avg_flips_pct, 2),
+            "data_flips_pct": round(self.avg_data_flips_pct, 2),
+            "slots": round(self.avg_slots_per_write, 3),
+            "words_reenc": round(self.avg_words_reencrypted, 2),
+        }
+        if self.lifetime is not None:
+            row["lifetime_norm"] = round(self.lifetime.normalized, 3)
+        return row

@@ -1,0 +1,150 @@
+"""Simulation runner: stream traces through schemes and aggregate results.
+
+The runner wires together the substrates — trace generation, the write
+scheme, the PCM wear array, and (optionally) Start-Gap + HWL — and produces
+a :class:`~repro.sim.results.RunResult`.  Traces are cached per (workload,
+n_writes, seed, line_bytes) so that every scheme in a comparison sees the
+*identical* writeback stream, which is what makes per-workload bars
+comparable across schemes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.crypto.pads import make_pad_source
+from repro.memory.pcm import PcmArray, slots_for_write
+from repro.schemes import ENCRYPTED_SCHEMES, make_scheme
+from repro.schemes.base import WriteScheme
+from repro.sim.config import SimConfig
+from repro.sim.results import RunResult
+from repro.wear.hwl import HorizontalWearLeveler, NoWearLeveler
+from repro.wear.lifetime import lifetime_report
+from repro.wear.security_refresh import SecurityRefresh, SecurityRefreshHWL
+from repro.wear.startgap import StartGap
+from repro.workloads.trace import Trace, generate_trace
+
+
+@lru_cache(maxsize=32)
+def cached_trace(
+    workload: str, n_writes: int, seed: int, line_bytes: int
+) -> Trace:
+    """Memoized trace generation (same stream for every scheme compared)."""
+    return generate_trace(workload, n_writes, seed=seed, line_bytes=line_bytes)
+
+
+def build_scheme(config: SimConfig) -> WriteScheme:
+    """Instantiate the configured write scheme (with pads if encrypted)."""
+    pads = (
+        make_pad_source(config.pad_kind, config.key)
+        if config.scheme in ENCRYPTED_SCHEMES
+        else None
+    )
+    return make_scheme(
+        config.scheme,
+        pads,
+        line_bytes=config.line_bytes,
+        word_bytes=config.word_bytes,
+        epoch_interval=config.epoch_interval,
+        fnw_group_bits=config.fnw_group_bits,
+    )
+
+
+def run(config: SimConfig, trace: Trace | None = None) -> RunResult:
+    """Execute one simulation and return aggregated results.
+
+    Parameters
+    ----------
+    config:
+        The run configuration.
+    trace:
+        Optional pre-generated trace (must match the config's workload and
+        line size); omitted, the cached generator is used.
+    """
+    if trace is None:
+        trace = cached_trace(
+            config.workload, config.n_writes, config.seed, config.line_bytes
+        )
+    scheme = build_scheme(config)
+
+    addresses = trace.addresses()
+    for addr in addresses:
+        scheme.install(addr, trace.initial[addr])
+
+    meta_bits = scheme.metadata_bits_per_line
+    pcm = PcmArray(
+        line_bytes=config.line_bytes,
+        meta_bits=meta_bits,
+        track_per_line=config.track_per_line_wear,
+    )
+    region = config.hwl_region_lines or len(addresses)
+    if config.wear_leveling == "sr-hwl":
+        # Security Refresh remaps by XOR, so its region must be a power
+        # of two; round down if the working set is not.
+        while region & (region - 1):
+            region &= region - 1
+        region = max(region, 2)
+    leveler = _build_leveler(config, region, pcm.bits_per_line)
+    vwl = getattr(leveler, "startgap", None) or getattr(
+        leveler, "refresh", None
+    )
+    line_index = {addr: i % region for i, addr in enumerate(addresses)}
+
+    result = RunResult(
+        workload=config.workload,
+        scheme=config.scheme,
+        n_writes=len(trace.records),
+        line_bits=8 * config.line_bytes,
+        meta_bits=meta_bits,
+    )
+    for record in trace.records:
+        outcome = scheme.write(record.address, record.data)
+        rotation = leveler.rotation(line_index[record.address])
+        pcm.apply_write(outcome, rotation=rotation)
+        if vwl is not None:
+            vwl.on_write()
+
+        result.total_flips += outcome.total_flips
+        result.data_flips += outcome.data_flips
+        result.meta_flips += outcome.metadata_flips
+        result.set_flips += outcome.set_flips
+        result.reset_flips += outcome.reset_flips
+        slots = slots_for_write(outcome, 8 * config.line_bytes)
+        result.total_slots += slots
+        result.slot_histogram[slots] += 1
+        result.total_words_reencrypted += outcome.words_reencrypted
+        result.full_reencryptions += int(outcome.full_line_reencrypted)
+        if outcome.mode:
+            result.mode_histogram[outcome.mode] += 1
+
+    result.wear = pcm.summary()
+    result.lifetime = lifetime_report(
+        result.wear.position_writes, result.wear.total_writes
+    )
+    return result
+
+
+def run_suite(
+    configs: list[SimConfig], trace: Trace | None = None
+) -> list[RunResult]:
+    """Run several configurations (sharing cached traces per workload)."""
+    return [run(config, trace=trace) for config in configs]
+
+
+def _build_leveler(config: SimConfig, n_lines: int, bits_per_line: int):
+    if config.wear_leveling == "none":
+        return NoWearLeveler()
+    if config.wear_leveling in ("hwl", "hwl-hashed"):
+        startgap = StartGap(n_lines, config.gap_write_interval)
+        return HorizontalWearLeveler(
+            startgap,
+            bits_per_line,
+            hashed=(config.wear_leveling == "hwl-hashed"),
+        )
+    if config.wear_leveling == "sr-hwl":
+        refresh = SecurityRefresh(n_lines, config.gap_write_interval)
+        return SecurityRefreshHWL(refresh, bits_per_line)
+    raise ValueError(
+        f"unknown wear_leveling mode {config.wear_leveling!r} "
+        "(expected 'none', 'hwl', 'hwl-hashed', or 'sr-hwl')"
+    )

@@ -1,0 +1,26 @@
+"""Wear leveling and endurance: Start-Gap (VWL), HWL, lifetime model."""
+
+from repro.wear.hwl import HorizontalWearLeveler, NoWearLeveler
+from repro.wear.lifetime import (
+    DEFAULT_CELL_ENDURANCE,
+    ENCRYPTED_FLIP_PROB,
+    LifetimeReport,
+    absolute_lifetime_years,
+    lifetime_report,
+)
+from repro.wear.security_refresh import SecurityRefresh, SecurityRefreshHWL
+from repro.wear.startgap import StartGap, StartGapReference
+
+__all__ = [
+    "DEFAULT_CELL_ENDURANCE",
+    "ENCRYPTED_FLIP_PROB",
+    "HorizontalWearLeveler",
+    "LifetimeReport",
+    "NoWearLeveler",
+    "SecurityRefresh",
+    "SecurityRefreshHWL",
+    "StartGap",
+    "StartGapReference",
+    "absolute_lifetime_years",
+    "lifetime_report",
+]

@@ -1,0 +1,78 @@
+"""Horizontal Wear Leveling (HWL) — section 5.3.
+
+HWL makes bit writes *within* a line uniform without any per-line storage:
+the intra-line rotation amount is an algebraic function of the global
+Start-Gap registers,
+
+    rotation = Start' % bits_in_line,
+
+where ``Start'`` is ``Start + 1`` once the gap has already crossed the line
+in the current rotation (so that all lines land on the new rotation amount
+at the same moment the Start register increments).  Because the rotation
+only changes when the gap moves *through* the line — a moment when the line
+is being copied anyway — re-rotating costs no extra writes.
+
+Footnote 2's hardened variant makes the rotation a keyed hash of
+``(Start', line address)`` so an adversary cannot phase-lock a write pattern
+to the rotation schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.wear.startgap import StartGap
+
+
+class HorizontalWearLeveler:
+    """Derives per-line bit-rotation amounts from a Start-Gap instance.
+
+    Parameters
+    ----------
+    startgap:
+        The vertical wear leveler whose registers drive the rotation.
+    bits_per_line:
+        Total rotated width — data bits plus any per-line metadata bits
+        ("including any metadata bits associated with the line").
+    hashed:
+        Enable the footnote-2 hardening: rotation =
+        ``Hash(Start', line) % bits_per_line`` instead of ``Start' %
+        bits_per_line``.
+    key:
+        Key for the hashed variant (must be secret for the hardening to
+        mean anything; any bytes work for simulation).
+    """
+
+    def __init__(
+        self,
+        startgap: StartGap,
+        bits_per_line: int,
+        hashed: bool = False,
+        key: bytes = b"hwl-key",
+    ) -> None:
+        if bits_per_line <= 0:
+            raise ValueError("bits_per_line must be positive")
+        self.startgap = startgap
+        self.bits_per_line = bits_per_line
+        self.hashed = hashed
+        self.key = bytes(key)
+
+    def rotation(self, logical_line: int) -> int:
+        """Current rotation amount for a line, in bit positions."""
+        start_prime = self.startgap.effective_start(logical_line)
+        if not self.hashed:
+            return start_prime % self.bits_per_line
+        digest = hashlib.blake2b(
+            start_prime.to_bytes(8, "little")
+            + logical_line.to_bytes(8, "little"),
+            key=self.key,
+            digest_size=8,
+        ).digest()
+        return int.from_bytes(digest, "little") % self.bits_per_line
+
+
+class NoWearLeveler:
+    """Null object: no rotation (the DEUCE-without-HWL configurations)."""
+
+    def rotation(self, logical_line: int) -> int:
+        return 0

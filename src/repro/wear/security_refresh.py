@@ -1,0 +1,165 @@
+"""Security Refresh vertical wear leveling [Seong et al., ISCA 2010].
+
+The second VWL algorithm the paper cites (section 5.2).  Security Refresh
+remaps lines inside a region by XORing the logical address with a random
+key; every ``refresh_interval`` writes, one line is *refreshed* — swapped
+toward its position under the next key — and once a full round completes
+the region has migrated from the old key to the new one.  Because the key
+is random, an adversary cannot target a physical line.
+
+This implementation follows the single-level scheme: a region of
+``n_lines`` (power of two), a current and next remap key, and a refresh
+pointer that sweeps the region.  Migration is pairwise, as in the original
+design: refreshing logical line ``l`` also migrates its partner
+``l ^ current_key ^ next_key`` (their physical locations swap), which is
+what keeps the mid-round mapping a permutation.
+
+Horizontal Wear Leveling composes with it the same way as with Start-Gap
+(section 5.3's insight is "make the rotation an algebraic function of the
+global structures"): here the natural choice is the hashed variant keyed by
+the completed-round count, exposed via :meth:`rotation_round`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class SecurityRefresh:
+    """Single-level Security Refresh over a power-of-two region.
+
+    Parameters
+    ----------
+    n_lines:
+        Region size; must be a power of two (XOR remapping).
+    refresh_interval:
+        Demand writes between refresh operations.
+    seed:
+        Deterministic source for the remap keys (a real controller uses a
+        hardware RNG).
+    """
+
+    def __init__(
+        self, n_lines: int, refresh_interval: int = 100, seed: int = 0
+    ) -> None:
+        if n_lines < 2 or n_lines & (n_lines - 1):
+            raise ValueError("n_lines must be a power of two >= 2")
+        if refresh_interval < 1:
+            raise ValueError("refresh_interval must be >= 1")
+        self.n_lines = n_lines
+        self.refresh_interval = refresh_interval
+        self._seed = seed
+        self.round = 0
+        self.current_key = self._key_for_round(0)
+        self.next_key = self._key_for_round(1)
+        #: Sweep pointer over logical ids for the current round.
+        self.refresh_ptr = 0
+        self._migrated = [False] * n_lines
+        self._writes_since_refresh = 0
+        #: Extra line writes caused by refresh swaps.
+        self.refresh_writes = 0
+
+    def _key_for_round(self, round_index: int) -> int:
+        digest = hashlib.blake2b(
+            round_index.to_bytes(8, "little") + self._seed.to_bytes(8, "little"),
+            digest_size=8,
+        ).digest()
+        return int.from_bytes(digest, "little") % self.n_lines
+
+    # -- write notification -----------------------------------------------------
+
+    def on_write(self) -> bool:
+        """Count a demand write; perform a refresh when the interval elapses.
+
+        Returns True when a refresh (line migration) happened.
+        """
+        self._writes_since_refresh += 1
+        if self._writes_since_refresh < self.refresh_interval:
+            return False
+        self._writes_since_refresh = 0
+        self._refresh_one()
+        return True
+
+    def _refresh_one(self) -> None:
+        # Skip lines already migrated as a partner of an earlier refresh.
+        while (
+            self.refresh_ptr < self.n_lines
+            and self._migrated[self.refresh_ptr]
+        ):
+            self.refresh_ptr += 1
+        if self.refresh_ptr < self.n_lines:
+            line = self.refresh_ptr
+            partner = line ^ self.current_key ^ self.next_key
+            # The swap writes both lines (unless the keys coincide and the
+            # migration is a no-op move).
+            self.refresh_writes += 1 if partner == line else 2
+            self._migrated[line] = True
+            self._migrated[partner] = True
+            self.refresh_ptr += 1
+        while (
+            self.refresh_ptr < self.n_lines
+            and self._migrated[self.refresh_ptr]
+        ):
+            self.refresh_ptr += 1
+        if self.refresh_ptr >= self.n_lines:
+            # Round complete: next key becomes current, draw a fresh one.
+            self.round += 1
+            self.current_key = self.next_key
+            self.next_key = self._key_for_round(self.round + 1)
+            self.refresh_ptr = 0
+            self._migrated = [False] * self.n_lines
+
+    # -- mapping --------------------------------------------------------------------
+
+    def physical_index(self, logical: int) -> int:
+        """Current logical-to-physical mapping."""
+        if not 0 <= logical < self.n_lines:
+            raise ValueError(f"logical index {logical} out of range")
+        key = self.next_key if self._migrated[logical] else self.current_key
+        return logical ^ key
+
+    def remapped_by_sweep(self, logical: int) -> bool:
+        """Has the current round's sweep already migrated this line?"""
+        return self._migrated[logical]
+
+    # -- HWL hook ---------------------------------------------------------------------
+
+    def rotation_round(self, logical: int) -> int:
+        """Monotone per-line epoch counter for hashed HWL rotation.
+
+        Advances by one every completed remap round (plus one early for
+        lines the sweep already migrated), mirroring Start-Gap's
+        ``effective_start``.
+        """
+        return self.round + (1 if self.remapped_by_sweep(logical) else 0)
+
+
+class SecurityRefreshHWL:
+    """Hashed Horizontal Wear Leveling driven by Security Refresh rounds.
+
+    rotation = Hash(round', line) % bits_per_line — the footnote-2 form,
+    which is also the natural fit here since Security Refresh has no
+    monotone Start register to use algebraically.
+    """
+
+    def __init__(
+        self,
+        refresh: SecurityRefresh,
+        bits_per_line: int,
+        key: bytes = b"sr-hwl-key",
+    ) -> None:
+        if bits_per_line <= 0:
+            raise ValueError("bits_per_line must be positive")
+        self.refresh = refresh
+        self.bits_per_line = bits_per_line
+        self.key = bytes(key)
+
+    def rotation(self, logical_line: int) -> int:
+        round_prime = self.refresh.rotation_round(logical_line)
+        digest = hashlib.blake2b(
+            round_prime.to_bytes(8, "little")
+            + logical_line.to_bytes(8, "little"),
+            key=self.key,
+            digest_size=8,
+        ).digest()
+        return int.from_bytes(digest, "little") % self.bits_per_line

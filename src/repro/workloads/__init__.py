@@ -1,0 +1,27 @@
+"""Workload models: SPEC-like profiles, trace generation, trace I/O."""
+
+from repro.workloads.generator import TraceGenerator, WriteRecord
+from repro.workloads.profiles import (
+    PAPER_TARGETS,
+    PROFILES,
+    WORKLOAD_NAMES,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.workloads.stats import TraceStats, analyze_trace, recommend_scheme
+from repro.workloads.trace import Trace, generate_trace
+
+__all__ = [
+    "PAPER_TARGETS",
+    "PROFILES",
+    "WORKLOAD_NAMES",
+    "Trace",
+    "TraceGenerator",
+    "TraceStats",
+    "WorkloadProfile",
+    "WriteRecord",
+    "analyze_trace",
+    "generate_trace",
+    "get_profile",
+    "recommend_scheme",
+]

@@ -1,0 +1,314 @@
+"""Synthetic writeback-trace generator.
+
+Turns a :class:`~repro.workloads.profiles.WorkloadProfile` into a
+deterministic stream of (line address, new line contents) writeback records
+with the statistical structure the paper's analysis rests on:
+
+* line-level locality — a Zipf-popular working set of lines;
+* a persistent per-line *word footprint* — writes to a line keep touching
+  the same small set of 2-byte word positions, with slow drift and
+  occasional bursts;
+* cross-line alignment of hot words — footprints are drawn from one global
+  word-popularity ranking, so the same positions are hot in every line
+  (what makes Figure 12's per-bit-position skew visible after aggregating
+  over lines);
+* within-word value behaviour — bit flips decay geometrically from LSB to
+  MSB, mimicking counters and small-delta updates.
+
+The generator is also the keeper of ground truth: it holds every line's
+current plaintext, so schemes under test can be checked byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One writeback: the full new contents of one line."""
+
+    address: int
+    data: bytes
+
+
+def _zipf_cumulative(n: int, alpha: float) -> list[float]:
+    """Cumulative Zipf weights for ranks 1..n (unnormalized prefix sums)."""
+    total = 0.0
+    cum = []
+    for rank in range(1, n + 1):
+        total += rank ** -alpha
+        cum.append(total)
+    return cum
+
+
+def _bit_probabilities(mean_bits: float, decay: float, width: int) -> list[float]:
+    """Per-bit flip probabilities p_j = c * decay^j with sum ~= mean_bits.
+
+    Probabilities are capped at 0.99; the scale ``c`` is found by bisection
+    so the capped sum hits the requested mean (or the cap's maximum).
+    """
+    if not 0 < decay <= 1:
+        raise ValueError("decay must be in (0, 1]")
+    if mean_bits <= 0:
+        raise ValueError("mean_bits must be positive")
+    cap = 0.99
+    mean_bits = min(mean_bits, cap * width)
+
+    def capped_sum(c: float) -> float:
+        return sum(min(cap, c * decay**j) for j in range(width))
+
+    lo, hi = 0.0, 1.0
+    while capped_sum(hi) < mean_bits and hi < 1e9:
+        hi *= 2
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if capped_sum(mid) < mean_bits:
+            lo = mid
+        else:
+            hi = mid
+    return [min(cap, hi * decay**j) for j in range(width)]
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's Poisson sampler (fine for the small means used here)."""
+    if lam <= 0:
+        return 0
+    limit = pow(2.718281828459045, -lam)
+    k = 0
+    p = 1.0
+    while True:
+        p *= rng.random()
+        if p <= limit:
+            return k
+        k += 1
+
+
+class TraceGenerator:
+    """Deterministic writeback stream for one workload profile.
+
+    Parameters
+    ----------
+    profile:
+        The workload model.
+    seed:
+        RNG seed; identical (profile, seed) pairs produce identical traces.
+    line_bytes / word_bytes:
+        Geometry; the paper's 64-byte lines and 2-byte words.
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        seed: int = 0,
+        line_bytes: int = 64,
+        word_bytes: int = 2,
+    ) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.line_bytes = line_bytes
+        self.word_bytes = word_bytes
+        self.n_words = line_bytes // word_bytes
+        # str seeding is deterministic across interpreter runs (unlike
+        # tuple/str __hash__, which PYTHONHASHSEED randomizes).
+        self._rng = random.Random(f"{profile.name}:{seed}")
+
+        # Line popularity: shuffled identity so hot lines are scattered in
+        # the address space, Zipf-weighted by rank.
+        self._line_order = list(range(profile.working_set_lines))
+        self._rng.shuffle(self._line_order)
+        self._line_cum = _zipf_cumulative(
+            profile.working_set_lines, profile.zipf_alpha
+        )
+
+        # Global word-position popularity (footprints sample from this).
+        self._word_order = list(range(self.n_words))
+        self._rng.shuffle(self._word_order)
+        self._word_cum = _zipf_cumulative(self.n_words, profile.word_skew)
+        self._word_rank = {w: r for r, w in enumerate(self._word_order)}
+
+        # Per-bit flip probabilities inside a modified word: a full-word
+        # profile, plus a low-byte-only profile for small-delta updates
+        # (counters, flags) that leave the word's upper byte(s) untouched.
+        self._bit_probs = _bit_probabilities(
+            profile.bits_per_word_mean, profile.bit_decay, 8 * word_bytes
+        )
+        self._low_byte_probs = _bit_probabilities(
+            min(profile.bits_per_word_mean, 4.0), profile.bit_decay, 8
+        )
+
+        # 16-byte AES-block geometry for block-affinity footprint sampling.
+        self._words_per_block = max(1, 16 // word_bytes)
+        self._n_blocks = max(1, self.n_words // self._words_per_block)
+        self._home_blocks: dict[int, set[int]] = {}
+
+        # Ground-truth line contents and per-line footprints.
+        self._initial: dict[int, bytes] = {
+            addr: bytes(
+                self._rng.randrange(256) for _ in range(line_bytes)
+            )
+            for addr in range(profile.working_set_lines)
+        }
+        self._lines: dict[int, bytearray] = {
+            addr: bytearray(data) for addr, data in self._initial.items()
+        }
+        self._footprints: dict[int, list[int]] = {}
+        self.writes_generated = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def initial_lines(self) -> dict[int, bytes]:
+        """Pristine contents of every working-set line (for install)."""
+        return dict(self._initial)
+
+    def current_line(self, address: int) -> bytes:
+        """Ground-truth plaintext of a line right now."""
+        return bytes(self._lines[address])
+
+    def next_write(self) -> WriteRecord:
+        """Generate the next writeback record."""
+        rng = self._rng
+        address = self._pick_line()
+        line = self._lines[address]
+
+        if rng.random() < self.profile.dense_write_prob:
+            words: set[int] = set(range(self.n_words))
+        else:
+            words = self._pick_footprint_words(address)
+            if self.profile.burst_prob and rng.random() < self.profile.burst_prob:
+                for _ in range(self.profile.burst_words):
+                    words.add(rng.randrange(self.n_words))
+
+        for w in words:
+            self._mutate_word(line, w)
+        self.writes_generated += 1
+        return WriteRecord(address, bytes(line))
+
+    def writes(self, n: int):
+        """Yield ``n`` writeback records."""
+        for _ in range(n):
+            yield self.next_write()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _pick_line(self) -> int:
+        u = self._rng.random() * self._line_cum[-1]
+        rank = bisect_right(self._line_cum, u)
+        return self._line_order[min(rank, len(self._line_order) - 1)]
+
+    def _pick_global_word(self) -> int:
+        u = self._rng.random() * self._word_cum[-1]
+        rank = bisect_right(self._word_cum, u)
+        return self._word_order[min(rank, self.n_words - 1)]
+
+    def _line_home_blocks(self, address: int) -> set[int]:
+        """The line's preferred AES blocks (chosen by global popularity)."""
+        home = self._home_blocks.get(address)
+        if home is None:
+            home = set()
+            want = min(self.profile.home_blocks, self._n_blocks)
+            while len(home) < want:
+                home.add(self._pick_global_word() // self._words_per_block)
+            self._home_blocks[address] = home
+        return home
+
+    def _pick_footprint_candidate(self, address: int) -> int:
+        """A footprint word draw, honouring the profile's block affinity."""
+        word = self._pick_global_word()
+        if (
+            self.profile.block_affinity <= 0.0
+            or self._rng.random() >= self.profile.block_affinity
+        ):
+            return word
+        home = self._line_home_blocks(address)
+        for _ in range(16):
+            if word // self._words_per_block in home:
+                return word
+            word = self._pick_global_word()
+        return word
+
+    def _footprint(self, address: int) -> list[int]:
+        fp = self._footprints.get(address)
+        if fp is None:
+            size = max(
+                1,
+                min(
+                    self.n_words,
+                    round(
+                        self._rng.gauss(
+                            self.profile.footprint_mean,
+                            self.profile.footprint_mean / 4,
+                        )
+                    ),
+                ),
+            )
+            chosen: set[int] = set()
+            while len(chosen) < size:
+                chosen.add(self._pick_footprint_candidate(address))
+            fp = sorted(chosen, key=self._footprint_sort_key(address))
+            self._footprints[address] = fp
+        return fp
+
+    def _footprint_sort_key(self, address: int):
+        """Footprint ordering: hottest-first, home-block words ahead.
+
+        The front of the footprint is what front-biased per-write picks
+        favour, so putting home-block words first keeps individual writes
+        clustered within few AES blocks even when a large footprint
+        overflows its home blocks.
+        """
+        if self.profile.block_affinity <= 0.0:
+            return self._word_rank.__getitem__
+        home = self._line_home_blocks(address)
+        return lambda w: (
+            w // self._words_per_block not in home,
+            self._word_rank[w],
+        )
+
+    def _pick_footprint_words(self, address: int) -> set[int]:
+        rng = self._rng
+        fp = self._footprint(address)
+        if self.profile.footprint_churn and rng.random() < self.profile.footprint_churn:
+            self._churn_footprint(address, fp)
+        k = min(len(fp), 1 + _poisson(rng, self.profile.words_per_write_mean - 1))
+        words: set[int] = set()
+        while len(words) < k:
+            # Front-biased pick: hot footprint entries get modified most.
+            idx = int(len(fp) * rng.random() ** 2)
+            words.add(fp[min(idx, len(fp) - 1)])
+        return words
+
+    def _churn_footprint(self, address: int, fp: list[int]) -> None:
+        """Drift: replace one footprint word with a fresh draw."""
+        rng = self._rng
+        for _ in range(8):
+            candidate = self._pick_footprint_candidate(address)
+            if candidate not in fp:
+                fp[rng.randrange(len(fp))] = candidate
+                fp.sort(key=self._footprint_sort_key(address))
+                return
+
+    def _mutate_word(self, line: bytearray, w: int) -> None:
+        rng = self._rng
+        probs = (
+            self._low_byte_probs
+            if rng.random() < self.profile.single_byte_prob
+            else self._bit_probs
+        )
+        delta = 0
+        for _ in range(8):
+            for j, pj in enumerate(probs):
+                if rng.random() < pj:
+                    delta |= 1 << j
+            if delta:
+                break
+        else:
+            delta = 1
+        off = w * self.word_bytes
+        width = self.word_bytes
+        value = int.from_bytes(line[off: off + width], "little") ^ delta
+        line[off: off + width] = value.to_bytes(width, "little")

@@ -1,0 +1,330 @@
+"""SPEC2006-like workload profiles (Table 2 + calibrated write behaviour).
+
+The paper evaluates 12 SPEC2006 benchmarks with at least 1 writeback per
+thousand instructions, run in 8-copy rate mode behind a 64MB L4.  We cannot
+replay those traces, so each benchmark is modelled as a parameterized
+writeback stream whose *write-content statistics* are calibrated to the
+paper's reported behaviour:
+
+* Table 2's L4 read-miss MPKI and writeback WBPKI are taken verbatim (they
+  drive the performance model's request rates).
+* The within-line write behaviour — how many 2-byte words a writeback
+  touches, how stable that footprint is across writes, how many bits flip
+  inside a touched word, and how skewed flips are toward low-order bits —
+  is tuned so that the headline figures reproduce: unencrypted DCW ~12%,
+  FNW ~10.5%, DEUCE ~24% with libq/mcf/omnetpp sparse and Gems/soplex
+  dense, and Figure 12's per-bit-position skew (~27x for libquantum, ~6x
+  for mcf).
+
+The knobs are documented on :class:`WorkloadProfile`; the calibrated values
+live in :data:`PROFILES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical model of one benchmark's writeback stream.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name as in Table 2.
+    read_mpki:
+        L4 read misses per thousand instructions (Table 2).
+    wbpki:
+        L4 writebacks per thousand instructions (Table 2).
+    working_set_lines:
+        Distinct lines in the write working set the generator cycles over.
+    zipf_alpha:
+        Skew of line popularity (0 = uniform; higher concentrates writes
+        on a few hot lines).
+    footprint_mean:
+        Average size (in words) of a line's persistent write footprint —
+        the word positions that writes to this line keep touching.
+    words_per_write_mean:
+        Average number of footprint words actually modified by one
+        writeback.
+    bits_per_word_mean:
+        Average bit flips inside a modified 16-bit word.
+    bit_decay:
+        Geometric decay of per-bit flip probability from LSB to MSB inside
+        a word; small values mimic counters (LSBs flip almost always),
+        1.0 spreads flips evenly.
+    word_skew:
+        Zipf skew of the *global* word-position popularity that footprints
+        are drawn from.  High skew means the same word positions are hot
+        in every line (drives Figure 12's cross-line bit-position skew).
+    dense_write_prob:
+        Probability that a writeback modifies every word of the line
+        (streaming/dense writers like Gems).
+    footprint_churn:
+        Per-write probability that the footprint drifts by one word.
+    burst_prob:
+        Probability of a transient burst write touching extra words
+        outside the footprint (drives epoch-interval sensitivity, wrf and
+        milc in Figure 9).
+    burst_words:
+        Number of extra words such a burst touches.
+    block_affinity:
+        Probability that a footprint word is drawn from the line's "home"
+        AES blocks rather than anywhere in the line.  Real writebacks
+        cluster within 16-byte blocks (structs, partial arrays); this is
+        what makes Block-Level Encryption's ~33% average (Figure 18)
+        possible — with fully scattered footprints BLE would always
+        re-encrypt all four blocks.
+    home_blocks:
+        Number of preferred 16-byte blocks per line when
+        ``block_affinity`` > 0.
+    single_byte_prob:
+        Probability that a modified word's delta is confined to its low
+        byte (small integers, flags).  This is what gives byte-granularity
+        DEUCE tracking its edge over 2-byte tracking in Figure 8.
+    """
+
+    name: str
+    read_mpki: float
+    wbpki: float
+    working_set_lines: int = 2048
+    zipf_alpha: float = 0.8
+    footprint_mean: float = 8.0
+    words_per_write_mean: float = 4.0
+    bits_per_word_mean: float = 8.0
+    bit_decay: float = 0.95
+    word_skew: float = 0.8
+    dense_write_prob: float = 0.0
+    footprint_churn: float = 0.01
+    burst_prob: float = 0.0
+    burst_words: int = 0
+    block_affinity: float = 0.0
+    home_blocks: int = 2
+    single_byte_prob: float = 0.25
+
+
+# Calibrated profiles.  MPKI/WBPKI columns are Table 2 verbatim; the write
+# behaviour columns were tuned against the paper's per-figure targets (see
+# PAPER_TARGETS below and benchmarks/).
+PROFILES: dict[str, WorkloadProfile] = {
+    p.name: p
+    for p in (
+        WorkloadProfile(
+            name="libq",
+            read_mpki=22.9,
+            wbpki=9.78,
+            zipf_alpha=0.5,
+            footprint_mean=4.0,
+            words_per_write_mean=2.0,
+            bits_per_word_mean=10.0,
+            bit_decay=0.88,
+            word_skew=2.4,
+            footprint_churn=0.001,
+            block_affinity=0.95,
+            home_blocks=1,
+        ),
+        WorkloadProfile(
+            name="mcf",
+            read_mpki=16.2,
+            wbpki=8.78,
+            zipf_alpha=0.8,
+            footprint_mean=8.0,
+            words_per_write_mean=5.0,
+            bits_per_word_mean=8.5,
+            bit_decay=0.98,
+            word_skew=0.9,
+            footprint_churn=0.008,
+            block_affinity=0.90,
+            home_blocks=2,
+        ),
+        WorkloadProfile(
+            name="lbm",
+            read_mpki=14.6,
+            wbpki=7.25,
+            zipf_alpha=0.7,
+            footprint_mean=18.0,
+            words_per_write_mean=11.0,
+            bits_per_word_mean=8.5,
+            bit_decay=0.97,
+            word_skew=0.6,
+            footprint_churn=0.015,
+            block_affinity=0.93,
+            home_blocks=2,
+        ),
+        WorkloadProfile(
+            name="Gems",
+            read_mpki=14.4,
+            wbpki=7.14,
+            zipf_alpha=0.6,
+            footprint_mean=32.0,
+            words_per_write_mean=32.0,
+            bits_per_word_mean=2.0,
+            bit_decay=0.98,
+            word_skew=0.2,
+            dense_write_prob=1.0,
+        ),
+        WorkloadProfile(
+            name="milc",
+            read_mpki=19.6,
+            wbpki=6.80,
+            zipf_alpha=0.7,
+            footprint_mean=16.0,
+            words_per_write_mean=8.0,
+            bits_per_word_mean=8.5,
+            bit_decay=0.96,
+            word_skew=0.8,
+            footprint_churn=0.01,
+            burst_prob=0.10,
+            burst_words=12,
+            block_affinity=0.93,
+            home_blocks=2,
+        ),
+        WorkloadProfile(
+            name="omnetpp",
+            read_mpki=10.8,
+            wbpki=4.71,
+            zipf_alpha=0.9,
+            footprint_mean=7.0,
+            words_per_write_mean=4.0,
+            bits_per_word_mean=9.0,
+            bit_decay=0.92,
+            word_skew=1.2,
+            footprint_churn=0.003,
+            block_affinity=0.92,
+            home_blocks=1,
+        ),
+        WorkloadProfile(
+            name="leslie3d",
+            read_mpki=12.8,
+            wbpki=4.38,
+            zipf_alpha=0.7,
+            footprint_mean=20.0,
+            words_per_write_mean=11.0,
+            bits_per_word_mean=8.5,
+            bit_decay=0.97,
+            word_skew=0.6,
+            footprint_churn=0.015,
+            block_affinity=0.93,
+            home_blocks=2,
+        ),
+        WorkloadProfile(
+            name="soplex",
+            read_mpki=25.5,
+            wbpki=3.97,
+            zipf_alpha=0.7,
+            footprint_mean=28.0,
+            words_per_write_mean=14.0,
+            bits_per_word_mean=2.2,
+            bit_decay=0.98,
+            word_skew=0.3,
+            dense_write_prob=0.8,
+            footprint_churn=0.02,
+        ),
+        WorkloadProfile(
+            name="zeusmp",
+            read_mpki=4.65,
+            wbpki=1.97,
+            zipf_alpha=0.7,
+            footprint_mean=20.0,
+            words_per_write_mean=12.0,
+            bits_per_word_mean=8.5,
+            bit_decay=0.97,
+            word_skew=0.6,
+            footprint_churn=0.015,
+            block_affinity=0.93,
+            home_blocks=2,
+        ),
+        WorkloadProfile(
+            name="wrf",
+            read_mpki=3.85,
+            wbpki=1.67,
+            zipf_alpha=0.7,
+            footprint_mean=12.0,
+            words_per_write_mean=8.0,
+            bits_per_word_mean=8.5,
+            bit_decay=0.97,
+            word_skew=0.7,
+            footprint_churn=0.015,
+            burst_prob=0.15,
+            burst_words=14,
+            block_affinity=0.93,
+            home_blocks=2,
+        ),
+        WorkloadProfile(
+            name="xalanc",
+            read_mpki=1.85,
+            wbpki=1.61,
+            zipf_alpha=0.9,
+            footprint_mean=14.0,
+            words_per_write_mean=9.0,
+            bits_per_word_mean=8.5,
+            bit_decay=0.96,
+            word_skew=0.8,
+            footprint_churn=0.008,
+            block_affinity=0.93,
+            home_blocks=2,
+        ),
+        WorkloadProfile(
+            name="astar",
+            read_mpki=1.84,
+            wbpki=1.29,
+            zipf_alpha=0.8,
+            footprint_mean=17.0,
+            words_per_write_mean=10.0,
+            bits_per_word_mean=8.5,
+            bit_decay=0.95,
+            word_skew=0.8,
+            footprint_churn=0.015,
+            block_affinity=0.93,
+            home_blocks=2,
+        ),
+    )
+}
+
+#: Presentation order used throughout the paper's figures.
+WORKLOAD_NAMES = tuple(PROFILES)
+
+
+#: Paper-reported targets this model is calibrated against (percent modified
+#: bits per write, and Figure 12's max-over-mean bit-position skew).  Values
+#: are approximate readings of the figures; headline averages are exact from
+#: the text.
+PAPER_TARGETS = {
+    "avg_dcw_noencr_pct": 12.2,
+    "avg_fnw_noencr_pct": 10.5,
+    "avg_dcw_encr_pct": 50.0,
+    "avg_fnw_encr_pct": 42.7,
+    "avg_deuce_pct": 23.7,
+    "avg_dyndeuce_pct": 22.0,
+    "avg_deuce_fnw_pct": 20.3,
+    "avg_ble_pct": 33.0,
+    "avg_ble_deuce_pct": 19.9,
+    "deuce_word1_pct": 21.4,
+    "deuce_word2_pct": 23.7,
+    "deuce_word4_pct": 26.8,
+    "deuce_word8_pct": 32.2,
+    "deuce_epoch8_pct": 24.8,
+    "deuce_epoch16_pct": 24.0,
+    "deuce_epoch32_pct": 23.7,
+    "skew_libq": 27.0,
+    "skew_mcf": 6.0,
+    "lifetime_fnw": 1.14,
+    "lifetime_deuce": 1.11,
+    "lifetime_deuce_hwl": 2.0,
+    "slots_encr": 4.0,
+    "slots_deuce": 2.64,
+    "slots_noencr": 1.92,
+    "speedup_deuce": 1.27,
+    "speedup_noencr_fnw": 1.40,
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a workload profile by Table 2 name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+        ) from None

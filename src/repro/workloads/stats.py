@@ -1,0 +1,174 @@
+"""Trace statistics: characterize a writeback stream's write behaviour.
+
+Computes from any :class:`~repro.workloads.trace.Trace` the quantities the
+paper's analysis is built on — how many words a writeback touches, how many
+bits flip inside touched words, how writes spread over AES blocks and
+128-bit write regions, footprint stability, and the per-bit-position skew of
+Figure 12.  Used to validate the calibrated profiles and to characterize
+user-supplied traces before choosing a scheme.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memory import bitops
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class TraceStats:
+    """Aggregate write-behaviour statistics of one trace.
+
+    All "per write" figures are averages over the trace's writebacks.
+    """
+
+    n_writes: int
+    n_lines_touched: int
+    avg_bits_flipped: float
+    avg_words_modified: float
+    avg_bits_per_modified_word: float
+    avg_blocks_touched: float
+    avg_regions_touched: float
+    footprint_sizes: dict[int, int] = field(default_factory=dict)
+    position_writes: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    word_position_writes: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+    @property
+    def flip_fraction(self) -> float:
+        """Raw modified-bits fraction (the NoEncr-DCW figure of merit)."""
+        if self.position_writes.size == 0 or self.n_writes == 0:
+            return 0.0
+        return float(self.position_writes.sum()) / (
+            self.n_writes * self.position_writes.size
+        )
+
+    @property
+    def bit_position_skew(self) -> float:
+        """Figure 12's max-over-mean per-bit-position write ratio."""
+        if self.position_writes.size == 0:
+            return 0.0
+        mean = self.position_writes.mean()
+        return float(self.position_writes.max()) / mean if mean > 0 else 0.0
+
+    @property
+    def avg_footprint_size(self) -> float:
+        """Average per-line footprint (distinct words ever modified)."""
+        if not self.footprint_sizes:
+            return 0.0
+        return sum(self.footprint_sizes.values()) / len(self.footprint_sizes)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "writes": self.n_writes,
+            "lines": self.n_lines_touched,
+            "flip_pct": round(100 * self.flip_fraction, 2),
+            "words_per_write": round(self.avg_words_modified, 2),
+            "bits_per_word": round(self.avg_bits_per_modified_word, 2),
+            "blocks_per_write": round(self.avg_blocks_touched, 2),
+            "regions_per_write": round(self.avg_regions_touched, 2),
+            "footprint": round(self.avg_footprint_size, 2),
+            "skew": round(self.bit_position_skew, 1),
+        }
+
+
+def analyze_trace(
+    trace: Trace,
+    word_bytes: int = 2,
+    block_bytes: int = 16,
+) -> TraceStats:
+    """Walk a trace and compute :class:`TraceStats`.
+
+    Parameters
+    ----------
+    trace:
+        The writeback stream (with initial line images).
+    word_bytes:
+        Word granularity for word-level statistics (DEUCE's 2B default).
+    block_bytes:
+        AES-block granularity for block-spread statistics.
+    """
+    if trace.line_bytes % word_bytes or trace.line_bytes % block_bytes:
+        raise ValueError("word/block size must divide the line size")
+    line_bits = 8 * trace.line_bytes
+    words_per_block = block_bytes // word_bytes
+    regions = max(1, line_bits // 128)
+    words_per_region = (trace.line_bytes // regions) // word_bytes
+
+    current = dict(trace.initial)
+    footprints: dict[int, set[int]] = {}
+    position_writes = np.zeros(line_bits, dtype=np.int64)
+    word_position_writes = np.zeros(
+        trace.line_bytes // word_bytes, dtype=np.int64
+    )
+    total_flips = 0
+    total_words = 0
+    blocks_touched = 0
+    regions_touched = 0
+
+    for rec in trace.records:
+        old = current[rec.address]
+        positions = bitops.flipped_positions(old, rec.data)
+        np.add.at(position_writes, positions, 1)
+        total_flips += int(positions.size)
+
+        words = bitops.changed_words(old, rec.data, word_bytes)
+        total_words += len(words)
+        np.add.at(word_position_writes, words, 1)
+        footprints.setdefault(rec.address, set()).update(words)
+        blocks_touched += len({w // words_per_block for w in words})
+        regions_touched += len({w // words_per_region for w in words})
+        current[rec.address] = rec.data
+
+    n = len(trace.records)
+    return TraceStats(
+        n_writes=n,
+        n_lines_touched=len(footprints),
+        avg_bits_flipped=total_flips / n if n else 0.0,
+        avg_words_modified=total_words / n if n else 0.0,
+        avg_bits_per_modified_word=(
+            total_flips / total_words if total_words else 0.0
+        ),
+        avg_blocks_touched=blocks_touched / n if n else 0.0,
+        avg_regions_touched=regions_touched / n if n else 0.0,
+        footprint_sizes={a: len(s) for a, s in footprints.items()},
+        position_writes=position_writes,
+        word_position_writes=word_position_writes,
+    )
+
+
+def recommend_scheme(stats: TraceStats) -> tuple[str, str]:
+    """Heuristic scheme recommendation from trace statistics.
+
+    Returns (scheme name, one-line rationale) following the paper's
+    findings: DEUCE for sparse stable footprints, DynDEUCE when dense
+    writes appear, FNW when virtually every word changes every write.
+    """
+    words_per_line = (
+        stats.word_position_writes.size if stats.word_position_writes.size else 32
+    )
+    density = stats.avg_words_modified / words_per_line
+    if density > 0.8:
+        return (
+            "encr-fnw",
+            "nearly every word changes per write: DEUCE degenerates to "
+            "full re-encryption, FNW's bound is all that helps",
+        )
+    if density > 0.4:
+        return (
+            "dyndeuce",
+            "mixed density: DynDEUCE keeps DEUCE's wins and falls back "
+            "to FNW on dense writes for one extra metadata bit",
+        )
+    return (
+        "deuce",
+        "sparse, footprint-stable writes: DEUCE re-encrypts only the "
+        "few modified words",
+    )

@@ -1,0 +1,126 @@
+"""Trace containers and file I/O.
+
+A :class:`Trace` is a materialized writeback stream: the initial contents of
+every working-set line plus an ordered list of :class:`WriteRecord`.  Traces
+can be saved to a compact binary format so expensive sweeps reuse identical
+inputs across schemes and runs.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.workloads.generator import TraceGenerator, WriteRecord
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+_MAGIC = b"DEUCETRC"
+_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """A reproducible writeback trace for one workload.
+
+    Attributes
+    ----------
+    profile_name:
+        Workload the trace was generated from.
+    seed:
+        Generator seed.
+    line_bytes:
+        Line size of every record.
+    initial:
+        address -> pristine line contents, used to install lines.
+    records:
+        Ordered writebacks.
+    """
+
+    profile_name: str
+    seed: int
+    line_bytes: int
+    initial: dict[int, bytes]
+    records: list[WriteRecord] = field(default_factory=list)
+
+    @property
+    def n_writes(self) -> int:
+        return len(self.records)
+
+    def addresses(self) -> list[int]:
+        return sorted(self.initial)
+
+    # -- serialization -------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to a binary file."""
+        header = json.dumps(
+            {
+                "version": _VERSION,
+                "profile": self.profile_name,
+                "seed": self.seed,
+                "line_bytes": self.line_bytes,
+                "n_initial": len(self.initial),
+                "n_records": len(self.records),
+            }
+        ).encode()
+        with open(path, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(len(header).to_bytes(4, "little"))
+            fh.write(header)
+            for addr in sorted(self.initial):
+                fh.write(addr.to_bytes(8, "little"))
+                fh.write(self.initial[addr])
+            for rec in self.records:
+                fh.write(rec.address.to_bytes(8, "little"))
+                fh.write(rec.data)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        with open(path, "rb") as fh:
+            data = fh.read()
+        buf = io.BytesIO(data)
+        if buf.read(8) != _MAGIC:
+            raise ValueError(f"{path}: not a DEUCE trace file")
+        header_len = int.from_bytes(buf.read(4), "little")
+        header = json.loads(buf.read(header_len))
+        if header["version"] != _VERSION:
+            raise ValueError(f"unsupported trace version {header['version']}")
+        line_bytes = header["line_bytes"]
+        initial = {}
+        for _ in range(header["n_initial"]):
+            addr = int.from_bytes(buf.read(8), "little")
+            initial[addr] = buf.read(line_bytes)
+        records = []
+        for _ in range(header["n_records"]):
+            addr = int.from_bytes(buf.read(8), "little")
+            records.append(WriteRecord(addr, buf.read(line_bytes)))
+        return cls(
+            profile_name=header["profile"],
+            seed=header["seed"],
+            line_bytes=line_bytes,
+            initial=initial,
+            records=records,
+        )
+
+
+def generate_trace(
+    profile: WorkloadProfile | str,
+    n_writes: int,
+    seed: int = 0,
+    line_bytes: int = 64,
+) -> Trace:
+    """Materialize a trace of ``n_writes`` writebacks for a workload."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    gen = TraceGenerator(profile, seed=seed, line_bytes=line_bytes)
+    trace = Trace(
+        profile_name=profile.name,
+        seed=seed,
+        line_bytes=line_bytes,
+        initial=gen.initial_lines(),
+    )
+    trace.records = list(gen.writes(n_writes))
+    return trace

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.pads import AesPadSource, Blake2PadSource
+
+TEST_KEY = b"unit-test-key-16"
+
+
+@pytest.fixture
+def pads() -> Blake2PadSource:
+    """Fast pad source used by most scheme tests."""
+    return Blake2PadSource(TEST_KEY)
+
+
+@pytest.fixture
+def aes_pads() -> AesPadSource:
+    """Real-AES pad source for functional crypto tests."""
+    return AesPadSource(TEST_KEY)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG for test data."""
+    return random.Random(0xDE0CE)
+
+
+def random_line(rng: random.Random, n: int = 64) -> bytes:
+    """A random line image."""
+    return bytes(rng.randrange(256) for _ in range(n))
+
+
+def mutate_words(
+    rng: random.Random, line: bytes, n_words: int, word_bytes: int = 2
+) -> bytes:
+    """Flip a random nonzero delta into ``n_words`` distinct words."""
+    data = bytearray(line)
+    words = rng.sample(range(len(line) // word_bytes), n_words)
+    for w in words:
+        off = w * word_bytes
+        delta = rng.randrange(1, 1 << (8 * word_bytes))
+        value = int.from_bytes(data[off: off + word_bytes], "little") ^ delta
+        data[off: off + word_bytes] = value.to_bytes(word_bytes, "little")
+    return bytes(data)

@@ -1,0 +1,140 @@
+"""AES block cipher tests: FIPS-197 vectors, structure, and properties."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE, INV_SBOX, SBOX
+
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+FIPS_VECTORS = [
+    (
+        bytes.fromhex("000102030405060708090a0b0c0d0e0f"),
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    (
+        bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617"),
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"
+            "101112131415161718191a1b1c1d1e1f"
+        ),
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+class TestFipsVectors:
+    @pytest.mark.parametrize("key,expected", FIPS_VECTORS)
+    def test_encrypt_matches_fips197_appendix_c(self, key, expected):
+        assert AES(key).encrypt_block(FIPS_PLAINTEXT).hex() == expected
+
+    @pytest.mark.parametrize("key,expected", FIPS_VECTORS)
+    def test_decrypt_inverts_fips197_ciphertext(self, key, expected):
+        ct = bytes.fromhex(expected)
+        assert AES(key).decrypt_block(ct) == FIPS_PLAINTEXT
+
+    def test_aes128_second_vector(self):
+        # FIPS-197 Appendix B example.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        assert (
+            AES(key).encrypt_block(pt).hex()
+            == "3925841d02dc09fbdc118597196a0b32"
+        )
+
+
+class TestSbox:
+    def test_sbox_known_entries(self):
+        # Spot values from the FIPS-197 table.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_sbox_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox_inverts(self):
+        for v in range(256):
+            assert INV_SBOX[SBOX[v]] == v
+
+    def test_sbox_has_no_fixed_points(self):
+        assert all(SBOX[v] != v for v in range(256))
+
+
+class TestRoundTrip:
+    @given(
+        data=st.binary(min_size=16, max_size=16),
+        key=st.binary(min_size=16, max_size=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_decrypt_encrypt_identity(self, data, key):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(data)) == data
+
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_round_trip_all_key_sizes(self, key_len):
+        rng = random.Random(key_len)
+        key = bytes(rng.randrange(256) for _ in range(key_len))
+        cipher = AES(key)
+        for _ in range(10):
+            block = bytes(rng.randrange(256) for _ in range(16))
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+class TestAvalanche:
+    def test_single_bit_flip_changes_about_half_the_output(self):
+        cipher = AES(bytes(range(16)))
+        base = cipher.encrypt_block(bytes(16))
+        flipped_input = bytes([0x80]) + bytes(15)
+        other = cipher.encrypt_block(flipped_input)
+        diff = sum(bin(a ^ b).count("1") for a, b in zip(base, other))
+        assert 40 <= diff <= 88  # ~64 expected of 128 bits
+
+    def test_key_avalanche(self):
+        c1 = AES(bytes(16))
+        c2 = AES(bytes([1]) + bytes(15))
+        a = c1.encrypt_block(bytes(16))
+        b = c2.encrypt_block(bytes(16))
+        diff = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert 40 <= diff <= 88
+
+
+class TestErrors:
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ValueError, match="key must be"):
+            AES(bytes(15))
+
+    def test_bad_block_length_rejected_encrypt(self):
+        with pytest.raises(ValueError, match="block must be"):
+            AES(bytes(16)).encrypt_block(bytes(8))
+
+    def test_bad_block_length_rejected_decrypt(self):
+        with pytest.raises(ValueError, match="block must be"):
+            AES(bytes(16)).decrypt_block(bytes(17))
+
+    def test_block_size_constant(self):
+        assert BLOCK_SIZE == 16
+
+
+class TestKeySchedule:
+    @pytest.mark.parametrize(
+        "key_len,rounds", [(16, 10), (24, 12), (32, 14)]
+    )
+    def test_round_counts(self, key_len, rounds):
+        cipher = AES(bytes(key_len))
+        assert cipher.rounds == rounds
+        assert len(cipher._round_keys) == rounds + 1
+
+    def test_first_round_key_is_the_key_itself(self):
+        key = bytes(range(16))
+        cipher = AES(key)
+        assert bytes(cipher._round_keys[0]) == key

@@ -1,0 +1,109 @@
+"""Extended AES validation: NIST SP 800-38A ECB vectors and properties.
+
+The FIPS-197 appendix vectors pin one (key, block) pair per key size; these
+add the four-block SP 800-38A ECB sequences, exercising more of the state
+space, plus structural properties of the cipher.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+
+SP800_KEY_128 = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+SP800_KEY_192 = bytes.fromhex(
+    "8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b"
+)
+SP800_KEY_256 = bytes.fromhex(
+    "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"
+)
+
+SP800_PLAINTEXTS = [
+    "6bc1bee22e409f96e93d7e117393172a",
+    "ae2d8a571e03ac9c9eb76fac45af8e51",
+    "30c81c46a35ce411e5fbc1191a0a52ef",
+    "f69f2445df4f9b17ad2b417be66c3710",
+]
+
+SP800_ECB = {
+    16: (
+        SP800_KEY_128,
+        [
+            "3ad77bb40d7a3660a89ecaf32466ef97",
+            "f5d3d58503b9699de785895a96fdbaaf",
+            "43b1cd7f598ece23881b00e3ed030688",
+            "7b0c785e27e8ad3f8223207104725dd4",
+        ],
+    ),
+    24: (
+        SP800_KEY_192,
+        [
+            "bd334f1d6e45f25ff712a214571fa5cc",
+            "974104846d0ad3ad7734ecb3ecee4eef",
+            "ef7afd2270e2e60adce0ba2face6444e",
+            "9a4b41ba738d6c72fb16691603c18e0e",
+        ],
+    ),
+    32: (
+        SP800_KEY_256,
+        [
+            "f3eed1bdb5d2a03c064b5a7e3db181f8",
+            "591ccb10d410ed26dc5ba74a31362870",
+            "b6ed21b99ca6f4f9f153e7b1beafed1d",
+            "23304b7a39f9f3ff067d8d8f9e24ecc7",
+        ],
+    ),
+}
+
+
+class TestSp80038aVectors:
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_ecb_encrypt_blocks(self, key_len):
+        key, expected = SP800_ECB[key_len]
+        cipher = AES(key)
+        for pt_hex, ct_hex in zip(SP800_PLAINTEXTS, expected):
+            assert (
+                cipher.encrypt_block(bytes.fromhex(pt_hex)).hex() == ct_hex
+            )
+
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_ecb_decrypt_blocks(self, key_len):
+        key, expected = SP800_ECB[key_len]
+        cipher = AES(key)
+        for pt_hex, ct_hex in zip(SP800_PLAINTEXTS, expected):
+            assert (
+                cipher.decrypt_block(bytes.fromhex(ct_hex)).hex() == pt_hex
+            )
+
+
+class TestStructuralProperties:
+    @given(block=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_encryption_is_not_the_identity(self, block):
+        assert AES(SP800_KEY_128).encrypt_block(block) != block
+
+    @given(
+        a=st.binary(min_size=16, max_size=16),
+        b=st.binary(min_size=16, max_size=16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_injective_on_distinct_blocks(self, a, b):
+        cipher = AES(SP800_KEY_128)
+        if a != b:
+            assert cipher.encrypt_block(a) != cipher.encrypt_block(b)
+
+    def test_no_weak_all_zero_behaviour(self):
+        # All-zero key and block still produce a diffused ciphertext.
+        ct = AES(bytes(16)).encrypt_block(bytes(16))
+        ones = sum(bin(b).count("1") for b in ct)
+        assert 40 <= ones <= 88
+
+    def test_different_key_sizes_disagree(self):
+        pt = bytes(16)
+        c128 = AES(bytes(16)).encrypt_block(pt)
+        c192 = AES(bytes(24)).encrypt_block(pt)
+        c256 = AES(bytes(32)).encrypt_block(pt)
+        assert len({c128, c192, c256}) == 3

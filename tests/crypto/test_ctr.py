@@ -1,0 +1,100 @@
+"""Counter-mode engine and pad-mixing tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ctr import CounterModeEngine, mix_pads, xor_bytes
+from repro.crypto.pads import Blake2PadSource
+
+KEY = b"ctr-engine-key16"
+
+
+@pytest.fixture
+def engine():
+    return CounterModeEngine(Blake2PadSource(KEY), line_bytes=64)
+
+
+class TestEngine:
+    def test_encrypt_decrypt_round_trip(self, engine, rng):
+        data = bytes(rng.randrange(256) for _ in range(64))
+        ct = engine.encrypt(data, address=0x40, counter=3)
+        assert engine.decrypt(ct, address=0x40, counter=3) == data
+
+    def test_wrong_counter_does_not_decrypt(self, engine, rng):
+        data = bytes(rng.randrange(256) for _ in range(64))
+        ct = engine.encrypt(data, address=0x40, counter=3)
+        assert engine.decrypt(ct, address=0x40, counter=4) != data
+
+    def test_wrong_address_does_not_decrypt(self, engine, rng):
+        data = bytes(rng.randrange(256) for _ in range(64))
+        ct = engine.encrypt(data, address=0x40, counter=3)
+        assert engine.decrypt(ct, address=0x41, counter=3) != data
+
+    def test_encryption_is_xor_with_pad(self, engine):
+        data = bytes(64)
+        ct = engine.encrypt(data, address=1, counter=1)
+        assert ct == engine.pad(1, 1)  # zeros XOR pad == pad
+
+    def test_line_length_enforced(self, engine):
+        with pytest.raises(ValueError, match="line must be"):
+            engine.encrypt(bytes(32), 0, 0)
+
+    def test_bad_line_bytes(self):
+        with pytest.raises(ValueError):
+            CounterModeEngine(Blake2PadSource(KEY), line_bytes=0)
+
+
+class TestXorBytes:
+    def test_xor_identity(self):
+        assert xor_bytes(b"\xff\x00", b"\x00\x00") == b"\xff\x00"
+
+    def test_xor_self_is_zero(self):
+        assert xor_bytes(b"abc", b"abc") == b"\x00\x00\x00"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            xor_bytes(b"ab", b"abc")
+
+
+class TestMixPads:
+    def test_all_modified_takes_leading(self):
+        lead, trail = bytes([0xAA]) * 8, bytes([0x55]) * 8
+        assert mix_pads(lead, trail, [True] * 4, 2) == lead
+
+    def test_none_modified_takes_trailing(self):
+        lead, trail = bytes([0xAA]) * 8, bytes([0x55]) * 8
+        assert mix_pads(lead, trail, [False] * 4, 2) == trail
+
+    def test_mixed_selection_per_word(self):
+        lead, trail = bytes(range(8)), bytes(range(100, 108))
+        out = mix_pads(lead, trail, [True, False, True, False], 2)
+        assert out == lead[0:2] + trail[2:4] + lead[4:6] + trail[6:8]
+
+    def test_word_size_one_byte(self):
+        lead, trail = b"\x01\x02", b"\x03\x04"
+        assert mix_pads(lead, trail, [False, True], 1) == b"\x03\x02"
+
+    def test_pad_length_mismatch(self):
+        with pytest.raises(ValueError, match="pad length"):
+            mix_pads(bytes(8), bytes(10), [True] * 4, 2)
+
+    def test_word_count_mismatch(self):
+        with pytest.raises(ValueError):
+            mix_pads(bytes(8), bytes(8), [True] * 3, 2)
+
+    @given(
+        flags=st.lists(st.booleans(), min_size=1, max_size=32),
+        word_bytes=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_output_words_come_from_the_selected_pad(self, flags, word_bytes):
+        n = len(flags) * word_bytes
+        lead = bytes([0xAA]) * n
+        trail = bytes([0x55]) * n
+        out = mix_pads(lead, trail, flags, word_bytes)
+        for w, flag in enumerate(flags):
+            piece = out[w * word_bytes: (w + 1) * word_bytes]
+            assert piece == (lead if flag else trail)[: word_bytes]

@@ -1,0 +1,53 @@
+"""Model-based property test: the controller against a plain dict.
+
+Hypothesis drives random install/write/read sequences through a
+:class:`SecureMemoryController` (with integrity and wear leveling enabled)
+and a reference dict; the two must never disagree.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.memory.controller import SecureMemoryController
+
+KEY = b"model-test-key16"
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read"]),
+        st.integers(min_value=0, max_value=7),  # line slot
+        st.binary(min_size=64, max_size=64),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(ops=operations, scheme=st.sampled_from(["deuce", "dyndeuce", "encr-fnw"]))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_controller_matches_reference_dict(ops, scheme):
+    controller = SecureMemoryController(
+        scheme=scheme,
+        key=KEY,
+        wear_leveling="hwl",
+        region_lines=64,
+        gap_write_interval=1,
+        integrity=True,
+        epoch_interval=4,
+    )
+    reference: dict[int, bytes] = {}
+    for op, slot, data in ops:
+        address = slot * 64
+        if op == "write":
+            controller.write(address, data)
+            reference[address] = data
+        elif address in reference:
+            assert controller.read(address) == reference[address]
+    for address, data in reference.items():
+        assert controller.read(address) == data

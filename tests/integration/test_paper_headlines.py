@@ -1,0 +1,78 @@
+"""Calibration guards: the paper's headline numbers, with tolerances.
+
+These tests pin the suite-average results to the paper's reported values so
+a regression in the schemes, the generator, or the profiles shows up as a
+failing number, not a silently different figure.  Trace lengths are modest;
+tolerances account for the sampling noise that leaves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import run
+from repro.workloads.profiles import WORKLOAD_NAMES
+
+N = 2_000
+
+
+def suite_average(scheme: str, **kw) -> float:
+    total = 0.0
+    for workload in WORKLOAD_NAMES:
+        total += run(SimConfig(workload, scheme, n_writes=N, **kw)).avg_flips_pct
+    return total / len(WORKLOAD_NAMES)
+
+
+@pytest.mark.slow
+class TestHeadlineAverages:
+    def test_unencrypted_dcw_near_12pct(self):
+        assert suite_average("noencr-dcw") == pytest.approx(12.2, abs=2.0)
+
+    def test_unencrypted_fnw_near_10pct(self):
+        assert suite_average("noencr-fnw") == pytest.approx(10.5, abs=2.0)
+
+    def test_encrypted_dcw_is_half_the_bits(self):
+        assert suite_average("encr-dcw") == pytest.approx(50.0, abs=0.5)
+
+    def test_encrypted_fnw_near_43pct(self):
+        assert suite_average("encr-fnw") == pytest.approx(42.7, abs=0.7)
+
+    def test_deuce_near_24pct(self):
+        assert suite_average("deuce") == pytest.approx(23.7, abs=2.5)
+
+    def test_dyndeuce_beats_deuce(self):
+        assert suite_average("dyndeuce") < suite_average("deuce")
+
+    def test_ble_near_33pct(self):
+        assert suite_average("ble") == pytest.approx(33.0, abs=3.5)
+
+
+@pytest.mark.slow
+class TestPerWorkloadShape:
+    def test_dense_workloads_defeat_deuce(self):
+        """Gems and soplex exceed FNW's 43% under DEUCE (section 4.6)."""
+        for workload in ("Gems", "soplex"):
+            r = run(SimConfig(workload, "deuce", n_writes=N))
+            assert r.avg_flips_pct > 43.0
+
+    def test_sparse_workloads_shine_under_deuce(self):
+        for workload in ("libq", "mcf", "omnetpp"):
+            r = run(SimConfig(workload, "deuce", n_writes=N))
+            assert r.avg_flips_pct < 15.0
+
+    def test_dyndeuce_rescues_dense_workloads(self):
+        """DynDEUCE caps Gems/soplex near FNW's 43% (Figure 10)."""
+        for workload in ("Gems", "soplex"):
+            dyn = run(SimConfig(workload, "dyndeuce", n_writes=N))
+            deuce = run(SimConfig(workload, "deuce", n_writes=N))
+            assert dyn.avg_flips_pct < deuce.avg_flips_pct
+            assert dyn.avg_flips_pct < 45.0
+
+    def test_word_size_sweep_shape(self):
+        """Figure 8: finer tracking flips fewer bits."""
+        averages = {
+            wb: suite_average("deuce", word_bytes=wb) for wb in (1, 2, 8)
+        }
+        assert averages[1] < averages[2] < averages[8]
+        assert averages[8] == pytest.approx(32.2, abs=3.5)

@@ -1,0 +1,226 @@
+"""Bit-utility tests, including hypothesis properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import bitops
+
+lines = st.binary(min_size=0, max_size=64)
+pairs = st.integers(min_value=1, max_value=64).flatmap(
+    lambda n: st.tuples(
+        st.binary(min_size=n, max_size=n), st.binary(min_size=n, max_size=n)
+    )
+)
+
+
+class TestPopcount:
+    def test_empty(self):
+        assert bitops.popcount(b"") == 0
+
+    def test_all_ones(self):
+        assert bitops.popcount(b"\xff" * 4) == 32
+
+    def test_single_bit(self):
+        assert bitops.popcount(b"\x01") == 1
+
+    @given(data=lines)
+    @settings(max_examples=50, deadline=None)
+    def test_matches_python_reference(self, data):
+        assert bitops.popcount(data) == sum(bin(b).count("1") for b in data)
+
+
+class TestBitFlips:
+    def test_identical_lines_zero_flips(self):
+        assert bitops.bit_flips(b"abc", b"abc") == 0
+
+    def test_complement_flips_all(self):
+        assert bitops.bit_flips(b"\x00" * 8, b"\xff" * 8) == 64
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bitops.bit_flips(b"ab", b"a")
+
+    @given(pair=pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_equals_popcount_of_xor(self, pair):
+        a, b = pair
+        assert bitops.bit_flips(a, b) == bitops.popcount(bitops.xor(a, b))
+
+    @given(pair=pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, pair):
+        a, b = pair
+        assert bitops.bit_flips(a, b) == bitops.bit_flips(b, a)
+
+
+class TestXor:
+    def test_xor_round_trip(self):
+        a, b = b"\x12\x34", b"\xab\xcd"
+        assert bitops.xor(bitops.xor(a, b), b) == a
+
+    def test_empty(self):
+        assert bitops.xor(b"", b"") == b""
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bitops.xor(b"a", b"ab")
+
+
+class TestChangedWords:
+    def test_no_change(self):
+        assert bitops.changed_words(b"abcd", b"abcd", 2) == []
+
+    def test_single_word(self):
+        assert bitops.changed_words(b"abcd", b"abce", 2) == [1]
+
+    def test_all_words(self):
+        assert bitops.changed_words(b"\x00" * 8, b"\xff" * 8, 2) == [0, 1, 2, 3]
+
+    def test_word_size_must_divide(self):
+        with pytest.raises(ValueError):
+            bitops.changed_words(b"abc", b"abd", 2)
+
+    def test_bad_word_size(self):
+        with pytest.raises(ValueError):
+            bitops.changed_words(b"ab", b"ab", 0)
+
+    @given(pair=pairs, word_bytes=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=50, deadline=None)
+    def test_consistent_with_flip_counts(self, pair, word_bytes):
+        a, b = pair
+        if len(a) % word_bytes:
+            return
+        changed = set(bitops.changed_words(a, b, word_bytes))
+        counts = bitops.word_flip_counts(a, b, word_bytes)
+        assert changed == {w for w, c in enumerate(counts) if c > 0}
+
+
+class TestWordFlipCounts:
+    def test_counts_sum_to_total(self):
+        a, b = b"\x00" * 8, b"\x0f\x00\xff\x00\x00\x00\x00\x01"
+        counts = bitops.word_flip_counts(a, b, 2)
+        assert sum(counts) == bitops.bit_flips(a, b)
+        assert counts == [4, 8, 0, 1]
+
+
+class TestBitArrays:
+    def test_round_trip(self):
+        data = bytes(range(16))
+        assert bitops.from_bit_array(bitops.to_bit_array(data)) == data
+
+    def test_empty(self):
+        assert bitops.to_bit_array(b"").size == 0
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            bitops.from_bit_array(np.ones(7, dtype=np.uint8))
+
+    def test_msb_first_convention(self):
+        bits = bitops.to_bit_array(b"\x80")
+        assert bits[0] == 1
+        assert bits[1:].sum() == 0
+
+
+class TestFlippedPositions:
+    def test_positions_of_known_diff(self):
+        old = b"\x00\x00"
+        new = b"\x80\x01"
+        positions = bitops.flipped_positions(old, new)
+        assert positions.tolist() == [0, 15]
+
+    def test_no_diff(self):
+        assert bitops.flipped_positions(b"ab", b"ab").size == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bitops.flipped_positions(b"a", b"ab")
+
+
+class TestRotation:
+    def test_zero_rotation_is_identity(self):
+        data = bytes(range(8))
+        assert bitops.rotate_bits(data, 0) == data
+
+    def test_full_rotation_is_identity(self):
+        data = bytes(range(8))
+        assert bitops.rotate_bits(data, 64) == data
+
+    def test_rotate_by_one(self):
+        # MSB of byte 0 moves out, everything shifts left by one.
+        assert bitops.rotate_bits(b"\x80\x00", 1) == b"\x00\x01"
+
+    @given(
+        data=st.binary(min_size=1, max_size=32),
+        amount=st.integers(min_value=-300, max_value=300),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_unrotate_inverts(self, data, amount):
+        rotated = bitops.rotate_bits(data, amount)
+        assert bitops.unrotate_bits(rotated, amount) == data
+
+    @given(data=st.binary(min_size=1, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_rotation_preserves_popcount(self, data):
+        assert bitops.popcount(bitops.rotate_bits(data, 5)) == bitops.popcount(
+            data
+        )
+
+
+class TestInvert:
+    def test_invert(self):
+        assert bitops.invert(b"\x00\xff\x0f") == b"\xff\x00\xf0"
+
+    def test_double_invert_is_identity(self):
+        data = bytes(range(10))
+        assert bitops.invert(bitops.invert(data)) == data
+
+    def test_empty(self):
+        assert bitops.invert(b"") == b""
+
+
+class TestHammingFraction:
+    def test_all_ones(self):
+        assert bitops.hamming_weight_fraction(b"\xff") == 1.0
+
+    def test_empty(self):
+        assert bitops.hamming_weight_fraction(b"") == 0.0
+
+    def test_half(self):
+        assert bitops.hamming_weight_fraction(b"\x0f") == 0.5
+
+
+class TestDirectionalFlips:
+    def test_pure_sets(self):
+        assert bitops.directional_flips(b"\x00", b"\x0f") == (4, 0)
+
+    def test_pure_resets(self):
+        assert bitops.directional_flips(b"\xff", b"\xf0") == (0, 4)
+
+    def test_mixed(self):
+        # 0b0101 -> 0b0011: one set (bit1), one reset (bit2).
+        assert bitops.directional_flips(b"\x05", b"\x03") == (1, 1)
+
+    def test_empty(self):
+        assert bitops.directional_flips(b"", b"") == (0, 0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bitops.directional_flips(b"a", b"ab")
+
+    @given(pair=pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_sum_equals_bit_flips(self, pair):
+        a, b = pair
+        sets, resets = bitops.directional_flips(a, b)
+        assert sets + resets == bitops.bit_flips(a, b)
+
+    @given(pair=pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_antisymmetry(self, pair):
+        a, b = pair
+        sets, resets = bitops.directional_flips(a, b)
+        assert bitops.directional_flips(b, a) == (resets, sets)

@@ -1,0 +1,156 @@
+"""Write-back cache hierarchy tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.memory.cache import MemoryHierarchy, SetAssociativeCache
+
+
+def make_cache(size=1024, ways=2, line=64, backing=None, sink=None):
+    backing = backing if backing is not None else {}
+    writebacks = []
+
+    def fetch(addr):
+        return backing.get(addr, bytes(line))
+
+    def default_sink(addr, data):
+        backing[addr] = data
+        writebacks.append((addr, data))
+
+    cache = SetAssociativeCache(
+        size, ways, line, fetch, sink or default_sink, name="T"
+    )
+    return cache, backing, writebacks
+
+
+class TestBasicOperation:
+    def test_load_miss_then_hit(self):
+        cache, backing, _ = make_cache()
+        backing[5] = b"x" * 64
+        assert cache.load(5) == b"x" * 64
+        assert cache.load(5) == b"x" * 64
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_store_makes_line_dirty_and_visible(self):
+        cache, _, _ = make_cache()
+        cache.store(3, 0, b"hi")
+        assert cache.load(3)[:2] == b"hi"
+
+    def test_store_offset(self):
+        cache, _, _ = make_cache()
+        cache.store(3, 10, b"zz")
+        line = cache.load(3)
+        assert line[10:12] == b"zz"
+        assert line[:10] == bytes(10)
+
+    def test_store_across_line_boundary_rejected(self):
+        cache, _, _ = make_cache()
+        with pytest.raises(ValueError, match="line boundary"):
+            cache.store(0, 63, b"ab")
+
+
+class TestEviction:
+    def test_lru_victim_is_evicted(self):
+        # 2-way, 1024B/64B = 16 lines, 8 sets: tags t, t+8 share a set... n_sets=8.
+        cache, backing, writebacks = make_cache(size=1024, ways=2)
+        # Three lines mapping to set 0: line addresses 0, 8, 16.
+        cache.store(0, 0, b"a")
+        cache.store(8, 0, b"b")
+        cache.load(0)  # make 8 the LRU
+        cache.store(16, 0, b"c")  # evicts 8
+        assert writebacks and writebacks[0][0] == 8
+        assert backing[8][:1] == b"b"
+
+    def test_clean_eviction_writes_nothing(self):
+        cache, backing, writebacks = make_cache(size=1024, ways=2)
+        backing[0] = b"x" * 64
+        cache.load(0)
+        cache.load(8)
+        cache.load(16)  # evicts clean line 0
+        assert writebacks == []
+
+    def test_flush_writes_all_dirty(self):
+        cache, backing, writebacks = make_cache()
+        cache.store(1, 0, b"a")
+        cache.store(2, 0, b"b")
+        cache.load(3)
+        assert cache.flush() == 2
+        assert len(writebacks) == 2
+        assert backing[1][:1] == b"a"
+
+
+class TestGeometry:
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            make_cache(size=0)
+        with pytest.raises(ValueError):
+            make_cache(size=100, ways=3)
+
+    def test_set_count(self):
+        cache, _, _ = make_cache(size=2048, ways=4)
+        assert cache.n_sets == 8
+
+
+class TestHierarchy:
+    def test_final_state_equals_store_replay(self):
+        """Functional fidelity: flushing the hierarchy reproduces exactly
+        the result of applying every store to the initial memory."""
+        rng = random.Random(0)
+        n_lines = 64
+        backing = {a: rng.randbytes(64) for a in range(n_lines)}
+        reference = {a: bytearray(d) for a, d in backing.items()}
+        sink_records = []
+        hierarchy = MemoryHierarchy(
+            [(512, 2), (2048, 4)],
+            backing,
+            writeback_sink=lambda a, d: sink_records.append((a, d)),
+        )
+        for _ in range(2000):
+            addr = rng.randrange(n_lines * 64)
+            if rng.random() < 0.5:
+                data = rng.randbytes(2)
+                line, off = divmod(addr, 64)
+                if off > 62:
+                    off = 62
+                hierarchy.store(line * 64 + off, data)
+                reference[line][off: off + 2] = data
+            else:
+                hierarchy.load(addr)
+        hierarchy.flush_all()
+        for addr, expected in reference.items():
+            assert backing[addr] == bytes(expected), f"line {addr}"
+
+    def test_loads_see_stores_through_all_levels(self):
+        backing = {}
+        hierarchy = MemoryHierarchy([(512, 2), (2048, 4)], backing, lambda a, d: None)
+        hierarchy.store(100, b"hello")
+        assert hierarchy.load(100)[36:41] == b"hello"
+
+    def test_bigger_last_level_reduces_writebacks(self):
+        rng = random.Random(1)
+        accesses = [
+            (rng.randrange(2048 * 64), rng.randbytes(2)) for _ in range(6000)
+        ]
+
+        def run(l2_size):
+            backing = {}
+            count = [0]
+            hierarchy = MemoryHierarchy(
+                [(512, 2), (l2_size, 8)],
+                backing,
+                lambda a, d: count.__setitem__(0, count[0] + 1),
+            )
+            for addr, data in accesses:
+                line, off = divmod(addr, 64)
+                hierarchy.store(line * 64 + min(off, 62), data)
+            return count[0]
+
+        assert run(8 * 1024) > run(96 * 1024)
+
+    def test_requires_a_level(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([], {}, lambda a, d: None)

@@ -1,0 +1,59 @@
+"""StoredLine container tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.line import StoredLine, make_meta, meta_flips
+
+
+class TestMakeMeta:
+    def test_zeroed(self):
+        meta = make_meta(32)
+        assert meta.size == 32
+        assert not meta.any()
+
+    def test_zero_bits(self):
+        assert make_meta(0).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_meta(-1)
+
+
+class TestMetaFlips:
+    def test_no_flips(self):
+        assert meta_flips(make_meta(8), make_meta(8)) == 0
+
+    def test_counts_differences(self):
+        old = make_meta(8)
+        new = old.copy()
+        new[[1, 5]] = 1
+        assert meta_flips(old, new) == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            meta_flips(make_meta(8), make_meta(4))
+
+
+class TestStoredLine:
+    def test_data_coerced_to_bytes(self):
+        line = StoredLine(bytearray(b"abcd"))
+        assert isinstance(line.data, bytes)
+
+    def test_bit_counts(self):
+        line = StoredLine(bytes(64), make_meta(32))
+        assert line.n_data_bits == 512
+        assert line.n_meta_bits == 32
+
+    def test_copy_is_independent(self):
+        line = StoredLine(bytes(4), make_meta(4), counter=7)
+        dup = line.copy()
+        dup.meta[0] = 1
+        assert line.meta[0] == 0
+        assert dup.counter == 7
+
+    def test_meta_dtype_normalized(self):
+        line = StoredLine(b"ab", np.array([1, 0], dtype=np.int64))
+        assert line.meta.dtype == np.uint8

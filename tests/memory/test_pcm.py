@@ -1,0 +1,125 @@
+"""PCM array tests: write-slot accounting and per-bit wear tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.pcm import (
+    SLOT_BITS,
+    PcmArray,
+    slots_for_positions,
+    slots_for_write,
+)
+from repro.schemes.base import WriteOutcome
+
+
+def outcome(address=0, data_positions=(), meta_positions=()):
+    dp = np.array(data_positions, dtype=np.int64)
+    mp = np.array(meta_positions, dtype=np.int64)
+    return WriteOutcome(
+        address=address,
+        data_flips=len(dp),
+        metadata_flips=len(mp),
+        flipped_data_positions=dp,
+        flipped_meta_positions=mp,
+    )
+
+
+class TestSlotsForPositions:
+    def test_no_flips_no_slots(self):
+        assert slots_for_positions(np.array([], dtype=np.int64), 512) == 0
+
+    def test_single_flip_one_slot(self):
+        assert slots_for_positions(np.array([5]), 512) == 1
+
+    def test_flips_in_one_region(self):
+        assert slots_for_positions(np.array([0, 64, 127]), 512) == 1
+
+    def test_flips_spanning_regions(self):
+        assert slots_for_positions(np.array([0, 128, 256, 384]), 512) == 4
+
+    def test_region_boundary(self):
+        assert slots_for_positions(np.array([127, 128]), 512) == 2
+
+    def test_metadata_positions_fold_into_last_region(self):
+        # Positions beyond the data bits ride with the last region.
+        assert slots_for_positions(np.array([512, 520]), 512) == 1
+        assert slots_for_positions(np.array([384, 520]), 512) == 1
+
+
+class TestSlotsForWrite:
+    def test_combines_data_and_meta(self):
+        out = outcome(data_positions=[0], meta_positions=[3])
+        # data in region 0, meta rides region 3 -> 2 slots
+        assert slots_for_write(out, 512) == 2
+
+    def test_meta_only_write(self):
+        out = outcome(meta_positions=[0, 1])
+        assert slots_for_write(out, 512) == 1
+
+    def test_encrypted_line_uses_all_slots(self):
+        out = outcome(data_positions=list(range(0, 512, 2)))
+        assert slots_for_write(out, 512) == 4
+
+
+class TestPcmArray:
+    def test_wear_accumulates_positions(self):
+        pcm = PcmArray(line_bytes=64, meta_bits=0)
+        pcm.apply_write(outcome(address=1, data_positions=[0, 5]))
+        pcm.apply_write(outcome(address=1, data_positions=[5]))
+        assert pcm.position_writes[0] == 1
+        assert pcm.position_writes[5] == 2
+        assert pcm.total_writes == 2
+        assert pcm.total_flips == 3
+
+    def test_meta_positions_offset_past_data(self):
+        pcm = PcmArray(line_bytes=64, meta_bits=32)
+        pcm.apply_write(outcome(address=0, meta_positions=[0]))
+        assert pcm.position_writes[512] == 1
+
+    def test_rotation_moves_positions(self):
+        pcm = PcmArray(line_bytes=64, meta_bits=0)
+        pcm.apply_write(outcome(address=0, data_positions=[0]), rotation=10)
+        assert pcm.position_writes[10] == 1
+        assert pcm.position_writes[0] == 0
+
+    def test_rotation_wraps(self):
+        pcm = PcmArray(line_bytes=64, meta_bits=32)
+        pcm.apply_write(outcome(address=0, data_positions=[540]), rotation=10)
+        assert pcm.position_writes[(540 + 10) % 544] == 1
+
+    def test_per_line_wear(self):
+        pcm = PcmArray(line_bytes=64, meta_bits=0, track_per_line=True)
+        pcm.apply_write(outcome(address=7, data_positions=[3, 4]))
+        wear = pcm.line_wear(7)
+        assert wear[3] == 1
+        assert wear[4] == 1
+        assert pcm.line_wear(99).sum() == 0
+
+    def test_per_line_disabled_raises(self):
+        pcm = PcmArray(track_per_line=False)
+        with pytest.raises(RuntimeError):
+            pcm.line_wear(0)
+
+    def test_summary_max_over_mean(self):
+        pcm = PcmArray(line_bytes=64, meta_bits=0)
+        for _ in range(4):
+            pcm.apply_write(outcome(address=0, data_positions=[9]))
+        summary = pcm.summary()
+        assert summary.max_line_bit_writes == 4
+        assert summary.max_over_mean == pytest.approx(4 / (4 / 512))
+
+    def test_summary_empty(self):
+        summary = PcmArray().summary()
+        assert summary.total_writes == 0
+        assert summary.max_over_mean == 0.0
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            PcmArray(line_bytes=0)
+        with pytest.raises(ValueError):
+            PcmArray(meta_bits=-1)
+
+    def test_slot_bits_constant(self):
+        assert SLOT_BITS == 128

@@ -1,0 +1,97 @@
+"""Energy/power/EDP model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.energy import EnergyConfig, energy_report
+
+
+def report(flips=1000, reads=100, time_ns=1e6, **kw):
+    return energy_report(
+        "wl", "scheme", total_flips=flips, n_reads=reads, exec_time_ns=time_ns, **kw
+    )
+
+
+class TestComponents:
+    def test_write_energy_scales_with_flips(self):
+        a = report(flips=1000)
+        b = report(flips=2000)
+        assert b.write_energy_j == pytest.approx(2 * a.write_energy_j)
+
+    def test_read_energy_scales_with_reads(self):
+        a = report(reads=100)
+        b = report(reads=300)
+        assert b.read_energy_j == pytest.approx(3 * a.read_energy_j)
+
+    def test_static_energy_scales_with_time(self):
+        a = report(time_ns=1e6)
+        b = report(time_ns=2e6)
+        assert b.static_energy_j == pytest.approx(2 * a.static_energy_j)
+
+    def test_total_is_sum(self):
+        r = report()
+        assert r.energy_j == pytest.approx(
+            r.write_energy_j + r.read_energy_j + r.static_energy_j
+        )
+
+
+class TestDerivedMetrics:
+    def test_power_is_energy_over_time(self):
+        r = report(time_ns=2e6)
+        assert r.power_w == pytest.approx(r.energy_j / 2e-3)
+
+    def test_edp(self):
+        r = report(time_ns=2e6)
+        assert r.edp == pytest.approx(r.energy_j * 2e-3)
+
+    def test_fewer_flips_and_shorter_time_reduce_edp_superlinearly(self):
+        base = report(flips=25_600, time_ns=1e6)
+        better = report(flips=12_800, time_ns=0.8e6)
+        rel = better.relative_to(base)
+        assert rel["energy"] < 1.0
+        assert rel["edp"] < rel["energy"]  # delay reduction compounds
+        assert rel["speedup"] == pytest.approx(1.25)
+
+    def test_power_reduction_less_than_energy_when_faster(self):
+        """The paper's asymmetry: -43% energy but only -28% power."""
+        base = report(flips=25_600, time_ns=1e6)
+        deuce = report(flips=12_500, time_ns=0.79e6)
+        rel = deuce.relative_to(base)
+        assert rel["power"] > rel["energy"]
+
+
+class TestConfig:
+    def test_custom_coefficients(self):
+        cheap = report(config=EnergyConfig(e_write_bit_j=1e-12))
+        costly = report(config=EnergyConfig(e_write_bit_j=1e-10))
+        assert costly.write_energy_j > cheap.write_energy_j
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            report(time_ns=0)
+
+
+class TestAsymmetricEnergy:
+    def test_asymmetric_energies_used_when_configured(self):
+        config = EnergyConfig(e_set_bit_j=10e-12, e_reset_bit_j=40e-12)
+        r = energy_report(
+            "wl", "s", total_flips=100, n_reads=0, exec_time_ns=1e6,
+            config=config, set_flips=60, reset_flips=40,
+        )
+        assert r.write_energy_j == pytest.approx(60 * 10e-12 + 40 * 40e-12)
+
+    def test_falls_back_to_symmetric_without_direction_counts(self):
+        config = EnergyConfig(e_set_bit_j=10e-12, e_reset_bit_j=40e-12)
+        r = energy_report(
+            "wl", "s", total_flips=100, n_reads=0, exec_time_ns=1e6,
+            config=config,
+        )
+        assert r.write_energy_j == pytest.approx(100 * config.e_write_bit_j)
+
+    def test_symmetric_config_ignores_direction_counts(self):
+        r = energy_report(
+            "wl", "s", total_flips=100, n_reads=0, exec_time_ns=1e6,
+            set_flips=60, reset_flips=40,
+        )
+        assert r.write_energy_j == pytest.approx(100 * 25e-12)

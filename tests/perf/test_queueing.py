@@ -1,0 +1,113 @@
+"""Analytic queueing model tests, including cross-validation against the
+event-driven bank simulation."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.perf.queueing import (
+    analytic_read_latency,
+    per_bank_rates,
+    write_service_moments,
+)
+from repro.perf.timing import BankModel
+
+
+class TestServiceMoments:
+    def test_single_slot_value(self):
+        mean, second = write_service_moments(Counter({4: 10}))
+        assert mean == pytest.approx(600.0)
+        assert second == pytest.approx(600.0**2)
+
+    def test_mixture(self):
+        mean, _ = write_service_moments(Counter({1: 1, 3: 1}))
+        assert mean == pytest.approx((150 + 450) / 2)
+
+    def test_second_moment_exceeds_mean_squared(self):
+        mean, second = write_service_moments(Counter({1: 1, 4: 1}))
+        assert second > mean * mean
+
+    def test_empty_histogram(self):
+        with pytest.raises(ValueError):
+            write_service_moments(Counter())
+
+
+class TestAnalyticForm:
+    def test_zero_traffic_gives_array_latency(self):
+        est = analytic_read_latency(0.0, 0.0, Counter({4: 1}))
+        assert est.read_latency_ns == pytest.approx(75.0)
+        assert est.stable
+
+    def test_latency_grows_with_write_rate(self):
+        low = analytic_read_latency(1e-4, 1e-4, Counter({4: 1}))
+        high = analytic_read_latency(1e-4, 1e-3, Counter({4: 1}))
+        assert high.read_latency_ns > low.read_latency_ns
+
+    def test_shorter_writes_reduce_latency(self):
+        slow = analytic_read_latency(1e-4, 5e-4, Counter({4: 1}))
+        fast = analytic_read_latency(1e-4, 5e-4, Counter({2: 1}))
+        assert fast.read_latency_ns < slow.read_latency_ns
+
+    def test_saturated_reads_unstable(self):
+        est = analytic_read_latency(1.0, 0.0, Counter({1: 1}))
+        assert est.read_wait_ns == float("inf")
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            analytic_read_latency(-1.0, 0.0, Counter({1: 1}))
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize(
+        "read_rate,write_rate,slots",
+        [
+            (2e-4, 1e-4, 4),
+            (5e-4, 2e-4, 2),
+            (1e-3, 1e-4, 1),
+        ],
+    )
+    def test_simulation_matches_mg1_at_moderate_load(
+        self, read_rate, write_rate, slots
+    ):
+        """Open-loop Poisson traffic into one bank: the event model's mean
+        read latency should track the M/G/1 prediction."""
+        rng = random.Random(42)
+        bank = BankModel(write_queue_depth=10_000)  # no forced stalls
+        now = 0.0
+        total_latency = 0.0
+        reads = 0
+        horizon = 3_000_000.0  # ns
+        while now < horizon:
+            gap_r = rng.expovariate(read_rate)
+            gap_w = rng.expovariate(write_rate)
+            if gap_r < gap_w:
+                now += gap_r
+                total_latency += bank.read(now)
+                reads += 1
+            else:
+                now += gap_w
+                bank.write(now, slots)
+        simulated = total_latency / reads
+        predicted = analytic_read_latency(
+            read_rate, write_rate, Counter({slots: 1})
+        ).read_latency_ns
+        assert simulated == pytest.approx(predicted, rel=0.35)
+
+
+class TestPerBankRates:
+    def test_rates_scale_with_ipc(self):
+        fast = per_bank_rates(10.0, 5.0, 4, cpi=0.3, freq_ghz=4.0)
+        slow = per_bank_rates(10.0, 5.0, 4, cpi=3.0, freq_ghz=4.0)
+        assert fast[0] == pytest.approx(10 * slow[0])
+
+    def test_rates_split_across_banks(self):
+        one = per_bank_rates(10.0, 5.0, 1, cpi=1.0, freq_ghz=4.0)
+        four = per_bank_rates(10.0, 5.0, 4, cpi=1.0, freq_ghz=4.0)
+        assert one[0] == pytest.approx(4 * four[0])
+
+    def test_bank_count_validation(self):
+        with pytest.raises(ValueError):
+            per_bank_rates(1.0, 1.0, 0, cpi=1.0, freq_ghz=4.0)

@@ -1,0 +1,91 @@
+"""System performance model tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.perf.system import CoreConfig, simulate_execution
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture
+def profile():
+    return get_profile("mcf")
+
+
+def exec_with(profile, slots, **kw):
+    return simulate_execution(
+        profile, Counter({slots: 1}), instructions=200_000, **kw
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_time(self, profile):
+        a = exec_with(profile, 4, seed=3)
+        b = exec_with(profile, 4, seed=3)
+        assert a.exec_time_ns == b.exec_time_ns
+
+    def test_different_seed_differs(self, profile):
+        a = exec_with(profile, 4, seed=3)
+        b = exec_with(profile, 4, seed=4)
+        assert a.exec_time_ns != b.exec_time_ns
+
+
+class TestWriteCostEffect:
+    def test_fewer_slots_run_faster(self, profile):
+        slow = exec_with(profile, 4, seed=0)
+        fast = exec_with(profile, 1, seed=0)
+        assert fast.exec_time_ns < slow.exec_time_ns
+        assert fast.speedup_over(slow) > 1.0
+
+    def test_speedup_of_identical_runs_is_one(self, profile):
+        a = exec_with(profile, 4, seed=0)
+        b = exec_with(profile, 4, seed=0)
+        assert a.speedup_over(b) == pytest.approx(1.0)
+
+    def test_mixed_slot_histogram_is_between_extremes(self, profile):
+        mixed = simulate_execution(
+            profile,
+            Counter({1: 1, 4: 1}),
+            instructions=200_000,
+            seed=0,
+        )
+        fast = exec_with(profile, 1, seed=0)
+        slow = exec_with(profile, 4, seed=0)
+        assert fast.exec_time_ns <= mixed.exec_time_ns <= slow.exec_time_ns
+
+
+class TestRequestAccounting:
+    def test_request_counts_track_rates(self, profile):
+        result = exec_with(profile, 4, seed=0)
+        expected_reads = profile.read_mpki / 1000 * result.instructions
+        assert result.reads == pytest.approx(expected_reads, rel=0.15)
+        expected_writes = profile.wbpki / 1000 * result.instructions
+        assert result.writes == pytest.approx(expected_writes, rel=0.15)
+
+    def test_read_latency_includes_queueing(self, profile):
+        result = exec_with(profile, 4, seed=0)
+        assert result.avg_read_latency_ns >= 75.0
+
+    def test_low_traffic_workload_sees_near_array_latency(self):
+        astar = get_profile("astar")  # lowest WBPKI of the suite
+        result = exec_with(astar, 1, seed=0)
+        assert result.avg_read_latency_ns < 150.0
+
+
+class TestConfig:
+    def test_empty_histogram_rejected(self, profile):
+        with pytest.raises(ValueError, match="empty"):
+            simulate_execution(profile, Counter(), instructions=1000)
+
+    def test_custom_core(self, profile):
+        fast_core = CoreConfig(cpi_base=0.1)
+        slow_core = CoreConfig(cpi_base=1.0)
+        a = exec_with(profile, 1, core=fast_core, seed=0)
+        b = exec_with(profile, 1, core=slow_core, seed=0)
+        assert a.exec_time_ns < b.exec_time_ns
+
+    def test_ipc_positive(self, profile):
+        assert exec_with(profile, 4, seed=0).ipc > 0

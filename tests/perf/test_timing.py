@@ -1,0 +1,118 @@
+"""Bank timing model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.timing import BankModel, MemorySystem
+
+
+class TestReads:
+    def test_idle_bank_read_latency_is_array_latency(self):
+        bank = BankModel()
+        assert bank.read(now=0.0) == 75.0
+
+    def test_back_to_back_reads_queue(self):
+        bank = BankModel()
+        bank.read(now=0.0)
+        assert bank.read(now=10.0) == pytest.approx(75.0 - 10.0 + 75.0)
+
+    def test_spaced_reads_do_not_queue(self):
+        bank = BankModel()
+        bank.read(now=0.0)
+        assert bank.read(now=100.0) == 75.0
+
+
+class TestWrites:
+    def test_write_occupies_slots_times_latency(self):
+        bank = BankModel()
+        bank.write(now=0.0, slots=4)
+        # A read arriving immediately waits for the write to drain first
+        # (it started when the bank was idle).
+        latency = bank.read(now=1.0)
+        assert latency == pytest.approx(600.0 - 1.0 + 75.0)
+
+    def test_short_write_blocks_less(self):
+        fast = BankModel()
+        slow = BankModel()
+        fast.write(0.0, slots=2)
+        slow.write(0.0, slots=4)
+        assert fast.read(1.0) < slow.read(1.0)
+
+    def test_queued_writes_do_not_delay_priority_read(self):
+        bank = BankModel(write_queue_depth=8)
+        bank.write(0.0, 4)  # starts immediately (idle drain on next op)
+        # Queue three more writes; they must NOT start before the read.
+        t = 700.0  # first write done at 600
+        bank.write(601.0, 4)
+        bank.write(601.5, 4)
+        latency = bank.read(602.0)
+        # Bank is draining the second write (started at 601); read waits
+        # only for that one, not the third.
+        assert latency <= (601 + 600 - 602) + 75 + 1e-9
+
+    def test_write_queue_overflow_stalls(self):
+        bank = BankModel(write_queue_depth=2)
+        assert bank.write(0.0, 4) == 0.0  # starts in the bank immediately
+        assert bank.write(0.1, 4) == 0.0  # queued (slot 1 of 2)
+        assert bank.write(0.2, 4) == 0.0  # queued (slot 2 of 2)
+        # Fourth write exceeds the queue: the oldest queued write must
+        # drain behind the in-flight one before the core can continue.
+        stall = bank.write(0.3, 4)
+        assert stall > 0.0
+        assert bank.stats.forced_write_drains == 1
+
+    def test_idle_bank_drains_writes_before_later_requests(self):
+        bank = BankModel()
+        bank.write(0.0, 1)  # 150 ns
+        # Long idle gap: write finished long ago.
+        assert bank.read(10_000.0) == 75.0
+        assert bank.queued_writes == 0
+
+    def test_zero_slot_write_counts_as_one(self):
+        bank = BankModel()
+        bank.write(0.0, 0)
+        assert bank.stats.total_write_slots == 1
+
+
+class TestStats:
+    def test_read_statistics(self):
+        bank = BankModel()
+        bank.read(0.0)
+        bank.read(0.0)
+        assert bank.stats.reads == 2
+        assert bank.stats.avg_read_latency_ns == pytest.approx((75 + 150) / 2)
+
+    def test_busy_time_accumulates(self):
+        bank = BankModel()
+        bank.read(0.0)
+        bank.write(100.0, 2)
+        bank.read(10_000.0)
+        assert bank.stats.busy_ns == pytest.approx(75 + 300 + 75)
+
+
+class TestMemorySystem:
+    def test_requests_spread_across_banks(self):
+        mem = MemorySystem(n_banks=4)
+        for addr in range(8):
+            mem.read(0.0, addr)
+        stats = mem.stats()
+        assert stats.reads == 8
+        assert all(b.reads == 2 for b in stats.per_bank)
+
+    def test_same_address_same_bank(self):
+        mem = MemorySystem(n_banks=4)
+        assert mem.bank_for(5) is mem.bank_for(5)
+        assert mem.bank_for(1) is not mem.bank_for(2)
+
+    def test_aggregate_slot_stats(self):
+        mem = MemorySystem(n_banks=2)
+        mem.write(0.0, 0, 4)
+        mem.write(0.0, 1, 2)
+        assert mem.stats().avg_slots_per_write == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemorySystem(n_banks=0)
+        with pytest.raises(ValueError):
+            BankModel(write_queue_depth=0)

@@ -1,0 +1,105 @@
+"""Write pausing [6] and power-token [22] extension tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.system import CoreConfig, simulate_execution
+from repro.perf.timing import BankModel, MemorySystem
+from repro.workloads.profiles import get_profile
+
+from collections import Counter
+
+
+class TestWritePausing:
+    def test_read_resumes_at_slot_boundary(self):
+        bank = BankModel(write_pausing=True)
+        bank.write(0.0, 4)  # occupies 0..600
+        bank.read(10.0)  # forces the write to start (idle drain), then...
+        # The read arrived mid-slot-1 (slot boundary at 150): it waits until
+        # 150, runs 75ns -> latency 150 - 10 + 75 = 215 instead of 665.
+        assert bank.stats.total_read_latency_ns == pytest.approx(215.0)
+        assert bank.stats.paused_writes == 1
+
+    def test_paused_write_finishes_later(self):
+        bank = BankModel(write_pausing=True)
+        bank.write(0.0, 4)
+        bank.read(10.0)
+        # Write originally ended at 600; the 75 ns read pushed it to 675.
+        assert bank.free_at == pytest.approx(675.0)
+
+    def test_pausing_cuts_read_latency_vs_blocking(self):
+        blocking = BankModel(write_pausing=False)
+        pausing = BankModel(write_pausing=True)
+        for bank in (blocking, pausing):
+            bank.write(0.0, 4)
+            bank.read(10.0)
+        assert (
+            pausing.stats.total_read_latency_ns
+            < 0.5 * blocking.stats.total_read_latency_ns
+        )
+
+    def test_no_pause_when_bank_idle(self):
+        bank = BankModel(write_pausing=True)
+        assert bank.read(0.0) == 75.0
+        assert bank.stats.paused_writes == 0
+
+    def test_pausing_improves_system_performance(self):
+        profile = get_profile("mcf")
+        hist = Counter({4: 1})
+        base = simulate_execution(
+            profile, hist, instructions=150_000, seed=0,
+            core=CoreConfig(write_pausing=False),
+        )
+        paused = simulate_execution(
+            profile, hist, instructions=150_000, seed=0,
+            core=CoreConfig(write_pausing=True),
+        )
+        assert paused.exec_time_ns < base.exec_time_ns
+
+
+class TestPowerTokens:
+    def test_unconstrained_by_default(self):
+        mem = MemorySystem(n_banks=4)
+        for addr in range(4):
+            mem.write(0.0, addr, 4)
+        assert mem.power_delays == 0
+
+    def test_budget_delays_concurrent_writes(self):
+        mem = MemorySystem(n_banks=4, max_concurrent_write_slots=4)
+        mem.write(0.0, 0, 4)  # uses the whole budget until 600
+        mem.write(1.0, 1, 4)  # must wait for the first to finish
+        assert mem.power_delays == 1
+        # Bank 1's write starts at ~600: a read there at t=601 queues
+        # behind it.
+        latency = mem.read(601.0, 1)
+        assert latency > 500.0
+
+    def test_budget_allows_parallel_small_writes(self):
+        mem = MemorySystem(n_banks=4, max_concurrent_write_slots=8)
+        mem.write(0.0, 0, 4)
+        mem.write(1.0, 1, 4)
+        assert mem.power_delays == 0
+
+    def test_expired_writes_release_tokens(self):
+        mem = MemorySystem(n_banks=4, max_concurrent_write_slots=4)
+        mem.write(0.0, 0, 4)  # done at 600
+        mem.write(700.0, 1, 4)  # budget free again
+        assert mem.power_delays == 0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            MemorySystem(max_concurrent_write_slots=0)
+
+    def test_tight_budget_hurts_performance(self):
+        profile = get_profile("libq")
+        hist = Counter({4: 1})
+        free = simulate_execution(
+            profile, hist, instructions=150_000, seed=0,
+            core=CoreConfig(max_concurrent_write_slots=None),
+        )
+        tight = simulate_execution(
+            profile, hist, instructions=150_000, seed=0,
+            core=CoreConfig(max_concurrent_write_slots=4),
+        )
+        assert tight.exec_time_ns >= free.exec_time_ns

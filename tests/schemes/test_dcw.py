@@ -1,0 +1,58 @@
+"""PlainDCW baseline tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schemes.dcw import PlainDCW
+from tests.conftest import mutate_words, random_line
+
+
+class TestPlainDCW:
+    def test_install_then_read(self, rng):
+        scheme = PlainDCW()
+        data = random_line(rng)
+        scheme.install(1, data)
+        assert scheme.read(1) == data
+
+    def test_flips_equal_actual_bit_changes(self, rng):
+        scheme = PlainDCW()
+        scheme.install(1, bytes(64))
+        new = b"\x01" + bytes(63)
+        out = scheme.write(1, new)
+        assert out.data_flips == 1
+        assert out.metadata_flips == 0
+        assert out.total_flips == 1
+
+    def test_unmodified_write_flips_nothing(self, rng):
+        scheme = PlainDCW()
+        data = random_line(rng)
+        scheme.install(1, data)
+        out = scheme.write(1, data)
+        assert out.total_flips == 0
+
+    def test_no_metadata_overhead(self):
+        assert PlainDCW().metadata_bits_per_line == 0
+
+    def test_counter_increments(self, rng):
+        scheme = PlainDCW()
+        data = random_line(rng)
+        scheme.install(1, data)
+        scheme.write(1, mutate_words(rng, data, 1))
+        assert scheme.stored(1).counter == 1
+
+    def test_write_before_install_rejected(self):
+        with pytest.raises(KeyError, match="never installed"):
+            PlainDCW().write(5, bytes(64))
+
+    def test_wrong_line_size_rejected(self):
+        scheme = PlainDCW()
+        with pytest.raises(ValueError, match="line must be"):
+            scheme.install(0, bytes(32))
+
+    def test_flip_positions_match_count(self, rng):
+        scheme = PlainDCW()
+        data = random_line(rng)
+        scheme.install(1, data)
+        out = scheme.write(1, mutate_words(rng, data, 3))
+        assert out.flipped_data_positions.size == out.data_flips

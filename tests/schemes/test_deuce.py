@@ -1,0 +1,217 @@
+"""DEUCE tests: epoch mechanics (Figure 6), dual-counter decode (Figure 7),
+re-encryption sets, and parameter validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.schemes.deuce import Deuce
+from tests.conftest import mutate_words, random_line
+
+
+def write_word(data: bytes, word: int, word_bytes: int, value: bytes) -> bytes:
+    ba = bytearray(data)
+    ba[word * word_bytes: (word + 1) * word_bytes] = value
+    return bytes(ba)
+
+
+class TestEpochWalk:
+    """The Figure 6 scenario: epoch interval 4, 8 words per line."""
+
+    @pytest.fixture
+    def scheme(self, pads):
+        return Deuce(pads, word_bytes=8, epoch_interval=4)
+
+    def test_walk(self, scheme, rng):
+        data = random_line(rng)
+        scheme.install(0, data)
+        assert scheme.trailing_counter(scheme.stored(0)) == 0
+
+        # Counter 1: write W1 -> only W1 re-encrypted.
+        data = write_word(data, 1, 8, b"AAAAAAAA")
+        out = scheme.write(0, data)
+        assert out.words_reencrypted == 1
+        assert not out.full_line_reencrypted
+        assert list(np.nonzero(scheme.stored(0).meta)[0]) == [1]
+
+        # Counter 2: write W2 -> W1 and W2 re-encrypted.
+        data = write_word(data, 2, 8, b"BBBBBBBB")
+        out = scheme.write(0, data)
+        assert out.words_reencrypted == 2
+        assert list(np.nonzero(scheme.stored(0).meta)[0]) == [1, 2]
+
+        # Counter 3: write W3 -> W1, W2, W3 re-encrypted.
+        data = write_word(data, 3, 8, b"CCCCCCCC")
+        out = scheme.write(0, data)
+        assert out.words_reencrypted == 3
+
+        # Counter 4: epoch start -> all words re-encrypted, bits reset.
+        data = write_word(data, 4, 8, b"DDDDDDDD")
+        out = scheme.write(0, data)
+        assert out.full_line_reencrypted
+        assert out.words_reencrypted == 8
+        assert not scheme.stored(0).meta.any()
+        line = scheme.stored(0)
+        assert scheme.trailing_counter(line) == 4
+        assert scheme.leading_counter(line) == 4
+
+    def test_reads_correct_at_every_step(self, scheme, rng):
+        data = random_line(rng)
+        scheme.install(0, data)
+        for i in range(12):
+            data = mutate_words(rng, data, 1, word_bytes=8)
+            scheme.write(0, data)
+            assert scheme.read(0) == data, f"write {i}"
+
+
+class TestCounters:
+    def test_trailing_counter_masks_lsbs(self, pads):
+        scheme = Deuce(pads, epoch_interval=8)
+        data = bytes(64)
+        scheme.install(0, data)
+        for expected_tctr in [0] * 7 + [8] * 8 + [16]:
+            scheme.write(0, data)
+            line = scheme.stored(0)
+            assert scheme.trailing_counter(line) == expected_tctr
+
+    def test_leading_equals_line_counter(self, pads, rng):
+        scheme = Deuce(pads)
+        data = random_line(rng)
+        scheme.install(0, data)
+        scheme.write(0, data)
+        line = scheme.stored(0)
+        assert scheme.leading_counter(line) == line.counter == 1
+
+
+class TestReencryptionSet:
+    def test_unmodified_words_keep_stored_bytes(self, pads, rng):
+        """Words outside the epoch's modified set contribute zero flips."""
+        scheme = Deuce(pads, word_bytes=2, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        before = scheme.stored(0).data
+        new = write_word(data, 5, 2, b"ZZ")
+        scheme.write(0, new)
+        after = scheme.stored(0).data
+        # Only word 5's two bytes may differ.
+        for w in range(32):
+            if w == 5:
+                continue
+            assert before[w * 2: w * 2 + 2] == after[w * 2: w * 2 + 2]
+
+    def test_rewritten_word_stays_marked_until_epoch(self, pads, rng):
+        scheme = Deuce(pads, word_bytes=2, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        new = write_word(data, 3, 2, b"QQ")
+        scheme.write(0, new)
+        # Write something else entirely; word 3 unchanged this time but
+        # remains marked and is re-encrypted again.
+        new2 = write_word(new, 9, 2, b"RR")
+        out = scheme.write(0, new2)
+        assert out.words_reencrypted == 2
+        assert scheme.stored(0).meta[3] == 1
+
+    def test_word_changed_back_still_marked(self, pads, rng):
+        """'Modified at least once since the epoch' - even if reverted."""
+        scheme = Deuce(pads, word_bytes=2, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        original_word = data[6:8]
+        scheme.write(0, write_word(data, 3, 2, b"XX"))
+        scheme.write(0, data)  # revert
+        assert scheme.stored(0).meta[3] == 1
+        assert scheme.read(0) == data
+
+    def test_identical_writeback_reencrypts_nothing_mid_epoch(
+        self, pads, rng
+    ):
+        scheme = Deuce(pads, word_bytes=2, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        out = scheme.write(0, data)
+        assert out.words_reencrypted == 0
+        assert out.data_flips == 0
+        assert out.metadata_flips == 0
+
+
+class TestMetadataAccounting:
+    def test_metadata_flips_counted_on_marking(self, pads, rng):
+        scheme = Deuce(pads, word_bytes=2, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        out = scheme.write(0, mutate_words(rng, data, 3))
+        assert out.metadata_flips == 3
+
+    def test_epoch_reset_counts_meta_flips(self, pads, rng):
+        scheme = Deuce(pads, word_bytes=2, epoch_interval=4)
+        data = random_line(rng)
+        scheme.install(0, data)
+        for _ in range(3):
+            data = mutate_words(rng, data, 2)
+            scheme.write(0, data)
+        marked = int(scheme.stored(0).meta.sum())
+        assert marked > 0
+        out = scheme.write(0, data)  # 4th write: epoch start
+        assert out.full_line_reencrypted
+        assert out.metadata_flips == marked  # all marked bits reset
+
+    def test_storage_overhead_tracks_word_size(self, pads):
+        assert Deuce(pads, word_bytes=1).metadata_bits_per_line == 64
+        assert Deuce(pads, word_bytes=2).metadata_bits_per_line == 32
+        assert Deuce(pads, word_bytes=4).metadata_bits_per_line == 16
+        assert Deuce(pads, word_bytes=8).metadata_bits_per_line == 8
+
+
+class TestFlipEfficiency:
+    def test_sparse_writes_flip_far_less_than_full_encryption(
+        self, pads, rng
+    ):
+        scheme = Deuce(pads, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        total = 0
+        n = 128
+        for _ in range(n):
+            data = mutate_words(rng, data, 1)
+            total += scheme.write(0, data).total_flips
+        assert total / n / 512 < 0.25  # far below the 50% of full re-encryption
+
+    def test_reencrypted_word_flips_about_half_its_bits(self, pads, rng):
+        scheme = Deuce(pads, word_bytes=2, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        flips = []
+        for _ in range(100):
+            data = mutate_words(rng, data, 1)
+            out = scheme.write(0, data)
+            if out.words_reencrypted == 1:
+                flips.append(out.data_flips)
+        avg = sum(flips) / len(flips)
+        assert 6 <= avg <= 10  # ~8 of 16 bits
+
+
+class TestValidation:
+    def test_epoch_must_be_power_of_two(self, pads):
+        with pytest.raises(ValueError, match="power of two"):
+            Deuce(pads, epoch_interval=12)
+
+    def test_epoch_must_be_at_least_two(self, pads):
+        with pytest.raises(ValueError):
+            Deuce(pads, epoch_interval=1)
+
+    def test_word_bytes_must_divide_line(self, pads):
+        with pytest.raises(ValueError):
+            Deuce(pads, line_bytes=64, word_bytes=3)
+
+
+class TestAesBacked:
+    def test_round_trip_with_real_aes(self, aes_pads, rng):
+        scheme = Deuce(aes_pads, epoch_interval=4)
+        data = random_line(rng)
+        scheme.install(0, data)
+        for _ in range(6):
+            data = mutate_words(rng, data, 2)
+            scheme.write(0, data)
+            assert scheme.read(0) == data

@@ -1,0 +1,83 @@
+"""DEUCE+FNW (dedicated bits for both) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schemes.deuce import Deuce
+from repro.schemes.deuce_fnw import DeuceFnw
+from tests.conftest import mutate_words, random_line
+
+
+class TestRoundTrip:
+    def test_sparse_and_dense_writes(self, pads, rng):
+        scheme = DeuceFnw(pads, epoch_interval=8)
+        data = random_line(rng)
+        scheme.install(0, data)
+        for i in range(30):
+            k = 32 if i % 5 == 0 else 2
+            data = mutate_words(rng, data, k)
+            scheme.write(0, data)
+            assert scheme.read(0) == data, f"write {i}"
+
+    def test_with_aes(self, aes_pads, rng):
+        scheme = DeuceFnw(aes_pads, epoch_interval=4)
+        data = random_line(rng)
+        scheme.install(0, data)
+        for _ in range(8):
+            data = mutate_words(rng, data, 3)
+            scheme.write(0, data)
+            assert scheme.read(0) == data
+
+
+class TestStorage:
+    def test_overhead_is_double(self, pads):
+        assert DeuceFnw(pads).metadata_bits_per_line == 64
+
+    def test_mixed_granularities(self, pads):
+        scheme = DeuceFnw(pads, word_bytes=4, fnw_group_bits=16)
+        assert scheme.metadata_bits_per_line == 16 + 32
+
+
+class TestEffectiveness:
+    def test_never_worse_than_plain_deuce_on_average(self, pads, rng):
+        combo = DeuceFnw(pads, epoch_interval=32)
+        plain = Deuce(pads, epoch_interval=32)
+        data = random_line(rng)
+        combo.install(0, data)
+        plain.install(0, data)
+        combo_total = plain_total = 0
+        for _ in range(100):
+            data = mutate_words(rng, data, 3)
+            combo_total += combo.write(0, data).total_flips
+            plain_total += plain.write(0, data).total_flips
+        assert combo_total <= plain_total
+
+    def test_unmodified_words_untouched(self, pads, rng):
+        scheme = DeuceFnw(pads, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        before = scheme.stored(0).data
+        ba = bytearray(data)
+        ba[0] ^= 0xFF
+        scheme.write(0, bytes(ba))
+        after = scheme.stored(0).data
+        assert before[2:] == after[2:]  # only word 0 changed
+
+    def test_epoch_resets_modified_bits_but_not_flip_bits(self, pads, rng):
+        scheme = DeuceFnw(pads, epoch_interval=4)
+        data = random_line(rng)
+        scheme.install(0, data)
+        for _ in range(4):
+            data = mutate_words(rng, data, 32)
+            scheme.write(0, data)
+        line = scheme.stored(0)
+        assert not scheme._modified(line.meta).any()
+        # Flip bits persist across epochs (they describe the stored image).
+        assert scheme.read(0) == data
+
+
+class TestValidation:
+    def test_word_bytes_divides_line(self, pads):
+        with pytest.raises(ValueError):
+            DeuceFnw(pads, word_bytes=7)

@@ -1,0 +1,143 @@
+"""DynDEUCE tests: mode morphing (Figure 11), epoch reset, storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory import bitops
+from repro.schemes.deuce import Deuce
+from repro.schemes.dyndeuce import MODE_DEUCE, MODE_FNW, DynDeuce
+from tests.conftest import mutate_words, random_line
+
+
+def dense_rewrite(rng, data: bytes) -> bytes:
+    """A write that changes every 2-byte word (DEUCE's worst case)."""
+    return mutate_words(rng, data, 32)
+
+
+class TestModeSelection:
+    def test_starts_in_deuce_mode(self, pads, rng):
+        scheme = DynDeuce(pads, epoch_interval=32)
+        scheme.install(0, random_line(rng))
+        assert scheme._mode(scheme.stored(0).meta) == MODE_DEUCE
+
+    def test_sparse_writes_stay_deuce(self, pads, rng):
+        scheme = DynDeuce(pads, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        for _ in range(10):
+            data = mutate_words(rng, data, 1)
+            out = scheme.write(0, data)
+            assert out.mode == "deuce"
+
+    def test_dense_writes_morph_to_fnw(self, pads, rng):
+        scheme = DynDeuce(pads, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        modes = []
+        for _ in range(8):
+            data = dense_rewrite(rng, data)
+            modes.append(scheme.write(0, data).mode)
+        # Dense rewrites make DEUCE re-encrypt everything (~50%) where FNW
+        # caps at ~43%; the line must morph at some point.
+        assert "fnw" in modes
+
+    def test_once_fnw_stays_fnw_until_epoch(self, pads, rng):
+        scheme = DynDeuce(pads, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        while scheme._mode(scheme.stored(0).meta) == MODE_DEUCE:
+            data = dense_rewrite(rng, data)
+            scheme.write(0, data)
+        # Now in FNW mode: even sparse writes keep FNW until the epoch.
+        counter = scheme.stored(0).counter
+        writes_until_epoch = 32 - (counter % 32) - 1
+        for _ in range(writes_until_epoch):
+            data = mutate_words(rng, data, 1)
+            out = scheme.write(0, data)
+            assert out.mode == "fnw"
+
+    def test_epoch_resets_to_deuce(self, pads, rng):
+        scheme = DynDeuce(pads, epoch_interval=4)
+        data = random_line(rng)
+        scheme.install(0, data)
+        for i in range(12):
+            data = dense_rewrite(rng, data)
+            out = scheme.write(0, data)
+            if scheme.stored(0).counter % 4 == 0:
+                assert out.mode == "deuce"
+                assert out.full_line_reencrypted
+                assert scheme._mode(scheme.stored(0).meta) == MODE_DEUCE
+
+
+class TestCorrectness:
+    def test_round_trip_through_mode_changes(self, pads, rng):
+        scheme = DynDeuce(pads, epoch_interval=8)
+        data = random_line(rng)
+        scheme.install(0, data)
+        for i in range(40):
+            data = (
+                dense_rewrite(rng, data)
+                if i % 3 == 0
+                else mutate_words(rng, data, 1)
+            )
+            scheme.write(0, data)
+            assert scheme.read(0) == data, f"write {i}"
+
+    def test_round_trip_with_aes(self, aes_pads, rng):
+        scheme = DynDeuce(aes_pads, epoch_interval=4)
+        data = random_line(rng)
+        scheme.install(0, data)
+        for i in range(10):
+            data = dense_rewrite(rng, data) if i % 2 else mutate_words(rng, data, 2)
+            scheme.write(0, data)
+            assert scheme.read(0) == data
+
+
+class TestCostComparison:
+    def test_chooses_strictly_cheaper_candidate(self, pads, rng):
+        """The greedy choice (Figure 11) is locally optimal per write."""
+        scheme = DynDeuce(pads, epoch_interval=32)
+        plain_deuce = Deuce(pads, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        plain_deuce.install(0, data)
+        for _ in range(6):
+            data = dense_rewrite(rng, data)
+            before = scheme.stored(0).copy()
+            out = scheme.write(0, data)
+            deuce_out = plain_deuce.write(0, data)
+            if out.mode == "fnw":
+                # Morphing must not cost more than DEUCE would have.
+                assert out.total_flips <= deuce_out.total_flips
+
+
+class TestStorage:
+    def test_overhead_is_33_bits(self, pads):
+        assert DynDeuce(pads).metadata_bits_per_line == 33
+
+    def test_tracking_bits_repurposed_as_flip_bits(self, pads, rng):
+        scheme = DynDeuce(pads, epoch_interval=32)
+        data = random_line(rng)
+        scheme.install(0, data)
+        while scheme._mode(scheme.stored(0).meta) == MODE_DEUCE:
+            data = dense_rewrite(rng, data)
+            scheme.write(0, data)
+        line = scheme.stored(0)
+        # In FNW mode the tracking bits are flip bits: decoding with them
+        # and XORing the leading pad must recover the plaintext.
+        ciphertext = scheme.codec.decode(line.data, scheme._tracking(line.meta))
+        recovered = bitops.xor(
+            ciphertext, pads.line_pad(0, line.counter, 64)
+        )
+        assert recovered == data
+
+
+class TestValidation:
+    def test_epoch_power_of_two(self, pads):
+        with pytest.raises(ValueError):
+            DynDeuce(pads, epoch_interval=10)
+
+    def test_word_bytes_divides_line(self, pads):
+        with pytest.raises(ValueError):
+            DynDeuce(pads, word_bytes=5)

@@ -1,0 +1,132 @@
+"""i-NVMM partial-encryption tests (section 7.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schemes.invmm import INvmm
+from tests.conftest import mutate_words, random_line
+
+
+@pytest.fixture
+def scheme(pads):
+    return INvmm(pads, idle_threshold=8, sweep_lines_per_write=4)
+
+
+class TestRoundTrip:
+    def test_read_after_write(self, scheme, rng):
+        data = random_line(rng)
+        scheme.install(0, data)
+        assert scheme.read(0) == data  # installed encrypted
+        for _ in range(10):
+            data = mutate_words(rng, data, 2)
+            scheme.write(0, data)
+            assert scheme.read(0) == data
+
+    def test_read_after_cold_sweep(self, scheme, rng):
+        data = random_line(rng)
+        scheme.install(0, data)
+        scheme.install(1, random_line(rng))
+        scheme.write(0, data)
+        # Make line 0 cold by writing line 1 repeatedly.
+        other = scheme.read(1)
+        for _ in range(30):
+            other = mutate_words(rng, other, 1)
+            scheme.write(1, other)
+        assert scheme.is_encrypted(0)
+        assert scheme.read(0) == data  # still decrypts correctly
+
+
+class TestHotColdLifecycle:
+    def test_written_line_becomes_plaintext(self, scheme, rng):
+        data = random_line(rng)
+        scheme.install(0, data)
+        assert scheme.is_encrypted(0)
+        scheme.write(0, data)
+        assert not scheme.is_encrypted(0)
+        assert 0 in scheme.plaintext_lines()
+
+    def test_cold_line_reencrypted_by_sweep(self, scheme, rng):
+        data = random_line(rng)
+        scheme.install(0, data)
+        scheme.install(1, random_line(rng))
+        scheme.write(0, data)
+        other = scheme.read(1)
+        for _ in range(30):
+            other = mutate_words(rng, other, 1)
+            scheme.write(1, other)
+        assert scheme.is_encrypted(0)
+        assert scheme.sweep_encryptions >= 1
+        assert scheme.sweep_flips > 0
+
+    def test_hot_line_not_swept(self, scheme, rng):
+        data = random_line(rng)
+        scheme.install(0, data)
+        for _ in range(30):
+            data = mutate_words(rng, data, 1)
+            scheme.write(0, data)
+        assert not scheme.is_encrypted(0)
+
+    def test_power_down_encrypts_everything(self, scheme, rng):
+        contents = {}
+        for addr in range(4):
+            contents[addr] = random_line(rng)
+            scheme.install(addr, contents[addr])
+            scheme.write(addr, contents[addr])
+        assert scheme.plaintext_lines()
+        flips = scheme.power_down()
+        assert flips > 0
+        assert not scheme.plaintext_lines()
+        for addr, data in contents.items():
+            assert scheme.read(addr) == data
+
+
+class TestWriteEfficiencyAndItsPrice:
+    def test_hot_writes_avoid_the_avalanche(self, scheme, rng):
+        """Steady-state hot writes cost only the true bit difference."""
+        data = random_line(rng)
+        scheme.install(0, data)
+        scheme.write(0, data)  # decrypt into plaintext residence
+        flips = []
+        for _ in range(20):
+            new = mutate_words(rng, data, 1)
+            out = scheme.write(0, new)
+            flips.append(out.data_flips)
+            data = new
+        assert sum(flips) / len(flips) < 20  # far below 256 (50%)
+
+    def test_stolen_dimm_sees_hot_plaintext(self, scheme, rng):
+        """The paper's criticism, part 1: sudden theft exposes hot data."""
+        secret = (b"PIN:4242" * 8)[:64]
+        scheme.install(0, secret)
+        scheme.write(0, secret)  # hot
+        assert scheme.snapshot()[0] == secret  # plaintext in the array!
+
+    def test_graceful_power_down_hides_data(self, scheme, rng):
+        secret = (b"PIN:4242" * 8)[:64]
+        scheme.install(0, secret)
+        scheme.write(0, secret)
+        scheme.power_down()
+        assert scheme.snapshot()[0] != secret
+
+    def test_bus_traffic_is_plaintext_for_hot_lines(self, scheme, rng):
+        """Part 2: the writeback itself is unencrypted (bus snooping)."""
+        data = random_line(rng)
+        scheme.install(0, data)
+        scheme.write(0, data)
+        # The stored image after a hot write IS the plaintext; a snooper on
+        # the bus sees exactly this.
+        assert scheme.stored(0).data == data
+
+
+class TestValidation:
+    def test_bad_threshold(self, pads):
+        with pytest.raises(ValueError):
+            INvmm(pads, idle_threshold=0)
+
+    def test_bad_sweep_rate(self, pads):
+        with pytest.raises(ValueError):
+            INvmm(pads, sweep_lines_per_write=-1)
+
+    def test_metadata_is_one_bit(self, pads):
+        assert INvmm(pads).metadata_bits_per_line == 1

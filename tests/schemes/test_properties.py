@@ -1,0 +1,121 @@
+"""Cross-scheme property-based tests.
+
+Every write scheme must be a faithful store: after any sequence of installs
+and writes, ``read`` returns exactly the last value written.  Hypothesis
+drives random write sequences through every scheme in the registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.pads import Blake2PadSource
+from repro.schemes import SCHEME_NAMES, make_scheme
+
+KEY = b"property-test-16"
+
+LINE = 16  # small lines keep hypothesis fast; geometry is parameterized
+
+
+def _make(name: str, line_bytes: int = LINE):
+    return make_scheme(
+        name,
+        Blake2PadSource(KEY),
+        line_bytes=line_bytes,
+        word_bytes=2,
+        epoch_interval=4,
+        fnw_group_bits=16,
+    )
+
+
+write_sequences = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # address
+        st.binary(min_size=LINE, max_size=LINE),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+@given(seq=write_sequences)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_read_returns_last_write(scheme_name, seq):
+    scheme = _make(scheme_name)
+    latest: dict[int, bytes] = {}
+    for address, data in seq:
+        if address in latest:
+            scheme.write(address, data)
+        else:
+            scheme.install(address, data)
+        latest[address] = data
+        assert scheme.read(address) == data
+    for address, data in latest.items():
+        assert scheme.read(address) == data
+
+
+@pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+@given(seq=write_sequences)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_flip_positions_are_consistent(scheme_name, seq):
+    """Outcome position arrays always agree with the scalar flip counts."""
+    scheme = _make(scheme_name)
+    seen = set()
+    for address, data in seq:
+        if address not in seen:
+            scheme.install(address, data)
+            seen.add(address)
+            continue
+        out = scheme.write(address, data)
+        assert out.flipped_data_positions.size == out.data_flips
+        assert out.flipped_meta_positions.size == out.metadata_flips
+        assert out.total_flips == out.data_flips + out.metadata_flips
+        if out.data_flips:
+            assert int(out.flipped_data_positions.max()) < 8 * LINE
+        if out.metadata_flips:
+            assert (
+                int(out.flipped_meta_positions.max())
+                < scheme.metadata_bits_per_line
+            )
+
+
+@pytest.mark.parametrize(
+    "scheme_name", ["deuce", "dyndeuce", "deuce+fnw", "ble+deuce"]
+)
+@given(
+    word_bytes=st.sampled_from([1, 2, 4]),
+    epoch=st.sampled_from([2, 4, 8, 16]),
+    seq=write_sequences,
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_geometry_sweep_round_trip(scheme_name, word_bytes, epoch, seq):
+    scheme = make_scheme(
+        scheme_name,
+        Blake2PadSource(KEY),
+        line_bytes=LINE,
+        word_bytes=word_bytes,
+        epoch_interval=epoch,
+    )
+    seen = set()
+    for address, data in seq:
+        if address in seen:
+            scheme.write(address, data)
+        else:
+            scheme.install(address, data)
+            seen.add(address)
+        assert scheme.read(address) == data

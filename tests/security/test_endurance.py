@@ -1,0 +1,140 @@
+"""Endurance-attack detector tests (section 7.3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.security.endurance import ThrottlingGuard, WriteStreamDetector
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profiles import get_profile
+
+
+def feed(detector, addresses):
+    reports = []
+    for addr in addresses:
+        report = detector.on_write(addr)
+        if report is not None:
+            reports.append(report)
+    return reports
+
+
+class TestDetection:
+    def test_hammering_one_line_is_detected(self):
+        detector = WriteStreamDetector(table_size=16, window=1000)
+        reports = feed(detector, [0x40] * 1000)
+        assert len(reports) == 1
+        assert reports[0].attack_detected
+        assert 0x40 in reports[0].suspects
+
+    def test_uniform_stream_is_clean(self):
+        rng = random.Random(0)
+        detector = WriteStreamDetector(table_size=16, window=1000)
+        reports = feed(
+            detector, [rng.randrange(4096) for _ in range(3000)]
+        )
+        assert len(reports) == 3
+        assert not any(r.attack_detected for r in reports)
+
+    def test_attack_hidden_in_background_traffic(self):
+        """20% of writes to one line among uniform noise is still caught."""
+        rng = random.Random(1)
+        detector = WriteStreamDetector(
+            table_size=64, window=2000, threshold_share=0.05
+        )
+        stream = [
+            0xBAD if rng.random() < 0.2 else rng.randrange(100_000)
+            for _ in range(2000)
+        ]
+        (report,) = feed(detector, stream)
+        assert report.attack_detected
+        assert 0xBAD in report.suspects
+
+    def test_multiple_attack_lines(self):
+        rng = random.Random(2)
+        detector = WriteStreamDetector(table_size=64, window=2000)
+        stream = []
+        for _ in range(2000):
+            r = rng.random()
+            if r < 0.15:
+                stream.append(0xA)
+            elif r < 0.30:
+                stream.append(0xB)
+            else:
+                stream.append(rng.randrange(100_000))
+        (report,) = feed(detector, stream)
+        assert {0xA, 0xB} <= set(report.suspects)
+
+    def test_real_workload_traffic_is_clean(self):
+        """Calibrated SPEC-like streams must not trip the detector."""
+        gen = TraceGenerator(get_profile("mcf"), seed=0)
+        detector = WriteStreamDetector(table_size=64, window=2000)
+        reports = feed(detector, (gen.next_write().address for _ in range(4000)))
+        assert not any(r.attack_detected for r in reports)
+
+    def test_window_state_resets(self):
+        detector = WriteStreamDetector(table_size=8, window=100)
+        feed(detector, [7] * 100)  # attack window
+        rng = random.Random(3)
+        reports = feed(detector, [rng.randrange(10_000) for _ in range(100)])
+        assert not reports[0].attack_detected
+        assert detector.windows_completed == 2
+
+    def test_under_attack_property(self):
+        detector = WriteStreamDetector(table_size=8, window=50)
+        assert not detector.under_attack
+        feed(detector, [1] * 50)
+        assert detector.under_attack
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"table_size": 0},
+            {"window": 0},
+            {"threshold_share": 0.0},
+            {"threshold_share": 1.5},
+        ],
+    )
+    def test_bad_parameters(self, kw):
+        with pytest.raises(ValueError):
+            WriteStreamDetector(**kw)
+
+
+class TestThrottlingGuard:
+    def test_no_delay_for_clean_traffic(self):
+        guard = ThrottlingGuard(WriteStreamDetector(table_size=8, window=100))
+        rng = random.Random(4)
+        delays = [guard.on_write(rng.randrange(10_000)) for _ in range(300)]
+        assert all(d == 0 for d in delays)
+
+    def test_attack_line_gets_throttled(self):
+        guard = ThrottlingGuard(WriteStreamDetector(table_size=8, window=100))
+        for _ in range(100):
+            guard.on_write(0xBAD)  # first window flags it
+        assert guard.on_write(0xBAD) > 0
+
+    def test_delay_escalates_across_windows(self):
+        guard = ThrottlingGuard(WriteStreamDetector(table_size=8, window=100))
+        for _ in range(100):
+            guard.on_write(0xBAD)
+        first = guard.on_write(0xBAD)
+        for _ in range(99):
+            guard.on_write(0xBAD)  # second window, still hammering
+        second = guard.on_write(0xBAD)
+        assert second == 2 * first
+
+    def test_cooling_down_resets(self):
+        guard = ThrottlingGuard(WriteStreamDetector(table_size=8, window=100))
+        for _ in range(100):
+            guard.on_write(0xBAD)
+        rng = random.Random(5)
+        for _ in range(100):
+            guard.on_write(rng.randrange(10_000))  # clean window
+        assert guard.on_write(0xBAD) == 0
+
+    def test_base_delay_validation(self):
+        with pytest.raises(ValueError):
+            ThrottlingGuard(WriteStreamDetector(), base_delay_slots=0)

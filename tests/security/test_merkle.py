@@ -1,0 +1,129 @@
+"""Merkle-tree integrity tests (footnote 1's bus-tampering defence)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.security.merkle import (
+    IntegrityError,
+    MerkleTree,
+    TamperedCounterStore,
+)
+
+
+class TestHonestOperation:
+    def test_fresh_tree_verifies(self):
+        tree = MerkleTree(8)
+        for i in range(8):
+            assert tree.read(i).verified
+            assert tree.read(i).counter == 0
+
+    def test_update_then_read(self):
+        tree = MerkleTree(8)
+        tree.update(3, 17)
+        assert tree.read_or_raise(3) == 17
+        # Other leaves still verify.
+        assert tree.read(0).verified
+        assert tree.read(7).verified
+
+    def test_increment_sequence(self):
+        tree = MerkleTree(4)
+        for expected in range(1, 6):
+            assert tree.increment(2) == expected
+        assert tree.read_or_raise(2) == 5
+
+    def test_non_power_of_two_leaves(self):
+        tree = MerkleTree(5)
+        tree.update(4, 9)
+        assert tree.read_or_raise(4) == 9
+        assert tree.read(0).verified
+
+    def test_single_leaf(self):
+        tree = MerkleTree(1)
+        tree.update(0, 3)
+        assert tree.read_or_raise(0) == 3
+
+    def test_root_changes_on_update(self):
+        tree = MerkleTree(8)
+        before = tree.root
+        tree.update(0, 1)
+        assert tree.root != before
+
+
+class TestTamperDetection:
+    def test_counter_reset_detected(self):
+        """The footnote-1 attack: reset a counter to force pad reuse."""
+        tree = MerkleTree(8)
+        tree.update(5, 100)
+        tree.tamper_counter(5, 0)  # adversary resets the counter
+        assert not tree.read(5).verified
+        with pytest.raises(IntegrityError, match="counter-reset"):
+            tree.read_or_raise(5)
+
+    def test_stale_counter_replay_detected(self):
+        tree = MerkleTree(8)
+        tree.update(2, 7)
+        stale = 7
+        tree.update(2, 8)
+        tree.tamper_counter(2, stale)
+        assert not tree.read(2).verified
+
+    def test_internal_node_tamper_detected(self):
+        tree = MerkleTree(8)
+        tree.update(1, 42)
+        tree.tamper_node(2, b"\x00" * 16)  # corrupt an internal node
+        assert not tree.read(1).verified
+
+    def test_update_through_corrupt_path_refused(self):
+        tree = MerkleTree(8)
+        tree.tamper_counter(4, 99)
+        with pytest.raises(IntegrityError, match="refusing to update"):
+            tree.update(4, 100)
+
+    def test_tampering_one_leaf_does_not_break_others(self):
+        tree = MerkleTree(8)
+        tree.tamper_counter(0, 50)
+        assert not tree.read(0).verified
+        assert tree.read(1).verified
+
+    def test_failure_counter(self):
+        tree = MerkleTree(4)
+        tree.tamper_counter(0, 9)
+        tree.read(0)
+        tree.read(1)
+        assert tree.failures == 1
+        assert tree.verifications == 2
+
+    def test_different_keys_different_roots(self):
+        assert MerkleTree(8, key=b"k1").root != MerkleTree(8, key=b"k2").root
+
+
+class TestValidation:
+    def test_zero_leaves(self):
+        with pytest.raises(ValueError):
+            MerkleTree(0)
+
+    def test_out_of_range_leaf(self):
+        with pytest.raises(ValueError):
+            MerkleTree(4).read(4)
+
+    def test_out_of_range_node(self):
+        with pytest.raises(ValueError):
+            MerkleTree(4).tamper_node(0, b"")
+
+
+class TestTamperedCounterStore:
+    def test_replays_stale_counter_when_armed(self):
+        store = TamperedCounterStore()
+        store.write(7, 3)
+        store.capture(7)
+        store.write(7, 9)
+        assert store.read(7) == 9
+        store.arm(7)
+        assert store.read(7) == 3  # the stale value: pad reuse bait
+
+    def test_unarmed_lines_unaffected(self):
+        store = TamperedCounterStore()
+        store.write(1, 5)
+        store.arm(2)
+        assert store.read(1) == 5

@@ -1,0 +1,82 @@
+"""Table and chart rendering tests."""
+
+from __future__ import annotations
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, hbar, sparkline
+from repro.analysis.tables import format_cell, render_comparison, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"],
+            [{"name": "a", "value": 1.5}, {"name": "bb", "value": 10}],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_missing_cells_render_dash(self):
+        text = render_table(["a", "b"], [{"a": 1}])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_precision(self):
+        text = render_table(["x"], [{"x": 1.23456}], precision=3)
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderComparison:
+    def test_series_columns(self):
+        text = render_comparison(
+            "wl",
+            {"deuce": {"mcf": 10.0}, "fnw": {"mcf": 43.0}},
+            labels=["mcf"],
+        )
+        assert "deuce" in text and "fnw" in text and "mcf" in text
+
+
+class TestCharts:
+    def test_hbar_scales(self):
+        assert hbar(5, 10, width=10) == "#####"
+        assert hbar(10, 10, width=10) == "#" * 10
+        assert hbar(0, 10) == ""
+        assert hbar(1, 0) == ""
+
+    def test_bar_chart_contains_values(self):
+        text = bar_chart({"mcf": 10.0, "libq": 5.0}, title="flips")
+        assert "flips" in text
+        assert "mcf" in text
+        assert "10.0" in text
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_grouped_chart(self):
+        text = grouped_bar_chart(
+            {"a": {"x": 1.0}, "b": {"x": 2.0}}, labels=["x"]
+        )
+        assert "x:" in text
+
+    def test_sparkline_length_bounded(self):
+        line = sparkline(list(range(512)), width=64)
+        assert 0 < len(line) <= 65
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestFormatCell:
+    def test_float(self):
+        assert format_cell(1.5, precision=1) == "1.5"
+
+    def test_string_passthrough(self):
+        assert format_cell("x") == "x"
+
+    def test_int(self):
+        assert format_cell(7) == "7"

@@ -1,0 +1,139 @@
+"""Experiment-layer tests (small trace lengths; shape checks only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.experiments import (
+    EXPERIMENTS,
+    bit_position_profile,
+    fig5_encryption_overhead,
+    fig8_word_size,
+    fig12_bit_position_skew,
+    fig15_write_slots,
+    fig18_ble,
+    table2_workloads,
+    table3_storage_overhead,
+)
+
+N = 600  # tiny but enough for ordering-level assertions
+
+
+class TestStructure:
+    def test_registry_covers_every_paper_exhibit(self):
+        assert set(EXPERIMENTS) == {
+            "fig5",
+            "table2",
+            "fig8",
+            "fig9",
+            "fig10",
+            "table3",
+            "fig12",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+        }
+
+    def test_table2_lists_all_workloads(self):
+        result = table2_workloads()
+        assert len(result.rows) == 12
+        assert result.rows[0]["workload"] == "libq"
+
+    def test_render_includes_title_and_average(self):
+        result = fig5_encryption_overhead(n_writes=N)
+        text = result.render()
+        assert "Fig 5" in text
+        assert "AVG" in text
+        assert "Paper reports" in text
+
+
+class TestShapes:
+    def test_fig5_encryption_costs_roughly_4x(self):
+        result = fig5_encryption_overhead(n_writes=N)
+        avg = result.averages
+        assert avg["Encr-DCW"] > 3 * avg["NoEncr-DCW"]
+        assert avg["Encr-FNW"] < avg["Encr-DCW"]
+        assert avg["NoEncr-FNW"] <= avg["NoEncr-DCW"]
+
+    def test_fig8_coarser_words_flip_more(self):
+        result = fig8_word_size(n_writes=N)
+        avg = result.averages
+        assert avg["2B"] <= avg["4B"] <= avg["8B"]
+        assert avg["1B"] <= avg["2B"]
+
+    def test_fig15_slot_ordering(self):
+        result = fig15_write_slots(n_writes=N)
+        avg = result.averages
+        assert avg["Encr"] == pytest.approx(4.0, abs=0.01)
+        assert avg["NoEncr"] < avg["DEUCE"] < avg["Encr"]
+
+    def test_fig18_combination_beats_both(self):
+        result = fig18_ble(n_writes=N)
+        avg = result.averages
+        assert avg["BLE+DEUCE"] < avg["BLE"]
+        assert avg["DEUCE"] < avg["BLE"]
+
+    def test_table3_overheads(self):
+        result = table3_storage_overhead(n_writes=N)
+        overhead = {r["scheme"]: r["overhead_bits"] for r in result.rows}
+        assert overhead == {
+            "FNW": 32,
+            "DEUCE": 32,
+            "DynDEUCE": 33,
+            "DEUCE+FNW": 64,
+        }
+
+    def test_fig12_libq_more_skewed_than_mcf(self):
+        result = fig12_bit_position_skew(n_writes=4 * N)
+        skew = {r["workload"]: r["max_over_mean"] for r in result.rows}
+        assert skew["libq"] > skew["mcf"] > 1.5
+
+
+class TestProfiles:
+    def test_bit_position_profile_normalized(self):
+        profile = bit_position_profile("mcf", n_writes=2 * N)
+        assert profile.size == 512
+        assert profile.mean() == pytest.approx(1.0, abs=0.01)
+
+
+@pytest.mark.slow
+class TestPerformanceExperiments:
+    def test_fig16_shape(self):
+        from repro.sim.experiments import fig16_speedup
+
+        result = fig16_speedup(n_writes=400, instructions=200_000)
+        avg = result.averages
+        assert avg["Encr-FNW"] == pytest.approx(1.0, abs=0.05)
+        assert avg["DEUCE"] > 1.05
+        assert avg["NoEncr-FNW"] >= avg["DEUCE"] * 0.97
+
+    def test_fig17_shape(self):
+        from repro.sim.experiments import fig17_energy_power_edp
+
+        result = fig17_energy_power_edp(n_writes=400, instructions=200_000)
+        rows = {r["scheme"]: r for r in result.rows}
+        assert rows["DEUCE"]["energy"] < 0.75
+        assert rows["DEUCE"]["power"] >= rows["DEUCE"]["energy"]
+        assert rows["Encr-FNW"]["energy"] > rows["DEUCE"]["energy"]
+
+    def test_fig14_shape(self):
+        from repro.sim.experiments import fig14_lifetime
+
+        result = fig14_lifetime(n_writes=4_000)
+        avg = result.averages
+        assert avg["DEUCE-HWL"] > avg["DEUCE"]
+        assert avg["DEUCE-HWL"] > 1.5
+
+
+class TestRunnerSchemeRegistry:
+    def test_invmm_runs_through_the_simulator(self):
+        from repro.sim.config import SimConfig
+        from repro.sim.runner import run
+
+        result = run(SimConfig("mcf", "invmm", n_writes=2000))
+        baseline = run(SimConfig("mcf", "encr-dcw", n_writes=2000))
+        # Hot writebacks avoid the avalanche (initial decrypt-to-plaintext
+        # transitions cost ~50% once per line; steady state is cheap).
+        assert result.avg_flips_pct < 0.75 * baseline.avg_flips_pct

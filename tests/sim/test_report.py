@@ -1,0 +1,34 @@
+"""Report generator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_subset_of_experiments(self):
+        text = generate_report(n_writes=300, experiments=["table2", "fig12"])
+        assert "# DEUCE reproduction report" in text
+        assert "table2" in text
+        assert "fig12" in text
+        assert "fig10" not in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiments"):
+            generate_report(experiments=["fig99"])
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        generate_report(
+            n_writes=300, experiments=["table2"], progress=seen.append
+        )
+        assert seen == ["running table2 ..."]
+
+    def test_write_report_creates_file(self, tmp_path):
+        path = write_report(
+            tmp_path / "r.md", n_writes=300, experiments=["table2"]
+        )
+        assert path.exists()
+        assert "Table 2" in path.read_text()

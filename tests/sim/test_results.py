@@ -1,0 +1,56 @@
+"""RunResult metric tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.sim.results import RunResult
+
+
+def result(**kw):
+    defaults = dict(
+        workload="mcf", scheme="deuce", n_writes=100, line_bits=512, meta_bits=32
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+class TestPercentages:
+    def test_flips_pct_normalized_to_data_bits(self):
+        r = result(total_flips=100 * 256)
+        assert r.avg_flips_pct == pytest.approx(50.0)
+
+    def test_metadata_counts_toward_figure_of_merit(self):
+        # Section 3.3: metadata flips included, denominator stays 512.
+        r = result(total_flips=5120, data_flips=4608, meta_flips=512)
+        assert r.avg_flips_pct == pytest.approx(10.0)
+        assert r.avg_data_flips_pct == pytest.approx(9.0)
+
+    def test_empty_run(self):
+        r = result(n_writes=0)
+        assert r.avg_flips_pct == 0.0
+        assert r.avg_slots_per_write == 0.0
+        assert r.avg_words_reencrypted == 0.0
+
+
+class TestAverages:
+    def test_avg_slots(self):
+        r = result(total_slots=264)
+        assert r.avg_slots_per_write == pytest.approx(2.64)
+
+    def test_avg_words(self):
+        r = result(total_words_reencrypted=1500)
+        assert r.avg_words_reencrypted == pytest.approx(15.0)
+
+
+class TestSummaryRow:
+    def test_contains_key_metrics(self):
+        r = result(total_flips=512, total_slots=100, slot_histogram=Counter({1: 100}))
+        row = r.summary_row()
+        assert row["workload"] == "mcf"
+        assert row["scheme"] == "deuce"
+        assert row["flips_pct"] == pytest.approx(1.0)
+        assert row["slots"] == pytest.approx(1.0)
+        assert "lifetime_norm" not in row  # no lifetime attached

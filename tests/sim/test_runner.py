@@ -1,0 +1,128 @@
+"""Simulation runner tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import build_scheme, cached_trace, run
+from repro.workloads.trace import generate_trace
+
+
+class TestRun:
+    def test_basic_run_shape(self):
+        result = run(SimConfig("mcf", "deuce", n_writes=200))
+        assert result.n_writes == 200
+        assert result.workload == "mcf"
+        assert result.scheme == "deuce"
+        assert result.total_flips > 0
+        assert result.wear is not None
+        assert result.lifetime is not None
+
+    def test_flip_totals_consistent(self):
+        result = run(SimConfig("mcf", "deuce", n_writes=200))
+        assert result.total_flips == result.data_flips + result.meta_flips
+        assert result.wear.total_flips == result.total_flips
+        assert result.wear.total_writes == 200
+
+    def test_slot_histogram_sums_to_writes(self):
+        result = run(SimConfig("libq", "encr-dcw", n_writes=150))
+        assert sum(result.slot_histogram.values()) == 150
+        assert result.total_slots == sum(
+            s * c for s, c in result.slot_histogram.items()
+        )
+
+    def test_deterministic(self):
+        a = run(SimConfig("wrf", "dyndeuce", n_writes=150))
+        b = run(SimConfig("wrf", "dyndeuce", n_writes=150))
+        assert a.total_flips == b.total_flips
+        assert a.slot_histogram == b.slot_histogram
+
+    def test_explicit_trace(self):
+        trace = generate_trace("mcf", 100, seed=9)
+        result = run(SimConfig("mcf", "deuce", n_writes=100, seed=9), trace=trace)
+        assert result.n_writes == 100
+
+    def test_schemes_share_cached_trace(self):
+        t1 = cached_trace("mcf", 64, 0, 64)
+        t2 = cached_trace("mcf", 64, 0, 64)
+        assert t1 is t2
+
+    def test_wear_leveling_modes(self):
+        for mode in ("none", "hwl", "hwl-hashed"):
+            result = run(
+                SimConfig(
+                    "mcf",
+                    "deuce",
+                    n_writes=100,
+                    wear_leveling=mode,
+                    gap_write_interval=1,
+                    hwl_region_lines=8,
+                )
+            )
+            assert result.total_flips > 0
+
+    def test_bad_wear_leveling(self):
+        with pytest.raises(ValueError, match="wear_leveling"):
+            run(SimConfig("mcf", "deuce", n_writes=10, wear_leveling="nope"))
+
+    def test_hwl_preserves_flip_counts(self):
+        """Rotation only relocates wear; flip totals are identical."""
+        plain = run(SimConfig("mcf", "deuce", n_writes=150))
+        hwl = run(
+            SimConfig(
+                "mcf",
+                "deuce",
+                n_writes=150,
+                wear_leveling="hwl",
+                gap_write_interval=1,
+            )
+        )
+        assert plain.total_flips == hwl.total_flips
+
+
+class TestBuildScheme:
+    def test_encrypted_scheme_gets_pads(self):
+        scheme = build_scheme(SimConfig("mcf", "deuce"))
+        assert scheme.pads is not None
+
+    def test_plain_scheme_has_no_pads(self):
+        scheme = build_scheme(SimConfig("mcf", "noencr-dcw"))
+        assert not hasattr(scheme, "pads")
+
+    def test_parameters_forwarded(self):
+        scheme = build_scheme(
+            SimConfig("mcf", "deuce", word_bytes=4, epoch_interval=8)
+        )
+        assert scheme.word_bytes == 4
+        assert scheme.epoch_interval == 8
+
+    def test_aes_pad_kind(self):
+        scheme = build_scheme(SimConfig("mcf", "deuce", pad_kind="aes"))
+        from repro.crypto.pads import AesPadSource
+
+        assert isinstance(scheme.pads, AesPadSource)
+
+
+class TestConfig:
+    def test_with_creates_modified_copy(self):
+        base = SimConfig("mcf", "deuce")
+        other = base.with_(scheme="ble", n_writes=7)
+        assert other.scheme == "ble"
+        assert other.n_writes == 7
+        assert base.scheme == "deuce"
+
+    def test_config_hashable(self):
+        assert hash(SimConfig("mcf", "deuce")) == hash(SimConfig("mcf", "deuce"))
+
+
+class TestDirectionalAccounting:
+    def test_set_plus_reset_equals_data_flips(self):
+        result = run(SimConfig("mcf", "deuce", n_writes=150))
+        assert result.set_flips + result.reset_flips == result.data_flips
+
+    def test_encrypted_writes_are_direction_balanced(self):
+        """Fresh pads randomize stored bits, so SETs ~= RESETs."""
+        result = run(SimConfig("mcf", "encr-dcw", n_writes=150))
+        ratio = result.set_flips / max(1, result.reset_flips)
+        assert 0.9 <= ratio <= 1.1

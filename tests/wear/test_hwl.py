@@ -1,0 +1,85 @@
+"""Horizontal Wear Leveling tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wear.hwl import HorizontalWearLeveler, NoWearLeveler
+from repro.wear.startgap import StartGap
+
+
+class TestRotationAmount:
+    def test_rotation_equals_start_mod_bits(self):
+        sg = StartGap(4, gap_write_interval=1)
+        hwl = HorizontalWearLeveler(sg, bits_per_line=10)
+        assert hwl.rotation(0) == 0
+        # Advance through 3 full sweeps: start == 3.
+        for _ in range(15):
+            sg.on_write()
+        assert sg.start == 3
+        assert hwl.rotation(0) == 3
+
+    def test_rotation_wraps_at_bits_per_line(self):
+        sg = StartGap(2, gap_write_interval=1)
+        hwl = HorizontalWearLeveler(sg, bits_per_line=5)
+        for _ in range(3 * 7):  # 7 sweeps of 3 moves
+            sg.on_write()
+        assert sg.start == 7
+        assert hwl.rotation(0) == 7 % 5
+
+    def test_crossed_line_rotates_early(self):
+        """Section 5.3: lines the gap already passed use Start+1."""
+        sg = StartGap(8, gap_write_interval=1)
+        hwl = HorizontalWearLeveler(sg, bits_per_line=544)
+        sg.on_write()  # gap passes the line at slot 7
+        assert hwl.rotation(7) == 1
+        assert hwl.rotation(0) == 0
+
+    def test_rotation_in_range(self):
+        sg = StartGap(4, gap_write_interval=1)
+        hwl = HorizontalWearLeveler(sg, bits_per_line=17)
+        for _ in range(200):
+            sg.on_write()
+            for line in range(4):
+                assert 0 <= hwl.rotation(line) < 17
+
+
+class TestHashedVariant:
+    def test_deterministic(self):
+        sg = StartGap(4, gap_write_interval=1)
+        h1 = HorizontalWearLeveler(sg, 544, hashed=True, key=b"k1")
+        assert h1.rotation(2) == h1.rotation(2)
+
+    def test_per_line_rotations_differ(self):
+        """Footnote 2: each line gets its own rotation amount."""
+        sg = StartGap(64, gap_write_interval=1)
+        hwl = HorizontalWearLeveler(sg, 544, hashed=True)
+        rotations = {hwl.rotation(line) for line in range(64)}
+        assert len(rotations) > 32  # plain HWL would give exactly 1-2 values
+
+    def test_key_changes_rotation(self):
+        sg = StartGap(4, gap_write_interval=1)
+        h1 = HorizontalWearLeveler(sg, 544, hashed=True, key=b"k1")
+        h2 = HorizontalWearLeveler(sg, 544, hashed=True, key=b"k2")
+        assert any(h1.rotation(i) != h2.rotation(i) for i in range(4))
+
+    def test_rotation_changes_with_start(self):
+        sg = StartGap(2, gap_write_interval=1)
+        hwl = HorizontalWearLeveler(sg, 544, hashed=True)
+        before = hwl.rotation(0)
+        for _ in range(3 * 5):
+            sg.on_write()
+        assert hwl.rotation(0) != before  # overwhelmingly likely
+
+
+class TestNoWearLeveler:
+    def test_always_zero(self):
+        leveler = NoWearLeveler()
+        assert leveler.rotation(0) == 0
+        assert leveler.rotation(12345) == 0
+
+
+class TestValidation:
+    def test_bits_per_line_positive(self):
+        with pytest.raises(ValueError):
+            HorizontalWearLeveler(StartGap(4), bits_per_line=0)

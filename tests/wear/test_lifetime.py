@@ -1,0 +1,72 @@
+"""Lifetime-model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.wear.lifetime import (
+    ENCRYPTED_FLIP_PROB,
+    absolute_lifetime_years,
+    lifetime_report,
+)
+
+
+class TestLifetimeReport:
+    def test_uniform_half_rate_is_baseline(self):
+        # Every position written 50 times over 100 writes: the encrypted
+        # baseline itself -> normalized lifetime 1.0.
+        writes = np.full(512, 50, dtype=np.int64)
+        report = lifetime_report(writes, total_writes=100)
+        assert report.normalized == pytest.approx(1.0)
+        assert report.perfect_leveling == pytest.approx(1.0)
+        assert report.leveling_efficiency == pytest.approx(1.0)
+
+    def test_halved_uniform_rate_doubles_lifetime(self):
+        writes = np.full(512, 25, dtype=np.int64)
+        report = lifetime_report(writes, total_writes=100)
+        assert report.normalized == pytest.approx(2.0)
+
+    def test_hot_position_caps_lifetime(self):
+        # Mean rate is low, but one position takes a write every time.
+        writes = np.zeros(512, dtype=np.int64)
+        writes[:] = 10
+        writes[7] = 100
+        report = lifetime_report(writes, total_writes=100)
+        assert report.normalized == pytest.approx(0.5)
+        assert report.perfect_leveling > report.normalized
+
+    def test_rates(self):
+        writes = np.array([10, 20, 30, 40], dtype=np.int64)
+        report = lifetime_report(writes, total_writes=100)
+        assert report.max_position_rate == pytest.approx(0.4)
+        assert report.mean_position_rate == pytest.approx(0.25)
+
+    def test_zero_wear_infinite_lifetime(self):
+        report = lifetime_report(np.zeros(8, dtype=np.int64), total_writes=10)
+        assert report.normalized == float("inf")
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            lifetime_report(np.ones(4, dtype=np.int64), total_writes=0)
+        with pytest.raises(ValueError):
+            lifetime_report(np.zeros(0, dtype=np.int64), total_writes=1)
+
+    def test_baseline_constant(self):
+        assert ENCRYPTED_FLIP_PROB == 0.5
+
+
+class TestAbsoluteLifetime:
+    def test_scales_inversely_with_write_rate(self):
+        slow = absolute_lifetime_years(0.5, writes_per_second=1e6)
+        fast = absolute_lifetime_years(0.5, writes_per_second=2e6)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_scales_with_memory_size(self):
+        small = absolute_lifetime_years(0.5, 1e6, n_memory_lines=1)
+        big = absolute_lifetime_years(0.5, 1e6, n_memory_lines=1000)
+        assert big == pytest.approx(1000 * small)
+
+    def test_degenerate_inputs_are_infinite(self):
+        assert absolute_lifetime_years(0.0, 1e6) == float("inf")
+        assert absolute_lifetime_years(0.5, 0.0) == float("inf")

@@ -1,0 +1,129 @@
+"""Security Refresh VWL tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wear.security_refresh import SecurityRefresh, SecurityRefreshHWL
+
+
+class TestMapping:
+    def test_mapping_is_a_permutation_at_all_times(self):
+        sr = SecurityRefresh(16, refresh_interval=1)
+        for _ in range(200):
+            sr.on_write()
+            physical = {sr.physical_index(i) for i in range(16)}
+            assert physical == set(range(16))
+
+    def test_mapping_changes_across_rounds(self):
+        sr = SecurityRefresh(16, refresh_interval=1, seed=3)
+        before = [sr.physical_index(i) for i in range(16)]
+        seen = {tuple(before)}
+        for _ in range(64):  # several rounds with random keys
+            sr.on_write()
+            seen.add(tuple(sr.physical_index(i) for i in range(16)))
+        assert len(seen) > 2
+
+    def test_xor_remap_rule(self):
+        sr = SecurityRefresh(8, refresh_interval=1)
+        assert sr.physical_index(3) == 3 ^ sr.current_key
+
+    def test_migrated_lines_use_next_key(self):
+        sr = SecurityRefresh(8, refresh_interval=1, seed=1)
+        partner = 0 ^ sr.current_key ^ sr.next_key
+        sr.on_write()  # migrates logical 0 and its partner
+        assert sr.remapped_by_sweep(0)
+        assert sr.remapped_by_sweep(partner)
+        assert sr.physical_index(0) == 0 ^ sr.next_key
+        untouched = next(
+            i for i in range(8) if not sr.remapped_by_sweep(i)
+        )
+        assert sr.physical_index(untouched) == untouched ^ sr.current_key
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            SecurityRefresh(8).physical_index(8)
+
+
+class TestRounds:
+    def test_round_advances_after_full_sweep(self):
+        sr = SecurityRefresh(8, refresh_interval=1)
+        refreshes = 0
+        while sr.round == 0:
+            sr.on_write()
+            refreshes += 1
+            assert refreshes <= 8  # pairwise migration: at most n refreshes
+        assert sr.refresh_ptr == 0
+        # Pairwise migration finishes a round in at most n (and at least
+        # n/2) refresh operations.
+        assert refreshes >= 4
+
+    def test_keys_rotate_on_round_completion(self):
+        sr = SecurityRefresh(8, refresh_interval=1, seed=1)
+        old_next = sr.next_key
+        while sr.round == 0:
+            sr.on_write()
+        assert sr.current_key == old_next
+
+    def test_refresh_interval_respected(self):
+        sr = SecurityRefresh(8, refresh_interval=5)
+        refreshes = sum(sr.on_write() for _ in range(20))
+        assert refreshes == 4
+        # Each refresh migrates a line pair (or one line if keys coincide).
+        assert 4 <= sr.refresh_writes <= 8
+
+    def test_keys_deterministic_per_seed(self):
+        a = SecurityRefresh(16, seed=7)
+        b = SecurityRefresh(16, seed=7)
+        assert a.current_key == b.current_key
+        assert a.next_key == b.next_key
+
+    def test_rotation_round_tracks_sweep(self):
+        sr = SecurityRefresh(8, refresh_interval=1, seed=1)
+        assert sr.rotation_round(0) == 0
+        sr.on_write()
+        assert sr.rotation_round(0) == 1  # already migrated
+        untouched = next(i for i in range(8) if not sr.remapped_by_sweep(i))
+        assert sr.rotation_round(untouched) == 0
+
+
+class TestValidation:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            SecurityRefresh(12)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            SecurityRefresh(1)
+
+    def test_interval_positive(self):
+        with pytest.raises(ValueError):
+            SecurityRefresh(8, refresh_interval=0)
+
+
+class TestHWLAdapter:
+    def test_rotation_in_range(self):
+        sr = SecurityRefresh(16, refresh_interval=1)
+        hwl = SecurityRefreshHWL(sr, bits_per_line=544)
+        for _ in range(100):
+            sr.on_write()
+            for line in range(16):
+                assert 0 <= hwl.rotation(line) < 544
+
+    def test_rotation_changes_with_rounds(self):
+        sr = SecurityRefresh(8, refresh_interval=1)
+        hwl = SecurityRefreshHWL(sr, bits_per_line=544)
+        before = hwl.rotation(5)
+        for _ in range(16):  # two full rounds
+            sr.on_write()
+        assert hwl.rotation(5) != before  # overwhelmingly likely
+
+    def test_per_line_diversity(self):
+        sr = SecurityRefresh(64, refresh_interval=1)
+        hwl = SecurityRefreshHWL(sr, bits_per_line=544)
+        rotations = {hwl.rotation(i) for i in range(64)}
+        assert len(rotations) > 32
+
+    def test_bits_positive(self):
+        with pytest.raises(ValueError):
+            SecurityRefreshHWL(SecurityRefresh(8), bits_per_line=0)

@@ -1,0 +1,106 @@
+"""Start-Gap wear-leveling tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wear.startgap import StartGap, StartGapReference
+
+
+class TestMappingAgainstReference:
+    @pytest.mark.parametrize("n_lines", [1, 2, 3, 8, 17])
+    def test_algebraic_mapping_matches_explicit_simulation(self, n_lines):
+        sg = StartGap(n_lines, gap_write_interval=1)
+        ref = StartGapReference(n_lines, gap_write_interval=1)
+        for step in range(4 * (n_lines + 1) ** 2):
+            sg.on_write()
+            ref.on_write()
+            for logical in range(n_lines):
+                assert sg.physical_index(logical) == ref.physical_index(
+                    logical
+                ), f"step {step}, line {logical}"
+
+    @given(
+        n_lines=st.integers(min_value=1, max_value=12),
+        interval=st.integers(min_value=1, max_value=5),
+        steps=st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mapping_property(self, n_lines, interval, steps):
+        sg = StartGap(n_lines, gap_write_interval=interval)
+        ref = StartGapReference(n_lines, gap_write_interval=interval)
+        for _ in range(steps):
+            sg.on_write()
+            ref.on_write()
+        for logical in range(n_lines):
+            assert sg.physical_index(logical) == ref.physical_index(logical)
+
+
+class TestMappingInvariants:
+    def test_mapping_is_injective(self):
+        sg = StartGap(16, 1)
+        for _ in range(100):
+            sg.on_write()
+            physical = {sg.physical_index(i) for i in range(16)}
+            assert len(physical) == 16
+
+    def test_physical_indices_within_region(self):
+        sg = StartGap(16, 1)
+        for _ in range(200):
+            sg.on_write()
+            for i in range(16):
+                assert 0 <= sg.physical_index(i) <= 16
+
+
+class TestGapMovement:
+    def test_gap_moves_every_interval(self):
+        sg = StartGap(8, gap_write_interval=3)
+        moves = sum(sg.on_write() for _ in range(12))
+        assert moves == 4
+        assert sg.move_writes == 4
+
+    def test_start_increments_after_full_sweep(self):
+        sg = StartGap(4, gap_write_interval=1)
+        # Gap positions: 4 -> 3 -> 2 -> 1 -> 0 -> wrap to 4 with start++.
+        for _ in range(5):
+            sg.on_write()
+        assert sg.start == 1
+        assert sg.gap == 4
+
+    def test_start_grows_linearly_with_sweeps(self):
+        sg = StartGap(4, gap_write_interval=1)
+        for _ in range(5 * 7):
+            sg.on_write()
+        assert sg.start == 7
+
+
+class TestEffectiveStart:
+    def test_gap_crossed_lines_use_start_plus_one(self):
+        sg = StartGap(8, gap_write_interval=1)
+        sg.on_write()  # gap moves from 8 to 7: line at slot 7 was shifted
+        crossed = [i for i in range(8) if sg.gap_crossed(i)]
+        assert crossed == [7]
+        assert sg.effective_start(7) == 1
+        assert sg.effective_start(0) == 0
+
+    def test_all_lines_converge_when_start_increments(self):
+        sg = StartGap(4, gap_write_interval=1)
+        for _ in range(5):
+            sg.on_write()
+        assert all(sg.effective_start(i) == 1 for i in range(4))
+
+
+class TestValidation:
+    def test_bad_n_lines(self):
+        with pytest.raises(ValueError):
+            StartGap(0)
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            StartGap(4, gap_write_interval=0)
+
+    def test_out_of_range_logical(self):
+        with pytest.raises(ValueError):
+            StartGap(4).physical_index(4)

@@ -1,0 +1,159 @@
+"""Trace-generator tests: determinism, structure, and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.memory import bitops
+from repro.workloads.generator import (
+    TraceGenerator,
+    _bit_probabilities,
+    _poisson,
+    _zipf_cumulative,
+)
+from repro.workloads.profiles import get_profile
+
+import random
+
+
+@pytest.fixture
+def profile():
+    return get_profile("mcf")
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, profile):
+        a = TraceGenerator(profile, seed=7)
+        b = TraceGenerator(profile, seed=7)
+        for _ in range(50):
+            ra, rb = a.next_write(), b.next_write()
+            assert ra.address == rb.address
+            assert ra.data == rb.data
+
+    def test_different_seeds_differ(self, profile):
+        a = TraceGenerator(profile, seed=1)
+        b = TraceGenerator(profile, seed=2)
+        assert any(
+            a.next_write().data != b.next_write().data for _ in range(10)
+        )
+
+    def test_initial_lines_deterministic(self, profile):
+        a = TraceGenerator(profile, seed=3).initial_lines()
+        b = TraceGenerator(profile, seed=3).initial_lines()
+        assert a == b
+
+
+class TestStructure:
+    def test_addresses_within_working_set(self, profile):
+        gen = TraceGenerator(profile, seed=0)
+        for rec in gen.writes(200):
+            assert 0 <= rec.address < profile.working_set_lines
+
+    def test_every_write_changes_its_line(self, profile):
+        gen = TraceGenerator(profile, seed=0)
+        previous = {a: d for a, d in gen.initial_lines().items()}
+        for rec in gen.writes(200):
+            assert rec.data != previous[rec.address]
+            previous[rec.address] = rec.data
+
+    def test_record_length(self, profile):
+        gen = TraceGenerator(profile, seed=0, line_bytes=64)
+        assert all(len(r.data) == 64 for r in gen.writes(20))
+
+    def test_current_line_tracks_ground_truth(self, profile):
+        gen = TraceGenerator(profile, seed=0)
+        rec = gen.next_write()
+        assert gen.current_line(rec.address) == rec.data
+
+    def test_writes_generated_counter(self, profile):
+        gen = TraceGenerator(profile, seed=0)
+        list(gen.writes(17))
+        assert gen.writes_generated == 17
+
+
+class TestWorkloadCharacter:
+    def test_dense_profile_touches_every_word(self):
+        gems = get_profile("Gems")
+        gen = TraceGenerator(gems, seed=0)
+        prev = dict(gen.initial_lines())
+        for rec in gen.writes(30):
+            changed = bitops.changed_words(prev[rec.address], rec.data, 2)
+            assert len(changed) == 32
+            prev[rec.address] = rec.data
+
+    def test_sparse_profile_touches_few_words(self):
+        libq = get_profile("libq")
+        gen = TraceGenerator(libq, seed=0)
+        prev = dict(gen.initial_lines())
+        counts = []
+        for rec in gen.writes(100):
+            counts.append(
+                len(bitops.changed_words(prev[rec.address], rec.data, 2))
+            )
+            prev[rec.address] = rec.data
+        assert sum(counts) / len(counts) < 4
+
+    def test_footprints_are_stable(self):
+        """Writes to one line keep hitting the same word positions."""
+        profile = replace(get_profile("mcf"), working_set_lines=4)
+        gen = TraceGenerator(profile, seed=0)
+        prev = dict(gen.initial_lines())
+        touched: dict[int, set[int]] = {}
+        for rec in gen.writes(300):
+            words = bitops.changed_words(prev[rec.address], rec.data, 2)
+            touched.setdefault(rec.address, set()).update(words)
+            prev[rec.address] = rec.data
+        for words in touched.values():
+            # Far fewer distinct positions than 300 random draws would hit.
+            assert len(words) <= 2.5 * profile.footprint_mean
+
+    def test_lsb_bias(self):
+        """Counter-like workloads flip low-order bits far more often."""
+        libq = get_profile("libq")
+        gen = TraceGenerator(libq, seed=0)
+        prev = dict(gen.initial_lines())
+        low = high = 0
+        for rec in gen.writes(300):
+            delta = bitops.xor(prev[rec.address], rec.data)
+            for w in range(32):
+                value = int.from_bytes(delta[w * 2: w * 2 + 2], "little")
+                low += bin(value & 0xFF).count("1")
+                high += bin(value >> 8).count("1")
+            prev[rec.address] = rec.data
+        assert low > 2 * high
+
+
+class TestHelpers:
+    def test_zipf_cumulative_monotone(self):
+        cum = _zipf_cumulative(10, 1.0)
+        assert all(b > a for a, b in zip(cum, cum[1:]))
+        assert len(cum) == 10
+
+    def test_bit_probabilities_hit_requested_mean(self):
+        probs = _bit_probabilities(6.0, 0.95, 16)
+        assert sum(probs) == pytest.approx(6.0, abs=0.05)
+        assert all(0 < p <= 0.99 for p in probs)
+
+    def test_bit_probabilities_decay(self):
+        probs = _bit_probabilities(4.0, 0.8, 16)
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_bit_probabilities_cap(self):
+        probs = _bit_probabilities(15.9, 0.999, 16)
+        assert max(probs) <= 0.99
+
+    def test_bit_probabilities_errors(self):
+        with pytest.raises(ValueError):
+            _bit_probabilities(0.0, 0.9, 16)
+        with pytest.raises(ValueError):
+            _bit_probabilities(4.0, 0.0, 16)
+
+    def test_poisson_mean(self):
+        rng = random.Random(42)
+        samples = [_poisson(rng, 3.0) for _ in range(3000)]
+        assert sum(samples) / len(samples) == pytest.approx(3.0, abs=0.2)
+
+    def test_poisson_zero_lambda(self):
+        assert _poisson(random.Random(0), 0.0) == 0

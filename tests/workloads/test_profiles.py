@@ -1,0 +1,97 @@
+"""Workload-profile registry tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.profiles import (
+    PAPER_TARGETS,
+    PROFILES,
+    WORKLOAD_NAMES,
+    WorkloadProfile,
+    get_profile,
+)
+
+# Table 2 of the paper, verbatim.
+TABLE2 = {
+    "libq": (22.9, 9.78),
+    "mcf": (16.2, 8.78),
+    "lbm": (14.6, 7.25),
+    "Gems": (14.4, 7.14),
+    "milc": (19.6, 6.80),
+    "omnetpp": (10.8, 4.71),
+    "leslie3d": (12.8, 4.38),
+    "soplex": (25.5, 3.97),
+    "zeusmp": (4.65, 1.97),
+    "wrf": (3.85, 1.67),
+    "xalanc": (1.85, 1.61),
+    "astar": (1.84, 1.29),
+}
+
+
+class TestRegistry:
+    def test_all_twelve_workloads_present(self):
+        assert len(WORKLOAD_NAMES) == 12
+        assert set(WORKLOAD_NAMES) == set(TABLE2)
+
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_table2_values_verbatim(self, name):
+        mpki, wbpki = TABLE2[name]
+        profile = get_profile(name)
+        assert profile.read_mpki == mpki
+        assert profile.wbpki == wbpki
+
+    def test_all_have_at_least_one_wbpki(self):
+        """Section 3.2's selection criterion."""
+        assert all(p.wbpki >= 1.0 for p in PROFILES.values())
+
+    def test_ordered_by_wbpki_descending(self):
+        """Table 2 lists workloads by writeback intensity."""
+        wbpkis = [PROFILES[n].wbpki for n in WORKLOAD_NAMES]
+        assert wbpkis == sorted(wbpkis, reverse=True)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_profile("gcc")
+
+    def test_dense_writers_flagged(self):
+        assert PROFILES["Gems"].dense_write_prob == 1.0
+        assert PROFILES["soplex"].dense_write_prob >= 0.5
+        assert PROFILES["libq"].dense_write_prob == 0.0
+
+
+class TestParameterSanity:
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_parameters_in_valid_ranges(self, name):
+        p = get_profile(name)
+        assert p.working_set_lines > 0
+        assert 0 < p.footprint_mean <= 32
+        assert 0 < p.words_per_write_mean <= 32
+        assert 0 < p.bits_per_word_mean <= 16
+        assert 0 < p.bit_decay <= 1
+        assert 0 <= p.dense_write_prob <= 1
+        assert 0 <= p.block_affinity <= 1
+        assert 0 <= p.single_byte_prob <= 1
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(AttributeError):
+            get_profile("mcf").wbpki = 1.0
+
+
+class TestPaperTargets:
+    def test_headline_targets_present(self):
+        for key in (
+            "avg_dcw_noencr_pct",
+            "avg_deuce_pct",
+            "avg_dyndeuce_pct",
+            "lifetime_deuce_hwl",
+            "speedup_deuce",
+        ):
+            assert key in PAPER_TARGETS
+
+    def test_encryption_overhead_is_4x(self):
+        ratio = (
+            PAPER_TARGETS["avg_dcw_encr_pct"]
+            / PAPER_TARGETS["avg_dcw_noencr_pct"]
+        )
+        assert 3.5 <= ratio <= 4.5

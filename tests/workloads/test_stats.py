@@ -1,0 +1,107 @@
+"""Trace-statistics analyzer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generator import WriteRecord
+from repro.workloads.stats import analyze_trace, recommend_scheme
+from repro.workloads.trace import Trace, generate_trace
+
+
+def hand_trace(records, initial=None, line_bytes=64):
+    return Trace(
+        profile_name="hand",
+        seed=0,
+        line_bytes=line_bytes,
+        initial=initial or {0: bytes(line_bytes)},
+        records=records,
+    )
+
+
+class TestHandCraftedTraces:
+    def test_single_bit_write(self):
+        new = b"\x01" + bytes(63)
+        stats = analyze_trace(hand_trace([WriteRecord(0, new)]))
+        assert stats.n_writes == 1
+        assert stats.avg_bits_flipped == 1.0
+        assert stats.avg_words_modified == 1.0
+        assert stats.avg_blocks_touched == 1.0
+        assert stats.avg_regions_touched == 1.0
+        assert stats.position_writes[7] == 1  # LSB of byte 0, MSB-first
+
+    def test_two_words_in_different_blocks(self):
+        new = bytearray(64)
+        new[0] = 0xFF  # word 0, block 0
+        new[32] = 0xFF  # word 16, block 2
+        stats = analyze_trace(hand_trace([WriteRecord(0, bytes(new))]))
+        assert stats.avg_words_modified == 2.0
+        assert stats.avg_blocks_touched == 2.0
+        assert stats.avg_bits_per_modified_word == 8.0
+
+    def test_footprint_accumulates_across_writes(self):
+        a = bytearray(64)
+        a[0] = 1
+        b = bytearray(bytes(a))
+        b[10] = 1
+        stats = analyze_trace(
+            hand_trace([WriteRecord(0, bytes(a)), WriteRecord(0, bytes(b))])
+        )
+        assert stats.footprint_sizes[0] == 2
+        assert stats.avg_footprint_size == 2.0
+
+    def test_flip_fraction(self):
+        new = b"\xff" * 32 + bytes(32)  # 256 of 512 bits
+        stats = analyze_trace(hand_trace([WriteRecord(0, new)]))
+        assert stats.flip_fraction == pytest.approx(0.5)
+
+    def test_empty_trace(self):
+        stats = analyze_trace(hand_trace([]))
+        assert stats.n_writes == 0
+        assert stats.flip_fraction == 0.0
+        assert stats.bit_position_skew == 0.0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            analyze_trace(hand_trace([]), word_bytes=3)
+
+
+class TestGeneratedTraces:
+    def test_matches_calibration_for_mcf(self):
+        trace = generate_trace("mcf", 1500, seed=0)
+        stats = analyze_trace(trace)
+        # The calibrated profile: sparse writes, stable footprints.
+        assert 3.0 <= stats.avg_words_modified <= 8.0
+        assert 5.0 <= stats.avg_bits_per_modified_word <= 11.0
+        assert stats.bit_position_skew > 3.0
+
+    def test_dense_workload_characterized(self):
+        trace = generate_trace("Gems", 300, seed=0)
+        stats = analyze_trace(trace)
+        assert stats.avg_words_modified == pytest.approx(32.0)
+        assert stats.avg_blocks_touched == pytest.approx(4.0)
+
+    def test_summary_keys(self):
+        trace = generate_trace("libq", 300, seed=0)
+        summary = analyze_trace(trace).summary()
+        for key in ("flip_pct", "words_per_write", "skew", "footprint"):
+            assert key in summary
+
+
+class TestRecommendation:
+    def test_sparse_gets_deuce(self):
+        trace = generate_trace("libq", 500, seed=0)
+        scheme, why = recommend_scheme(analyze_trace(trace))
+        assert scheme == "deuce"
+        assert "sparse" in why
+
+    def test_dense_gets_fnw(self):
+        trace = generate_trace("Gems", 300, seed=0)
+        scheme, _ = recommend_scheme(analyze_trace(trace))
+        assert scheme == "encr-fnw"
+
+    def test_mixed_gets_dyndeuce(self):
+        trace = generate_trace("soplex", 300, seed=0)
+        stats = analyze_trace(trace)
+        scheme, _ = recommend_scheme(stats)
+        assert scheme in ("dyndeuce", "encr-fnw")

@@ -1,0 +1,54 @@
+"""Trace container and file-format tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.trace import Trace, generate_trace
+
+
+class TestGenerateTrace:
+    def test_by_name(self):
+        trace = generate_trace("mcf", 50, seed=1)
+        assert trace.profile_name == "mcf"
+        assert trace.n_writes == 50
+        assert trace.line_bytes == 64
+
+    def test_initial_covers_working_set(self):
+        trace = generate_trace("mcf", 10, seed=1)
+        assert len(trace.initial) == 2048
+        assert all(len(d) == 64 for d in trace.initial.values())
+
+    def test_records_reference_installed_lines(self):
+        trace = generate_trace("libq", 100, seed=2)
+        for rec in trace.records:
+            assert rec.address in trace.initial
+
+    def test_deterministic(self):
+        a = generate_trace("wrf", 30, seed=5)
+        b = generate_trace("wrf", 30, seed=5)
+        assert [r.data for r in a.records] == [r.data for r in b.records]
+
+
+class TestSerialization:
+    def test_save_load_round_trip(self, tmp_path):
+        trace = generate_trace("mcf", 40, seed=3)
+        path = tmp_path / "mcf.trc"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.profile_name == trace.profile_name
+        assert loaded.seed == trace.seed
+        assert loaded.line_bytes == trace.line_bytes
+        assert loaded.initial == trace.initial
+        assert loaded.records == trace.records
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.trc"
+        path.write_bytes(b"NOTATRACE" * 4)
+        with pytest.raises(ValueError, match="not a DEUCE trace"):
+            Trace.load(path)
+
+    def test_addresses_sorted(self):
+        trace = generate_trace("mcf", 5, seed=0)
+        addrs = trace.addresses()
+        assert addrs == sorted(addrs)
