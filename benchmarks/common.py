@@ -13,6 +13,7 @@ live in ``bench_microbench.py``.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 #: Writebacks per (workload, scheme) cell in the figure benchmarks.  Large
@@ -22,12 +23,21 @@ BENCH_WRITES = 3_000
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def record(exp_id: str, rendered: str) -> None:
-    """Print a rendering and persist it under benchmarks/results/."""
+def record(exp_id: str, rendered: str, data: dict | None = None) -> None:
+    """Print a rendering and persist it under benchmarks/results/.
+
+    When ``data`` is given it is additionally written as machine-readable
+    JSON to ``benchmarks/results/BENCH_{exp_id}.json`` (for CI trend checks
+    and speedup gates).
+    """
     print()
     print(rendered)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{exp_id}.txt").write_text(rendered + "\n")
+    if data is not None:
+        (RESULTS_DIR / f"BENCH_{exp_id}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def run_once(benchmark, fn, *args, **kwargs):

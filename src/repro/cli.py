@@ -62,7 +62,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
             return 2
         fn = EXPERIMENTS[name]
-        result = fn() if name == "table2" else fn(n_writes=args.writes)
+        workers = None if args.workers == 0 else args.workers
+        result = (
+            fn()
+            if name == "table2"
+            else fn(n_writes=args.writes, max_workers=workers)
+        )
         print(result.render())
         print()
     return 0
@@ -136,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="reproduce a paper figure/table")
     p_exp.add_argument("name", help=f"one of {', '.join(EXPERIMENTS)} or 'all'")
     p_exp.add_argument("--writes", type=int, default=5_000)
+    p_exp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (1 = serial, 0 = auto)",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_report = sub.add_parser(

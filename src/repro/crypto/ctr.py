@@ -8,14 +8,17 @@ selection (Figure 7) on top via :func:`mix_pads`.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.crypto.pads import PadSource
+from repro.memory import bitops
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:
     """XOR two equal-length byte strings."""
     if len(a) != len(b):
         raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-    return bytes(x ^ y for x, y in zip(a, b))
+    return bitops.xor(a, b)
 
 
 class CounterModeEngine:
@@ -56,6 +59,34 @@ class CounterModeEngine:
             )
 
 
+def mix_pads_array(
+    pad_leading: np.ndarray,
+    pad_trailing: np.ndarray,
+    modified: np.ndarray,
+    word_bytes: int,
+) -> np.ndarray:
+    """Vectorized per-word pad select (Figure 7) on uint8 pad arrays.
+
+    Parameters
+    ----------
+    pad_leading, pad_trailing:
+        Full-line pads (uint8 arrays) generated with LCTR and TCTR.
+    modified:
+        One flag per word (any integer/bool dtype; nonzero means modified).
+    word_bytes:
+        DEUCE tracking granularity (2 bytes by default in the paper).
+    """
+    if pad_leading.size != pad_trailing.size:
+        raise ValueError("pad length mismatch")
+    if modified.size * word_bytes != pad_leading.size:
+        raise ValueError(
+            f"{modified.size} words x {word_bytes} bytes != "
+            f"{pad_leading.size}-byte line"
+        )
+    byte_mask = np.repeat(modified.astype(bool, copy=False), word_bytes)
+    return np.where(byte_mask, pad_leading, pad_trailing)
+
+
 def mix_pads(
     pad_leading: bytes,
     pad_trailing: bytes,
@@ -67,27 +98,12 @@ def mix_pads(
     Words whose modified bit is set take their slice from the leading-counter
     pad; unmodified words take the trailing-counter pad.  The result can be
     XORed with the stored line exactly like an ordinary counter-mode pad.
-
-    Parameters
-    ----------
-    pad_leading, pad_trailing:
-        Full-line pads generated with LCTR and TCTR respectively.
-    modified:
-        One flag per word; ``len(modified) * word_bytes`` must equal the
-        line size.
-    word_bytes:
-        DEUCE tracking granularity (2 bytes by default in the paper).
+    Byte-string front end over :func:`mix_pads_array`.
     """
-    if len(pad_leading) != len(pad_trailing):
-        raise ValueError("pad length mismatch")
-    if len(modified) * word_bytes != len(pad_leading):
-        raise ValueError(
-            f"{len(modified)} words x {word_bytes} bytes != "
-            f"{len(pad_leading)}-byte line"
-        )
-    out = bytearray(len(pad_leading))
-    for w, is_mod in enumerate(modified):
-        lo = w * word_bytes
-        hi = lo + word_bytes
-        out[lo:hi] = pad_leading[lo:hi] if is_mod else pad_trailing[lo:hi]
-    return bytes(out)
+    mixed = mix_pads_array(
+        np.frombuffer(pad_leading, dtype=np.uint8),
+        np.frombuffer(pad_trailing, dtype=np.uint8),
+        np.asarray(modified, dtype=bool),
+        word_bytes,
+    )
+    return mixed.astype(np.uint8, copy=False).tobytes()

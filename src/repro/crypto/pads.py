@@ -19,19 +19,34 @@ This module defines the :class:`PadSource` interface and two implementations:
   functional tests use AES.
 
 Both sources are deterministic for a given key, so traces are reproducible.
+
+Besides the byte-string ``pad_block``/``line_pad`` interface, every source
+offers :meth:`PadSource.line_pad_array`, which produces the whole line's pad
+as one read-only ``np.uint8`` array — a single BLAKE2 call for 64-byte lines,
+or all N AES blocks materialized in one pass — so the vectorized scheme write
+paths never round-trip pads through ``bytes``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import struct
+from collections import OrderedDict
 from typing import Protocol
+
+import numpy as np
 
 from repro.crypto.aes import AES, BLOCK_SIZE
 
 #: Pad block width.  AES fixes this at 16 bytes; the BLAKE2 surrogate honours
 #: the same framing so the two sources are interchangeable.
 PAD_BLOCK_BYTES = BLOCK_SIZE
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    """Mark a pad array read-only (pads are shared and must never mutate)."""
+    arr.setflags(write=False)
+    return arr
 
 
 class PadSource(Protocol):
@@ -49,6 +64,12 @@ class PadSource(Protocol):
 
     def line_pad(self, address: int, counter: int, n_bytes: int) -> bytes:
         """Return a pad covering ``n_bytes`` (concatenated pad blocks)."""
+        ...
+
+    def line_pad_array(
+        self, address: int, counter: int, n_bytes: int
+    ) -> np.ndarray:
+        """Return the ``n_bytes`` line pad as a read-only uint8 array."""
         ...
 
 
@@ -87,6 +108,14 @@ class _PadSourceBase:
             self.pad_block(address, counter, i) for i in range(n_blocks)
         )
         return pad[:n_bytes]
+
+    def line_pad_array(
+        self, address: int, counter: int, n_bytes: int
+    ) -> np.ndarray:
+        """Default array framing: one buffer view over the line pad bytes."""
+        return _freeze(
+            np.frombuffer(self.line_pad(address, counter, n_bytes), np.uint8)
+        )
 
 
 class AesPadSource(_PadSourceBase):
@@ -135,6 +164,9 @@ class Blake2PadSource(_PadSourceBase):
     def line_pad(self, address: int, counter: int, n_bytes: int) -> bytes:
         if n_bytes < 0:
             raise ValueError("n_bytes must be non-negative")
+        if n_bytes <= 64:
+            # The common case (64-byte lines): exactly one C-speed call.
+            return self._digest(address, counter, 0)[:n_bytes]
         chunks = []
         produced = 0
         lane = 0
@@ -145,14 +177,27 @@ class Blake2PadSource(_PadSourceBase):
             lane += 1
         return b"".join(chunks)[:n_bytes]
 
+    def line_pad_array(
+        self, address: int, counter: int, n_bytes: int
+    ) -> np.ndarray:
+        if 0 <= n_bytes <= 64:
+            # One digest, one view: bytes own an immutable buffer, so the
+            # resulting array is already read-only.
+            arr = np.frombuffer(self._digest(address, counter, 0), np.uint8)
+            return arr if n_bytes == 64 else arr[:n_bytes]
+        return np.frombuffer(
+            self.line_pad(address, counter, n_bytes), np.uint8
+        )
+
 
 class CachingPadSource(_PadSourceBase):
-    """Memoizing wrapper around another :class:`PadSource`.
+    """Memoizing LRU wrapper around another :class:`PadSource`.
 
     DEUCE reads regenerate both the LCTR and TCTR pads on every access; a
     small cache mirrors the hardware's ability to hold recent pads and spares
-    the simulation recomputing them.  The cache is a plain FIFO over whole
-    line pads keyed by ``(address, counter)``.
+    the simulation recomputing them.  Whole line pads and individual pad
+    blocks are cached separately, each under a true LRU policy (a hit moves
+    the entry to the back of the eviction order).
     """
 
     def __init__(self, inner: PadSource, capacity: int = 4096) -> None:
@@ -160,22 +205,54 @@ class CachingPadSource(_PadSourceBase):
             raise ValueError("capacity must be positive")
         self._inner = inner
         self._capacity = capacity
-        self._cache: dict[tuple[int, int, int], bytes] = {}
+        self._cache: OrderedDict[tuple[int, int, int], bytes] = OrderedDict()
+        self._line_cache: OrderedDict[
+            tuple[int, int, int], np.ndarray
+        ] = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    @property
+    def inner(self) -> PadSource:
+        """The wrapped pad source (e.g. for isinstance checks)."""
+        return self._inner
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
 
     def pad_block(self, address: int, counter: int, block_index: int) -> bytes:
         key = (address, counter, block_index)
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            self._cache.move_to_end(key)
             return cached
         self.misses += 1
         pad = self._inner.pad_block(address, counter, block_index)
         if len(self._cache) >= self._capacity:
-            self._cache.pop(next(iter(self._cache)))
+            self._cache.popitem(last=False)
         self._cache[key] = pad
         return pad
+
+    def line_pad_array(
+        self, address: int, counter: int, n_bytes: int
+    ) -> np.ndarray:
+        key = (address, counter, n_bytes)
+        cached = self._line_cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._line_cache.move_to_end(key)
+            return cached
+        self.misses += 1
+        pad = self._inner.line_pad_array(address, counter, n_bytes)
+        if len(self._line_cache) >= self._capacity:
+            self._line_cache.popitem(last=False)
+        self._line_cache[key] = pad
+        return pad
+
+    def line_pad(self, address: int, counter: int, n_bytes: int) -> bytes:
+        return self.line_pad_array(address, counter, n_bytes).tobytes()
 
     @property
     def hit_rate(self) -> float:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import hashlib
 
+import numpy as np
+
 from repro.crypto.pads import PadSource, make_pad_source
 
 
@@ -77,3 +79,10 @@ class VersionedPadSource:
         return self._source_for_version(self.version_of(address)).line_pad(
             address, counter, n_bytes
         )
+
+    def line_pad_array(
+        self, address: int, counter: int, n_bytes: int
+    ) -> np.ndarray:
+        return self._source_for_version(
+            self.version_of(address)
+        ).line_pad_array(address, counter, n_bytes)

@@ -11,8 +11,6 @@ Flip bit in FNW"-style metadata).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 
@@ -30,14 +28,19 @@ def meta_flips(old: np.ndarray, new: np.ndarray) -> int:
     return int(np.count_nonzero(old != new))
 
 
-@dataclass
 class StoredLine:
     """One cache line's physical state in PCM.
 
     Attributes
     ----------
     data:
-        The stored data bytes (64 for the paper's configuration).
+        The stored data bytes (64 for the paper's configuration).  May be
+        constructed from either ``bytes`` or a uint8 array.  When built from
+        an array, the bytes are materialized lazily on first access — the
+        hot write paths are array-native and never pay the copy.
+    arr:
+        Read-only ``np.uint8`` view of the stored image — what the
+        vectorized scheme write paths operate on.
     meta:
         Scheme metadata bits (uint8 0/1 vector); contents are scheme-defined.
     counter:
@@ -45,21 +48,47 @@ class StoredLine:
         plaintext per section 2.4.
     """
 
-    data: bytes
-    meta: np.ndarray = field(default_factory=lambda: make_meta(0))
-    counter: int = 0
+    __slots__ = ("_data", "arr", "meta", "counter")
 
-    def __post_init__(self) -> None:
-        self.data = bytes(self.data)
-        self.meta = np.asarray(self.meta, dtype=np.uint8)
+    def __init__(
+        self,
+        data: bytes | np.ndarray,
+        meta: np.ndarray | None = None,
+        counter: int = 0,
+    ) -> None:
+        if isinstance(data, np.ndarray):
+            arr = data.astype(np.uint8, copy=False)
+            arr.setflags(write=False)
+            self._data: bytes | None = None
+            self.arr = arr
+        else:
+            self._data = bytes(data)
+            # bytes own an immutable buffer: this view is free and read-only.
+            self.arr = np.frombuffer(self._data, dtype=np.uint8)
+        self.meta = (
+            np.asarray(meta, dtype=np.uint8) if meta is not None else make_meta(0)
+        )
+        self.counter = counter
+
+    @property
+    def data(self) -> bytes:
+        if self._data is None:
+            self._data = self.arr.tobytes()
+        return self._data
 
     @property
     def n_data_bits(self) -> int:
-        return 8 * len(self.data)
+        return 8 * int(self.arr.size)
 
     @property
     def n_meta_bits(self) -> int:
         return int(self.meta.size)
 
+    def __repr__(self) -> str:
+        return (
+            f"StoredLine(data={self.data!r}, meta={self.meta!r}, "
+            f"counter={self.counter})"
+        )
+
     def copy(self) -> "StoredLine":
-        return StoredLine(self.data, self.meta.copy(), self.counter)
+        return StoredLine(self.arr, self.meta.copy(), self.counter)

@@ -21,10 +21,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.memory import bitops
-from repro.memory.line import StoredLine, meta_flips
+from repro.memory.line import StoredLine
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteOutcome:
     """Everything observable about one writeback's effect on the PCM cells.
 
@@ -183,16 +183,21 @@ class WriteScheme(ABC):
         as flips, because PCM never rewrites a cell that already holds the
         target value (section 1, [7]).
         """
-        data_positions = bitops.flipped_positions(old.data, new.data)
-        meta_positions = np.nonzero(old.meta != new.meta)[0]
-        sets, resets = bitops.directional_flips(old.data, new.data)
+        # Dense diff: at 64 bytes, one unpackbits beats the sparse kernel's
+        # extra numpy dispatches, and the xor is reused for the SET count
+        # ((a ^ b) & b selects exactly the 0->1 transitions).
+        diff = old.arr ^ new.arr
+        data_positions = np.unpackbits(diff).nonzero()[0]
+        n_data = int(data_positions.size)
+        sets = int(bitops.byte_popcounts(diff & new.arr).sum()) if n_data else 0
+        meta_positions = (old.meta != new.meta).nonzero()[0]
         return WriteOutcome(
             address=address,
-            data_flips=int(data_positions.size),
-            metadata_flips=meta_flips(old.meta, new.meta),
+            data_flips=n_data,
+            metadata_flips=int(meta_positions.size),
             set_flips=sets,
-            reset_flips=resets,
+            reset_flips=n_data - sets,
             flipped_data_positions=data_positions,
-            flipped_meta_positions=meta_positions.astype(np.int64),
+            flipped_meta_positions=meta_positions,
             **extra,  # type: ignore[arg-type]
         )

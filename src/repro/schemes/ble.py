@@ -9,6 +9,8 @@ the coarseness DEUCE's 2-byte tracking removes.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.crypto.pads import PAD_BLOCK_BYTES, PadSource
 from repro.memory import bitops
 from repro.memory.line import StoredLine, make_meta
@@ -46,57 +48,62 @@ class BlockLevelEncryption(WriteScheme):
         """The per-block counters of a line (read-only copy)."""
         return list(self._block_counters[address])
 
-    def _block_pad(self, address: int, counter: int, block: int) -> bytes:
-        return self.pads.pad_block(address, counter, block)
+    def _block_pad(self, address: int, counter: int, block: int) -> np.ndarray:
+        return np.frombuffer(
+            self.pads.pad_block(address, counter, block), dtype=np.uint8
+        )
+
+    def _line_pad(self, address: int, counters: list[int]) -> np.ndarray:
+        """Concatenated per-block pads under each block's own counter."""
+        pad = np.empty(self.line_bytes, dtype=np.uint8)
+        for b in range(self.n_blocks):
+            lo = b * self.block_bytes
+            pad[lo: lo + self.block_bytes] = self._block_pad(
+                address, counters[b], b
+            )
+        return pad
 
     def _install(self, address: int, plaintext: bytes) -> StoredLine:
         counters = [0] * self.n_blocks
         self._block_counters[address] = counters
-        stored = b"".join(
-            bitops.xor(
-                plaintext[b * self.block_bytes: (b + 1) * self.block_bytes],
-                self._block_pad(address, 0, b),
-            )
-            for b in range(self.n_blocks)
-        )
+        stored = bitops.as_array(plaintext) ^ self._line_pad(address, counters)
         return StoredLine(stored, make_meta(0), 0)
 
-    def read(self, address: int) -> bytes:
+    def _read_array(self, address: int) -> np.ndarray:
         line = self._lines[address]
         counters = self._block_counters[address]
-        return b"".join(
-            bitops.xor(
-                line.data[b * self.block_bytes: (b + 1) * self.block_bytes],
-                self._block_pad(address, counters[b], b),
-            )
-            for b in range(self.n_blocks)
-        )
+        return line.arr ^ self._line_pad(address, counters)
+
+    def read(self, address: int) -> bytes:
+        return bitops.to_bytes(self._read_array(address))
 
     def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
         old = self._lines[address]
-        old_plain = self.read(address)
+        old_plain = self._read_array(address)
+        new_plain = bitops.as_array(plaintext)
         counters = self._block_counters[address]
 
-        stored = bytearray(old.data)
-        blocks_reencrypted = 0
-        for b in range(self.n_blocks):
+        changed = np.nonzero(
+            (old_plain != new_plain)
+            .reshape(self.n_blocks, self.block_bytes)
+            .any(axis=1)
+        )[0]
+        stored = old.arr.copy()
+        for b in changed:
+            counters[b] += 1
             lo = b * self.block_bytes
             hi = lo + self.block_bytes
-            if plaintext[lo:hi] == old_plain[lo:hi]:
-                continue
-            counters[b] += 1
-            stored[lo:hi] = bitops.xor(
-                plaintext[lo:hi], self._block_pad(address, counters[b], b)
+            stored[lo:hi] = new_plain[lo:hi] ^ self._block_pad(
+                address, counters[b], b
             )
-            blocks_reencrypted += 1
 
-        new = StoredLine(bytes(stored), make_meta(0), old.counter + 1)
+        new = StoredLine(stored, make_meta(0), old.counter + 1)
         self._lines[address] = new
         return self._outcome(
             address,
             old,
             new,
-            words_reencrypted=blocks_reencrypted,
-            full_line_reencrypted=(blocks_reencrypted == self.n_blocks),
+            words_reencrypted=int(changed.size),
+            full_line_reencrypted=(changed.size == self.n_blocks),
             mode="ble",
         )

@@ -67,12 +67,14 @@ class BleDeuce(WriteScheme):
 
     # -- per-block helpers ----------------------------------------------------
 
-    def _block_pad(self, address: int, counter: int, block: int) -> bytes:
-        return self.pads.pad_block(address, counter, block)
+    def _block_pad(self, address: int, counter: int, block: int) -> np.ndarray:
+        return np.frombuffer(
+            self.pads.pad_block(address, counter, block), dtype=np.uint8
+        )
 
-    def _block_slice(self, data: bytes, block: int) -> bytes:
+    def _block_slice(self, arr: np.ndarray, block: int) -> np.ndarray:
         lo = block * self.block_bytes
-        return data[lo: lo + self.block_bytes]
+        return arr[lo: lo + self.block_bytes]
 
     def _block_meta(self, meta: np.ndarray, block: int) -> np.ndarray:
         lo = block * self.words_per_block
@@ -80,58 +82,61 @@ class BleDeuce(WriteScheme):
 
     def _mixed_block_pad(
         self, address: int, block: int, counter: int, modified: np.ndarray
-    ) -> bytes:
+    ) -> np.ndarray:
         """DEUCE's per-word pad mux, scoped to one AES block."""
         tctr = counter & self._epoch_mask
-        lead = self._block_pad(address, counter, block)
         if counter == tctr or not modified.any():
-            return lead if counter == tctr else self._block_pad(
-                address, tctr, block
+            return self._block_pad(
+                address, counter if counter == tctr else tctr, block
             )
+        lead = self._block_pad(address, counter, block)
         trail = self._block_pad(address, tctr, block)
-        out = bytearray(self.block_bytes)
-        for w in range(self.words_per_block):
-            lo = w * self.word_bytes
-            hi = lo + self.word_bytes
-            out[lo:hi] = lead[lo:hi] if modified[w] else trail[lo:hi]
-        return bytes(out)
+        byte_mask = np.repeat(modified.astype(bool), self.word_bytes)
+        return np.where(byte_mask, lead, trail)
 
     # -- lifecycle ---------------------------------------------------------------
 
     def _install(self, address: int, plaintext: bytes) -> StoredLine:
         self._block_counters[address] = [0] * self.n_blocks
-        stored = b"".join(
-            bitops.xor(
-                self._block_slice(plaintext, b), self._block_pad(address, 0, b)
-            )
-            for b in range(self.n_blocks)
-        )
+        plain = bitops.as_array(plaintext)
+        stored = np.empty(self.line_bytes, dtype=np.uint8)
+        for b in range(self.n_blocks):
+            self._block_slice(stored, b)[:] = self._block_slice(
+                plain, b
+            ) ^ self._block_pad(address, 0, b)
         return StoredLine(stored, np.zeros(self.n_words, dtype=np.uint8), 0)
 
-    def read(self, address: int) -> bytes:
+    def _read_array(self, address: int) -> np.ndarray:
         line = self._lines[address]
         counters = self._block_counters[address]
-        parts = []
+        plain = np.empty(self.line_bytes, dtype=np.uint8)
         for b in range(self.n_blocks):
             pad = self._mixed_block_pad(
                 address, b, counters[b], self._block_meta(line.meta, b)
             )
-            parts.append(bitops.xor(self._block_slice(line.data, b), pad))
-        return b"".join(parts)
+            self._block_slice(plain, b)[:] = self._block_slice(line.arr, b) ^ pad
+        return plain
+
+    def read(self, address: int) -> bytes:
+        return bitops.to_bytes(self._read_array(address))
 
     def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
         old = self._lines[address]
-        old_plain = self.read(address)
+        old_plain = self._read_array(address)
+        new_plain = bitops.as_array(plaintext)
         counters = self._block_counters[address]
 
-        stored = bytearray(old.data)
+        changed_blocks = np.nonzero(
+            (old_plain != new_plain)
+            .reshape(self.n_blocks, self.block_bytes)
+            .any(axis=1)
+        )[0]
+        stored = old.arr.copy()
         meta = old.meta.copy()
         words_reenc = 0
         blocks_full = 0
-        for b in range(self.n_blocks):
-            new_block = self._block_slice(plaintext, b)
-            if new_block == self._block_slice(old_plain, b):
-                continue
+        for b in changed_blocks:
+            new_block = self._block_slice(new_plain, b)
             counters[b] += 1
             counter = counters[b]
             block_meta = self._block_meta(meta, b)
@@ -141,16 +146,15 @@ class BleDeuce(WriteScheme):
                 blocks_full += 1
                 words_reenc += self.words_per_block
             else:
-                newly = bitops.changed_words(
+                newly = bitops.changed_words_array(
                     self._block_slice(old_plain, b), new_block, self.word_bytes
                 )
                 block_meta[newly] = 1
                 pad = self._mixed_block_pad(address, b, counter, block_meta)
                 words_reenc += int(block_meta.sum())
-            lo = b * self.block_bytes
-            stored[lo: lo + self.block_bytes] = bitops.xor(new_block, pad)
+            self._block_slice(stored, b)[:] = new_block ^ pad
 
-        new = StoredLine(bytes(stored), meta, old.counter + 1)
+        new = StoredLine(stored, meta, old.counter + 1)
         self._lines[address] = new
         return self._outcome(
             address,

@@ -8,6 +8,8 @@ the plaintext changed — exactly the write overhead DEUCE attacks.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.crypto.pads import PadSource
 from repro.memory import bitops
 from repro.memory.line import StoredLine, make_meta
@@ -32,17 +34,18 @@ class EncryptedDCW(WriteScheme):
     def metadata_bits_per_line(self) -> int:
         return 0
 
-    def _pad(self, address: int, counter: int) -> bytes:
-        return self.pads.line_pad(address, counter, self.line_bytes)
+    def _pad(self, address: int, counter: int) -> np.ndarray:
+        return self.pads.line_pad_array(address, counter, self.line_bytes)
 
     def _install(self, address: int, plaintext: bytes) -> StoredLine:
-        return StoredLine(bitops.xor(plaintext, self._pad(address, 0)), make_meta(0), 0)
+        stored = bitops.as_array(plaintext) ^ self._pad(address, 0)
+        return StoredLine(stored, make_meta(0), 0)
 
     def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
         old = self._lines[address]
         counter = old.counter + 1
         new = StoredLine(
-            bitops.xor(plaintext, self._pad(address, counter)),
+            bitops.as_array(plaintext) ^ self._pad(address, counter),
             make_meta(0),
             counter,
         )
@@ -53,4 +56,4 @@ class EncryptedDCW(WriteScheme):
 
     def read(self, address: int) -> bytes:
         line = self._lines[address]
-        return bitops.xor(line.data, self._pad(address, line.counter))
+        return bitops.to_bytes(line.arr ^ self._pad(address, line.counter))

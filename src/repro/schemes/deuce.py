@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.crypto.ctr import mix_pads
+from repro.crypto.ctr import mix_pads_array
 from repro.crypto.pads import PadSource
 from repro.memory import bitops
 from repro.memory.line import StoredLine
@@ -79,6 +79,11 @@ class Deuce(WriteScheme):
         self.n_words = line_bytes // word_bytes
         self.epoch_interval = _check_epoch_interval(epoch_interval)
         self._epoch_mask = ~(epoch_interval - 1)
+        # Plaintext memo: the simulator's stand-in for the controller's
+        # read-before-write (4.3.2).  Decryption through read() stays fully
+        # functional; the memo only spares the write path re-deriving a
+        # plaintext it wrote itself.
+        self._plain: dict[int, np.ndarray] = {}
 
     # -- counters -----------------------------------------------------------
 
@@ -94,90 +99,102 @@ class Deuce(WriteScheme):
 
     # -- pads ----------------------------------------------------------------
 
-    def _pad(self, address: int, counter: int) -> bytes:
-        return self.pads.line_pad(address, counter, self.line_bytes)
+    def _pad(self, address: int, counter: int) -> np.ndarray:
+        """The full-line pad for (address, counter) as a uint8 array."""
+        return self.pads.line_pad_array(address, counter, self.line_bytes)
 
-    def _effective_pad(self, address: int, line: StoredLine) -> bytes:
+    def _effective_pad(self, address: int, line: StoredLine) -> np.ndarray:
         """The per-word-muxed pad for the line's current state (Figure 7)."""
         lctr = self.leading_counter(line)
         tctr = self.trailing_counter(line)
-        modified = [bool(b) for b in line.meta]
-        if lctr == tctr or not any(modified):
+        if lctr == tctr or not line.meta.any():
             return self._pad(address, lctr if lctr == tctr else tctr)
-        return mix_pads(
+        return mix_pads_array(
             self._pad(address, lctr),
             self._pad(address, tctr),
-            modified,
+            line.meta,
             self.word_bytes,
         )
 
     # -- lifecycle -----------------------------------------------------------
 
     def _install(self, address: int, plaintext: bytes) -> StoredLine:
-        stored = bitops.xor(plaintext, self._pad(address, 0))
+        plain = bitops.as_array(plaintext)
+        self._plain[address] = plain
+        stored = plain ^ self._pad(address, 0)
         return StoredLine(stored, np.zeros(self.n_words, dtype=np.uint8), 0)
 
     def read(self, address: int) -> bytes:
         line = self._lines[address]
-        return bitops.xor(line.data, self._effective_pad(address, line))
+        return bitops.to_bytes(line.arr ^ self._effective_pad(address, line))
 
     def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
         old = self._lines[address]
-        old_plain = self.read(address)  # the read-before-write of 4.3.2
+        # The read-before-write of 4.3.2: decrypt unless memoized.
+        old_plain = self._plain.get(address)
+        if old_plain is None:
+            old_plain = old.arr ^ self._effective_pad(address, old)
         counter = old.counter + 1
+        new_plain = bitops.as_array(plaintext)
 
         if counter % self.epoch_interval == 0:
-            new = self._epoch_write(address, plaintext, counter)
-            outcome = self._outcome(
-                address,
-                old,
-                new,
-                words_reencrypted=self.n_words,
-                full_line_reencrypted=True,
-                mode="deuce",
-            )
+            new = self._epoch_write(address, new_plain, counter)
+            n_reenc, full = self.n_words, True
         else:
             new, n_reenc = self._partial_write(
-                address, old, old_plain, plaintext, counter
+                address, old, old_plain, new_plain, counter
             )
-            outcome = self._outcome(
-                address,
-                old,
-                new,
-                words_reencrypted=n_reenc,
-                full_line_reencrypted=False,
-                mode="deuce",
-            )
+            full = False
         self._lines[address] = new
-        return outcome
+        self._plain[address] = new_plain
+        return self._outcome(
+            address,
+            old,
+            new,
+            words_reencrypted=n_reenc,
+            full_line_reencrypted=full,
+            mode="deuce",
+        )
 
     def _epoch_write(
-        self, address: int, plaintext: bytes, counter: int
+        self, address: int, new_plain: np.ndarray, counter: int
     ) -> StoredLine:
         """Epoch start: full re-encryption, modified bits reset."""
-        stored = bitops.xor(plaintext, self._pad(address, counter))
+        stored = new_plain ^ self._pad(address, counter)
         return StoredLine(stored, np.zeros(self.n_words, dtype=np.uint8), counter)
 
     def _partial_write(
         self,
         address: int,
         old: StoredLine,
-        old_plain: bytes,
-        plaintext: bytes,
+        old_plain: np.ndarray,
+        new_plain: np.ndarray,
         counter: int,
     ) -> tuple[StoredLine, int]:
-        """Mid-epoch write: re-encrypt the epoch's modified-word set."""
-        newly_modified = bitops.changed_words(old_plain, plaintext, self.word_bytes)
-        meta = old.meta.copy()
-        meta[newly_modified] = 1
+        """Mid-epoch write: re-encrypt the epoch's modified-word set.
 
-        modified = [bool(b) for b in meta]
-        tctr = counter & self._epoch_mask
-        pad = mix_pads(
-            self._pad(address, counter),
-            self._pad(address, tctr),
-            modified,
-            self.word_bytes,
-        )
-        stored = bitops.xor(plaintext, pad)
-        return StoredLine(stored, meta, counter), int(sum(modified))
+        Words outside the modified set keep their TCTR-encrypted cell image
+        byte-for-byte (mid-epoch, the trailing counter is unchanged and so
+        is their data), so only the leading-counter pad is ever generated —
+        the stored image is the old one with the modified words overwritten
+        by ``plaintext ^ LCTR-pad``.
+        """
+        reenc = new_plain ^ self._pad(address, counter)
+        dtype = bitops.WORD_DTYPES.get(self.word_bytes)
+        if dtype is not None and old.arr.flags.c_contiguous:
+            # Wide-dtype fast path: word compare, meta merge, and stored-word
+            # selection each as one whole-word operation.
+            changed = old_plain.view(dtype) != new_plain.view(dtype)
+            meta = old.meta | changed
+            stored = np.where(
+                meta.view(np.bool_), reenc.view(dtype), old.arr.view(dtype)
+            ).view(np.uint8)
+        else:
+            newly_modified = bitops.changed_words_array(
+                old_plain, new_plain, self.word_bytes
+            )
+            meta = old.meta.copy()
+            meta[newly_modified] = 1
+            byte_mask = np.repeat(meta.view(np.bool_), self.word_bytes)
+            stored = np.where(byte_mask, reenc, old.arr)
+        return StoredLine(stored, meta, counter), int(np.count_nonzero(meta))

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.crypto.ctr import mix_pads
+from repro.crypto.ctr import mix_pads_array
 from repro.crypto.pads import PadSource
 from repro.memory import bitops
 from repro.memory.line import StoredLine
@@ -69,59 +69,65 @@ class DeuceFnw(WriteScheme):
 
     # -- pads -------------------------------------------------------------------
 
-    def _pad(self, address: int, counter: int) -> bytes:
-        return self.pads.line_pad(address, counter, self.line_bytes)
+    def _pad(self, address: int, counter: int) -> np.ndarray:
+        return self.pads.line_pad_array(address, counter, self.line_bytes)
 
     def _mixed_pad(
         self, address: int, counter: int, modified: np.ndarray
-    ) -> bytes:
+    ) -> np.ndarray:
         tctr = counter & self._epoch_mask
         if counter == tctr or not modified.any():
             return self._pad(address, counter if counter == tctr else tctr)
-        return mix_pads(
+        return mix_pads_array(
             self._pad(address, counter),
             self._pad(address, tctr),
-            [bool(b) for b in modified],
+            modified,
             self.word_bytes,
         )
 
     # -- lifecycle ----------------------------------------------------------------
 
     def _install(self, address: int, plaintext: bytes) -> StoredLine:
-        stored = bitops.xor(plaintext, self._pad(address, 0))
+        stored = bitops.as_array(plaintext) ^ self._pad(address, 0)
         meta = self._make_meta(
             np.zeros(self.n_words, dtype=np.uint8),
             self.codec.fresh_flip_bits(),
         )
         return StoredLine(stored, meta, 0)
 
-    def read(self, address: int) -> bytes:
+    def _read_array(self, address: int) -> np.ndarray:
         line = self._lines[address]
-        ciphertext = self.codec.decode(line.data, self._flip_bits(line.meta))
+        ciphertext = self.codec.decode_array(
+            line.arr, self._flip_bits(line.meta)
+        )
         pad = self._mixed_pad(address, line.counter, self._modified(line.meta))
-        return bitops.xor(ciphertext, pad)
+        return ciphertext ^ pad
+
+    def read(self, address: int) -> bytes:
+        return bitops.to_bytes(self._read_array(address))
 
     # -- write path ------------------------------------------------------------------
 
     def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
         old = self._lines[address]
-        old_plain = self.read(address)
+        old_plain = self._read_array(address)
+        new_plain = bitops.as_array(plaintext)
         counter = old.counter + 1
 
         if counter % self.epoch_interval == 0:
             modified = np.zeros(self.n_words, dtype=np.uint8)
             full = True
         else:
-            newly = bitops.changed_words(old_plain, plaintext, self.word_bytes)
+            newly = bitops.changed_words_array(
+                old_plain, new_plain, self.word_bytes
+            )
             modified = self._modified(old.meta).copy()
             modified[newly] = 1
             full = False
 
-        ciphertext = bitops.xor(
-            plaintext, self._mixed_pad(address, counter, modified)
-        )
-        stored, flip_bits = self.codec.encode(
-            old.data, self._flip_bits(old.meta), ciphertext
+        ciphertext = new_plain ^ self._mixed_pad(address, counter, modified)
+        stored, flip_bits = self.codec.encode_array(
+            old.arr, self._flip_bits(old.meta), ciphertext
         )
         new = StoredLine(stored, self._make_meta(modified, flip_bits), counter)
         self._lines[address] = new

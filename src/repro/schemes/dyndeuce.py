@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.crypto.ctr import mix_pads
+from repro.crypto.ctr import mix_pads_array
 from repro.crypto.pads import PadSource
 from repro.memory import bitops
 from repro.memory.line import StoredLine
@@ -87,46 +87,47 @@ class DynDeuce(WriteScheme):
 
     # -- pads ------------------------------------------------------------------
 
-    def _pad(self, address: int, counter: int) -> bytes:
-        return self.pads.line_pad(address, counter, self.line_bytes)
+    def _pad(self, address: int, counter: int) -> np.ndarray:
+        return self.pads.line_pad_array(address, counter, self.line_bytes)
 
     def _deuce_pad(
         self, address: int, counter: int, tracking: np.ndarray
-    ) -> bytes:
+    ) -> np.ndarray:
         tctr = counter & self._epoch_mask
         if counter == tctr or not tracking.any():
             return self._pad(address, counter if counter == tctr else tctr)
-        return mix_pads(
+        return mix_pads_array(
             self._pad(address, counter),
             self._pad(address, tctr),
-            [bool(b) for b in tracking],
+            tracking,
             self.word_bytes,
         )
 
     # -- lifecycle ---------------------------------------------------------------
 
     def _install(self, address: int, plaintext: bytes) -> StoredLine:
-        stored = bitops.xor(plaintext, self._pad(address, 0))
+        stored = bitops.as_array(plaintext) ^ self._pad(address, 0)
         meta = self._make_meta(
             np.zeros(self.n_words, dtype=np.uint8), MODE_DEUCE
         )
         return StoredLine(stored, meta, 0)
 
-    def read(self, address: int) -> bytes:
+    def _read_array(self, address: int) -> np.ndarray:
         line = self._lines[address]
         tracking = self._tracking(line.meta)
         if self._mode(line.meta) == MODE_FNW:
-            ciphertext = self.codec.decode(line.data, tracking)
-            return bitops.xor(ciphertext, self._pad(address, line.counter))
-        return bitops.xor(
-            line.data, self._deuce_pad(address, line.counter, tracking)
-        )
+            ciphertext = self.codec.decode_array(line.arr, tracking)
+            return ciphertext ^ self._pad(address, line.counter)
+        return line.arr ^ self._deuce_pad(address, line.counter, tracking)
+
+    def read(self, address: int) -> bytes:
+        return bitops.to_bytes(self._read_array(address))
 
     # -- write path -----------------------------------------------------------------
 
     def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
         old = self._lines[address]
-        old_plain = self.read(address)
+        old_plain = self._read_array(address)
         counter = old.counter + 1
 
         if counter % self.epoch_interval == 0:
@@ -167,7 +168,7 @@ class DynDeuce(WriteScheme):
     def _epoch_write(
         self, address: int, plaintext: bytes, counter: int
     ) -> StoredLine:
-        stored = bitops.xor(plaintext, self._pad(address, counter))
+        stored = bitops.as_array(plaintext) ^ self._pad(address, counter)
         meta = self._make_meta(
             np.zeros(self.n_words, dtype=np.uint8), MODE_DEUCE
         )
@@ -176,9 +177,9 @@ class DynDeuce(WriteScheme):
     def _fnw_write(
         self, address: int, old: StoredLine, plaintext: bytes, counter: int
     ) -> StoredLine:
-        ciphertext = bitops.xor(plaintext, self._pad(address, counter))
-        stored, flip_bits = self.codec.encode(
-            old.data, self._tracking(old.meta), ciphertext
+        ciphertext = bitops.as_array(plaintext) ^ self._pad(address, counter)
+        stored, flip_bits = self.codec.encode_array(
+            old.arr, self._tracking(old.meta), ciphertext
         )
         return StoredLine(stored, self._make_meta(flip_bits, MODE_FNW), counter)
 
@@ -186,22 +187,24 @@ class DynDeuce(WriteScheme):
         self,
         address: int,
         old: StoredLine,
-        old_plain: bytes,
+        old_plain: np.ndarray,
         plaintext: bytes,
         counter: int,
     ) -> StoredLine:
-        newly = bitops.changed_words(old_plain, plaintext, self.word_bytes)
+        newly = bitops.changed_words_array(
+            old_plain, bitops.as_array(plaintext), self.word_bytes
+        )
         tracking = self._tracking(old.meta).copy()
         tracking[newly] = 1
         pad = self._deuce_pad(address, counter, tracking)
-        stored = bitops.xor(plaintext, pad)
+        stored = bitops.as_array(plaintext) ^ pad
         return StoredLine(stored, self._make_meta(tracking, MODE_DEUCE), counter)
 
     def _choose_write(
         self,
         address: int,
         old: StoredLine,
-        old_plain: bytes,
+        old_plain: np.ndarray,
         plaintext: bytes,
         counter: int,
     ) -> tuple[StoredLine, str, int]:
@@ -219,6 +222,6 @@ class DynDeuce(WriteScheme):
 
     @staticmethod
     def _cost(old: StoredLine, new: StoredLine) -> int:
-        return bitops.bit_flips(old.data, new.data) + int(
+        return bitops.bit_flips_array(old.arr, new.arr) + int(
             np.count_nonzero(old.meta != new.meta)
         )

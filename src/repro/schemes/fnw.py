@@ -47,6 +47,38 @@ class FnwCodec:
         self.group_bytes = group_bits // 8
         self.n_groups = (line_bytes * 8) // group_bits
 
+    def encode_array(
+        self,
+        old_arr: np.ndarray,
+        old_flip_bits: np.ndarray,
+        tgt_arr: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Array-native :meth:`encode` over uint8 line images.
+
+        For every group, compares the cost (data flips + flip-bit flip) of
+        storing the group plain versus inverted, relative to what the cells
+        currently hold.  Ties keep the current flip bit so metadata does not
+        churn needlessly.
+
+        Returns the new stored array and the new flip-bit vector.
+        """
+        inv_arr = ~tgt_arr
+
+        per_byte = bitops.byte_popcounts(old_arr ^ tgt_arr)
+        dist_plain = per_byte.reshape(self.n_groups, -1).sum(axis=1)
+        # Inverting a group complements its per-byte distances, so the
+        # inverted distance is group_bits minus the plain distance.
+        dist_inv = self.group_bits - dist_plain
+
+        cost_plain = dist_plain + (old_flip_bits == 1)
+        cost_inv = dist_inv + (old_flip_bits == 0)
+        use_inverted = cost_inv < cost_plain
+
+        new_flip_bits = use_inverted.astype(np.uint8)
+        group_mask = np.repeat(use_inverted, self.group_bytes)
+        new_stored = np.where(group_mask, inv_arr, tgt_arr)
+        return new_stored, new_flip_bits
+
     def encode(
         self,
         old_stored: bytes,
@@ -55,38 +87,30 @@ class FnwCodec:
     ) -> tuple[bytes, np.ndarray]:
         """Choose the cheapest stored representation of ``target``.
 
-        For every group, compares the cost (data flips + flip-bit flip) of
-        storing the group plain versus inverted, relative to what the cells
-        currently hold.  Ties keep the current flip bit so metadata does not
-        churn needlessly.
-
-        Returns the new stored bytes and the new flip-bit vector.
+        Byte-string front end over :meth:`encode_array`; returns the new
+        stored bytes and the new flip-bit vector.
         """
         self._check(old_stored, old_flip_bits, target)
-        old_arr = np.frombuffer(old_stored, dtype=np.uint8)
-        tgt_arr = np.frombuffer(target, dtype=np.uint8)
-        inv_arr = (~tgt_arr).astype(np.uint8)
+        stored, flip_bits = self.encode_array(
+            np.frombuffer(old_stored, dtype=np.uint8),
+            old_flip_bits,
+            np.frombuffer(target, dtype=np.uint8),
+        )
+        return bitops.to_bytes(stored), flip_bits
 
-        per_byte_plain = bitops.POPCOUNT8[old_arr ^ tgt_arr]
-        per_byte_inv = bitops.POPCOUNT8[old_arr ^ inv_arr]
-        dist_plain = per_byte_plain.reshape(self.n_groups, -1).sum(axis=1)
-        dist_inv = per_byte_inv.reshape(self.n_groups, -1).sum(axis=1)
-
-        cost_plain = dist_plain + (old_flip_bits == 1)
-        cost_inv = dist_inv + (old_flip_bits == 0)
-        use_inverted = cost_inv < cost_plain
-
-        new_flip_bits = use_inverted.astype(np.uint8)
-        group_mask = np.repeat(use_inverted, self.group_bytes)
-        new_stored = np.where(group_mask, inv_arr, tgt_arr).astype(np.uint8)
-        return new_stored.tobytes(), new_flip_bits
+    def decode_array(
+        self, arr: np.ndarray, flip_bits: np.ndarray
+    ) -> np.ndarray:
+        """Array-native :meth:`decode`."""
+        group_mask = np.repeat(flip_bits.astype(bool), self.group_bytes)
+        return np.where(group_mask, ~arr, arr)
 
     def decode(self, stored: bytes, flip_bits: np.ndarray) -> bytes:
         """Recover the logical line from its stored representation."""
         self._check(stored, flip_bits, stored)
-        arr = np.frombuffer(stored, dtype=np.uint8)
-        group_mask = np.repeat(flip_bits.astype(bool), self.group_bytes)
-        return np.where(group_mask, (~arr).astype(np.uint8), arr).tobytes()
+        return bitops.to_bytes(
+            self.decode_array(np.frombuffer(stored, dtype=np.uint8), flip_bits)
+        )
 
     def fresh_flip_bits(self) -> np.ndarray:
         return make_meta(self.n_groups)
@@ -121,14 +145,16 @@ class PlainFNW(WriteScheme):
 
     def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
         old = self._lines[address]
-        stored, flip_bits = self.codec.encode(old.data, old.meta, plaintext)
+        stored, flip_bits = self.codec.encode_array(
+            old.arr, old.meta, bitops.as_array(plaintext)
+        )
         new = StoredLine(stored, flip_bits, old.counter + 1)
         self._lines[address] = new
         return self._outcome(address, old, new)
 
     def read(self, address: int) -> bytes:
         line = self._lines[address]
-        return self.codec.decode(line.data, line.meta)
+        return bitops.to_bytes(self.codec.decode_array(line.arr, line.meta))
 
 
 class EncryptedFNW(WriteScheme):
@@ -157,18 +183,20 @@ class EncryptedFNW(WriteScheme):
     def metadata_bits_per_line(self) -> int:
         return self.codec.n_groups
 
-    def _pad(self, address: int, counter: int) -> bytes:
-        return self.pads.line_pad(address, counter, self.line_bytes)
+    def _pad(self, address: int, counter: int) -> np.ndarray:
+        return self.pads.line_pad_array(address, counter, self.line_bytes)
 
     def _install(self, address: int, plaintext: bytes) -> StoredLine:
-        ciphertext = bitops.xor(plaintext, self._pad(address, 0))
+        ciphertext = bitops.as_array(plaintext) ^ self._pad(address, 0)
         return StoredLine(ciphertext, self.codec.fresh_flip_bits(), 0)
 
     def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
         old = self._lines[address]
         counter = old.counter + 1
-        ciphertext = bitops.xor(plaintext, self._pad(address, counter))
-        stored, flip_bits = self.codec.encode(old.data, old.meta, ciphertext)
+        ciphertext = bitops.as_array(plaintext) ^ self._pad(address, counter)
+        stored, flip_bits = self.codec.encode_array(
+            old.arr, old.meta, ciphertext
+        )
         new = StoredLine(stored, flip_bits, counter)
         self._lines[address] = new
         return self._outcome(
@@ -177,5 +205,5 @@ class EncryptedFNW(WriteScheme):
 
     def read(self, address: int) -> bytes:
         line = self._lines[address]
-        ciphertext = self.codec.decode(line.data, line.meta)
-        return bitops.xor(ciphertext, self._pad(address, line.counter))
+        ciphertext = self.codec.decode_array(line.arr, line.meta)
+        return bitops.to_bytes(ciphertext ^ self._pad(address, line.counter))

@@ -53,6 +53,9 @@ class SimConfig:
     track_per_line_wear:
         Keep the full (line, bit) wear matrix (needed for exact hottest-
         cell queries; the per-position aggregate is always kept).
+    pad_cache_lines:
+        Capacity (in cached line pads) of the LRU pad cache wrapped around
+        the pad source; ``0`` disables caching.
     """
 
     workload: str
@@ -69,6 +72,7 @@ class SimConfig:
     gap_write_interval: int = 100
     hwl_region_lines: int | None = None
     track_per_line_wear: bool = False
+    pad_cache_lines: int = 1024
 
     def with_(self, **changes: object) -> "SimConfig":
         """A modified copy (dataclasses.replace convenience)."""

@@ -19,6 +19,7 @@ from repro.analysis.tables import render_table
 from repro.perf.energy import EnergyConfig, energy_report
 from repro.perf.system import CoreConfig, simulate_execution
 from repro.sim.config import SimConfig
+from repro.sim.parallel import run_suite_parallel
 from repro.sim.results import RunResult
 from repro.sim.runner import run
 from repro.workloads.profiles import (
@@ -84,22 +85,38 @@ def _scheme_sweep(
     paper: dict[str, float],
     value: Callable[[RunResult], float] = lambda r: r.avg_flips_pct,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    max_workers: int | None = 1,
 ) -> ExperimentResult:
-    """Shared driver: run each scheme over each workload, tabulate a metric."""
+    """Shared driver: run each scheme over each workload, tabulate a metric.
+
+    The (workload, scheme) grid is materialized up front and dispatched
+    through :func:`~repro.sim.parallel.run_suite_parallel`, so
+    ``max_workers > 1`` fans cells out over processes; the default of 1 runs
+    serially in-process.  Results are identical either way.
+    """
     result = ExperimentResult(
         exp_id=exp_id,
         title=title,
         columns=["workload", *schemes],
         paper=paper,
     )
+    cells = [
+        (workload, label, make_config(workload))
+        for workload in workloads
+        for label, make_config in schemes.items()
+    ]
+    runs = run_suite_parallel(
+        [config for _, _, config in cells], max_workers=max_workers
+    )
     sums = dict.fromkeys(schemes, 0.0)
-    for workload in workloads:
-        row: dict[str, object] = {"workload": workload}
-        for label, make_config in schemes.items():
-            v = value(run(make_config(workload)))
-            row[label] = round(v, 2)
-            sums[label] += v
-        result.rows.append(row)
+    rows: dict[str, dict[str, object]] = {
+        workload: {"workload": workload} for workload in workloads
+    }
+    for (workload, label, _), r in zip(cells, runs):
+        v = value(r)
+        rows[workload][label] = round(v, 2)
+        sums[label] += v
+    result.rows = [rows[workload] for workload in workloads]
     result.averages = {
         label: round(total / len(workloads), 2) for label, total in sums.items()
     }
@@ -110,7 +127,7 @@ def _scheme_sweep(
 
 
 def fig5_encryption_overhead(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0
+    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
 ) -> ExperimentResult:
     """Modified bits per write: NoEncr vs Encr under DCW and FNW."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -129,6 +146,7 @@ def fig5_encryption_overhead(
             "Encr-DCW": PAPER_TARGETS["avg_dcw_encr_pct"],
             "Encr-FNW": PAPER_TARGETS["avg_fnw_encr_pct"],
         },
+        max_workers=max_workers,
     )
 
 
@@ -154,7 +172,7 @@ def table2_workloads() -> ExperimentResult:
 
 
 def fig8_word_size(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0
+    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
 ) -> ExperimentResult:
     """DEUCE modified bits vs tracking granularity (1/2/4/8 bytes)."""
     mk = lambda wb: lambda wl: SimConfig(
@@ -170,6 +188,7 @@ def fig8_word_size(
             "4B": PAPER_TARGETS["deuce_word4_pct"],
             "8B": PAPER_TARGETS["deuce_word8_pct"],
         },
+        max_workers=max_workers,
     )
 
 
@@ -177,7 +196,7 @@ def fig8_word_size(
 
 
 def fig9_epoch_interval(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0
+    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
 ) -> ExperimentResult:
     """DEUCE modified bits vs epoch interval (8/16/32)."""
     mk = lambda ep: lambda wl: SimConfig(
@@ -192,6 +211,7 @@ def fig9_epoch_interval(
             "epoch16": PAPER_TARGETS["deuce_epoch16_pct"],
             "epoch32": PAPER_TARGETS["deuce_epoch32_pct"],
         },
+        max_workers=max_workers,
     )
 
 
@@ -199,7 +219,7 @@ def fig9_epoch_interval(
 
 
 def fig10_scheme_comparison(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0
+    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
 ) -> ExperimentResult:
     """Bit flips across FNW, DEUCE, DynDEUCE, DEUCE+FNW, and NoEncr-FNW."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -220,6 +240,7 @@ def fig10_scheme_comparison(
             "DEUCE+FNW": PAPER_TARGETS["avg_deuce_fnw_pct"],
             "NoEncr-FNW": PAPER_TARGETS["avg_fnw_noencr_pct"],
         },
+        max_workers=max_workers,
     )
 
 
@@ -227,7 +248,7 @@ def fig10_scheme_comparison(
 
 
 def table3_storage_overhead(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0
+    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
 ) -> ExperimentResult:
     """Per-line metadata bits vs average flip reduction."""
     from repro.sim.runner import build_scheme
@@ -243,15 +264,24 @@ def table3_storage_overhead(
             "DEUCE+FNW": PAPER_TARGETS["avg_deuce_fnw_pct"],
         },
     )
-    for label, scheme in (
+    entries = (
         ("FNW", "encr-fnw"),
         ("DEUCE", "deuce"),
         ("DynDEUCE", "dyndeuce"),
         ("DEUCE+FNW", "deuce+fnw"),
-    ):
-        total = 0.0
-        for workload in WORKLOAD_NAMES:
-            total += run(SimConfig(workload, scheme, n_writes, seed)).avg_flips_pct
+    )
+    runs = run_suite_parallel(
+        [
+            SimConfig(workload, scheme, n_writes, seed)
+            for _, scheme in entries
+            for workload in WORKLOAD_NAMES
+        ],
+        max_workers=max_workers,
+    )
+    per_scheme = len(WORKLOAD_NAMES)
+    for i, (label, scheme) in enumerate(entries):
+        chunk = runs[i * per_scheme: (i + 1) * per_scheme]
+        total = sum(r.avg_flips_pct for r in chunk)
         overhead = build_scheme(
             SimConfig(WORKLOAD_NAMES[0], scheme)
         ).metadata_bits_per_line
@@ -259,7 +289,7 @@ def table3_storage_overhead(
             {
                 "scheme": label,
                 "overhead_bits": overhead,
-                "avg_flips_pct": round(total / len(WORKLOAD_NAMES), 2),
+                "avg_flips_pct": round(total / per_scheme, 2),
             }
         )
     return result
@@ -272,6 +302,7 @@ def fig12_bit_position_skew(
     n_writes: int = 3 * DEFAULT_WRITES,
     seed: int = 0,
     workloads: tuple[str, ...] = ("mcf", "libq"),
+    max_workers: int | None = 1,
 ) -> ExperimentResult:
     """Writes per bit position, normalized to the per-position average."""
     result = ExperimentResult(
@@ -283,8 +314,14 @@ def fig12_bit_position_skew(
             "libq": PAPER_TARGETS["skew_libq"],
         },
     )
-    for workload in workloads:
-        r = run(SimConfig(workload, "noencr-dcw", n_writes, seed))
+    runs = run_suite_parallel(
+        [
+            SimConfig(workload, "noencr-dcw", n_writes, seed)
+            for workload in workloads
+        ],
+        max_workers=max_workers,
+    )
+    for workload, r in zip(workloads, runs):
         positions = r.wear.position_writes[: r.line_bits].astype(float)
         mean = positions.mean() or 1.0
         result.rows.append(
@@ -317,8 +354,13 @@ def fig14_lifetime(
     working_set_lines: int = 128,
     hwl_region_lines: int = 16,
     gap_write_interval: int = 1,
+    max_workers: int | None = 1,
 ) -> ExperimentResult:
     """Lifetime of FNW, DEUCE, and DEUCE+HWL normalized to encrypted memory.
+
+    ``max_workers`` is accepted for CLI uniformity but ignored: this
+    exhibit feeds each run an explicitly generated shrunken-working-set
+    trace, so the cells are not expressible as standalone configs.
 
     Uses a compact working set, a small Start-Gap region, and per-write gap
     movement so the Start register sweeps the full line width inside the
@@ -380,7 +422,7 @@ def fig14_lifetime(
 
 
 def fig15_write_slots(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0
+    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
 ) -> ExperimentResult:
     """Average write slots consumed per write request."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -400,6 +442,7 @@ def fig15_write_slots(
             "DEUCE": PAPER_TARGETS["slots_deuce"],
             "NoEncr": PAPER_TARGETS["slots_noencr"],
         },
+        max_workers=max_workers,
     )
 
 
@@ -411,6 +454,7 @@ def fig16_speedup(
     seed: int = 0,
     instructions: int = 1_000_000,
     core: CoreConfig | None = None,
+    max_workers: int | None = 1,
 ) -> ExperimentResult:
     """System speedup over the encrypted-memory baseline."""
     schemes = ("encr-dcw", "encr-fnw", "deuce", "noencr-fnw")
@@ -425,11 +469,19 @@ def fig16_speedup(
         },
     )
     sums = dict.fromkeys(labels.values(), 0.0)
-    for workload in WORKLOAD_NAMES:
+    runs = run_suite_parallel(
+        [
+            SimConfig(workload, scheme, n_writes, seed)
+            for workload in WORKLOAD_NAMES
+            for scheme in schemes
+        ],
+        max_workers=max_workers,
+    )
+    for wi, workload in enumerate(WORKLOAD_NAMES):
         profile = get_profile(workload)
         execs = {}
-        for scheme in schemes:
-            r = run(SimConfig(workload, scheme, n_writes, seed))
+        for si, scheme in enumerate(schemes):
+            r = runs[wi * len(schemes) + si]
             execs[scheme] = simulate_execution(
                 profile,
                 r.slot_histogram,
@@ -460,6 +512,7 @@ def fig17_energy_power_edp(
     seed: int = 0,
     instructions: int = 1_000_000,
     energy_config: EnergyConfig | None = None,
+    max_workers: int | None = 1,
 ) -> ExperimentResult:
     """Speedup, memory energy, memory power, and EDP vs encrypted memory."""
     schemes = {"Encr-FNW": "encr-fnw", "DEUCE": "deuce", "NoEncr-FNW": "noencr-fnw"}
@@ -478,11 +531,20 @@ def fig17_energy_power_edp(
         label: {"speedup": 0.0, "energy": 0.0, "power": 0.0, "edp": 0.0}
         for label in schemes
     }
-    for workload in WORKLOAD_NAMES:
+    cells = {"base": "encr-dcw", **schemes}
+    runs = run_suite_parallel(
+        [
+            SimConfig(workload, scheme, n_writes, seed)
+            for workload in WORKLOAD_NAMES
+            for scheme in cells.values()
+        ],
+        max_workers=max_workers,
+    )
+    for wi, workload in enumerate(WORKLOAD_NAMES):
         profile = get_profile(workload)
         reports = {}
-        for label, scheme in {"base": "encr-dcw", **schemes}.items():
-            r = run(SimConfig(workload, scheme, n_writes, seed))
+        for ci, (label, scheme) in enumerate(cells.items()):
+            r = runs[wi * len(cells) + ci]
             ex = simulate_execution(
                 profile,
                 r.slot_histogram,
@@ -520,7 +582,7 @@ def fig17_energy_power_edp(
 
 
 def fig18_ble(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0
+    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
 ) -> ExperimentResult:
     """Block-Level Encryption vs DEUCE vs their combination."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -533,6 +595,7 @@ def fig18_ble(
             "DEUCE": PAPER_TARGETS["avg_deuce_pct"],
             "BLE+DEUCE": PAPER_TARGETS["avg_ble_deuce_pct"],
         },
+        max_workers=max_workers,
     )
 
 

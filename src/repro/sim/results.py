@@ -34,6 +34,8 @@ class RunResult:
     full_reencryptions: int = 0
     slot_histogram: Counter = field(default_factory=Counter)
     mode_histogram: Counter = field(default_factory=Counter)
+    pad_hits: int = 0
+    pad_misses: int = 0
     wear: WearSummary | None = None
     lifetime: LifetimeReport | None = None
 
@@ -57,6 +59,12 @@ class RunResult:
     @property
     def avg_slots_per_write(self) -> float:
         return self.total_slots / self.n_writes if self.n_writes else 0.0
+
+    @property
+    def pad_hit_rate(self) -> float:
+        """Fraction of pad lookups served by the pad cache (0 when uncached)."""
+        lookups = self.pad_hits + self.pad_misses
+        return self.pad_hits / lookups if lookups else 0.0
 
     @property
     def avg_words_reencrypted(self) -> float:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.crypto.pads import make_pad_source
+from repro.crypto.pads import CachingPadSource, make_pad_source
 from repro.memory.pcm import PcmArray, slots_for_write
 from repro.schemes import ENCRYPTED_SCHEMES, make_scheme
 from repro.schemes.base import WriteScheme
@@ -34,12 +34,18 @@ def cached_trace(
 
 
 def build_scheme(config: SimConfig) -> WriteScheme:
-    """Instantiate the configured write scheme (with pads if encrypted)."""
-    pads = (
-        make_pad_source(config.pad_kind, config.key)
-        if config.scheme in ENCRYPTED_SCHEMES
-        else None
-    )
+    """Instantiate the configured write scheme (with pads if encrypted).
+
+    Encrypted schemes get their pad source wrapped in an LRU
+    :class:`~repro.crypto.pads.CachingPadSource` sized by
+    ``config.pad_cache_lines`` (0 disables), so epoch-boundary re-reads of a
+    hot line's trailing pad hit the cache instead of the cipher.
+    """
+    pads = None
+    if config.scheme in ENCRYPTED_SCHEMES:
+        pads = make_pad_source(config.pad_kind, config.key)
+        if config.pad_cache_lines > 0:
+            pads = CachingPadSource(pads, capacity=config.pad_cache_lines)
     return make_scheme(
         config.scheme,
         pads,
@@ -121,6 +127,10 @@ def run(config: SimConfig, trace: Trace | None = None) -> RunResult:
     result.lifetime = lifetime_report(
         result.wear.position_writes, result.wear.total_writes
     )
+    pads = getattr(scheme, "pads", None)
+    if isinstance(pads, CachingPadSource):
+        result.pad_hits = pads.hits
+        result.pad_misses = pads.misses
     return result
 
 

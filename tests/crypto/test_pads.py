@@ -152,6 +152,47 @@ class TestCachingPadSource:
         with pytest.raises(ValueError):
             CachingPadSource(Blake2PadSource(KEY), capacity=0)
 
+    def test_lru_keeps_recently_used_entry(self):
+        """A hit refreshes recency, so the LRU victim is the stale entry."""
+        cache = CachingPadSource(Blake2PadSource(KEY), capacity=2)
+        cache.pad_block(0, 0, 0)  # A
+        cache.pad_block(1, 0, 0)  # B
+        cache.pad_block(0, 0, 0)  # hit A: recency order is now B, A
+        cache.pad_block(2, 0, 0)  # C evicts B
+        hits = cache.hits
+        cache.pad_block(0, 0, 0)  # A must still be cached
+        assert cache.hits == hits + 1
+        misses = cache.misses
+        cache.pad_block(1, 0, 0)  # B was the eviction victim
+        assert cache.misses == misses + 1
+
+    def test_fifo_order_would_evict_wrong_entry(self):
+        """Regression pin: insertion-order eviction would fail this."""
+        cache = CachingPadSource(Blake2PadSource(KEY), capacity=2)
+        cache.pad_block(0, 0, 0)
+        cache.pad_block(1, 0, 0)
+        cache.pad_block(0, 0, 0)  # touch the oldest insertion
+        cache.pad_block(2, 0, 0)
+        assert len(cache._cache) == 2
+        keys = list(cache._cache)
+        assert any(k[0] == 0 for k in keys)  # A survived its FIFO slot
+        assert not any(k[0] == 1 for k in keys)
+
+    def test_line_pad_array_cached(self):
+        inner = Blake2PadSource(KEY)
+        cache = CachingPadSource(inner, capacity=8)
+        first = cache.line_pad_array(5, 6, 64)
+        second = cache.line_pad_array(5, 6, 64)
+        assert second is first  # same frozen array object on a hit
+        assert not first.flags.writeable
+        assert first.tobytes() == inner.line_pad(5, 6, 64)
+
+    def test_inner_and_capacity_exposed(self):
+        inner = Blake2PadSource(KEY)
+        cache = CachingPadSource(inner, capacity=16)
+        assert cache.inner is inner
+        assert cache.capacity == 16
+
 
 class TestCrossSourceProperties:
     @given(

@@ -98,6 +98,33 @@ class TestChangedWords:
         counts = bitops.word_flip_counts(a, b, word_bytes)
         assert changed == {w for w, c in enumerate(counts) if c > 0}
 
+    @given(
+        words=st.integers(min_value=0, max_value=32),
+        word_bytes=st.sampled_from([1, 2, 4, 8]),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_vectorized_matches_reference(self, words, word_bytes, data):
+        """The array kernel is a drop-in for the original slice-loop."""
+        n = words * word_bytes
+        a = data.draw(st.binary(min_size=n, max_size=n))
+        b = data.draw(st.binary(min_size=n, max_size=n))
+        assert bitops.changed_words(a, b, word_bytes) == (
+            bitops.changed_words_reference(a, b, word_bytes)
+        )
+
+    def test_reference_agrees_on_full_lines(self):
+        rng = np.random.default_rng(7)
+        for word_bytes in (1, 2, 4, 8):
+            old = rng.integers(0, 256, 64, dtype=np.uint8).tobytes()
+            new = bytearray(old)
+            for i in rng.integers(0, 64, 5):
+                new[i] ^= 0x5A
+            new = bytes(new)
+            assert bitops.changed_words(old, new, word_bytes) == (
+                bitops.changed_words_reference(old, new, word_bytes)
+            )
+
 
 class TestWordFlipCounts:
     def test_counts_sum_to_total(self):

@@ -1,0 +1,75 @@
+"""Parallel sweep engine: determinism, ordering, and fallback behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.parallel import resolve_workers, run_suite_parallel
+from repro.sim.runner import run_suite
+
+
+def _grid(n_writes: int = 500) -> list[SimConfig]:
+    """A small multi-scheme, multi-workload sweep grid."""
+    return [
+        SimConfig(workload, scheme, n_writes=n_writes, seed=3)
+        for workload in ("mcf", "libq")
+        for scheme in ("deuce", "encr-fnw", "dyndeuce")
+    ]
+
+
+class TestResolveWorkers:
+    def test_serial_knob(self):
+        assert resolve_workers(1, 10) == 1
+        assert resolve_workers(0, 10) == 1
+
+    def test_capped_by_cells(self):
+        assert resolve_workers(8, 3) == 3
+
+    def test_auto_is_positive(self):
+        assert resolve_workers(None, 100) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1, 4)
+
+
+class TestRunSuiteParallel:
+    def test_empty(self):
+        assert run_suite_parallel([]) == []
+
+    def test_serial_fallback_matches_run_suite(self):
+        configs = _grid(200)
+        fallback = run_suite_parallel(configs, max_workers=1)
+        serial = run_suite(configs)
+        assert [r.total_flips for r in fallback] == [
+            r.total_flips for r in serial
+        ]
+
+    def test_parallel_matches_serial_bit_identically(self):
+        """The tentpole guarantee: 4 workers == serial, field for field."""
+        configs = _grid(500)
+        serial = run_suite(configs)
+        parallel = run_suite_parallel(configs, max_workers=4)
+        assert len(parallel) == len(serial)
+        for s, p in zip(serial, parallel):
+            assert (p.workload, p.scheme) == (s.workload, s.scheme)
+            assert p.total_flips == s.total_flips
+            assert p.data_flips == s.data_flips
+            assert p.meta_flips == s.meta_flips
+            assert p.set_flips == s.set_flips
+            assert p.reset_flips == s.reset_flips
+            assert p.slot_histogram == s.slot_histogram
+            assert p.mode_histogram == s.mode_histogram
+            assert p.total_words_reencrypted == s.total_words_reencrypted
+            assert np.array_equal(
+                p.wear.position_writes, s.wear.position_writes
+            )
+
+    def test_results_come_back_in_submission_order(self):
+        configs = _grid(200)
+        results = run_suite_parallel(configs, max_workers=2)
+        assert [(r.workload, r.scheme) for r in results] == [
+            (c.workload, c.scheme) for c in configs
+        ]

@@ -99,9 +99,36 @@ class TestBuildScheme:
 
     def test_aes_pad_kind(self):
         scheme = build_scheme(SimConfig("mcf", "deuce", pad_kind="aes"))
-        from repro.crypto.pads import AesPadSource
+        from repro.crypto.pads import AesPadSource, CachingPadSource
 
-        assert isinstance(scheme.pads, AesPadSource)
+        assert isinstance(scheme.pads, CachingPadSource)
+        assert isinstance(scheme.pads.inner, AesPadSource)
+
+    def test_pad_cache_wraps_by_default(self):
+        from repro.crypto.pads import Blake2PadSource, CachingPadSource
+
+        scheme = build_scheme(SimConfig("mcf", "deuce"))
+        assert isinstance(scheme.pads, CachingPadSource)
+        assert scheme.pads.capacity == SimConfig("mcf", "deuce").pad_cache_lines
+        assert isinstance(scheme.pads.inner, Blake2PadSource)
+
+    def test_pad_cache_disabled(self):
+        from repro.crypto.pads import Blake2PadSource
+
+        scheme = build_scheme(SimConfig("mcf", "deuce", pad_cache_lines=0))
+        assert isinstance(scheme.pads, Blake2PadSource)
+
+    def test_run_reports_pad_cache_stats(self):
+        result = run(SimConfig("mcf", "deuce", n_writes=300))
+        assert result.pad_hits + result.pad_misses > 0
+        assert 0.0 <= result.pad_hit_rate <= 1.0
+
+    def test_cached_and_uncached_runs_agree(self):
+        cached = run(SimConfig("mcf", "deuce", n_writes=300))
+        plain = run(SimConfig("mcf", "deuce", n_writes=300, pad_cache_lines=0))
+        assert cached.total_flips == plain.total_flips
+        assert cached.slot_histogram == plain.slot_histogram
+        assert plain.pad_hits == 0 and plain.pad_misses == 0
 
 
 class TestConfig:
