@@ -1,8 +1,13 @@
-"""CSV export of experiment results.
+"""CSV export of experiment results and sampled run time-series.
 
 Each :class:`~repro.sim.experiments.ExperimentResult` can be written as a
 CSV for plotting in external tools; :func:`export_all` dumps the full
 registry into a directory (one file per exhibit plus an index).
+:func:`export_series_csv` writes the interval-sampled
+:class:`~repro.obs.sampling.TimeSeries` a run attaches to
+``RunResult.series`` — flip rates, pad-cache hit rates, mode deltas, and
+wear percentiles over the course of a run — in the same flat-CSV style as
+the figure exports.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.sampling import TimeSeries
     from repro.sim.experiments import ExperimentResult
 
 
@@ -26,6 +32,23 @@ def export_csv(result: "ExperimentResult", path: str | Path) -> Path:
         if result.averages:
             avg = {result.columns[0]: "AVG", **result.averages}
             writer.writerow({col: avg.get(col, "") for col in result.columns})
+    return path
+
+
+def export_series_csv(series: "TimeSeries", path: str | Path) -> Path:
+    """Write a run's sampled time-series as CSV (one row per interval).
+
+    Columns are the flattened :class:`~repro.obs.sampling.Sample` fields;
+    ``mode_deltas`` is exploded into one ``mode_<name>`` column per mode
+    observed anywhere in the series, so all rows share one header.
+    """
+    path = Path(path)
+    rows = series.as_rows()
+    fieldnames = list(rows[0]) if rows else ["write_index"]
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
     return path
 
 

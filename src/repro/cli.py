@@ -33,6 +33,31 @@ from repro.sim.runner import run
 from repro.workloads.profiles import WORKLOAD_NAMES
 
 
+def _build_instruments(args: argparse.Namespace):
+    """Assemble the run's observability bundle from CLI flags.
+
+    Returns ``(instruments, metrics, tracer)``; all ``None`` when every
+    observability flag is off, so the runner takes its uninstrumented fast
+    path.
+    """
+    sample_interval = args.sample_interval
+    if args.series_out and not sample_interval:
+        # A series was requested without a cadence: default to ~100 points.
+        sample_interval = max(1, args.writes // 100)
+    if not (args.metrics_out or args.trace_out or sample_interval):
+        return None, None, None
+    from repro.obs import Instruments, JsonlSink, MetricsRegistry, Tracer
+
+    metrics = MetricsRegistry() if args.metrics_out else None
+    tracer = Tracer(JsonlSink(args.trace_out)) if args.trace_out else None
+    instruments = Instruments(sample_interval=sample_interval)
+    if metrics is not None:
+        instruments.metrics = metrics
+    if tracer is not None:
+        instruments.tracer = tracer
+    return instruments, metrics, tracer
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = SimConfig(
         workload=args.workload,
@@ -43,12 +68,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         epoch_interval=args.epoch_interval,
         wear_leveling=args.wear_leveling,
         pad_kind=args.pad_kind,
+        pad_cache_lines=args.pad_cache_lines,
     )
-    result = run(config)
+    instruments, metrics, tracer = _build_instruments(args)
+    result = run(config, instruments=instruments)
     print(render_table(list(result.summary_row()), [result.summary_row()]))
     if result.lifetime is not None:
         print(f"lifetime vs encrypted baseline: {result.lifetime.normalized:.2f}x")
+    if tracer is not None:
+        tracer.close()
+        print(f"trace written to {args.trace_out}")
+    if metrics is not None:
+        metrics.dump_jsonl(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if result.series is not None:
+        print(
+            f"sampled {len(result.series)} intervals "
+            f"(every {result.series.interval} writes)"
+        )
+        if args.series_out:
+            from repro.analysis.export import export_series_csv
+
+            export_series_csv(result.series, args.series_out)
+            print(f"time-series written to {args.series_out}")
     return 0
+
+
+def _progress_renderer(args: argparse.Namespace, label: str):
+    """A live renderer when progress is requested (or stderr is a TTY)."""
+    enabled = args.progress
+    if enabled is None:
+        enabled = sys.stderr.isatty()
+    if not enabled:
+        return None
+    from repro.obs import ProgressRenderer
+
+    return ProgressRenderer(label=label)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -62,12 +117,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
             return 2
         fn = EXPERIMENTS[name]
-        workers = None if args.workers == 0 else args.workers
-        result = (
-            fn()
-            if name == "table2"
-            else fn(n_writes=args.writes, max_workers=workers)
-        )
+        if name == "table2":
+            result = fn()
+        else:
+            renderer = _progress_renderer(args, name)
+            try:
+                result = fn(
+                    n_writes=args.writes,
+                    max_workers=args.workers,
+                    progress=renderer,
+                )
+            finally:
+                if renderer is not None:
+                    renderer.close()
         print(result.render())
         print()
     return 0
@@ -133,9 +195,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--word-bytes", type=int, default=2)
     p_run.add_argument("--epoch-interval", type=int, default=32)
     p_run.add_argument(
-        "--wear-leveling", choices=("none", "hwl", "hwl-hashed"), default="none"
+        "--wear-leveling",
+        choices=("none", "hwl", "hwl-hashed", "sr-hwl"),
+        default="none",
     )
     p_run.add_argument("--pad-kind", choices=("blake2", "aes"), default="blake2")
+    p_run.add_argument(
+        "--pad-cache-lines",
+        type=int,
+        default=SimConfig("mcf", "deuce").pad_cache_lines,
+        help="LRU pad-cache capacity in line pads (0 disables caching)",
+    )
+    p_run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write end-of-run metrics (counters/timers) as JSONL",
+    )
+    p_run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="stream pipeline spans/events (scheme.write, pad.fetch, "
+        "pcm.apply, epoch resets, ...) as JSONL",
+    )
+    p_run.add_argument(
+        "--sample-interval",
+        type=int,
+        default=0,
+        metavar="N",
+        help="snapshot flip-rate/pad-hit-rate/wear percentiles every N "
+        "writes into a time-series (0 = off)",
+    )
+    p_run.add_argument(
+        "--series-out",
+        metavar="PATH",
+        help="write the sampled time-series as CSV (implies sampling "
+        "at ~100 points if --sample-interval is unset)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_exp = sub.add_parser("experiment", help="reproduce a paper figure/table")
@@ -146,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the sweep (1 = serial, 0 = auto)",
+    )
+    p_exp.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="live cells-done/in-flight/ETA line on stderr "
+        "(default: only when stderr is a terminal)",
     )
     p_exp.set_defaults(func=_cmd_experiment)
 

@@ -1,0 +1,70 @@
+"""``repro.obs`` — observability for the whole simulation stack.
+
+Four pieces, all zero-dependency and null-by-default:
+
+* :mod:`repro.obs.metrics` — counters, gauges, histograms, timers in a
+  :class:`MetricsRegistry`; :data:`NULL_METRICS` compiles to near-zero
+  overhead when disabled.
+* :mod:`repro.obs.tracing` — span-based tracing of the run pipeline with a
+  JSONL event sink (:class:`JsonlSink`); :data:`NULL_TRACER` when off.
+* :mod:`repro.obs.sampling` — :class:`IntervalSampler` snapshots flip-rate,
+  pad-cache hit-rate, mode-histogram deltas, and per-bit wear percentiles
+  every N writes into a :class:`TimeSeries` attached to ``RunResult``.
+* :mod:`repro.obs.progress` — :class:`ProgressEvent` streams from parallel
+  sweep workers; :class:`ProgressRenderer` draws a live
+  ``cells done / in-flight / ETA`` line.
+
+:class:`Instruments` bundles the backends and is what
+:func:`repro.sim.runner.run` accepts; :data:`DISABLED` is the shared
+all-null default under which runs are bit-identical to uninstrumented code.
+"""
+
+from repro.obs.instruments import DISABLED, Instruments, InstrumentedPadSource
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Timer,
+)
+from repro.obs.progress import (
+    ProgressEvent,
+    ProgressRenderer,
+    ProgressState,
+    format_progress,
+)
+from repro.obs.sampling import IntervalSampler, Sample, TimeSeries
+from repro.obs.tracing import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    NullTracer,
+    Tracer,
+)
+
+__all__ = [
+    "DISABLED",
+    "Instruments",
+    "InstrumentedPadSource",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "Timer",
+    "ProgressEvent",
+    "ProgressRenderer",
+    "ProgressState",
+    "format_progress",
+    "IntervalSampler",
+    "Sample",
+    "TimeSeries",
+    "NULL_TRACER",
+    "JsonlSink",
+    "ListSink",
+    "NullTracer",
+    "Tracer",
+]

@@ -1,0 +1,253 @@
+"""Lightweight zero-dependency metrics: counters, gauges, histograms, timers.
+
+The simulation's hot loops run millions of iterations, so the registry is
+built around two rules:
+
+* **Null by default** — :data:`NULL_METRICS` hands out shared no-op
+  instruments whose methods are empty; callers thread one ``metrics`` object
+  through unconditionally and pay (almost) nothing when observability is off.
+  The runner goes one step further and skips instrumentation entirely when
+  every backend is null (see :mod:`repro.obs.instruments`).
+* **Plain Python state** — a real :class:`Counter` is one attribute add, a
+  :class:`Histogram` five scalar updates; no locks, no label cardinality, no
+  export machinery in the hot path.  Snapshots are taken once at the end of a
+  run and dumped as JSON lines.
+
+Instruments are keyed by name; asking the registry for the same name twice
+returns the same instrument, and asking for a name under two different types
+is an error (it would silently split the data otherwise).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Iterator
+
+
+class Counter:
+    """Monotonically increasing count (writes, flips, cache hits, ...)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict[str, object]:
+        return {"type": self.kind, "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins scalar (working-set size, current epoch, ...)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict[str, object]:
+        return {"type": self.kind, "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary: count, sum, min, max, mean.
+
+    Deliberately keeps no per-observation storage — a run observes one value
+    per write, and the consumers (per-phase timing regressions) need totals
+    and extremes, not exact quantiles.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "type": self.kind,
+            "name": self.name,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class Timer(Histogram):
+    """A histogram of durations in seconds with a context-manager helper."""
+
+    __slots__ = ()
+
+    kind = "timer"
+
+    class _Timing:
+        __slots__ = ("_timer", "_t0")
+
+        def __init__(self, timer: "Timer") -> None:
+            self._timer = timer
+            self._t0 = 0.0
+
+        def __enter__(self) -> "Timer._Timing":
+            self._t0 = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc: object) -> None:
+            self._timer.observe(time.perf_counter() - self._t0)
+
+    def time(self) -> "Timer._Timing":
+        """``with timer.time(): ...`` records the block's wall duration."""
+        return Timer._Timing(self)
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in for every instrument type."""
+
+    __slots__ = ()
+
+    name = ""
+    kind = "null"
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    min = 0.0
+    max = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    class _NullTiming:
+        __slots__ = ()
+
+        def __enter__(self) -> "_NullInstrument._NullTiming":
+            return self
+
+        def __exit__(self, *exc: object) -> None:
+            pass
+
+    _TIMING = _NullTiming()
+
+    def time(self) -> "_NullInstrument._NullTiming":
+        return _NullInstrument._TIMING
+
+    def snapshot(self) -> dict[str, object]:
+        return {"type": self.kind, "name": self.name}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    >>> m = MetricsRegistry()
+    >>> m.counter("writes").inc()
+    >>> m.counter("writes").value
+    1
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, cls: type):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+            return instrument
+        if type(instrument) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._instruments.values())
+
+    def snapshot(self) -> list[dict[str, object]]:
+        """One flat dict per instrument, in registration order."""
+        return [m.snapshot() for m in self._instruments.values()]  # type: ignore[attr-defined]
+
+    def dump_jsonl(self, path: str | Path) -> Path:
+        """Write the snapshot as JSON lines (one instrument per line)."""
+        path = Path(path)
+        with open(path, "w") as fh:
+            for snap in self.snapshot():
+                fh.write(json.dumps(snap, separators=(",", ":")) + "\n")
+        return path
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry whose instruments do nothing; shared via :data:`NULL_METRICS`."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def _get(self, name: str, cls: type):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> list[dict[str, object]]:
+        return []
+
+
+#: Process-wide null registry; safe to share (it holds no state).
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,262 @@
+"""Interval sampling: turn a run's aggregates into a time-series.
+
+The paper's headline claims are *rates over time* — bit flips per write,
+epoch-boundary re-encryption bursts, wear skew accumulating across a run —
+but aggregates collapse all of that.  :class:`IntervalSampler` snapshots the
+run state every ``interval`` writes and records the *delta* since the last
+snapshot, yielding one :class:`Sample` per interval:
+
+* flip counts and flip rate (per write, and as % of the line's data bits),
+* pad-cache hits/misses and interval hit-rate,
+* mode-histogram deltas (DynDEUCE deuce/fnw balance over time),
+* epoch resets, full re-encryptions, and mode switches in the interval,
+* per-bit wear percentiles (cumulative — wear only accumulates).
+
+The final partial interval is always emitted (see :meth:`finalize`), so the
+series *reconciles*: summing any delta column over all samples equals the
+run's final aggregate, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from repro.sim.results import RunResult
+
+#: Wear percentiles reported per sample.
+WEAR_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One interval's worth of run behaviour.
+
+    ``write_index`` is the 1-based count of writes covered so far (the
+    sample describes writes ``write_index - interval_writes + 1 ..
+    write_index``).  All count fields are deltas over that interval; the
+    ``wear_*`` fields are cumulative percentiles of the per-bit-position
+    program counts at the sample instant.
+    """
+
+    write_index: int
+    interval_writes: int
+    flips: int
+    data_flips: int
+    meta_flips: int
+    slots: int
+    words_reencrypted: int
+    full_reencryptions: int
+    epoch_resets: int
+    mode_switches: int
+    mode_deltas: dict[str, int]
+    pad_hits: int
+    pad_misses: int
+    wear_p50: float
+    wear_p90: float
+    wear_p99: float
+    wear_max: int
+
+    @property
+    def flip_rate(self) -> float:
+        """Flips per write over this interval."""
+        return self.flips / self.interval_writes if self.interval_writes else 0.0
+
+    @property
+    def pad_hit_rate(self) -> float:
+        lookups = self.pad_hits + self.pad_misses
+        return self.pad_hits / lookups if lookups else 0.0
+
+    def flips_pct(self, line_bits: int) -> float:
+        """Interval flips as % of data bits (the paper's normalization)."""
+        if not self.interval_writes or not line_bits:
+            return 0.0
+        return 100.0 * self.flips / (self.interval_writes * line_bits)
+
+
+@dataclass
+class TimeSeries:
+    """The per-run sampled series attached to ``RunResult.series``."""
+
+    interval: int
+    line_bits: int
+    samples: list[Sample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self.samples)
+
+    def total(self, column: str) -> int:
+        """Sum a delta column over all samples (for reconciliation)."""
+        return sum(getattr(s, column) for s in self.samples)
+
+    def mode_totals(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for s in self.samples:
+            for mode, n in s.mode_deltas.items():
+                totals[mode] = totals.get(mode, 0) + n
+        return totals
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Flat dicts (stable columns) for CSV export and tables.
+
+        ``mode_deltas`` is exploded into one ``mode_<name>`` column per mode
+        observed anywhere in the series, so every row has the same keys.
+        """
+        mode_names = sorted(
+            {m for s in self.samples for m in s.mode_deltas}
+        )
+        rows = []
+        for s in self.samples:
+            row: dict[str, object] = {
+                "write_index": s.write_index,
+                "interval_writes": s.interval_writes,
+                "flips": s.flips,
+                "data_flips": s.data_flips,
+                "meta_flips": s.meta_flips,
+                "flip_rate": round(s.flip_rate, 3),
+                "flips_pct": round(s.flips_pct(self.line_bits), 3),
+                "slots": s.slots,
+                "words_reencrypted": s.words_reencrypted,
+                "full_reencryptions": s.full_reencryptions,
+                "epoch_resets": s.epoch_resets,
+                "mode_switches": s.mode_switches,
+                "pad_hits": s.pad_hits,
+                "pad_misses": s.pad_misses,
+                "pad_hit_rate": round(s.pad_hit_rate, 4),
+                "wear_p50": round(s.wear_p50, 2),
+                "wear_p90": round(s.wear_p90, 2),
+                "wear_p99": round(s.wear_p99, 2),
+                "wear_max": s.wear_max,
+            }
+            for mode in mode_names:
+                row[f"mode_{mode}"] = s.mode_deltas.get(mode, 0)
+            rows.append(row)
+        return rows
+
+
+class IntervalSampler:
+    """Snapshots run state every N writes into a :class:`TimeSeries`.
+
+    The sampler only *reads* the objects it is given — the result's running
+    counters, the PCM array's position-write profile, and (optionally) the
+    pad cache's hit/miss counters — so sampling can never perturb a run's
+    outcome.
+
+    Parameters
+    ----------
+    interval:
+        Writes per sample (> 0).
+    result:
+        The :class:`~repro.sim.results.RunResult` being accumulated.
+    pcm:
+        The :class:`~repro.memory.pcm.PcmArray`; its ``position_writes``
+        profile feeds the wear percentiles.
+    pad_cache:
+        A :class:`~repro.crypto.pads.CachingPadSource` (or anything with
+        ``hits``/``misses`` ints), or ``None`` when the run is uncached.
+    """
+
+    def __init__(
+        self,
+        interval: int,
+        result: "RunResult",
+        pcm,
+        pad_cache=None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"sample interval must be > 0, got {interval}")
+        self.interval = interval
+        self._result = result
+        self._pcm = pcm
+        self._pad_cache = pad_cache
+        self.series = TimeSeries(
+            interval=interval, line_bits=result.line_bits
+        )
+        self._last_index = 0
+        # Baseline at zero, not at current state: anything counted before
+        # the first boundary (e.g. install-phase pad fetches) lands in the
+        # first sample, so series totals always reconcile with the run's
+        # final aggregates.
+        self._last: dict[str, int] = dict.fromkeys(self._cumulative(), 0)
+
+    def _cumulative(self) -> dict[str, int]:
+        r = self._result
+        pads = self._pad_cache
+        return {
+            "flips": r.total_flips,
+            "data_flips": r.data_flips,
+            "meta_flips": r.meta_flips,
+            "slots": r.total_slots,
+            "words_reencrypted": r.total_words_reencrypted,
+            "full_reencryptions": r.full_reencryptions,
+            "epoch_resets": r.epoch_resets,
+            "mode_switches": r.mode_switches,
+            "pad_hits": pads.hits if pads is not None else 0,
+            "pad_misses": pads.misses if pads is not None else 0,
+        }
+
+    def record(self, write_index: int) -> Sample:
+        """Emit the sample covering writes since the previous one."""
+        cur = self._cumulative()
+        prev = self._last
+        modes = self._result.mode_histogram
+        prev_modes: dict[str, int] = getattr(self, "_last_modes", {})
+        mode_deltas = {
+            mode: count - prev_modes.get(mode, 0)
+            for mode, count in modes.items()
+            if count != prev_modes.get(mode, 0)
+        }
+        positions = self._pcm.position_writes
+        if positions.size:
+            p50, p90, p99 = (
+                float(v) for v in np.percentile(positions, WEAR_PERCENTILES)
+            )
+            wear_max = int(positions.max())
+        else:
+            p50 = p90 = p99 = 0.0
+            wear_max = 0
+        sample = Sample(
+            write_index=write_index,
+            interval_writes=write_index - self._last_index,
+            flips=cur["flips"] - prev["flips"],
+            data_flips=cur["data_flips"] - prev["data_flips"],
+            meta_flips=cur["meta_flips"] - prev["meta_flips"],
+            slots=cur["slots"] - prev["slots"],
+            words_reencrypted=(
+                cur["words_reencrypted"] - prev["words_reencrypted"]
+            ),
+            full_reencryptions=(
+                cur["full_reencryptions"] - prev["full_reencryptions"]
+            ),
+            epoch_resets=cur["epoch_resets"] - prev["epoch_resets"],
+            mode_switches=cur["mode_switches"] - prev["mode_switches"],
+            mode_deltas=mode_deltas,
+            pad_hits=cur["pad_hits"] - prev["pad_hits"],
+            pad_misses=cur["pad_misses"] - prev["pad_misses"],
+            wear_p50=p50,
+            wear_p90=p90,
+            wear_p99=p99,
+            wear_max=wear_max,
+        )
+        self.series.samples.append(sample)
+        self._last = cur
+        self._last_index = write_index
+        self._last_modes = dict(modes)
+        return sample
+
+    def on_write(self, write_index: int) -> None:
+        """Hot-loop hook: sample iff the interval boundary was reached."""
+        if write_index % self.interval == 0:
+            self.record(write_index)
+
+    def finalize(self, n_writes: int) -> TimeSeries:
+        """Emit the tail partial interval (if any) and return the series."""
+        if n_writes > self._last_index:
+            self.record(n_writes)
+        return self.series

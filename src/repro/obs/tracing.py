@@ -1,0 +1,185 @@
+"""Span-based tracing of the run pipeline with a JSONL event sink.
+
+A *span* is a named operation with a start time and a duration; an *event*
+is an instant.  The runner emits spans for the pipeline phases (trace
+generation, install, the write loop) and — when tracing is on — for each
+write's sub-steps (``scheme.write``, ``pad.fetch``, ``wear.rotation``,
+``pcm.apply``), plus instant events for notable scheme behaviour (epoch
+resets, DynDEUCE mode switches).
+
+Every record is one JSON object per line (JSONL), so traces stream to disk
+as they happen and load with one ``json.loads`` per line:
+
+``{"type": "span", "name": "scheme.write", "ts": 1.23, "dur": 2.1e-05,
+"write": 17, "addr": 4096}``
+
+``type`` is ``"span"`` or ``"event"``; ``ts`` is a ``time.perf_counter``
+timestamp (monotonic, comparable within one process only); ``dur`` (spans
+only) is seconds.  All remaining keys are free-form attributes.
+
+:data:`NULL_TRACER` is the disabled backend: ``span()`` returns a shared
+no-op context manager and ``event()`` does nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Protocol
+
+
+class EventSink(Protocol):
+    """Anything that can receive trace records (dicts)."""
+
+    def emit(self, record: dict[str, object]) -> None:
+        ...
+
+
+class ListSink:
+    """In-memory sink for tests and programmatic inspection."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, object]] = []
+
+    def emit(self, record: dict[str, object]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Append trace records to a JSONL file, one object per line."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "w")
+
+    def emit(self, record: dict[str, object]) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class _Span:
+    """Context manager recording one span into its tracer on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._tracer.clock()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer.span_event(
+            self._name,
+            self._t0,
+            self._tracer.clock() - self._t0,
+            **self._attrs,
+        )
+
+
+class Tracer:
+    """Emits spans and events into a sink.
+
+    Parameters
+    ----------
+    sink:
+        Where records go (:class:`JsonlSink`, :class:`ListSink`, ...).
+    clock:
+        Timestamp source; defaults to ``time.perf_counter``.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: EventSink, clock=time.perf_counter) -> None:
+        self.sink = sink
+        self.clock = clock
+
+    def span(self, name: str, **attrs: object) -> _Span:
+        """``with tracer.span("install", lines=n): ...``"""
+        return _Span(self, name, attrs)
+
+    def span_event(
+        self, name: str, start: float, duration: float, **attrs: object
+    ) -> None:
+        """Record an already-measured span (hot paths avoid ``with``)."""
+        record: dict[str, object] = {
+            "type": "span",
+            "name": name,
+            "ts": start,
+            "dur": duration,
+        }
+        if attrs:
+            record.update(attrs)
+        self.sink.emit(record)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record an instant event."""
+        record: dict[str, object] = {
+            "type": "event",
+            "name": name,
+            "ts": self.clock(),
+        }
+        if attrs:
+            record.update(attrs)
+        self.sink.emit(record)
+
+    def close(self) -> None:
+        close = getattr(self.sink, "close", None)
+        if close is not None:
+            close()
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracing backend: every operation is a no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span_event(
+        self, name: str, start: float, duration: float, **attrs: object
+    ) -> None:
+        pass
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Process-wide null tracer; safe to share (it holds no state).
+NULL_TRACER = NullTracer()

@@ -52,6 +52,14 @@ class WriteOutcome:
     full_line_reencrypted:
         True when the scheme rewrote the entire line (e.g. DEUCE epoch
         start).
+    epoch_reset:
+        True when this write was an epoch-boundary re-encryption (tracking
+        bits reset, whole line re-keyed).  Distinct from
+        ``full_line_reencrypted``: DynDEUCE's FNW-mode writes re-encrypt
+        the full line every write without resetting an epoch.
+    mode_switched:
+        True when the scheme changed operating mode on this write
+        (DynDEUCE morphing DEUCE->FNW, or snapping back at an epoch start).
     mode:
         Free-form scheme mode label for diagnostics (DynDEUCE reports
         ``"deuce"`` or ``"fnw"``).
@@ -70,6 +78,8 @@ class WriteOutcome:
     )
     words_reencrypted: int = 0
     full_line_reencrypted: bool = False
+    epoch_reset: bool = False
+    mode_switched: bool = False
     mode: str = ""
 
     @property

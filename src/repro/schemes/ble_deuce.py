@@ -156,11 +156,14 @@ class BleDeuce(WriteScheme):
 
         new = StoredLine(stored, meta, old.counter + 1)
         self._lines[address] = new
+        # A line-wide epoch reset only happens when every block crossed its
+        # epoch boundary on this same write.
         return self._outcome(
             address,
             old,
             new,
             words_reencrypted=words_reenc,
             full_line_reencrypted=(blocks_full == self.n_blocks),
+            epoch_reset=(blocks_full == self.n_blocks),
             mode="ble+deuce",
         )

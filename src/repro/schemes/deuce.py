@@ -153,6 +153,7 @@ class Deuce(WriteScheme):
             new,
             words_reencrypted=n_reenc,
             full_line_reencrypted=full,
+            epoch_reset=full,
             mode="deuce",
         )
 

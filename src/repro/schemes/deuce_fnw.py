@@ -138,5 +138,6 @@ class DeuceFnw(WriteScheme):
             new,
             words_reencrypted=n_reenc,
             full_line_reencrypted=full,
+            epoch_reset=full,
             mode="deuce+fnw",
         )

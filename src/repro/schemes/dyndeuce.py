@@ -138,6 +138,8 @@ class DynDeuce(WriteScheme):
                 new,
                 words_reencrypted=self.n_words,
                 full_line_reencrypted=True,
+                epoch_reset=True,
+                mode_switched=self._mode(old.meta) == MODE_FNW,
                 mode="deuce",
             )
         elif self._mode(old.meta) == MODE_FNW:
@@ -160,6 +162,7 @@ class DynDeuce(WriteScheme):
                 new,
                 words_reencrypted=n_reenc,
                 full_line_reencrypted=(label == "fnw"),
+                mode_switched=(label == "fnw"),
                 mode=label,
             )
         self._lines[address] = new

@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro.analysis.tables import render_table
+from repro.obs.progress import ProgressEvent
 from repro.perf.energy import EnergyConfig, energy_report
 from repro.perf.system import CoreConfig, simulate_execution
 from repro.sim.config import SimConfig
@@ -86,13 +87,16 @@ def _scheme_sweep(
     value: Callable[[RunResult], float] = lambda r: r.avg_flips_pct,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
     max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """Shared driver: run each scheme over each workload, tabulate a metric.
 
     The (workload, scheme) grid is materialized up front and dispatched
     through :func:`~repro.sim.parallel.run_suite_parallel`, so
     ``max_workers > 1`` fans cells out over processes; the default of 1 runs
-    serially in-process.  Results are identical either way.
+    serially in-process.  Results are identical either way.  ``progress``
+    (any :class:`~repro.obs.progress.ProgressEvent` consumer) receives live
+    per-cell start/heartbeat/done events in both modes.
     """
     result = ExperimentResult(
         exp_id=exp_id,
@@ -106,7 +110,9 @@ def _scheme_sweep(
         for label, make_config in schemes.items()
     ]
     runs = run_suite_parallel(
-        [config for _, _, config in cells], max_workers=max_workers
+        [config for _, _, config in cells],
+        max_workers=max_workers,
+        progress=progress,
     )
     sums = dict.fromkeys(schemes, 0.0)
     rows: dict[str, dict[str, object]] = {
@@ -127,7 +133,10 @@ def _scheme_sweep(
 
 
 def fig5_encryption_overhead(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
+    n_writes: int = DEFAULT_WRITES,
+    seed: int = 0,
+    max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """Modified bits per write: NoEncr vs Encr under DCW and FNW."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -147,6 +156,7 @@ def fig5_encryption_overhead(
             "Encr-FNW": PAPER_TARGETS["avg_fnw_encr_pct"],
         },
         max_workers=max_workers,
+        progress=progress,
     )
 
 
@@ -172,7 +182,10 @@ def table2_workloads() -> ExperimentResult:
 
 
 def fig8_word_size(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
+    n_writes: int = DEFAULT_WRITES,
+    seed: int = 0,
+    max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """DEUCE modified bits vs tracking granularity (1/2/4/8 bytes)."""
     mk = lambda wb: lambda wl: SimConfig(
@@ -189,6 +202,7 @@ def fig8_word_size(
             "8B": PAPER_TARGETS["deuce_word8_pct"],
         },
         max_workers=max_workers,
+        progress=progress,
     )
 
 
@@ -196,7 +210,10 @@ def fig8_word_size(
 
 
 def fig9_epoch_interval(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
+    n_writes: int = DEFAULT_WRITES,
+    seed: int = 0,
+    max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """DEUCE modified bits vs epoch interval (8/16/32)."""
     mk = lambda ep: lambda wl: SimConfig(
@@ -212,6 +229,7 @@ def fig9_epoch_interval(
             "epoch32": PAPER_TARGETS["deuce_epoch32_pct"],
         },
         max_workers=max_workers,
+        progress=progress,
     )
 
 
@@ -219,7 +237,10 @@ def fig9_epoch_interval(
 
 
 def fig10_scheme_comparison(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
+    n_writes: int = DEFAULT_WRITES,
+    seed: int = 0,
+    max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """Bit flips across FNW, DEUCE, DynDEUCE, DEUCE+FNW, and NoEncr-FNW."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -241,6 +262,7 @@ def fig10_scheme_comparison(
             "NoEncr-FNW": PAPER_TARGETS["avg_fnw_noencr_pct"],
         },
         max_workers=max_workers,
+        progress=progress,
     )
 
 
@@ -248,7 +270,10 @@ def fig10_scheme_comparison(
 
 
 def table3_storage_overhead(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
+    n_writes: int = DEFAULT_WRITES,
+    seed: int = 0,
+    max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """Per-line metadata bits vs average flip reduction."""
     from repro.sim.runner import build_scheme
@@ -277,6 +302,7 @@ def table3_storage_overhead(
             for workload in WORKLOAD_NAMES
         ],
         max_workers=max_workers,
+        progress=progress,
     )
     per_scheme = len(WORKLOAD_NAMES)
     for i, (label, scheme) in enumerate(entries):
@@ -303,6 +329,7 @@ def fig12_bit_position_skew(
     seed: int = 0,
     workloads: tuple[str, ...] = ("mcf", "libq"),
     max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """Writes per bit position, normalized to the per-position average."""
     result = ExperimentResult(
@@ -320,6 +347,7 @@ def fig12_bit_position_skew(
             for workload in workloads
         ],
         max_workers=max_workers,
+        progress=progress,
     )
     for workload, r in zip(workloads, runs):
         positions = r.wear.position_writes[: r.line_bits].astype(float)
@@ -355,12 +383,14 @@ def fig14_lifetime(
     hwl_region_lines: int = 16,
     gap_write_interval: int = 1,
     max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """Lifetime of FNW, DEUCE, and DEUCE+HWL normalized to encrypted memory.
 
-    ``max_workers`` is accepted for CLI uniformity but ignored: this
-    exhibit feeds each run an explicitly generated shrunken-working-set
-    trace, so the cells are not expressible as standalone configs.
+    ``max_workers`` and ``progress`` are accepted for CLI uniformity but
+    ignored: this exhibit feeds each run an explicitly generated
+    shrunken-working-set trace, so the cells are not expressible as
+    standalone configs.
 
     Uses a compact working set, a small Start-Gap region, and per-write gap
     movement so the Start register sweeps the full line width inside the
@@ -422,7 +452,10 @@ def fig14_lifetime(
 
 
 def fig15_write_slots(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
+    n_writes: int = DEFAULT_WRITES,
+    seed: int = 0,
+    max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """Average write slots consumed per write request."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -443,6 +476,7 @@ def fig15_write_slots(
             "NoEncr": PAPER_TARGETS["slots_noencr"],
         },
         max_workers=max_workers,
+        progress=progress,
     )
 
 
@@ -455,6 +489,7 @@ def fig16_speedup(
     instructions: int = 1_000_000,
     core: CoreConfig | None = None,
     max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """System speedup over the encrypted-memory baseline."""
     schemes = ("encr-dcw", "encr-fnw", "deuce", "noencr-fnw")
@@ -476,6 +511,7 @@ def fig16_speedup(
             for scheme in schemes
         ],
         max_workers=max_workers,
+        progress=progress,
     )
     for wi, workload in enumerate(WORKLOAD_NAMES):
         profile = get_profile(workload)
@@ -513,6 +549,7 @@ def fig17_energy_power_edp(
     instructions: int = 1_000_000,
     energy_config: EnergyConfig | None = None,
     max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """Speedup, memory energy, memory power, and EDP vs encrypted memory."""
     schemes = {"Encr-FNW": "encr-fnw", "DEUCE": "deuce", "NoEncr-FNW": "noencr-fnw"}
@@ -539,6 +576,7 @@ def fig17_energy_power_edp(
             for scheme in cells.values()
         ],
         max_workers=max_workers,
+        progress=progress,
     )
     for wi, workload in enumerate(WORKLOAD_NAMES):
         profile = get_profile(workload)
@@ -582,7 +620,10 @@ def fig17_energy_power_edp(
 
 
 def fig18_ble(
-    n_writes: int = DEFAULT_WRITES, seed: int = 0, max_workers: int | None = 1
+    n_writes: int = DEFAULT_WRITES,
+    seed: int = 0,
+    max_workers: int | None = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> ExperimentResult:
     """Block-Level Encryption vs DEUCE vs their combination."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -596,6 +637,7 @@ def fig18_ble(
             "BLE+DEUCE": PAPER_TARGETS["avg_ble_deuce_pct"],
         },
         max_workers=max_workers,
+        progress=progress,
     )
 
 

@@ -12,21 +12,35 @@ Guarantees:
 * **Determinism** — results come back in submission order and each cell is
   a pure function of its config, so a parallel sweep returns bit-identical
   :class:`~repro.sim.results.RunResult`s to a serial one (there is a test
-  for this).
+  for this).  Progress streaming never changes results: worker-side
+  instrumentation is read-only.
 * **Per-worker trace caching** — :func:`repro.sim.runner.cached_trace` is an
   ``lru_cache``, which is per-process; every worker that simulates several
   schemes of one workload generates that workload's trace once.
-* **Serial fallback** — ``max_workers`` of ``0``/``1`` (or a single-cell
+* **Serial fallback** — an effective worker count of 1 (or a single-cell
   sweep) runs inline in the calling process with no pool overhead, so
   callers can thread one knob through unconditionally.
+* **Live progress** — pass ``progress=`` a callable (e.g. a
+  :class:`~repro.obs.progress.ProgressRenderer`) and workers stream
+  ``start``/``heartbeat``/``done`` :class:`~repro.obs.progress.ProgressEvent`
+  records over a ``multiprocessing`` queue as each cell advances.
+
+Worker-count conventions (unified for the CLI and the API): ``None`` *or*
+``0`` auto-sizes to the machine (capped at :data:`MAX_AUTO_WORKERS`), ``1``
+forces the serial fallback, any larger value is honoured but never exceeds
+the number of cells.  Negative values are an error.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+import queue as queue_mod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Sequence
 
+from repro.obs.instruments import Instruments
+from repro.obs.progress import DONE, HEARTBEAT, START, ProgressEvent
 from repro.sim.config import SimConfig
 from repro.sim.results import RunResult
 
@@ -34,17 +48,22 @@ from repro.sim.results import RunResult
 #: parallelism and oversubscribing a small container only adds overhead.
 MAX_AUTO_WORKERS = 8
 
+#: Seconds between future polls while forwarding progress events.
+_POLL_S = 0.1
+
 
 def resolve_workers(max_workers: int | None, n_cells: int) -> int:
     """Effective worker count for a sweep of ``n_cells`` cells.
 
-    ``None`` auto-sizes to the machine (capped at :data:`MAX_AUTO_WORKERS`);
-    explicit values are honoured but never exceed the number of cells.
+    Accepts both historical conventions: ``None`` (the API's "pick for me")
+    and ``0`` (the CLI's "auto") both auto-size to the machine, capped at
+    :data:`MAX_AUTO_WORKERS`; ``1`` means serial; explicit counts are
+    honoured but never exceed the number of cells.
     """
-    if max_workers is None:
+    if max_workers is None or max_workers == 0:
         max_workers = min(os.cpu_count() or 1, MAX_AUTO_WORKERS)
     if max_workers < 0:
-        raise ValueError(f"max_workers must be >= 0, got {max_workers}")
+        raise ValueError(f"max_workers must be >= 0 or None, got {max_workers}")
     return max(1, min(max_workers, n_cells))
 
 
@@ -55,9 +74,82 @@ def _run_cell(config: SimConfig) -> RunResult:
     return run(config)
 
 
+def _run_cell_observed(
+    index: int,
+    config: SimConfig,
+    n_cells: int,
+    events,
+    heartbeat_every: int,
+) -> RunResult:
+    """Worker entry point streaming progress events for one cell."""
+    from repro.sim.runner import run
+
+    def _event(kind: str, writes_done: int) -> ProgressEvent:
+        return ProgressEvent(
+            kind=kind,
+            cell=index,
+            n_cells=n_cells,
+            writes_done=writes_done,
+            n_writes=config.n_writes,
+            workload=config.workload,
+            scheme=config.scheme,
+        )
+
+    events.put(_event(START, 0))
+    instruments = Instruments(
+        heartbeat=lambda done, total: events.put(_event(HEARTBEAT, done)),
+        heartbeat_every=heartbeat_every,
+    )
+    result = run(config, instruments=instruments)
+    events.put(_event(DONE, config.n_writes))
+    return result
+
+
+def _drain(events, progress: Callable[[ProgressEvent], None]) -> None:
+    while True:
+        try:
+            progress(events.get_nowait())
+        except queue_mod.Empty:
+            return
+
+
+def _run_serial_observed(
+    configs: list[SimConfig],
+    progress: Callable[[ProgressEvent], None],
+    heartbeat_every: int,
+) -> list[RunResult]:
+    """Serial fallback that still reports progress (synchronously)."""
+    from repro.sim.runner import run
+
+    n = len(configs)
+    results = []
+    for i, config in enumerate(configs):
+        def _event(kind: str, writes_done: int, c=config, i=i) -> ProgressEvent:
+            return ProgressEvent(
+                kind=kind,
+                cell=i,
+                n_cells=n,
+                writes_done=writes_done,
+                n_writes=c.n_writes,
+                workload=c.workload,
+                scheme=c.scheme,
+            )
+
+        progress(_event(START, 0))
+        instruments = Instruments(
+            heartbeat=lambda done, total: progress(_event(HEARTBEAT, done)),
+            heartbeat_every=heartbeat_every,
+        )
+        results.append(run(config, instruments=instruments))
+        progress(_event(DONE, config.n_writes))
+    return results
+
+
 def run_suite_parallel(
     configs: Sequence[SimConfig],
     max_workers: int | None = None,
+    progress: Callable[[ProgressEvent], None] | None = None,
+    heartbeat_every: int = 0,
 ) -> list[RunResult]:
     """Run a batch of configs, fanned out over worker processes.
 
@@ -70,19 +162,56 @@ def run_suite_parallel(
     configs:
         The experiment cells to run.
     max_workers:
-        Process count; ``None`` auto-sizes to the machine, ``0``/``1``
-        forces the serial fallback.
+        Process count; ``None`` or ``0`` auto-sizes to the machine, ``1``
+        forces the serial fallback (see :func:`resolve_workers`).
+    progress:
+        Optional callable receiving :class:`ProgressEvent` records as cells
+        start, advance, and finish — live even while workers are mid-cell.
+        Works in the serial fallback too (events arrive synchronously).
+    heartbeat_every:
+        Writes between per-cell heartbeat events; ``0`` auto-sizes to ~10
+        heartbeats per cell.  Ignored when ``progress`` is ``None``.
     """
     configs = list(configs)
     if not configs:
         return []
     workers = resolve_workers(max_workers, len(configs))
     if workers <= 1:
-        from repro.sim.runner import run_suite
+        if progress is None:
+            from repro.sim.runner import run_suite
 
-        return run_suite(configs)
-    # Interleave cells across workers (chunksize 1): adjacent cells usually
-    # share a workload trace, so striding them apart balances the cache-warm
-    # work instead of handing one worker the whole workload.
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_cell, configs, chunksize=1))
+            return run_suite(configs)
+        return _run_serial_observed(configs, progress, heartbeat_every)
+    if progress is None:
+        # Interleave cells across workers (chunksize 1): adjacent cells
+        # usually share a workload trace, so striding them apart balances
+        # the cache-warm work instead of handing one worker the whole
+        # workload.
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_cell, configs, chunksize=1))
+    # Progress-streaming path: a manager queue carries events from workers;
+    # the main process forwards them between future polls.  Results are
+    # still collected by submission index, so ordering is unchanged.
+    n = len(configs)
+    results: list[RunResult | None] = [None] * n
+    with multiprocessing.Manager() as manager:
+        events = manager.Queue()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _run_cell_observed, i, config, n, events, heartbeat_every
+                ): i
+                for i, config in enumerate(configs)
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(
+                    pending, timeout=_POLL_S, return_when=FIRST_COMPLETED
+                )
+                _drain(events, progress)
+                for future in done:
+                    results[futures[future]] = future.result()
+        # Workers enqueue their final event before returning, so one last
+        # drain after the pool closes delivers everything.
+        _drain(events, progress)
+    return results  # type: ignore[return-value]

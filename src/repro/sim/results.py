@@ -6,6 +6,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.memory.pcm import WearSummary
+from repro.obs.sampling import TimeSeries
 from repro.wear.lifetime import LifetimeReport
 
 
@@ -32,12 +33,15 @@ class RunResult:
     total_slots: int = 0
     total_words_reencrypted: int = 0
     full_reencryptions: int = 0
+    epoch_resets: int = 0
+    mode_switches: int = 0
     slot_histogram: Counter = field(default_factory=Counter)
     mode_histogram: Counter = field(default_factory=Counter)
     pad_hits: int = 0
     pad_misses: int = 0
     wear: WearSummary | None = None
     lifetime: LifetimeReport | None = None
+    series: TimeSeries | None = None
 
     @property
     def avg_flips_per_write(self) -> float:
@@ -82,6 +86,9 @@ class RunResult:
             "data_flips_pct": round(self.avg_data_flips_pct, 2),
             "slots": round(self.avg_slots_per_write, 3),
             "words_reenc": round(self.avg_words_reencrypted, 2),
+            "pad_hits": self.pad_hits,
+            "pad_misses": self.pad_misses,
+            "pad_hit_rate": round(self.pad_hit_rate, 3),
         }
         if self.lifetime is not None:
             row["lifetime_norm"] = round(self.lifetime.normalized, 3)

@@ -6,16 +6,29 @@ a :class:`~repro.sim.results.RunResult`.  Traces are cached per (workload,
 n_writes, seed, line_bytes) so that every scheme in a comparison sees the
 *identical* writeback stream, which is what makes per-workload bars
 comparable across schemes.
+
+Observability: :func:`run` accepts an optional
+:class:`~repro.obs.instruments.Instruments` bundle.  When every backend is
+null (the default), the untouched fast write loop runs and results are
+bit-identical to uninstrumented code; when any backend is live, an
+instrumented loop additionally records per-phase timers, per-write spans
+(``scheme.write`` / ``pad.fetch`` / ``wear.rotation`` / ``pcm.apply``),
+interval samples into ``RunResult.series``, and periodic heartbeats.
+Instrumentation only ever *reads* simulation state, so both loops produce
+identical results (there is a test for this).
 """
 
 from __future__ import annotations
 
+import time
 from functools import lru_cache
 
 from repro.crypto.pads import CachingPadSource, make_pad_source
 from repro.memory.pcm import PcmArray, slots_for_write
+from repro.obs.instruments import DISABLED, Instruments, InstrumentedPadSource
+from repro.obs.sampling import IntervalSampler
 from repro.schemes import ENCRYPTED_SCHEMES, make_scheme
-from repro.schemes.base import WriteScheme
+from repro.schemes.base import WriteOutcome, WriteScheme
 from repro.sim.config import SimConfig
 from repro.sim.results import RunResult
 from repro.wear.hwl import HorizontalWearLeveler, NoWearLeveler
@@ -56,7 +69,45 @@ def build_scheme(config: SimConfig) -> WriteScheme:
     )
 
 
-def run(config: SimConfig, trace: Trace | None = None) -> RunResult:
+def _find_pad_cache(pads) -> CachingPadSource | None:
+    """Locate the LRU pad cache in a (possibly wrapped) pad-source chain."""
+    while pads is not None:
+        if isinstance(pads, CachingPadSource):
+            return pads
+        pads = getattr(pads, "inner", None)
+    return None
+
+
+def _accumulate(
+    result: RunResult, outcome: WriteOutcome, line_bits: int
+) -> int:
+    """Fold one write outcome into the running aggregates; returns slots.
+
+    Shared by the plain and instrumented write loops so the two can never
+    diverge in what they count.
+    """
+    result.total_flips += outcome.total_flips
+    result.data_flips += outcome.data_flips
+    result.meta_flips += outcome.metadata_flips
+    result.set_flips += outcome.set_flips
+    result.reset_flips += outcome.reset_flips
+    slots = slots_for_write(outcome, line_bits)
+    result.total_slots += slots
+    result.slot_histogram[slots] += 1
+    result.total_words_reencrypted += outcome.words_reencrypted
+    result.full_reencryptions += int(outcome.full_line_reencrypted)
+    result.epoch_resets += int(outcome.epoch_reset)
+    result.mode_switches += int(outcome.mode_switched)
+    if outcome.mode:
+        result.mode_histogram[outcome.mode] += 1
+    return slots
+
+
+def run(
+    config: SimConfig,
+    trace: Trace | None = None,
+    instruments: Instruments | None = None,
+) -> RunResult:
     """Execute one simulation and return aggregated results.
 
     Parameters
@@ -66,16 +117,30 @@ def run(config: SimConfig, trace: Trace | None = None) -> RunResult:
     trace:
         Optional pre-generated trace (must match the config's workload and
         line size); omitted, the cached generator is used.
+    instruments:
+        Optional observability bundle (metrics, tracing, sampling,
+        heartbeats).  ``None`` (or a fully-null bundle) takes the
+        uninstrumented fast path; results are identical either way.
     """
+    obs = instruments if instruments is not None else DISABLED
+    tracer = obs.tracer
+
     if trace is None:
-        trace = cached_trace(
-            config.workload, config.n_writes, config.seed, config.line_bytes
-        )
+        with tracer.span("trace.gen", workload=config.workload):
+            trace = cached_trace(
+                config.workload, config.n_writes, config.seed, config.line_bytes
+            )
     scheme = build_scheme(config)
+    pad_cache = _find_pad_cache(getattr(scheme, "pads", None))
+    if obs.enabled and getattr(scheme, "pads", None) is not None:
+        # Outermost wrap: pad-fetch timing as the scheme experiences it
+        # (cache hits included).
+        scheme.pads = InstrumentedPadSource(scheme.pads, obs.metrics, tracer)
 
     addresses = trace.addresses()
-    for addr in addresses:
-        scheme.install(addr, trace.initial[addr])
+    with tracer.span("install", lines=len(addresses)):
+        for addr in addresses:
+            scheme.install(addr, trace.initial[addr])
 
     meta_bits = scheme.metadata_bits_per_line
     pcm = PcmArray(
@@ -103,35 +168,142 @@ def run(config: SimConfig, trace: Trace | None = None) -> RunResult:
         line_bits=8 * config.line_bytes,
         meta_bits=meta_bits,
     )
+    if obs.enabled:
+        _write_loop_instrumented(
+            config, trace, scheme, pcm, leveler, vwl, line_index, result, obs,
+            pad_cache,
+        )
+    else:
+        _write_loop(config, trace, scheme, pcm, leveler, vwl, line_index, result)
+
+    result.wear = pcm.summary()
+    result.lifetime = lifetime_report(
+        result.wear.position_writes, result.wear.total_writes
+    )
+    if pad_cache is not None:
+        result.pad_hits = pad_cache.hits
+        result.pad_misses = pad_cache.misses
+    return result
+
+
+def _write_loop(
+    config: SimConfig,
+    trace: Trace,
+    scheme: WriteScheme,
+    pcm: PcmArray,
+    leveler,
+    vwl,
+    line_index: dict[int, int],
+    result: RunResult,
+) -> None:
+    """The uninstrumented hot loop — nothing here but the simulation."""
+    line_bits = 8 * config.line_bytes
     for record in trace.records:
         outcome = scheme.write(record.address, record.data)
         rotation = leveler.rotation(line_index[record.address])
         pcm.apply_write(outcome, rotation=rotation)
         if vwl is not None:
             vwl.on_write()
+        _accumulate(result, outcome, line_bits)
 
-        result.total_flips += outcome.total_flips
-        result.data_flips += outcome.data_flips
-        result.meta_flips += outcome.metadata_flips
-        result.set_flips += outcome.set_flips
-        result.reset_flips += outcome.reset_flips
-        slots = slots_for_write(outcome, 8 * config.line_bytes)
-        result.total_slots += slots
-        result.slot_histogram[slots] += 1
-        result.total_words_reencrypted += outcome.words_reencrypted
-        result.full_reencryptions += int(outcome.full_line_reencrypted)
-        if outcome.mode:
-            result.mode_histogram[outcome.mode] += 1
 
-    result.wear = pcm.summary()
-    result.lifetime = lifetime_report(
-        result.wear.position_writes, result.wear.total_writes
-    )
-    pads = getattr(scheme, "pads", None)
-    if isinstance(pads, CachingPadSource):
-        result.pad_hits = pads.hits
-        result.pad_misses = pads.misses
-    return result
+def _write_loop_instrumented(
+    config: SimConfig,
+    trace: Trace,
+    scheme: WriteScheme,
+    pcm: PcmArray,
+    leveler,
+    vwl,
+    line_index: dict[int, int],
+    result: RunResult,
+    obs: Instruments,
+    pad_cache: CachingPadSource | None,
+) -> None:
+    """The observed write loop: timers, spans, samples, heartbeats.
+
+    Instrumentation is read-only, so this loop produces the same
+    :class:`RunResult` aggregates as :func:`_write_loop` on the same inputs.
+    """
+    line_bits = 8 * config.line_bytes
+    metrics = obs.metrics
+    tracer = obs.tracer
+    tracing = tracer.enabled
+    perf = time.perf_counter
+
+    t_write = metrics.timer("scheme.write_s")
+    t_rotate = metrics.timer("wear.rotation_s")
+    t_pcm = metrics.timer("pcm.apply_s")
+
+    n_records = len(trace.records)
+    sampler = None
+    if obs.sample_interval > 0:
+        sampler = IntervalSampler(
+            obs.sample_interval, result, pcm, pad_cache
+        )
+        sample_every = obs.sample_interval
+    heartbeat = obs.heartbeat
+    if heartbeat is not None:
+        hb_every = obs.heartbeat_every or max(1, n_records // 10)
+
+    loop_t0 = perf()
+    i = 0
+    for record in trace.records:
+        i += 1
+        t0 = perf()
+        outcome = scheme.write(record.address, record.data)
+        t1 = perf()
+        rotation = leveler.rotation(line_index[record.address])
+        t2 = perf()
+        pcm.apply_write(outcome, rotation=rotation)
+        t3 = perf()
+        if vwl is not None:
+            vwl.on_write()
+        t_write.observe(t1 - t0)
+        t_rotate.observe(t2 - t1)
+        t_pcm.observe(t3 - t2)
+        _accumulate(result, outcome, line_bits)
+        if tracing:
+            tracer.span_event(
+                "scheme.write",
+                t0,
+                t1 - t0,
+                write=i,
+                addr=record.address,
+                flips=outcome.total_flips,
+                mode=outcome.mode,
+            )
+            tracer.span_event("wear.rotation", t1, t2 - t1, write=i)
+            tracer.span_event(
+                "pcm.apply", t2, t3 - t2, write=i, rotation=rotation
+            )
+            if outcome.epoch_reset:
+                tracer.event(
+                    "epoch.reset", write=i, addr=record.address
+                )
+            if outcome.mode_switched:
+                tracer.event(
+                    "mode.switch",
+                    write=i,
+                    addr=record.address,
+                    mode=outcome.mode,
+                )
+        if sampler is not None and i % sample_every == 0:
+            sampler.record(i)
+        if heartbeat is not None and i % hb_every == 0:
+            heartbeat(i, n_records)
+
+    metrics.gauge("run.write_loop_s").set(perf() - loop_t0)
+    metrics.counter("run.writes").inc(result.n_writes)
+    metrics.counter("run.flips").inc(result.total_flips)
+    metrics.counter("run.slots").inc(result.total_slots)
+    metrics.counter("run.epoch_resets").inc(result.epoch_resets)
+    metrics.counter("run.mode_switches").inc(result.mode_switches)
+    metrics.counter("run.full_reencryptions").inc(result.full_reencryptions)
+    if pad_cache is not None:
+        metrics.counter("pad.cache_hits").inc(pad_cache.hits)
+        metrics.counter("pad.cache_misses").inc(pad_cache.misses)
+    if sampler is not None:
+        result.series = sampler.finalize(n_records)
 
 
 def run_suite(

@@ -1,0 +1,115 @@
+"""Metrics registry: instruments, snapshots, and the null backend."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("writes")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_snapshot(self):
+        c = Counter("writes")
+        c.inc(3)
+        assert c.snapshot() == {"type": "counter", "name": "writes", "value": 3}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("epoch")
+        g.set(3.0)
+        g.set(7.5)
+        assert g.value == 7.5
+        assert g.snapshot()["value"] == 7.5
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("flips")
+        for v in (2.0, 4.0, 9.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 15.0
+        assert h.min == 2.0
+        assert h.max == 9.0
+        assert h.mean == pytest.approx(5.0)
+
+    def test_empty_snapshot_is_finite(self):
+        snap = Histogram("empty").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0 and snap["mean"] == 0.0
+
+
+class TestTimer:
+    def test_context_manager_records_duration(self):
+        t = Timer("phase")
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.total >= 0.0
+
+    def test_snapshot_type(self):
+        assert Timer("x").snapshot()["type"] == "timer"
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert len(m) == 1
+
+    def test_name_collision_across_types_rejected(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            m.gauge("x")
+
+    def test_snapshot_preserves_registration_order(self):
+        m = MetricsRegistry()
+        m.counter("b")
+        m.gauge("a")
+        assert [s["name"] for s in m.snapshot()] == ["b", "a"]
+
+    def test_dump_jsonl_round_trips(self, tmp_path):
+        m = MetricsRegistry()
+        m.counter("writes").inc(7)
+        m.timer("write_s").observe(0.25)
+        path = m.dump_jsonl(tmp_path / "metrics.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0] == {"type": "counter", "name": "writes", "value": 7}
+        assert parsed[1]["mean"] == pytest.approx(0.25)
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NULL_METRICS.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_all_instruments_are_shared_noops(self):
+        c = NULL_METRICS.counter("writes")
+        assert c is NULL_METRICS.gauge("anything")
+        c.inc(100)
+        NULL_METRICS.gauge("g").set(5)
+        NULL_METRICS.histogram("h").observe(1.0)
+        with NULL_METRICS.timer("t").time():
+            pass
+        assert NULL_METRICS.snapshot() == []
+        assert c.value == 0

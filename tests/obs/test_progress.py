@@ -1,0 +1,123 @@
+"""Progress tally, formatting, and the in-place line renderer."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.progress import (
+    DONE,
+    HEARTBEAT,
+    START,
+    ProgressEvent,
+    ProgressRenderer,
+    ProgressState,
+    format_eta,
+    format_progress,
+)
+
+
+def ev(kind: str, cell: int, writes_done: int = 0, n_writes: int = 100):
+    return ProgressEvent(
+        kind=kind,
+        cell=cell,
+        n_cells=4,
+        writes_done=writes_done,
+        n_writes=n_writes,
+        workload="mcf",
+        scheme="deuce",
+    )
+
+
+class TestProgressState:
+    def test_lifecycle_tally(self):
+        state = ProgressState()
+        state.apply(ev(START, 0))
+        state.apply(ev(START, 1))
+        assert state.n_cells == 4
+        assert len(state.in_flight) == 2
+        state.apply(ev(HEARTBEAT, 0, writes_done=50))
+        assert state.in_flight[0] == (50, 100)
+        state.apply(ev(DONE, 0, writes_done=100))
+        assert state.done == 1
+        assert 0 not in state.in_flight
+
+    def test_completed_cells_gives_fractional_credit(self):
+        state = ProgressState()
+        state.apply(ev(START, 0))
+        state.apply(ev(DONE, 0, writes_done=100))
+        state.apply(ev(START, 1))
+        state.apply(ev(HEARTBEAT, 1, writes_done=25))
+        assert state.completed_cells == 1.25
+
+    def test_eta_projects_linearly(self):
+        state = ProgressState()
+        state.apply(ev(START, 0))
+        state.apply(ev(DONE, 0, writes_done=100))
+        # 1 of 4 cells in 10s -> 30s remain.
+        assert state.eta_seconds(10.0) == 30.0
+
+    def test_eta_none_before_any_signal(self):
+        state = ProgressState()
+        assert state.eta_seconds(5.0) is None
+        state.apply(ev(START, 0))
+        assert state.eta_seconds(5.0) is None
+
+
+class TestFormatting:
+    def test_format_eta(self):
+        assert format_eta(None) == "ETA ?"
+        assert format_eta(12.4) == "ETA 12s"
+        assert format_eta(120.0) == "ETA 2.0m"
+
+    def test_format_progress_line(self):
+        state = ProgressState()
+        state.apply(ev(START, 0))
+        state.apply(ev(DONE, 0, writes_done=100))
+        state.apply(ev(START, 1))
+        line = format_progress(state, 10.0, label="fig10")
+        assert line == "[fig10  1/4 done, 1 in-flight, 25% | ETA 30s]"
+
+    def test_format_progress_without_label(self):
+        line = format_progress(ProgressState(), 0.0)
+        assert line.startswith("[0/0 done")
+
+
+class TestProgressRenderer:
+    def _renderer(self, min_redraw_s: float = 0.0):
+        stream = io.StringIO()
+        now = [0.0]
+        renderer = ProgressRenderer(
+            label="x",
+            stream=stream,
+            clock=lambda: now[0],
+            min_redraw_s=min_redraw_s,
+        )
+        return renderer, stream, now
+
+    def test_draws_carriage_return_lines_and_final_newline(self):
+        renderer, stream, _ = self._renderer()
+        renderer(ev(START, 0))
+        renderer(ev(DONE, 0, writes_done=100))
+        renderer.close()
+        out = stream.getvalue()
+        assert out.count("\r") == 2
+        assert out.endswith("1/4 done, 0 in-flight, 25% | ETA 0s]\n")
+
+    def test_heartbeats_are_throttled_but_transitions_draw(self):
+        renderer, stream, now = self._renderer(min_redraw_s=1.0)
+        renderer(ev(START, 0))
+        renderer(ev(HEARTBEAT, 0, writes_done=10))  # within 1s: suppressed
+        renderer(ev(HEARTBEAT, 0, writes_done=20))
+        assert stream.getvalue().count("\r") == 1
+        now[0] = 2.0
+        renderer(ev(HEARTBEAT, 0, writes_done=30))  # past the floor: drawn
+        assert stream.getvalue().count("\r") == 2
+        renderer(ev(DONE, 0, writes_done=100))  # terminal: always drawn
+        assert stream.getvalue().count("\r") == 3
+        # Suppressed heartbeats still update the tally.
+        assert renderer.state.done == 1
+
+    def test_close_without_drawing_writes_nothing(self):
+        renderer, stream, _ = self._renderer()
+        renderer.close()
+        assert stream.getvalue() == ""

@@ -1,0 +1,122 @@
+"""Interval sampler: deltas, tail handling, and row flattening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.pcm import PcmArray
+from repro.obs.sampling import IntervalSampler, TimeSeries
+from repro.sim.results import RunResult
+
+
+def make_result(**kw) -> RunResult:
+    defaults = dict(
+        workload="mcf", scheme="deuce", n_writes=100, line_bits=512, meta_bits=32
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+class FakeCache:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+
+class TestIntervalSampler:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(0, make_result(), PcmArray())
+
+    def test_samples_are_deltas_not_cumulative(self):
+        result = make_result()
+        pcm = PcmArray(track_per_line=False)
+        cache = FakeCache()
+        sampler = IntervalSampler(10, result, pcm, cache)
+
+        result.total_flips = 100
+        result.data_flips = 90
+        result.meta_flips = 10
+        cache.hits, cache.misses = 6, 4
+        first = sampler.record(10)
+        assert first.flips == 100
+        assert first.pad_hit_rate == pytest.approx(0.6)
+
+        result.total_flips = 130
+        result.data_flips = 115
+        result.meta_flips = 15
+        cache.hits, cache.misses = 10, 10
+        second = sampler.record(20)
+        assert second.flips == 30
+        assert second.data_flips == 25
+        assert second.pad_hits == 4 and second.pad_misses == 6
+        assert second.interval_writes == 10
+
+    def test_mode_deltas_track_histogram_changes(self):
+        result = make_result()
+        sampler = IntervalSampler(5, result, PcmArray(track_per_line=False))
+        result.mode_histogram["deuce"] += 5
+        s1 = sampler.record(5)
+        assert s1.mode_deltas == {"deuce": 5}
+        result.mode_histogram["deuce"] += 2
+        result.mode_histogram["fnw"] += 3
+        s2 = sampler.record(10)
+        assert s2.mode_deltas == {"deuce": 2, "fnw": 3}
+
+    def test_wear_percentiles_read_pcm_profile(self):
+        result = make_result()
+        pcm = PcmArray(track_per_line=False)
+        pcm.position_writes[:] = np.arange(pcm.bits_per_line)
+        sampler = IntervalSampler(1, result, pcm)
+        s = sampler.record(1)
+        assert s.wear_max == pcm.bits_per_line - 1
+        assert s.wear_p50 == pytest.approx((pcm.bits_per_line - 1) / 2)
+        assert s.wear_p50 <= s.wear_p90 <= s.wear_p99 <= s.wear_max
+
+    def test_finalize_emits_partial_tail_once(self):
+        result = make_result()
+        sampler = IntervalSampler(10, result, PcmArray(track_per_line=False))
+        sampler.on_write(10)
+        result.total_flips = 7
+        series = sampler.finalize(13)
+        assert [s.write_index for s in series] == [10, 13]
+        assert series.samples[-1].interval_writes == 3
+        assert series.samples[-1].flips == 7
+        # A run that ends exactly on a boundary gets no empty tail.
+        assert len(sampler.finalize(13)) == 2
+
+    def test_on_write_only_fires_on_boundaries(self):
+        result = make_result()
+        sampler = IntervalSampler(4, result, PcmArray(track_per_line=False))
+        for i in range(1, 9):
+            sampler.on_write(i)
+        assert [s.write_index for s in sampler.series] == [4, 8]
+
+
+class TestTimeSeries:
+    def _series(self) -> TimeSeries:
+        result = make_result()
+        pcm = PcmArray(track_per_line=False)
+        sampler = IntervalSampler(10, result, pcm)
+        result.total_flips = 40
+        result.mode_histogram["deuce"] += 10
+        sampler.record(10)
+        result.total_flips = 100
+        result.mode_histogram["fnw"] += 4
+        sampler.record(20)
+        return sampler.series
+
+    def test_total_reconciles(self):
+        series = self._series()
+        assert series.total("flips") == 100
+        assert series.mode_totals() == {"deuce": 10, "fnw": 4}
+
+    def test_rows_have_uniform_columns(self):
+        rows = self._series().as_rows()
+        assert len(rows) == 2
+        assert set(rows[0]) == set(rows[1])
+        assert rows[0]["mode_deuce"] == 10
+        assert rows[0]["mode_fnw"] == 0
+        assert rows[1]["mode_fnw"] == 4
+        assert rows[1]["flip_rate"] == pytest.approx(6.0)

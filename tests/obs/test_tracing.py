@@ -1,0 +1,79 @@
+"""Tracer spans/events and the JSONL sink."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    NullTracer,
+    Tracer,
+)
+
+
+class TestTracer:
+    def test_span_records_name_timing_and_attrs(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("install", lines=12):
+            pass
+        (record,) = sink.records
+        assert record["type"] == "span"
+        assert record["name"] == "install"
+        assert record["lines"] == 12
+        assert record["dur"] >= 0.0
+
+    def test_span_event_uses_given_timing(self):
+        sink = ListSink()
+        Tracer(sink).span_event("scheme.write", 10.0, 0.5, write=3)
+        assert sink.records[0]["ts"] == 10.0
+        assert sink.records[0]["dur"] == 0.5
+        assert sink.records[0]["write"] == 3
+
+    def test_event_is_instant(self):
+        sink = ListSink()
+        Tracer(sink).event("epoch.reset", write=64, addr=0x40)
+        (record,) = sink.records
+        assert record["type"] == "event"
+        assert "dur" not in record
+        assert record["addr"] == 0x40
+
+    def test_spans_emitted_in_completion_order(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r["name"] for r in sink.records] == ["inner", "outer"]
+
+
+class TestJsonlSink:
+    def test_every_line_parses(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            tracer = Tracer(sink)
+            with tracer.span("a", k=1):
+                tracer.event("b")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert {r["name"] for r in records} == {"a", "b"}
+
+    def test_tracer_close_closes_sink(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        tracer = Tracer(sink)
+        tracer.event("x")
+        tracer.close()
+        assert sink._fh.closed
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        with NULL_TRACER.span("anything", a=1):
+            NULL_TRACER.event("ignored")
+        NULL_TRACER.span_event("x", 0.0, 0.0)
+        NULL_TRACER.close()

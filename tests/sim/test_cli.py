@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -42,9 +44,99 @@ class TestRun:
         )
         assert code == 0
 
+    def test_run_with_sr_hwl(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload",
+                "mcf",
+                "--scheme",
+                "deuce",
+                "--writes",
+                "100",
+                "--wear-leveling",
+                "sr-hwl",
+            ]
+        )
+        assert code == 0
+
+    def test_run_with_pad_cache_disabled(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload",
+                "mcf",
+                "--scheme",
+                "deuce",
+                "--writes",
+                "100",
+                "--pad-cache-lines",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pad_hit_rate" in out
+
     def test_bad_scheme_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--workload", "mcf", "--scheme", "rot13"])
+
+
+class TestRunObservability:
+    def test_metrics_trace_and_series_outputs(self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        trace = tmp_path / "t.jsonl"
+        series = tmp_path / "s.csv"
+        code = main(
+            [
+                "run",
+                "--workload",
+                "mcf",
+                "--scheme",
+                "dyndeuce",
+                "--writes",
+                "400",
+                "--sample-interval",
+                "100",
+                "--metrics-out",
+                str(metrics),
+                "--trace-out",
+                str(trace),
+                "--series-out",
+                str(series),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sampled 4 intervals" in out
+        for path in (metrics, trace):
+            lines = path.read_text().splitlines()
+            assert lines
+            for line in lines:
+                json.loads(line)
+        rows = series.read_text().splitlines()
+        assert len(rows) == 5  # header + 4 samples
+        assert rows[0].startswith("write_index,")
+
+    def test_series_out_defaults_sampling_cadence(self, tmp_path, capsys):
+        series = tmp_path / "s.csv"
+        code = main(
+            [
+                "run",
+                "--workload",
+                "mcf",
+                "--scheme",
+                "deuce",
+                "--writes",
+                "200",
+                "--series-out",
+                str(series),
+            ]
+        )
+        assert code == 0
+        assert series.exists()
+        assert "sampled" in capsys.readouterr().out
 
 
 class TestExperiment:
@@ -62,6 +154,23 @@ class TestExperiment:
         assert main(["experiment", "fig12", "--writes", "800"]) == 0
         assert "Fig 12" in capsys.readouterr().out
 
+    def test_progress_renders_on_stderr(self, capsys):
+        code = main(
+            ["experiment", "fig12", "--writes", "400", "--progress"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Fig 12" in captured.out
+        assert "done" in captured.err and "ETA" in captured.err
+        assert captured.err.endswith("\n")
+
+    def test_no_progress_keeps_stderr_quiet(self, capsys):
+        code = main(
+            ["experiment", "fig12", "--writes", "400", "--no-progress"]
+        )
+        assert code == 0
+        assert capsys.readouterr().err == ""
+
 
 class TestParser:
     def test_requires_subcommand(self):
@@ -73,6 +182,23 @@ class TestParser:
         assert args.scheme == "deuce"
         assert args.epoch_interval == 32
         assert args.wear_leveling == "none"
+        assert args.sample_interval == 0
+        assert args.metrics_out is None
+        assert args.trace_out is None
+        assert args.series_out is None
+        assert args.pad_cache_lines > 0
+
+    def test_progress_flag_tristate(self):
+        parse = build_parser().parse_args
+        assert parse(["experiment", "fig12"]).progress is None
+        assert parse(["experiment", "fig12", "--progress"]).progress is True
+        assert parse(["experiment", "fig12", "--no-progress"]).progress is False
+
+    def test_workers_zero_means_auto(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig12", "--workers", "0"]
+        )
+        assert args.workers == 0  # resolve_workers treats 0 as auto
 
 
 class TestReport:

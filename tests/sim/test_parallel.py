@@ -22,10 +22,16 @@ def _grid(n_writes: int = 500) -> list[SimConfig]:
 class TestResolveWorkers:
     def test_serial_knob(self):
         assert resolve_workers(1, 10) == 1
-        assert resolve_workers(0, 10) == 1
+
+    def test_both_auto_conventions_agree(self):
+        """``None`` (API) and ``0`` (CLI) both mean auto-size, identically."""
+        assert resolve_workers(None, 100) == resolve_workers(0, 100)
+        assert 1 <= resolve_workers(0, 100) <= 8
 
     def test_capped_by_cells(self):
         assert resolve_workers(8, 3) == 3
+        assert resolve_workers(None, 1) == 1
+        assert resolve_workers(0, 1) == 1
 
     def test_auto_is_positive(self):
         assert resolve_workers(None, 100) >= 1
