@@ -7,7 +7,10 @@ registry into a directory (one file per exhibit plus an index).
 :class:`~repro.obs.sampling.TimeSeries` a run attaches to
 ``RunResult.series`` — flip rates, pad-cache hit rates, mode deltas, and
 wear percentiles over the course of a run — in the same flat-CSV style as
-the figure exports.
+the figure exports.  :func:`summary_row` is the ledger-aware flat row for
+single runs: the plain ``RunResult.summary_row`` plus ``run_id`` /
+``wall_time_s`` / ``git_rev`` columns sourced from the run's manifest, so
+exported rows join against ``.deuce-runs/index.jsonl``.
 """
 
 from __future__ import annotations
@@ -17,8 +20,31 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.ledger import RunManifest
     from repro.obs.sampling import TimeSeries
     from repro.sim.experiments import ExperimentResult
+    from repro.sim.results import RunResult
+
+
+def summary_row(
+    result: "RunResult", manifest: "RunManifest | None" = None
+) -> dict[str, object]:
+    """A run's flat summary row, joinable against the run ledger.
+
+    Extends :meth:`~repro.sim.results.RunResult.summary_row` with the
+    manifest's ``run_id``, ``wall_time_s``, and ``git_rev`` so CSVs built
+    from these rows join against ``.deuce-runs/index.jsonl`` (and against
+    each other across revisions).  Without a manifest the ledger columns are
+    still present — empty id/rev, the result's own wall time — so exported
+    headers are stable either way.
+    """
+    row = result.summary_row()
+    row["run_id"] = manifest.run_id if manifest is not None else ""
+    row["wall_time_s"] = round(
+        manifest.wall_time_s if manifest is not None else result.wall_time_s, 4
+    )
+    row["git_rev"] = manifest.git_rev if manifest is not None else ""
+    return row
 
 
 def export_csv(result: "ExperimentResult", path: str | Path) -> Path:

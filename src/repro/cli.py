@@ -3,9 +3,17 @@
 Subcommands
 -----------
 ``run``
-    Stream a workload trace through one scheme and print the summary.
+    Stream a workload trace through one scheme and print the summary
+    (persisting a run manifest into the ledger unless ``--no-ledger``).
 ``experiment``
     Reproduce one of the paper's figures/tables (or ``all``).
+``runs``
+    Query the run ledger: ``list``, ``show``, ``diff``, ``gc``.
+``gate``
+    Compare the newest ledger runs against the pinned baselines; exits
+    nonzero on regression.
+``dashboard``
+    Write a self-contained HTML dashboard of the ledger's history.
 ``report``
     Run every experiment and write a Markdown reproduction report.
 ``list``
@@ -17,7 +25,9 @@ Examples
 
     deuce-sim run --workload mcf --scheme deuce --writes 10000
     deuce-sim experiment fig10
-    deuce-sim list
+    deuce-sim runs list --scheme deuce
+    deuce-sim gate && echo "no regressions"
+    deuce-sim dashboard --output dashboard.html
 """
 
 from __future__ import annotations
@@ -33,32 +43,73 @@ from repro.sim.runner import run
 from repro.workloads.profiles import WORKLOAD_NAMES
 
 
-def _build_instruments(args: argparse.Namespace):
+def _make_ledger(args: argparse.Namespace):
+    """The run ledger selected by CLI flags, or ``None`` when disabled."""
+    if not getattr(args, "ledger", True):
+        return None
+    from repro.obs.ledger import RunLedger
+
+    return RunLedger(getattr(args, "runs_dir", None))
+
+
+def _build_instruments(args: argparse.Namespace, ledger_on: bool = False):
     """Assemble the run's observability bundle from CLI flags.
 
-    Returns ``(instruments, metrics, tracer)``; all ``None`` when every
-    observability flag is off, so the runner takes its uninstrumented fast
-    path.
+    Returns ``(instruments, metrics, tracer, phases)``; all ``None`` when
+    every observability flag is off and the ledger is disabled, so the
+    runner takes its uninstrumented fast path.  With the ledger on, a
+    metrics registry and a phase-accumulating tracer are always live: the
+    manifest needs per-phase wall times and summary counters even when no
+    ``--metrics-out``/``--trace-out`` path was given.
     """
     sample_interval = args.sample_interval
     if args.series_out and not sample_interval:
         # A series was requested without a cadence: default to ~100 points.
         sample_interval = max(1, args.writes // 100)
-    if not (args.metrics_out or args.trace_out or sample_interval):
-        return None, None, None
+    if not (
+        ledger_on or args.metrics_out or args.trace_out or sample_interval
+    ):
+        return None, None, None, None
     from repro.obs import Instruments, JsonlSink, MetricsRegistry, Tracer
+    from repro.obs.ledger import PhaseAccumulator
 
-    metrics = MetricsRegistry() if args.metrics_out else None
-    tracer = Tracer(JsonlSink(args.trace_out)) if args.trace_out else None
+    metrics = (
+        MetricsRegistry() if (args.metrics_out or ledger_on) else None
+    )
+    phases = None
+    tracer = None
+    if args.trace_out or ledger_on:
+        sink = JsonlSink(args.trace_out) if args.trace_out else None
+        if ledger_on:
+            phases = PhaseAccumulator(inner=sink)
+            sink = phases
+        tracer = Tracer(sink)
     instruments = Instruments(sample_interval=sample_interval)
     if metrics is not None:
         instruments.metrics = metrics
     if tracer is not None:
         instruments.tracer = tracer
-    return instruments, metrics, tracer
+    return instruments, metrics, tracer, phases
+
+
+def _series_csv_text(series) -> str:
+    """A run's sampled time-series rendered as CSV text (ledger artifact)."""
+    import csv
+    import io
+
+    rows = series.as_rows()
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=list(rows[0]) if rows else ["write_index"]
+    )
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis.export import summary_row
+
     config = SimConfig(
         workload=args.workload,
         scheme=args.scheme,
@@ -70,15 +121,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         pad_kind=args.pad_kind,
         pad_cache_lines=args.pad_cache_lines,
     )
-    instruments, metrics, tracer = _build_instruments(args)
+    ledger = _make_ledger(args)
+    instruments, metrics, tracer, phases = _build_instruments(
+        args, ledger_on=ledger is not None
+    )
     result = run(config, instruments=instruments)
-    print(render_table(list(result.summary_row()), [result.summary_row()]))
-    if result.lifetime is not None:
-        print(f"lifetime vs encrypted baseline: {result.lifetime.normalized:.2f}x")
     if tracer is not None:
         tracer.close()
-        print(f"trace written to {args.trace_out}")
-    if metrics is not None:
+        if args.trace_out:
+            print(f"trace written to {args.trace_out}")
+    if metrics is not None and args.metrics_out:
         metrics.dump_jsonl(args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
     if result.series is not None:
@@ -91,6 +143,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
             export_series_csv(result.series, args.series_out)
             print(f"time-series written to {args.series_out}")
+    manifest = None
+    if ledger is not None:
+        import json
+
+        artifact_text = {}
+        if metrics is not None:
+            artifact_text["metrics.jsonl"] = "".join(
+                json.dumps(snap, separators=(",", ":")) + "\n"
+                for snap in metrics.snapshot()
+            )
+        if result.series is not None:
+            artifact_text["series.csv"] = _series_csv_text(result.series)
+        artifacts = {}
+        if args.trace_out:
+            artifacts["trace"] = args.trace_out
+        manifest = ledger.record_result(
+            result,
+            config,
+            kind="run",
+            label=args.label or "",
+            phases=phases.totals if phases is not None else None,
+            artifacts=artifacts,
+            artifact_text=artifact_text,
+        )
+    row = summary_row(result, manifest)
+    print(render_table(list(row), [row]))
+    if result.lifetime is not None:
+        print(f"lifetime vs encrypted baseline: {result.lifetime.normalized:.2f}x")
+    if manifest is not None:
+        print(f"run {manifest.run_id} recorded in {ledger.root}")
     return 0
 
 
@@ -107,8 +189,8 @@ def _progress_renderer(args: argparse.Namespace, label: str):
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    names = list(EXPERIMENTS) if args.name == "all" else [args.name]
-    for name in names:
+    ledger = _make_ledger(args)
+    for name in (list(EXPERIMENTS) if args.name == "all" else [args.name]):
         if name not in EXPERIMENTS:
             print(
                 f"unknown experiment {name!r}; choose from "
@@ -126,12 +208,131 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                     n_writes=args.writes,
                     max_workers=args.workers,
                     progress=renderer,
+                    ledger=ledger,
                 )
             finally:
                 if renderer is not None:
                     renderer.close()
         print(result.render())
+        if ledger is not None:
+            from repro.obs.ledger import build_manifest
+
+            summary = {
+                key: value
+                for key, value in (result.averages or {}).items()
+                if isinstance(value, (int, float))
+            }
+            manifest = build_manifest(
+                kind="experiment",
+                label=name,
+                n_writes=0 if name == "table2" else args.writes,
+                wall_time_s=result.wall_time_s,
+                summary=summary,
+            )
+            ledger.record(
+                manifest, artifact_text={"result.txt": result.render() + "\n"}
+            )
+            print(f"experiment {name} recorded as {manifest.run_id}")
         print()
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import LedgerError, RunLedger
+
+    ledger = RunLedger(args.runs_dir)
+    try:
+        if args.runs_command == "list":
+            manifests = ledger.list(
+                kind=args.kind,
+                scheme=args.scheme,
+                workload=args.workload,
+                limit=args.limit or None,
+            )
+            if not manifests:
+                print("no runs recorded")
+                return 0
+            rows = [
+                {
+                    "run_id": m.run_id,
+                    "kind": m.kind,
+                    "label": m.label,
+                    "workload": m.workload,
+                    "scheme": m.scheme,
+                    "writes": m.n_writes,
+                    "wall_s": round(m.wall_time_s, 3),
+                    "git_rev": m.git_rev,
+                }
+                for m in manifests
+            ]
+            print(render_table(list(rows[0]), rows))
+        elif args.runs_command == "show":
+            import json
+
+            manifest = ledger.get(args.run_id)
+            print(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+        elif args.runs_command == "diff":
+            deltas = ledger.diff(args.run_a, args.run_b)
+            if not deltas:
+                print("no shared numeric metrics")
+                return 0
+            rows = [
+                {
+                    "metric": metric,
+                    "a": sides["a"],
+                    "b": sides["b"],
+                    "delta": (
+                        round(sides["delta"], 6)
+                        if isinstance(sides["delta"], (int, float))
+                        else "(differs)"
+                    ),
+                }
+                for metric, sides in deltas.items()
+            ]
+            print(render_table(list(rows[0]), rows,
+                               title=f"{args.run_a} vs {args.run_b}:"))
+        elif args.runs_command == "gc":
+            removed = ledger.gc(keep=args.keep)
+            print(f"removed {len(removed)} runs, kept {len(ledger)}")
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    from repro.obs.gate import GateError, evaluate_gate, pin_baselines
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(args.runs_dir)
+    try:
+        if args.pin:
+            path = pin_baselines(ledger, args.baselines)
+            print(f"baselines re-pinned to latest ledger runs: {path}")
+            return 0
+        report = evaluate_gate(
+            ledger,
+            baselines_dir=args.baselines,
+            tolerance_scale=args.tolerance_scale,
+            run_ids=args.run_id or None,
+        )
+    except GateError as exc:
+        print(f"gate error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.analysis.dashboard import write_dashboard
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(args.runs_dir)
+    path = write_dashboard(
+        args.output, ledger,
+        baselines_dir=args.baselines, limit=args.limit or None,
+    )
+    print(f"dashboard written to {path}")
     return 0
 
 
@@ -178,6 +379,22 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("schemes:   " + ", ".join(SCHEME_NAMES))
     print("experiments: " + ", ".join(EXPERIMENTS) + ", all")
     return 0
+
+
+def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="persist a run manifest into the ledger (default: on; "
+        "--no-ledger also skips run-scoped instrumentation)",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="ledger directory (default: $DEUCE_RUNS_DIR or .deuce-runs)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -231,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sampled time-series as CSV (implies sampling "
         "at ~100 points if --sample-interval is unset)",
     )
+    _add_ledger_flags(p_run)
+    p_run.add_argument(
+        "--label",
+        default="",
+        help="free-form tag stored in the run's ledger manifest",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_exp = sub.add_parser("experiment", help="reproduce a paper figure/table")
@@ -249,7 +472,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="live cells-done/in-flight/ETA line on stderr "
         "(default: only when stderr is a terminal)",
     )
+    _add_ledger_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_runs = sub.add_parser("runs", help="query the run ledger")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    p_runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    p_runs_list.add_argument("--kind", default=None)
+    p_runs_list.add_argument("--scheme", default=None)
+    p_runs_list.add_argument("--workload", default=None)
+    p_runs_list.add_argument(
+        "--limit", type=int, default=20, help="newest N runs (0 = all)"
+    )
+    p_runs_show = runs_sub.add_parser("show", help="print one run's manifest")
+    p_runs_show.add_argument("run_id")
+    p_runs_diff = runs_sub.add_parser(
+        "diff", help="compare two runs' summary metrics"
+    )
+    p_runs_diff.add_argument("run_a")
+    p_runs_diff.add_argument("run_b")
+    p_runs_gc = runs_sub.add_parser(
+        "gc", help="prune the ledger to the newest N runs"
+    )
+    p_runs_gc.add_argument("--keep", type=int, default=100)
+    for sp in (p_runs_list, p_runs_show, p_runs_diff, p_runs_gc):
+        sp.add_argument(
+            "--runs-dir",
+            default=None,
+            metavar="DIR",
+            help="ledger directory (default: $DEUCE_RUNS_DIR or .deuce-runs)",
+        )
+    p_runs.set_defaults(func=_cmd_runs)
+
+    p_gate = sub.add_parser(
+        "gate",
+        help="check the newest ledger runs against pinned baselines "
+        "(exit 1 on regression, 2 on misconfiguration)",
+    )
+    p_gate.add_argument(
+        "--baselines",
+        default="baselines",
+        metavar="DIR",
+        help="directory holding flip_rates.json / perf.json",
+    )
+    p_gate.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="ledger directory (default: $DEUCE_RUNS_DIR or .deuce-runs)",
+    )
+    p_gate.add_argument(
+        "--tolerance-scale",
+        type=float,
+        default=1.0,
+        help="multiply every baseline tolerance band by this factor",
+    )
+    p_gate.add_argument(
+        "--run-id",
+        action="append",
+        default=[],
+        metavar="RUN_ID",
+        help="gate these specific runs instead of the latest per scheme "
+        "(repeatable)",
+    )
+    p_gate.add_argument(
+        "--pin",
+        action="store_true",
+        help="re-pin flip-rate baselines from the latest matching ledger "
+        "runs instead of gating",
+    )
+    p_gate.set_defaults(func=_cmd_gate)
+
+    p_dash = sub.add_parser(
+        "dashboard", help="write a self-contained HTML dashboard"
+    )
+    p_dash.add_argument("--output", default="deuce_dashboard.html")
+    p_dash.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="ledger directory (default: $DEUCE_RUNS_DIR or .deuce-runs)",
+    )
+    p_dash.add_argument(
+        "--baselines",
+        default="baselines",
+        metavar="DIR",
+        help="baselines directory for the gate status panel",
+    )
+    p_dash.add_argument(
+        "--limit",
+        type=int,
+        default=200,
+        help="newest N ledger runs to chart (0 = all)",
+    )
+    p_dash.set_defaults(func=_cmd_dashboard)
 
     p_report = sub.add_parser(
         "report", help="run all experiments into a Markdown report"

@@ -13,13 +13,38 @@ Four pieces, all zero-dependency and null-by-default:
 * :mod:`repro.obs.progress` — :class:`ProgressEvent` streams from parallel
   sweep workers; :class:`ProgressRenderer` draws a live
   ``cells done / in-flight / ETA`` line.
+* :mod:`repro.obs.ledger` — durable run manifests (:class:`RunManifest`) in
+  an append-only :class:`RunLedger` directory, with query/diff/GC.
+* :mod:`repro.obs.gate` — baseline regression gate over the ledger:
+  :func:`evaluate_gate` against pinned per-scheme flip rates and a perf
+  floor.
 
 :class:`Instruments` bundles the backends and is what
 :func:`repro.sim.runner.run` accepts; :data:`DISABLED` is the shared
 all-null default under which runs are bit-identical to uninstrumented code.
 """
 
+from repro.obs.gate import (
+    GateCheck,
+    GateError,
+    GateReport,
+    evaluate_gate,
+    load_baselines,
+    pin_baselines,
+)
 from repro.obs.instruments import DISABLED, Instruments, InstrumentedPadSource
+from repro.obs.ledger import (
+    LedgerError,
+    PhaseAccumulator,
+    RunLedger,
+    RunManifest,
+    build_manifest,
+    config_hash,
+    default_runs_dir,
+    git_revision,
+    manifest_from_result,
+    new_run_id,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -48,6 +73,22 @@ __all__ = [
     "DISABLED",
     "Instruments",
     "InstrumentedPadSource",
+    "GateCheck",
+    "GateError",
+    "GateReport",
+    "evaluate_gate",
+    "load_baselines",
+    "pin_baselines",
+    "LedgerError",
+    "PhaseAccumulator",
+    "RunLedger",
+    "RunManifest",
+    "build_manifest",
+    "config_hash",
+    "default_runs_dir",
+    "git_revision",
+    "manifest_from_result",
+    "new_run_id",
     "NULL_METRICS",
     "Counter",
     "Gauge",

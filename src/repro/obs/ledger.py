@@ -1,0 +1,439 @@
+"""Run ledger: persist every run's evidence as a queryable manifest.
+
+PR 2 gave runs live telemetry; this module makes it *durable*.  Every
+``run``/``experiment``/sweep records a :class:`RunManifest` — run id, UTC
+timestamp, git revision, interpreter/numpy versions, a hash of the exact
+config, per-phase wall times lifted from tracer spans, summary metrics, and
+paths to any metrics/trace/series artifacts — into an append-only ledger
+directory (``.deuce-runs/`` by default):
+
+.. code-block:: text
+
+    .deuce-runs/
+        index.jsonl              # one manifest per line, append-only
+        <run_id>/
+            manifest.json        # the same manifest, pretty-printed
+            metrics.jsonl        # whatever artifacts the run attached
+            series.csv
+            ...
+
+:class:`RunLedger` is the API: :meth:`~RunLedger.record` appends,
+:meth:`~RunLedger.list`/:meth:`~RunLedger.get`/:meth:`~RunLedger.latest`
+query (with scheme/workload/kind filters), :meth:`~RunLedger.diff` compares
+two runs' summaries, and :meth:`~RunLedger.gc` applies retention.  The
+regression gate (:mod:`repro.obs.gate`) and the HTML dashboard
+(:mod:`repro.analysis.dashboard`) are both built on this API.
+
+The ledger directory defaults to ``.deuce-runs/`` under the current working
+directory; the ``DEUCE_RUNS_DIR`` environment variable overrides it (the
+test suite points it at a temp dir so runs never dirty the repo).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import platform
+import shutil
+import subprocess
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids import cycles
+    from repro.sim.config import SimConfig
+    from repro.sim.results import RunResult
+
+#: Environment variable overriding the default ledger directory.
+RUNS_DIR_ENV = "DEUCE_RUNS_DIR"
+
+#: Default ledger directory (relative to the current working directory).
+DEFAULT_RUNS_DIR = ".deuce-runs"
+
+#: Manifest schema version (bump on breaking manifest changes).
+SCHEMA_VERSION = 1
+
+
+class LedgerError(Exception):
+    """Raised for ledger lookups that cannot be satisfied."""
+
+
+def default_runs_dir() -> Path:
+    """The ledger root: ``$DEUCE_RUNS_DIR`` or ``./.deuce-runs``."""
+    return Path(os.environ.get(RUNS_DIR_ENV) or DEFAULT_RUNS_DIR)
+
+
+def git_revision(cwd: str | Path | None = None) -> str:
+    """The current short git revision, or ``"unknown"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def config_dict(config: "SimConfig") -> dict[str, object]:
+    """A JSON-safe dict of a :class:`~repro.sim.config.SimConfig`."""
+    raw = dataclasses.asdict(config)
+    return {
+        k: (v.hex() if isinstance(v, bytes) else v) for k, v in raw.items()
+    }
+
+
+def config_hash(config: dict[str, object]) -> str:
+    """Short stable hash of a config dict (manifest identity/join key)."""
+    blob = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+def new_run_id(clock=time.time) -> str:
+    """Sortable unique run id: UTC timestamp plus a random suffix."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(clock()))
+    return f"{stamp}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to identify, compare, and audit one run.
+
+    Attributes
+    ----------
+    run_id:
+        Sortable unique id (also the artifact directory name).
+    kind:
+        ``"run"`` (one simulation), ``"experiment"`` (a figure/table),
+        ``"sweep-cell"`` (one cell of a parallel sweep), or ``"bench"``.
+    label:
+        Freeform grouping key (experiment id, bench id, CLI ``--label``).
+    created_utc:
+        ISO-8601 UTC timestamp.
+    git_rev / python_version / numpy_version:
+        Provenance of the code that produced the run.
+    config / config_hash:
+        The JSON-safe run configuration and its short hash.
+    workload / scheme / n_writes:
+        Denormalized query keys (empty/zero for non-run kinds).
+    wall_time_s / writes_per_s:
+        End-to-end wall time and throughput (the perf-gate inputs).
+    phases:
+        Per-phase wall seconds lifted from tracer spans
+        (``{"scheme.write": 0.41, "pcm.apply": 0.08, ...}``).
+    summary:
+        Flat summary metrics (:meth:`RunResult.summary_row` for runs,
+        suite averages for experiments, bench payloads for benches).
+    artifacts:
+        Artifact name -> path.  Paths are relative to the run's ledger
+        directory unless absolute (externally-written files).
+    """
+
+    run_id: str
+    kind: str
+    label: str = ""
+    created_utc: str = ""
+    git_rev: str = ""
+    python_version: str = ""
+    numpy_version: str = ""
+    config: dict[str, object] = field(default_factory=dict)
+    config_hash: str = ""
+    workload: str = ""
+    scheme: str = ""
+    n_writes: int = 0
+    wall_time_s: float = 0.0
+    writes_per_s: float = 0.0
+    phases: dict[str, float] = field(default_factory=dict)
+    summary: dict[str, object] = field(default_factory=dict)
+    artifacts: dict[str, str] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "RunManifest":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def build_manifest(
+    *,
+    kind: str,
+    label: str = "",
+    config: dict[str, object] | None = None,
+    workload: str = "",
+    scheme: str = "",
+    n_writes: int = 0,
+    wall_time_s: float = 0.0,
+    phases: dict[str, float] | None = None,
+    summary: dict[str, object] | None = None,
+) -> RunManifest:
+    """A manifest with identity/provenance fields filled in."""
+    import numpy as np
+
+    cfg = config or {}
+    return RunManifest(
+        run_id=new_run_id(),
+        kind=kind,
+        label=label,
+        created_utc=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        git_rev=git_revision(),
+        python_version=platform.python_version(),
+        numpy_version=np.__version__,
+        config=cfg,
+        config_hash=config_hash(cfg) if cfg else "",
+        workload=workload,
+        scheme=scheme,
+        n_writes=n_writes,
+        wall_time_s=round(wall_time_s, 6),
+        writes_per_s=(
+            round(n_writes / wall_time_s, 3) if wall_time_s > 0 else 0.0
+        ),
+        phases={k: round(v, 6) for k, v in (phases or {}).items()},
+        summary=dict(summary or {}),
+    )
+
+
+def manifest_from_result(
+    result: "RunResult",
+    config: "SimConfig",
+    *,
+    kind: str = "run",
+    label: str = "",
+    phases: dict[str, float] | None = None,
+) -> RunManifest:
+    """Build a run manifest from a finished simulation."""
+    return build_manifest(
+        kind=kind,
+        label=label,
+        config=config_dict(config),
+        workload=config.workload,
+        scheme=config.scheme,
+        n_writes=result.n_writes,
+        wall_time_s=result.wall_time_s,
+        phases=phases,
+        summary=result.summary_row(),
+    )
+
+
+class PhaseAccumulator:
+    """Tracer sink summing span durations by name.
+
+    Attach as (or tee into) a :class:`~repro.obs.tracing.Tracer` sink and the
+    run's per-phase wall times (``trace.gen``, ``install``, ``scheme.write``,
+    ``pad.fetch``, ``pcm.apply``, ...) accumulate in :attr:`totals`, ready to
+    drop into a manifest's ``phases`` field.  Events pass through to an
+    optional inner sink, so a run can both stream a JSONL trace and feed the
+    ledger from one tracer.
+    """
+
+    def __init__(self, inner=None) -> None:
+        self.totals: dict[str, float] = {}
+        self.inner = inner
+
+    def emit(self, record: dict[str, object]) -> None:
+        if record.get("type") == "span":
+            name = str(record.get("name", ""))
+            dur = record.get("dur", 0.0)
+            if isinstance(dur, (int, float)):
+                self.totals[name] = self.totals.get(name, 0.0) + dur
+        if self.inner is not None:
+            self.inner.emit(record)
+
+    def close(self) -> None:
+        if self.inner is not None:
+            close = getattr(self.inner, "close", None)
+            if close is not None:
+                close()
+
+
+class RunLedger:
+    """Append-only ledger of run manifests with per-run artifact dirs.
+
+    Parameters
+    ----------
+    root:
+        Ledger directory; ``None`` uses :func:`default_runs_dir` (the
+        ``DEUCE_RUNS_DIR`` env var or ``./.deuce-runs``).  Created lazily on
+        first :meth:`record`.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_runs_dir()
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.jsonl"
+
+    def run_dir(self, run_id: str) -> Path:
+        return self.root / run_id
+
+    # -- write side ---------------------------------------------------------
+
+    def record(
+        self,
+        manifest: RunManifest,
+        artifacts: dict[str, str | Path] | None = None,
+        artifact_text: dict[str, str] | None = None,
+    ) -> RunManifest:
+        """Persist a manifest (and optional artifacts); returns it.
+
+        ``artifacts`` maps artifact names to existing files, copied into the
+        run's directory (names keep the source suffix).  ``artifact_text``
+        maps file names to content written directly.  Both are registered in
+        ``manifest.artifacts`` before it is sealed.
+        """
+        run_dir = self.run_dir(manifest.run_id)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        for name, source in (artifacts or {}).items():
+            source = Path(source)
+            if source.exists():
+                dest = run_dir / (name + "".join(source.suffixes))
+                if source.resolve() != dest.resolve():
+                    shutil.copyfile(source, dest)
+                manifest.artifacts[name] = dest.name
+        for filename, content in (artifact_text or {}).items():
+            (run_dir / filename).write_text(content)
+            name = filename.rsplit(".", 1)[0]
+            manifest.artifacts[name] = filename
+        line = json.dumps(manifest.to_dict(), sort_keys=True)
+        (run_dir / "manifest.json").write_text(
+            json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        with open(self.index_path, "a") as fh:
+            fh.write(line + "\n")
+        return manifest
+
+    def record_result(
+        self,
+        result: "RunResult",
+        config: "SimConfig",
+        *,
+        kind: str = "run",
+        label: str = "",
+        phases: dict[str, float] | None = None,
+        artifacts: dict[str, str | Path] | None = None,
+        artifact_text: dict[str, str] | None = None,
+    ) -> RunManifest:
+        """Build a manifest from a finished run and :meth:`record` it."""
+        manifest = manifest_from_result(
+            result, config, kind=kind, label=label, phases=phases
+        )
+        return self.record(
+            manifest, artifacts=artifacts, artifact_text=artifact_text
+        )
+
+    # -- read side ----------------------------------------------------------
+
+    def list(
+        self,
+        *,
+        kind: str | None = None,
+        scheme: str | None = None,
+        workload: str | None = None,
+        label: str | None = None,
+        limit: int | None = None,
+    ) -> list[RunManifest]:
+        """Manifests in recording order, optionally filtered.
+
+        ``limit`` keeps only the *newest* N after filtering.
+        """
+        manifests = [
+            m
+            for m in self._read_index()
+            if (kind is None or m.kind == kind)
+            and (scheme is None or m.scheme == scheme)
+            and (workload is None or m.workload == workload)
+            and (label is None or m.label == label)
+        ]
+        if limit is not None and limit >= 0:
+            manifests = manifests[len(manifests) - limit:]
+        return manifests
+
+    def get(self, run_id: str) -> RunManifest:
+        """The manifest for one run id (manifest.json, index fallback)."""
+        path = self.run_dir(run_id) / "manifest.json"
+        if path.exists():
+            return RunManifest.from_dict(json.loads(path.read_text()))
+        for manifest in self._read_index():
+            if manifest.run_id == run_id:
+                return manifest
+        raise LedgerError(f"run {run_id!r} not found in ledger {self.root}")
+
+    def latest(self, **filters: str | None) -> RunManifest | None:
+        """The newest manifest matching the :meth:`list` filters, if any."""
+        manifests = self.list(**filters)  # type: ignore[arg-type]
+        return manifests[-1] if manifests else None
+
+    def diff(self, run_id_a: str, run_id_b: str) -> dict[str, dict[str, object]]:
+        """Numeric summary metrics side by side: ``{metric: {a, b, delta}}``.
+
+        Includes ``wall_time_s`` so perf drift shows up next to the
+        simulation metrics; non-numeric summary values are compared for
+        equality and reported with ``delta=None`` when they differ.
+        """
+        a, b = self.get(run_id_a), self.get(run_id_b)
+        rows: dict[str, dict[str, object]] = {}
+        keys = list(
+            dict.fromkeys([*a.summary, *b.summary, "wall_time_s"])
+        )
+        for key in keys:
+            va = a.wall_time_s if key == "wall_time_s" else a.summary.get(key)
+            vb = b.wall_time_s if key == "wall_time_s" else b.summary.get(key)
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+                rows[key] = {"a": va, "b": vb, "delta": round(vb - va, 6)}
+            elif va != vb:
+                rows[key] = {"a": va, "b": vb, "delta": None}
+        return rows
+
+    def gc(self, keep: int) -> list[str]:
+        """Retention: drop all but the newest ``keep`` runs; returns removed ids.
+
+        Rewrites the index to the surviving manifests and deletes the pruned
+        runs' artifact directories.
+        """
+        if keep < 0:
+            raise ValueError(f"keep must be >= 0, got {keep}")
+        manifests = self._read_index()
+        cut = max(0, len(manifests) - keep)
+        pruned, kept = manifests[:cut], manifests[cut:]
+        if not pruned:
+            return []
+        tmp = self.index_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w") as fh:
+            for manifest in kept:
+                fh.write(json.dumps(manifest.to_dict(), sort_keys=True) + "\n")
+        tmp.replace(self.index_path)
+        removed = []
+        for manifest in pruned:
+            run_dir = self.run_dir(manifest.run_id)
+            if run_dir.is_dir():
+                shutil.rmtree(run_dir, ignore_errors=True)
+            removed.append(manifest.run_id)
+        return removed
+
+    def _read_index(self) -> list[RunManifest]:
+        if not self.index_path.exists():
+            return []
+        manifests = []
+        with open(self.index_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    manifests.append(RunManifest.from_dict(json.loads(line)))
+        return manifests
+
+    def __len__(self) -> int:
+        return len(self._read_index())
+
+    def __iter__(self) -> Iterable[RunManifest]:
+        return iter(self._read_index())

@@ -15,6 +15,7 @@ need no wall time of their own.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from dataclasses import dataclass, field
@@ -89,9 +90,27 @@ class ProgressState:
         return max(0.0, elapsed * remaining / completed)
 
 
+#: ETAs beyond this are projection noise, not information (99 hours).
+MAX_ETA_S = 99 * 3600.0
+
+#: What an unknown/absurd ETA renders as (never crashes, never garbage).
+UNKNOWN_ETA = "ETA --:--"
+
+
 def format_eta(seconds: float | None) -> str:
-    if seconds is None:
-        return "ETA ?"
+    """Human ETA; ``--:--`` when unknown, non-finite, or beyond 99 hours.
+
+    Early in a sweep the linear projection can be ``None`` (no signal yet)
+    or wildly large (one heartbeat from one slow cell); both degrade to the
+    same placeholder instead of printing multi-day ETAs or raising on
+    ``inf``/``nan``.
+    """
+    if seconds is None or not math.isfinite(seconds):
+        return UNKNOWN_ETA
+    if seconds < 0 or seconds > MAX_ETA_S:
+        return UNKNOWN_ETA
+    if seconds >= 5400:
+        return f"ETA {seconds / 3600.0:.1f}h"
     if seconds >= 90:
         return f"ETA {seconds / 60.0:.1f}m"
     return f"ETA {int(round(seconds))}s"
@@ -112,6 +131,11 @@ def format_progress(
     )
 
 
+#: Heartbeat redraw floor when the stream is not a terminal (seconds).
+#: Line-per-event output in CI logs should tick, not scroll.
+NON_TTY_MIN_REDRAW_S = 1.0
+
+
 class ProgressRenderer:
     """Callable progress consumer that redraws one status line in place.
 
@@ -119,6 +143,12 @@ class ProgressRenderer:
     :func:`repro.sim.parallel.run_suite_parallel` (or to an experiment
     function, which forwards it).  Call :meth:`close` when the sweep ends to
     terminate the line.
+
+    When the stream is **not a terminal** (CI logs, redirected stderr), the
+    renderer degrades to line-per-event output: every drawn update is its
+    own newline-terminated line, carriage returns are never emitted, and
+    heartbeat redraws are floored at :data:`NON_TTY_MIN_REDRAW_S` so logs
+    tick instead of scroll.
 
     Parameters
     ----------
@@ -132,6 +162,9 @@ class ProgressRenderer:
     min_redraw_s:
         Floor between redraws; heartbeats arriving faster are tallied but
         not drawn.
+    interactive:
+        Force in-place (``True``) or line-per-event (``False``) rendering;
+        ``None`` auto-detects via ``stream.isatty()``.
     """
 
     def __init__(
@@ -140,10 +173,20 @@ class ProgressRenderer:
         stream=None,
         clock=time.monotonic,
         min_redraw_s: float = 0.1,
+        interactive: bool | None = None,
     ) -> None:
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
         self.clock = clock
+        if interactive is None:
+            isatty = getattr(self.stream, "isatty", None)
+            try:
+                interactive = bool(isatty()) if callable(isatty) else False
+            except (OSError, ValueError):
+                interactive = False
+        self.interactive = interactive
+        if not interactive:
+            min_redraw_s = max(min_redraw_s, NON_TTY_MIN_REDRAW_S)
         self.min_redraw_s = min_redraw_s
         self.state = ProgressState()
         self._t0: float | None = None
@@ -162,13 +205,20 @@ class ProgressRenderer:
             return
         self._last_draw = now
         line = format_progress(self.state, now - self._t0, self.label)
-        self.stream.write("\r" + line)
+        if self.interactive:
+            self.stream.write("\r" + line)
+        else:
+            self.stream.write(line + "\n")
         self.stream.flush()
         self._drew = True
 
     def close(self) -> None:
-        """End the in-place line (newline) if anything was drawn."""
-        if self._drew:
+        """End the in-place line (newline) if anything was drawn.
+
+        Line-per-event output is already newline-terminated, so closing a
+        non-interactive renderer writes nothing.
+        """
+        if self._drew and self.interactive:
             self.stream.write("\n")
             self.stream.flush()
-            self._drew = False
+        self._drew = False

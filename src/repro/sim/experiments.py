@@ -10,6 +10,8 @@ outcomes.
 
 from __future__ import annotations
 
+import functools
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
@@ -34,6 +36,25 @@ from repro.workloads.trace import generate_trace
 #: Default writebacks per (workload, scheme) cell.  Flip statistics converge
 #: to well under 1pp by a few thousand writes; benchmarks may pass more.
 DEFAULT_WRITES = 5_000
+
+
+def _timed(fn: Callable[..., "ExperimentResult"]):
+    """Stamp ``wall_time_s`` on the returned result (unless already set).
+
+    ``_scheme_sweep``-based exhibits time their sweep themselves; this
+    decorator covers the hand-rolled ones (table3, fig12, fig14, ...) so
+    every experiment's ledger manifest carries a real wall time.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        if not result.wall_time_s:
+            result.wall_time_s = time.perf_counter() - t0
+        return result
+
+    return wrapper
 
 
 @dataclass
@@ -63,6 +84,8 @@ class ExperimentResult:
     rows: list[dict[str, object]] = field(default_factory=list)
     averages: dict[str, float] = field(default_factory=dict)
     paper: dict[str, float] = field(default_factory=dict)
+    #: End-to-end wall seconds of the producing sweep (ledger manifests).
+    wall_time_s: float = 0.0
 
     def render(self) -> str:
         out = [render_table(self.columns, self.rows, title=self.title)]
@@ -88,6 +111,7 @@ def _scheme_sweep(
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """Shared driver: run each scheme over each workload, tabulate a metric.
 
@@ -96,8 +120,11 @@ def _scheme_sweep(
     ``max_workers > 1`` fans cells out over processes; the default of 1 runs
     serially in-process.  Results are identical either way.  ``progress``
     (any :class:`~repro.obs.progress.ProgressEvent` consumer) receives live
-    per-cell start/heartbeat/done events in both modes.
+    per-cell start/heartbeat/done events in both modes.  ``ledger`` (a
+    :class:`~repro.obs.ledger.RunLedger`) records each cell as a sweep-cell
+    manifest labelled with the exhibit id.
     """
+    t0 = time.perf_counter()
     result = ExperimentResult(
         exp_id=exp_id,
         title=title,
@@ -113,6 +140,8 @@ def _scheme_sweep(
         [config for _, _, config in cells],
         max_workers=max_workers,
         progress=progress,
+        ledger=ledger,
+        ledger_label=exp_id,
     )
     sums = dict.fromkeys(schemes, 0.0)
     rows: dict[str, dict[str, object]] = {
@@ -126,17 +155,20 @@ def _scheme_sweep(
     result.averages = {
         label: round(total / len(workloads), 2) for label, total in sums.items()
     }
+    result.wall_time_s = time.perf_counter() - t0
     return result
 
 
 # -- Figure 1b / Figure 5 ----------------------------------------------------
 
 
+@_timed
 def fig5_encryption_overhead(
     n_writes: int = DEFAULT_WRITES,
     seed: int = 0,
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """Modified bits per write: NoEncr vs Encr under DCW and FNW."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -157,12 +189,14 @@ def fig5_encryption_overhead(
         },
         max_workers=max_workers,
         progress=progress,
+        ledger=ledger,
     )
 
 
 # -- Table 2 -------------------------------------------------------------------
 
 
+@_timed
 def table2_workloads() -> ExperimentResult:
     """Benchmark characteristics (model inputs, reported for completeness)."""
     result = ExperimentResult(
@@ -181,11 +215,13 @@ def table2_workloads() -> ExperimentResult:
 # -- Figure 8: word-size sweep ---------------------------------------------------
 
 
+@_timed
 def fig8_word_size(
     n_writes: int = DEFAULT_WRITES,
     seed: int = 0,
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """DEUCE modified bits vs tracking granularity (1/2/4/8 bytes)."""
     mk = lambda wb: lambda wl: SimConfig(
@@ -203,17 +239,20 @@ def fig8_word_size(
         },
         max_workers=max_workers,
         progress=progress,
+        ledger=ledger,
     )
 
 
 # -- Figure 9: epoch-interval sweep -------------------------------------------------
 
 
+@_timed
 def fig9_epoch_interval(
     n_writes: int = DEFAULT_WRITES,
     seed: int = 0,
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """DEUCE modified bits vs epoch interval (8/16/32)."""
     mk = lambda ep: lambda wl: SimConfig(
@@ -230,17 +269,20 @@ def fig9_epoch_interval(
         },
         max_workers=max_workers,
         progress=progress,
+        ledger=ledger,
     )
 
 
 # -- Figure 10: scheme comparison ------------------------------------------------------
 
 
+@_timed
 def fig10_scheme_comparison(
     n_writes: int = DEFAULT_WRITES,
     seed: int = 0,
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """Bit flips across FNW, DEUCE, DynDEUCE, DEUCE+FNW, and NoEncr-FNW."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -263,17 +305,20 @@ def fig10_scheme_comparison(
         },
         max_workers=max_workers,
         progress=progress,
+        ledger=ledger,
     )
 
 
 # -- Table 3: storage overhead -----------------------------------------------------------
 
 
+@_timed
 def table3_storage_overhead(
     n_writes: int = DEFAULT_WRITES,
     seed: int = 0,
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """Per-line metadata bits vs average flip reduction."""
     from repro.sim.runner import build_scheme
@@ -303,6 +348,8 @@ def table3_storage_overhead(
         ],
         max_workers=max_workers,
         progress=progress,
+        ledger=ledger,
+        ledger_label="table3",
     )
     per_scheme = len(WORKLOAD_NAMES)
     for i, (label, scheme) in enumerate(entries):
@@ -324,12 +371,14 @@ def table3_storage_overhead(
 # -- Figure 12: per-bit-position write skew ----------------------------------------------
 
 
+@_timed
 def fig12_bit_position_skew(
     n_writes: int = 3 * DEFAULT_WRITES,
     seed: int = 0,
     workloads: tuple[str, ...] = ("mcf", "libq"),
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """Writes per bit position, normalized to the per-position average."""
     result = ExperimentResult(
@@ -348,6 +397,8 @@ def fig12_bit_position_skew(
         ],
         max_workers=max_workers,
         progress=progress,
+        ledger=ledger,
+        ledger_label="fig12",
     )
     for workload, r in zip(workloads, runs):
         positions = r.wear.position_writes[: r.line_bits].astype(float)
@@ -376,6 +427,7 @@ def bit_position_profile(
 # -- Figure 14: lifetime ------------------------------------------------------------------
 
 
+@_timed
 def fig14_lifetime(
     n_writes: int = 2 * DEFAULT_WRITES,
     seed: int = 0,
@@ -384,6 +436,7 @@ def fig14_lifetime(
     gap_write_interval: int = 1,
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """Lifetime of FNW, DEUCE, and DEUCE+HWL normalized to encrypted memory.
 
@@ -451,11 +504,13 @@ def fig14_lifetime(
 # -- Figure 15: write slots ------------------------------------------------------------------
 
 
+@_timed
 def fig15_write_slots(
     n_writes: int = DEFAULT_WRITES,
     seed: int = 0,
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """Average write slots consumed per write request."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -477,12 +532,14 @@ def fig15_write_slots(
         },
         max_workers=max_workers,
         progress=progress,
+        ledger=ledger,
     )
 
 
 # -- Figure 16: speedup -----------------------------------------------------------------------
 
 
+@_timed
 def fig16_speedup(
     n_writes: int = DEFAULT_WRITES,
     seed: int = 0,
@@ -490,6 +547,7 @@ def fig16_speedup(
     core: CoreConfig | None = None,
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """System speedup over the encrypted-memory baseline."""
     schemes = ("encr-dcw", "encr-fnw", "deuce", "noencr-fnw")
@@ -512,6 +570,8 @@ def fig16_speedup(
         ],
         max_workers=max_workers,
         progress=progress,
+        ledger=ledger,
+        ledger_label="fig16",
     )
     for wi, workload in enumerate(WORKLOAD_NAMES):
         profile = get_profile(workload)
@@ -543,6 +603,7 @@ def fig16_speedup(
 # -- Figure 17: energy / power / EDP --------------------------------------------------------------
 
 
+@_timed
 def fig17_energy_power_edp(
     n_writes: int = DEFAULT_WRITES,
     seed: int = 0,
@@ -550,6 +611,7 @@ def fig17_energy_power_edp(
     energy_config: EnergyConfig | None = None,
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """Speedup, memory energy, memory power, and EDP vs encrypted memory."""
     schemes = {"Encr-FNW": "encr-fnw", "DEUCE": "deuce", "NoEncr-FNW": "noencr-fnw"}
@@ -577,6 +639,8 @@ def fig17_energy_power_edp(
         ],
         max_workers=max_workers,
         progress=progress,
+        ledger=ledger,
+        ledger_label="fig17",
     )
     for wi, workload in enumerate(WORKLOAD_NAMES):
         profile = get_profile(workload)
@@ -619,11 +683,13 @@ def fig17_energy_power_edp(
 # -- Figure 18: BLE --------------------------------------------------------------------------------
 
 
+@_timed
 def fig18_ble(
     n_writes: int = DEFAULT_WRITES,
     seed: int = 0,
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """Block-Level Encryption vs DEUCE vs their combination."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -638,6 +704,7 @@ def fig18_ble(
         },
         max_workers=max_workers,
         progress=progress,
+        ledger=ledger,
     )
 
 

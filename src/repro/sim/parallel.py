@@ -150,6 +150,8 @@ def run_suite_parallel(
     max_workers: int | None = None,
     progress: Callable[[ProgressEvent], None] | None = None,
     heartbeat_every: int = 0,
+    ledger=None,
+    ledger_label: str = "",
 ) -> list[RunResult]:
     """Run a batch of configs, fanned out over worker processes.
 
@@ -171,7 +173,33 @@ def run_suite_parallel(
     heartbeat_every:
         Writes between per-cell heartbeat events; ``0`` auto-sizes to ~10
         heartbeats per cell.  Ignored when ``progress`` is ``None``.
+    ledger:
+        Optional :class:`~repro.obs.ledger.RunLedger`; when given, every
+        cell's result is recorded as a ``kind="sweep-cell"`` manifest
+        (labelled ``ledger_label``) after the sweep completes.  Recording
+        happens in the parent process on the collected results, so it never
+        affects worker execution or result identity.
+    ledger_label:
+        The ``label`` stamped on recorded sweep-cell manifests (typically
+        the experiment id).
     """
+    results = _run_suite_parallel(
+        configs, max_workers, progress, heartbeat_every
+    )
+    if ledger is not None:
+        for config, result in zip(configs, results):
+            ledger.record_result(
+                result, config, kind="sweep-cell", label=ledger_label
+            )
+    return results
+
+
+def _run_suite_parallel(
+    configs: Sequence[SimConfig],
+    max_workers: int | None,
+    progress: Callable[[ProgressEvent], None] | None,
+    heartbeat_every: int,
+) -> list[RunResult]:
     configs = list(configs)
     if not configs:
         return []

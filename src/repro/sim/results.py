@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 from repro.memory.pcm import WearSummary
 from repro.obs.sampling import TimeSeries
+from repro.sim.config import SimConfig
 from repro.wear.lifetime import LifetimeReport
 
 
@@ -42,6 +43,13 @@ class RunResult:
     wear: WearSummary | None = None
     lifetime: LifetimeReport | None = None
     series: TimeSeries | None = None
+    #: End-to-end wall time of the producing run() call (trace reuse, scheme
+    #: install, and the write loop).  Timing metadata, not simulation state:
+    #: bit-identity guarantees cover the aggregates above, never this.
+    wall_time_s: float = 0.0
+    #: The config that produced this result (set by run(); lets the ledger
+    #: and sweep engines manifest results without re-threading configs).
+    config: "SimConfig | None" = None
 
     @property
     def avg_flips_per_write(self) -> float:
@@ -69,6 +77,11 @@ class RunResult:
         """Fraction of pad lookups served by the pad cache (0 when uncached)."""
         lookups = self.pad_hits + self.pad_misses
         return self.pad_hits / lookups if lookups else 0.0
+
+    @property
+    def writes_per_s(self) -> float:
+        """Write throughput of the producing run (0 when untimed)."""
+        return self.n_writes / self.wall_time_s if self.wall_time_s else 0.0
 
     @property
     def avg_words_reencrypted(self) -> float:

@@ -122,6 +122,7 @@ def run(
         heartbeats).  ``None`` (or a fully-null bundle) takes the
         uninstrumented fast path; results are identical either way.
     """
+    t_start = time.perf_counter()
     obs = instruments if instruments is not None else DISABLED
     tracer = obs.tracer
 
@@ -183,6 +184,10 @@ def run(
     if pad_cache is not None:
         result.pad_hits = pad_cache.hits
         result.pad_misses = pad_cache.misses
+    # Timing/provenance metadata for the run ledger; reading the clock and
+    # attaching the config cannot perturb the simulation aggregates above.
+    result.wall_time_s = time.perf_counter() - t_start
+    result.config = config
     return result
 
 

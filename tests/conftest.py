@@ -11,6 +11,12 @@ from repro.crypto.pads import AesPadSource, Blake2PadSource
 TEST_KEY = b"unit-test-key-16"
 
 
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Point the run ledger at a temp dir so tests never dirty the repo."""
+    monkeypatch.setenv("DEUCE_RUNS_DIR", str(tmp_path / ".deuce-runs"))
+
+
 @pytest.fixture
 def pads() -> Blake2PadSource:
     """Fast pad source used by most scheme tests."""

@@ -1,0 +1,197 @@
+"""Regression gate: tolerance math, missing baselines, pinning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.gate import (
+    GateError,
+    check_flips,
+    check_perf,
+    evaluate_gate,
+    load_baselines,
+    pin_baselines,
+)
+from repro.obs.ledger import RunLedger, build_manifest
+
+
+def manifest_for(
+    scheme: str,
+    flips_pct: float | None = 10.0,
+    workload: str = "mcf",
+    wall_time_s: float = 1.0,
+):
+    summary = {} if flips_pct is None else {"flips_pct": flips_pct}
+    return build_manifest(
+        kind="run",
+        workload=workload,
+        scheme=scheme,
+        n_writes=2000,
+        wall_time_s=wall_time_s,
+        summary=summary,
+    )
+
+
+def write_baselines(
+    directory,
+    schemes: dict[str, float],
+    tolerance_pct: float = 2.0,
+    min_writes_per_s: float | None = 500.0,
+):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "flip_rates.json").write_text(
+        json.dumps(
+            {
+                "suite": {"workload": "mcf", "n_writes": 2000, "seed": 0},
+                "schemes": {
+                    s: {"flips_pct": v, "tolerance_pct": tolerance_pct}
+                    for s, v in schemes.items()
+                },
+            }
+        )
+    )
+    if min_writes_per_s is not None:
+        (directory / "perf.json").write_text(
+            json.dumps({"min_writes_per_s": min_writes_per_s})
+        )
+    return directory
+
+
+class TestToleranceMath:
+    def test_pass_inside_band(self):
+        baseline = {"flips_pct": 10.0, "tolerance_pct": 2.0}
+        for value in (8.0, 10.0, 12.0, 9.3):
+            check = check_flips(manifest_for("deuce", value), baseline)
+            assert check.passed, value
+            assert (check.lo, check.hi) == (8.0, 12.0)
+
+    def test_fail_outside_band(self):
+        baseline = {"flips_pct": 10.0, "tolerance_pct": 2.0}
+        for value in (7.99, 12.01, 50.0, 0.0):
+            check = check_flips(manifest_for("deuce", value), baseline)
+            assert not check.passed, value
+            assert "FAIL" in check.render()
+
+    def test_tolerance_scale_widens_or_tightens(self):
+        baseline = {"flips_pct": 10.0, "tolerance_pct": 2.0}
+        drifted = manifest_for("deuce", 13.0)  # outside +/-2, inside +/-4
+        assert not check_flips(drifted, baseline).passed
+        assert check_flips(drifted, baseline, tolerance_scale=2.0).passed
+        exact = manifest_for("deuce", 10.0005)
+        assert not check_flips(
+            exact, baseline, tolerance_scale=0.0001
+        ).passed
+
+    def test_missing_flips_metric_is_an_error(self):
+        with pytest.raises(GateError, match="flips_pct"):
+            check_flips(
+                manifest_for("deuce", None), {"flips_pct": 10.0}
+            )
+
+    def test_perf_floor(self):
+        fast = manifest_for("deuce", wall_time_s=0.1)  # 20k writes/s
+        slow = manifest_for("deuce", wall_time_s=100.0)  # 20 writes/s
+        assert check_perf(fast, 500.0).passed
+        assert not check_perf(slow, 500.0).passed
+
+
+class TestEvaluateGate:
+    def test_missing_baseline_file_is_explicit_error(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        with pytest.raises(GateError, match="missing baseline file"):
+            evaluate_gate(ledger, baselines_dir=tmp_path / "nope")
+        with pytest.raises(GateError):
+            load_baselines(tmp_path / "nope")
+
+    def test_empty_schemes_is_an_error(self, tmp_path):
+        directory = tmp_path / "baselines"
+        directory.mkdir()
+        (directory / "flip_rates.json").write_text('{"schemes": {}}')
+        with pytest.raises(GateError, match="no 'schemes'"):
+            load_baselines(directory)
+
+    def test_gates_latest_run_per_scheme(self, tmp_path):
+        baselines = write_baselines(tmp_path / "b", {"deuce": 10.0})
+        ledger = RunLedger(tmp_path / "runs")
+        ledger.record(manifest_for("deuce", 55.0))  # stale regression
+        ledger.record(manifest_for("deuce", 10.5, wall_time_s=0.1))  # newest
+        report = evaluate_gate(ledger, baselines_dir=baselines)
+        assert report.passed
+        assert [c.kind for c in report.checks] == ["flips", "perf"]
+
+    def test_regression_fails_and_reports(self, tmp_path):
+        baselines = write_baselines(tmp_path / "b", {"deuce": 10.0})
+        ledger = RunLedger(tmp_path / "runs")
+        ledger.record(manifest_for("deuce", 30.0, wall_time_s=0.1))
+        report = evaluate_gate(ledger, baselines_dir=baselines)
+        assert not report.passed
+        assert len(report.failures) == 1
+        assert "REGRESSION" in report.render()
+
+    def test_no_matching_run_is_an_error(self, tmp_path):
+        baselines = write_baselines(tmp_path / "b", {"deuce": 10.0})
+        ledger = RunLedger(tmp_path / "runs")
+        with pytest.raises(GateError, match="no ledger run"):
+            evaluate_gate(ledger, baselines_dir=baselines)
+        # A run for the wrong workload doesn't satisfy the suite pin.
+        ledger.record(manifest_for("deuce", 10.0, workload="gems"))
+        with pytest.raises(GateError):
+            evaluate_gate(ledger, baselines_dir=baselines)
+
+    def test_explicit_run_ids_without_baseline_entry_error(self, tmp_path):
+        baselines = write_baselines(tmp_path / "b", {"deuce": 10.0})
+        ledger = RunLedger(tmp_path / "runs")
+        good = ledger.record(manifest_for("deuce", 10.0, wall_time_s=0.1))
+        orphan = ledger.record(manifest_for("ble", 3.0))
+        report = evaluate_gate(
+            ledger, baselines_dir=baselines, run_ids=[good.run_id]
+        )
+        assert report.passed
+        with pytest.raises(GateError, match="no baseline entry"):
+            evaluate_gate(
+                ledger, baselines_dir=baselines, run_ids=[orphan.run_id]
+            )
+
+
+class TestPinBaselines:
+    def test_pin_rewrites_measurements_only(self, tmp_path):
+        baselines = write_baselines(
+            tmp_path / "b", {"deuce": 99.0}, tolerance_pct=1.5
+        )
+        ledger = RunLedger(tmp_path / "runs")
+        manifest = ledger.record(manifest_for("deuce", 10.609))
+        path = pin_baselines(ledger, baselines_dir=baselines)
+        pinned = json.loads(path.read_text())
+        entry = pinned["schemes"]["deuce"]
+        assert entry["flips_pct"] == 10.609
+        assert entry["tolerance_pct"] == 1.5  # preserved, never auto-rewritten
+        assert entry["pinned_run_id"] == manifest.run_id
+        # The freshly pinned baselines gate clean by construction.
+        assert evaluate_gate(ledger, baselines_dir=baselines).passed
+
+    def test_pin_without_runs_is_an_error(self, tmp_path):
+        baselines = write_baselines(tmp_path / "b", {"deuce": 10.0})
+        with pytest.raises(GateError, match="cannot pin"):
+            pin_baselines(RunLedger(tmp_path / "runs"), baselines_dir=baselines)
+
+
+class TestRepoBaselines:
+    def test_checked_in_baselines_are_loadable(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        baselines = load_baselines(root / "baselines")
+        schemes = baselines["flips"]["schemes"]
+        assert "deuce" in schemes and "encr-dcw" in schemes
+        for entry in schemes.values():
+            assert 0.0 < entry["flips_pct"] < 100.0
+            assert entry["tolerance_pct"] > 0
+        # The paper's headline ordering is pinned: DEUCE far below Encr.
+        assert (
+            schemes["deuce"]["flips_pct"]
+            < schemes["encr-fnw"]["flips_pct"]
+            < schemes["encr-dcw"]["flips_pct"]
+        )
+        assert float(baselines["perf"]["min_writes_per_s"]) > 0

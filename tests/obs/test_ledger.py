@@ -1,0 +1,207 @@
+"""Run ledger: manifest round-trips, queries, diff, retention GC."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    LedgerError,
+    PhaseAccumulator,
+    RunLedger,
+    RunManifest,
+    build_manifest,
+    config_dict,
+    config_hash,
+    default_runs_dir,
+    manifest_from_result,
+    new_run_id,
+)
+from repro.obs.tracing import ListSink, Tracer
+from repro.sim.config import SimConfig
+from repro.sim.runner import run
+
+
+def small_config(scheme: str = "deuce", workload: str = "mcf") -> SimConfig:
+    return SimConfig(workload=workload, scheme=scheme, n_writes=150, seed=0)
+
+
+def make_manifest(
+    scheme: str = "deuce",
+    workload: str = "mcf",
+    kind: str = "run",
+    label: str = "",
+    flips_pct: float = 10.0,
+) -> RunManifest:
+    return build_manifest(
+        kind=kind,
+        label=label,
+        workload=workload,
+        scheme=scheme,
+        n_writes=150,
+        wall_time_s=0.5,
+        summary={"flips_pct": flips_pct, "scheme": scheme},
+    )
+
+
+class TestManifest:
+    def test_run_ids_sort_and_never_collide(self):
+        ids = {new_run_id() for _ in range(50)}
+        assert len(ids) == 50
+        one = new_run_id()
+        assert len(one.split("-")) == 2
+
+    def test_config_hash_is_stable_and_json_safe(self):
+        config = small_config()
+        d1, d2 = config_dict(config), config_dict(config)
+        assert d1 == d2
+        assert isinstance(d1["key"], str)  # bytes hexified for JSON
+        json.dumps(d1)
+        assert config_hash(d1) == config_hash(d2)
+        other = config_dict(small_config(scheme="encr-dcw"))
+        assert config_hash(d1) != config_hash(other)
+
+    def test_build_manifest_fills_provenance(self):
+        manifest = make_manifest()
+        assert manifest.run_id
+        assert manifest.created_utc.endswith("Z")
+        assert manifest.python_version.count(".") == 2
+        assert manifest.numpy_version
+        assert manifest.writes_per_s == pytest.approx(150 / 0.5)
+
+    def test_manifest_from_result_carries_summary(self):
+        config = small_config()
+        result = run(config)
+        manifest = manifest_from_result(result, config)
+        assert manifest.scheme == "deuce"
+        assert manifest.workload == "mcf"
+        assert manifest.n_writes == 150
+        assert manifest.config_hash == config_hash(config_dict(config))
+        assert manifest.summary["flips_pct"] == result.summary_row()["flips_pct"]
+        assert manifest.wall_time_s > 0  # runner stamps wall time
+
+    def test_dict_round_trip_ignores_unknown_keys(self):
+        manifest = make_manifest()
+        data = manifest.to_dict()
+        data["future_field"] = "tolerated"
+        assert RunManifest.from_dict(data) == manifest
+
+
+class TestRunLedger:
+    def test_default_root_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("DEUCE_RUNS_DIR", str(tmp_path / "elsewhere"))
+        assert default_runs_dir() == tmp_path / "elsewhere"
+        assert RunLedger().root == tmp_path / "elsewhere"
+
+    def test_record_list_get_round_trip(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        recorded = ledger.record(make_manifest())
+        assert len(ledger) == 1
+        listed = ledger.list()
+        assert [m.run_id for m in listed] == [recorded.run_id]
+        fetched = ledger.get(recorded.run_id)
+        assert fetched == recorded
+        # Both the index line and the per-run manifest.json exist.
+        assert (ledger.root / "index.jsonl").exists()
+        assert (ledger.run_dir(recorded.run_id) / "manifest.json").exists()
+
+    def test_get_falls_back_to_index(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        recorded = ledger.record(make_manifest())
+        (ledger.run_dir(recorded.run_id) / "manifest.json").unlink()
+        assert ledger.get(recorded.run_id).run_id == recorded.run_id
+
+    def test_get_unknown_run_raises(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        with pytest.raises(LedgerError, match="not found"):
+            ledger.get("nope")
+
+    def test_artifact_text_and_copies(self, tmp_path):
+        source = tmp_path / "trace.jsonl"
+        source.write_text('{"type":"span"}\n')
+        ledger = RunLedger(tmp_path / "runs")
+        manifest = ledger.record(
+            make_manifest(),
+            artifacts={"trace": source},
+            artifact_text={"metrics.jsonl": '{"c":1}\n'},
+        )
+        run_dir = ledger.run_dir(manifest.run_id)
+        assert manifest.artifacts["metrics"] == "metrics.jsonl"
+        assert (run_dir / "metrics.jsonl").read_text() == '{"c":1}\n'
+        assert (run_dir / manifest.artifacts["trace"]).read_text() == (
+            source.read_text()
+        )
+
+    def test_filters_and_latest(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        ledger.record(make_manifest(scheme="deuce"))
+        ledger.record(make_manifest(scheme="encr-dcw"))
+        newest = ledger.record(make_manifest(scheme="deuce", label="second"))
+        assert len(ledger.list(scheme="deuce")) == 2
+        assert len(ledger.list(scheme="encr-dcw", workload="mcf")) == 1
+        assert ledger.list(workload="gems") == []
+        assert ledger.latest(scheme="deuce").run_id == newest.run_id
+        assert ledger.latest(scheme="ble") is None
+        assert ledger.list(limit=1)[0].run_id == newest.run_id
+
+    def test_diff_reports_numeric_deltas(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        a = ledger.record(make_manifest(flips_pct=10.0))
+        b = ledger.record(make_manifest(scheme="encr-dcw", flips_pct=50.0))
+        deltas = ledger.diff(a.run_id, b.run_id)
+        assert deltas["flips_pct"] == {"a": 10.0, "b": 50.0, "delta": 40.0}
+        assert "wall_time_s" in deltas
+        # Non-numeric values that differ are surfaced with delta=None.
+        assert deltas["scheme"]["delta"] is None
+
+    def test_gc_keeps_newest_and_prunes_dirs(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        manifests = [ledger.record(make_manifest()) for _ in range(5)]
+        removed = ledger.gc(keep=2)
+        assert removed == [m.run_id for m in manifests[:3]]
+        assert len(ledger) == 2
+        kept = {m.run_id for m in ledger.list()}
+        assert kept == {m.run_id for m in manifests[3:]}
+        for run_id in removed:
+            assert not ledger.run_dir(run_id).exists()
+        assert ledger.gc(keep=2) == []  # idempotent
+
+    def test_gc_rejects_negative_keep(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunLedger(tmp_path / "runs").gc(keep=-1)
+
+
+class TestPhaseAccumulator:
+    def test_sums_span_durations_by_name(self):
+        acc = PhaseAccumulator()
+        tracer = Tracer(acc)
+        with tracer.span("scheme.write"):
+            pass
+        with tracer.span("scheme.write"):
+            pass
+        with tracer.span("pcm.apply"):
+            pass
+        tracer.event("epoch.reset")  # events are not phases
+        assert set(acc.totals) == {"scheme.write", "pcm.apply"}
+        assert acc.totals["scheme.write"] >= 0.0
+
+    def test_tees_records_to_inner_sink(self):
+        inner = ListSink()
+        tracer = Tracer(PhaseAccumulator(inner=inner))
+        with tracer.span("install"):
+            pass
+        tracer.close()
+        assert [r["name"] for r in inner.records] == ["install"]
+
+
+class TestLedgerThroughRunner:
+    def test_record_result_persists_a_runnable_manifest(self, tmp_path):
+        config = small_config()
+        result = run(config)
+        ledger = RunLedger(tmp_path / "runs")
+        manifest = ledger.record_result(result, config, label="unit")
+        fetched = ledger.get(manifest.run_id)
+        assert fetched.label == "unit"
+        assert fetched.config["scheme"] == "deuce"
+        assert fetched.summary["flips_pct"] > 0

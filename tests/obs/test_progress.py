@@ -65,9 +65,25 @@ class TestProgressState:
 
 class TestFormatting:
     def test_format_eta(self):
-        assert format_eta(None) == "ETA ?"
         assert format_eta(12.4) == "ETA 12s"
         assert format_eta(120.0) == "ETA 2.0m"
+        assert format_eta(2 * 3600.0) == "ETA 2.0h"
+
+    def test_format_eta_unknown_renders_placeholder(self):
+        # None (no signal yet) and absurd projections must render the
+        # placeholder, not crash or print multi-day garbage.
+        assert format_eta(None) == "ETA --:--"
+        assert format_eta(float("nan")) == "ETA --:--"
+        assert format_eta(float("inf")) == "ETA --:--"
+        assert format_eta(-1.0) == "ETA --:--"
+        assert format_eta(100 * 3600.0) == "ETA --:--"
+        # The 99h boundary itself is still rendered.
+        assert format_eta(99 * 3600.0) == "ETA 99.0h"
+
+    def test_format_progress_zero_completed(self):
+        # Zero cells and zero completions: 0% and the ETA placeholder.
+        line = format_progress(ProgressState(), 5.0)
+        assert line == "[0/0 done, 0 in-flight, 0% | ETA --:--]"
 
     def test_format_progress_line(self):
         state = ProgressState()
@@ -83,7 +99,9 @@ class TestFormatting:
 
 
 class TestProgressRenderer:
-    def _renderer(self, min_redraw_s: float = 0.0):
+    def _renderer(
+        self, min_redraw_s: float = 0.0, interactive: bool | None = True
+    ):
         stream = io.StringIO()
         now = [0.0]
         renderer = ProgressRenderer(
@@ -91,6 +109,7 @@ class TestProgressRenderer:
             stream=stream,
             clock=lambda: now[0],
             min_redraw_s=min_redraw_s,
+            interactive=interactive,
         )
         return renderer, stream, now
 
@@ -121,3 +140,30 @@ class TestProgressRenderer:
         renderer, stream, _ = self._renderer()
         renderer.close()
         assert stream.getvalue() == ""
+
+    def test_non_tty_stream_degrades_to_line_per_event(self):
+        # StringIO.isatty() is False, so auto-detection must pick the
+        # newline mode: no carriage returns, one line per drawn event.
+        renderer, stream, now = self._renderer(interactive=None)
+        assert renderer.interactive is False
+        renderer(ev(START, 0))
+        now[0] = 5.0
+        renderer(ev(DONE, 0, writes_done=100))
+        renderer.close()
+        out = stream.getvalue()
+        assert "\r" not in out
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("[x  ") for line in lines)
+        assert out.endswith("]\n")  # close() adds nothing extra
+
+    def test_non_tty_floors_heartbeat_redraws(self):
+        renderer, stream, now = self._renderer(
+            min_redraw_s=0.0, interactive=None
+        )
+        renderer(ev(START, 0))
+        renderer(ev(HEARTBEAT, 0, writes_done=10))  # within 1s: suppressed
+        assert len(stream.getvalue().splitlines()) == 1
+        now[0] = 2.0
+        renderer(ev(HEARTBEAT, 0, writes_done=20))  # past the floor: drawn
+        assert len(stream.getvalue().splitlines()) == 2

@@ -3,10 +3,17 @@
 from __future__ import annotations
 
 import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+
+
+def runs_root() -> Path:
+    """The ledger root the autouse fixture pointed the suite at."""
+    return Path(os.environ["DEUCE_RUNS_DIR"])
 
 
 class TestList:
@@ -170,6 +177,192 @@ class TestExperiment:
         )
         assert code == 0
         assert capsys.readouterr().err == ""
+
+
+class TestRunLedgerIntegration:
+    def test_run_persists_a_manifest(self, capsys):
+        from repro.obs.ledger import RunLedger
+
+        code = main(
+            [
+                "run", "--workload", "mcf", "--scheme", "deuce",
+                "--writes", "200", "--label", "cli-test",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recorded in" in out
+        ledger = RunLedger()
+        manifest = ledger.latest(kind="run", scheme="deuce")
+        assert manifest is not None
+        assert manifest.label == "cli-test"
+        assert manifest.workload == "mcf"
+        assert manifest.summary["flips_pct"] > 0
+        assert manifest.wall_time_s > 0
+        # Phase wall times came from tracer spans around the pipeline.
+        assert "scheme.write" in manifest.phases
+        # The summary table gained the ledger join columns.
+        assert manifest.run_id in out
+        assert "run_id" in out and "git_rev" in out
+        # Metrics were captured as an artifact without any --metrics-out.
+        run_dir = ledger.run_dir(manifest.run_id)
+        assert (run_dir / "metrics.jsonl").exists()
+
+    def test_no_ledger_skips_recording(self, capsys):
+        code = main(
+            [
+                "run", "--workload", "mcf", "--scheme", "deuce",
+                "--writes", "100", "--no-ledger",
+            ]
+        )
+        assert code == 0
+        assert "recorded in" not in capsys.readouterr().out
+        assert not runs_root().exists()
+
+    def test_no_ledger_run_is_bit_identical(self, capsys):
+        """An unledgered CLI run equals the uninstrumented library run."""
+        from repro.sim.config import SimConfig
+        from repro.sim.runner import run
+
+        assert main(
+            [
+                "run", "--workload", "mcf", "--scheme", "deuce",
+                "--writes", "300", "--no-ledger",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["run", "--workload", "mcf", "--scheme", "deuce", "--writes", "300"]
+        ) == 0
+        ledgered = capsys.readouterr().out
+        reference = run(SimConfig("mcf", "deuce", n_writes=300))
+        expected = reference.summary_row()
+        # Both CLI paths printed exactly the reference aggregates.
+        for key in ("flips_pct", "data_flips_pct", "slots", "words_reenc"):
+            assert str(expected[key]) in ledgered
+
+    def test_ledgered_aggregates_match_uninstrumented(self):
+        """Recording a manifest must not perturb simulation results."""
+        from repro.obs.ledger import RunLedger
+        from repro.sim.config import SimConfig
+        from repro.sim.runner import run
+
+        assert main(
+            ["run", "--workload", "Gems", "--scheme", "dyndeuce",
+             "--writes", "300"]
+        ) == 0
+        manifest = RunLedger().latest(kind="run", scheme="dyndeuce")
+        reference = run(SimConfig("Gems", "dyndeuce", n_writes=300))
+        row = reference.summary_row()
+        assert {k: manifest.summary[k] for k in row} == row
+
+    def test_experiment_records_cells_and_experiment(self, capsys):
+        from repro.obs.ledger import RunLedger
+
+        code = main(
+            ["experiment", "fig12", "--writes", "300", "--no-progress"]
+        )
+        assert code == 0
+        assert "recorded as" in capsys.readouterr().out
+        ledger = RunLedger()
+        exp = ledger.latest(kind="experiment", label="fig12")
+        assert exp is not None and exp.wall_time_s > 0
+        cells = ledger.list(kind="sweep-cell", label="fig12")
+        assert cells and all(c.summary["flips_pct"] >= 0 for c in cells)
+
+
+class TestRunsCommand:
+    def _seed(self) -> list[str]:
+        for scheme in ("deuce", "encr-dcw"):
+            assert main(
+                ["run", "--workload", "mcf", "--scheme", scheme,
+                 "--writes", "150"]
+            ) == 0
+        from repro.obs.ledger import RunLedger
+
+        return [m.run_id for m in RunLedger().list()]
+
+    def test_list_show_diff_gc(self, capsys):
+        ids = self._seed()
+        capsys.readouterr()
+        assert main(["runs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert all(run_id in out for run_id in ids)
+        assert main(["runs", "show", ids[0]]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["run_id"] == ids[0]
+        assert main(["runs", "diff", ids[0], ids[1]]) == 0
+        out = capsys.readouterr().out
+        assert "flips_pct" in out and "delta" in out
+        assert main(["runs", "gc", "--keep", "1"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_show_unknown_run_exits_2(self, capsys):
+        assert main(["runs", "show", "missing-run"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_empty_ledger_lists_nothing(self, capsys):
+        assert main(["runs", "list"]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+
+class TestGateCommand:
+    def _pin_and_seed(self, tmp_path, flips_pct_offset: float = 0.0) -> str:
+        """Run the deuce cell, then write baselines around its measurement."""
+        from tests.obs.test_gate import write_baselines
+
+        assert main(
+            ["run", "--workload", "mcf", "--scheme", "deuce",
+             "--writes", "200"]
+        ) == 0
+        from repro.obs.ledger import RunLedger
+
+        measured = RunLedger().latest(scheme="deuce").summary["flips_pct"]
+        return str(
+            write_baselines(
+                tmp_path / "baselines",
+                {"deuce": float(measured) + flips_pct_offset},
+                min_writes_per_s=1.0,
+            )
+        )
+
+    def test_gate_passes_in_band(self, tmp_path, capsys):
+        baselines = self._pin_and_seed(tmp_path)
+        assert main(["gate", "--baselines", baselines]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "OK" in out
+
+    def test_gate_fails_outside_band_with_exit_1(self, tmp_path, capsys):
+        baselines = self._pin_and_seed(tmp_path, flips_pct_offset=30.0)
+        assert main(["gate", "--baselines", baselines]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "REGRESSION" in out
+
+    def test_gate_missing_baselines_exits_2(self, tmp_path, capsys):
+        assert main(["gate", "--baselines", str(tmp_path / "nope")]) == 2
+        assert "gate error" in capsys.readouterr().err
+
+    def test_gate_pin_rewrites_baselines(self, tmp_path, capsys):
+        baselines = self._pin_and_seed(tmp_path, flips_pct_offset=30.0)
+        assert main(["gate", "--baselines", baselines]) == 1
+        capsys.readouterr()
+        assert main(["gate", "--baselines", baselines, "--pin"]) == 0
+        assert "re-pinned" in capsys.readouterr().out
+        assert main(["gate", "--baselines", baselines]) == 0
+
+
+class TestDashboardCommand:
+    def test_dashboard_end_to_end(self, tmp_path, capsys):
+        assert main(
+            ["run", "--workload", "mcf", "--scheme", "deuce",
+             "--writes", "150"]
+        ) == 0
+        out_path = tmp_path / "dash.html"
+        assert main(["dashboard", "--output", str(out_path)]) == 0
+        assert "dashboard written" in capsys.readouterr().out
+        html = out_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert 'class="spark' in html and "deuce" in html
 
 
 class TestParser:
