@@ -19,8 +19,15 @@ Paper figures::
 
     from repro.sim.experiments import fig10_scheme_comparison
     print(fig10_scheme_comparison().render())
+
+Sessions (ledger-recording runs/sweeps/experiments; the stable facade
+behind the CLI and the ``deuce-sim serve`` job service)::
+
+    from repro import Session, SimConfig
+    result = Session().run(SimConfig("mcf", "deuce", n_writes=10_000))
 """
 
+from repro.api import Session
 from repro.memory.controller import ControllerStats, SecureMemoryController
 from repro.schemes import SCHEME_NAMES, WriteOutcome, WriteScheme, make_scheme
 from repro.sim import RunResult, SimConfig, run
@@ -35,6 +42,7 @@ __all__ = [
     "ControllerStats",
     "RunResult",
     "SecureMemoryController",
+    "Session",
     "SimConfig",
     "WriteOutcome",
     "WriteScheme",

@@ -1,0 +1,381 @@
+"""``repro.api`` — the stable programmatic facade over the simulator.
+
+One :class:`Session` is the single config-resolution path shared by the CLI
+(``deuce-sim run/experiment``), the job service (``deuce-sim serve``),
+experiments, and benchmarks: it owns the run ledger, the observability
+options, and the worker conventions, so none of those callers wires up
+``RunLedger``/``Instruments``/``PhaseAccumulator`` plumbing themselves.
+
+.. code-block:: python
+
+    from repro.api import ObsOptions, Session, SimConfig
+
+    session = Session()                       # ledger on (.deuce-runs/)
+    result = session.run(SimConfig("mcf", "deuce", n_writes=10_000))
+    print(result.summary_row(), result.manifest.run_id)
+
+    results = session.sweep(
+        [SimConfig("mcf", s) for s in ("deuce", "encr-fnw")], workers=2
+    )
+    fig10 = session.experiment("fig10", n_writes=2_000, workers=2)
+
+Everything exported in :data:`__all__` is covered by the README's "Python
+API" section and is the surface the service's JSON API is a transport for.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.obs.instruments import RunAborted
+from repro.obs.ledger import RunLedger, RunManifest, build_manifest
+from repro.obs.progress import (
+    DONE,
+    HEARTBEAT,
+    START,
+    ProgressEvent,
+    ProgressRenderer,
+)
+from repro.sim.config import ConfigError, SimConfig
+from repro.sim.experiments import EXPERIMENTS, ExperimentResult
+from repro.sim.parallel import SweepCancelled, resolve_workers
+from repro.sim.results import RunResult
+
+__all__ = [
+    "ConfigError",
+    "ExperimentResult",
+    "ObsOptions",
+    "ProgressEvent",
+    "ProgressRenderer",
+    "RunAborted",
+    "RunLedger",
+    "RunManifest",
+    "RunResult",
+    "Session",
+    "SimConfig",
+    "SweepCancelled",
+    "resolve_workers",
+]
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """Per-run observability outputs a :class:`Session` should produce.
+
+    Attributes
+    ----------
+    metrics_out:
+        Write end-of-run metrics (counters/timers) as JSONL to this path.
+    trace_out:
+        Stream pipeline spans/events as JSONL to this path.
+    sample_interval:
+        Snapshot run state into ``RunResult.series`` every N writes
+        (``0`` = off; implied ~100 points when only ``series_out`` is set).
+    series_out:
+        Write the sampled time-series as CSV to this path.
+    """
+
+    metrics_out: str | None = None
+    trace_out: str | None = None
+    sample_interval: int = 0
+    series_out: str | None = None
+
+    @property
+    def any(self) -> bool:
+        return bool(
+            self.metrics_out
+            or self.trace_out
+            or self.sample_interval
+            or self.series_out
+        )
+
+
+#: Shared all-off options (the default for ledger-only sessions).
+NO_OBS = ObsOptions()
+
+
+class Session:
+    """A configured entry point for runs, sweeps, and experiments.
+
+    Parameters
+    ----------
+    ledger:
+        ``True`` (default) opens the default ledger (``$DEUCE_RUNS_DIR`` or
+        ``./.deuce-runs``), ``False``/``None`` disables recording, a
+        :class:`~repro.obs.ledger.RunLedger` is used as-is, and a string or
+        path opens a ledger rooted there.
+    runs_dir:
+        Ledger directory used when ``ledger`` is ``True``.
+    obs:
+        Default :class:`ObsOptions` for every :meth:`run` (overridable
+        per call).
+    label:
+        Default manifest label stamped on recorded runs.
+    """
+
+    def __init__(
+        self,
+        *,
+        ledger: RunLedger | bool | str | None = True,
+        runs_dir: str | None = None,
+        obs: ObsOptions | None = None,
+        label: str = "",
+    ) -> None:
+        if isinstance(ledger, RunLedger):
+            self.ledger: RunLedger | None = ledger
+        elif isinstance(ledger, (str, bytes)) or hasattr(ledger, "__fspath__"):
+            self.ledger = RunLedger(ledger)  # type: ignore[arg-type]
+        elif ledger:
+            self.ledger = RunLedger(runs_dir)
+        else:
+            self.ledger = None
+        self.obs = obs if obs is not None else NO_OBS
+        self.label = label
+
+    # -- config resolution ---------------------------------------------------
+
+    @staticmethod
+    def config(config: SimConfig | dict) -> SimConfig:
+        """Normalize a config argument (dicts go through ``from_dict``)."""
+        if isinstance(config, SimConfig):
+            return config
+        return SimConfig.from_dict(config)
+
+    def _resolve_instruments(
+        self,
+        config: SimConfig,
+        obs: ObsOptions,
+        progress: Callable[[ProgressEvent], None] | None,
+        should_stop: Callable[[], bool] | None,
+    ):
+        """The run's observability bundle from session state.
+
+        Returns ``(instruments, metrics, tracer, phases)``; all ``None``
+        when nothing would observe the run, so the runner takes its
+        uninstrumented fast path.  With the ledger on, a metrics registry
+        and a phase-accumulating tracer are always live: the manifest needs
+        per-phase wall times and summary counters even when no output path
+        was given.
+        """
+        ledger_on = self.ledger is not None
+        sample_interval = obs.sample_interval
+        if obs.series_out and not sample_interval:
+            # A series was requested without a cadence: default ~100 points.
+            sample_interval = max(1, config.n_writes // 100)
+        if not (
+            ledger_on
+            or obs.metrics_out
+            or obs.trace_out
+            or sample_interval
+            or progress is not None
+            or should_stop is not None
+        ):
+            return None, None, None, None
+        from repro.obs import Instruments, JsonlSink, MetricsRegistry, Tracer
+        from repro.obs.ledger import PhaseAccumulator
+
+        metrics = (
+            MetricsRegistry() if (obs.metrics_out or ledger_on) else None
+        )
+        phases = None
+        tracer = None
+        if obs.trace_out or ledger_on:
+            sink = JsonlSink(obs.trace_out) if obs.trace_out else None
+            if ledger_on:
+                phases = PhaseAccumulator(inner=sink)
+                sink = phases
+            tracer = Tracer(sink)
+        instruments = Instruments(
+            sample_interval=sample_interval, abort=should_stop
+        )
+        if metrics is not None:
+            instruments.metrics = metrics
+        if tracer is not None:
+            instruments.tracer = tracer
+        return instruments, metrics, tracer, phases
+
+    # -- entry points --------------------------------------------------------
+
+    def run(
+        self,
+        config: SimConfig | dict,
+        *,
+        label: str | None = None,
+        obs: ObsOptions | None = None,
+        trace=None,
+        progress: Callable[[ProgressEvent], None] | None = None,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> RunResult:
+        """Execute one simulation; record it when the ledger is on.
+
+        The returned :class:`RunResult` carries ``result.manifest`` when a
+        ledger manifest was recorded.  ``progress`` receives single-cell
+        :class:`ProgressEvent` records (start/heartbeats/done);
+        ``should_stop`` is polled during the run and raises
+        :class:`~repro.obs.instruments.RunAborted` when it goes true.
+        """
+        config = self.config(config)
+        obs = obs if obs is not None else self.obs
+        instruments, metrics, tracer, phases = self._resolve_instruments(
+            config, obs, progress, should_stop
+        )
+        if progress is not None:
+            def _event(kind: str, writes_done: int) -> ProgressEvent:
+                return ProgressEvent(
+                    kind=kind,
+                    cell=0,
+                    n_cells=1,
+                    writes_done=writes_done,
+                    n_writes=config.n_writes,
+                    workload=config.workload,
+                    scheme=config.scheme,
+                )
+
+            progress(_event(START, 0))
+            instruments.heartbeat = lambda done, total: progress(
+                _event(HEARTBEAT, done)
+            )
+        from repro.sim.runner import run as _run
+
+        try:
+            result = _run(config, trace=trace, instruments=instruments)
+        finally:
+            if tracer is not None:
+                tracer.close()
+        if metrics is not None and obs.metrics_out:
+            metrics.dump_jsonl(obs.metrics_out)
+        if result.series is not None and obs.series_out:
+            from repro.analysis.export import export_series_csv
+
+            export_series_csv(result.series, obs.series_out)
+        if self.ledger is not None:
+            artifact_text: dict[str, str] = {}
+            if metrics is not None:
+                artifact_text["metrics.jsonl"] = "".join(
+                    json.dumps(snap, separators=(",", ":")) + "\n"
+                    for snap in metrics.snapshot()
+                )
+            if result.series is not None:
+                artifact_text["series.csv"] = _series_csv_text(result.series)
+            artifacts = {}
+            if obs.trace_out:
+                artifacts["trace"] = obs.trace_out
+            result.manifest = self.ledger.record_result(
+                result,
+                config,
+                kind="run",
+                label=self.label if label is None else label,
+                phases=phases.totals if phases is not None else None,
+                artifacts=artifacts,
+                artifact_text=artifact_text,
+            )
+        if progress is not None:
+            progress(_event(DONE, config.n_writes))
+        return result
+
+    def sweep(
+        self,
+        configs: Sequence[SimConfig | dict],
+        *,
+        workers: int | None = None,
+        progress: Callable[[ProgressEvent], None] | None = None,
+        heartbeat_every: int = 0,
+        label: str | None = None,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> list[RunResult]:
+        """Run a batch of configs through the parallel sweep engine.
+
+        ``workers`` follows :func:`~repro.sim.parallel.resolve_workers`
+        conventions (``None``/``0`` auto, ``1`` serial).  With the ledger
+        on, every cell is recorded as a ``sweep-cell`` manifest (attached
+        as ``result.manifest``).  Results are bit-identical to calling
+        :meth:`run` per config.
+        """
+        from repro.sim.parallel import run_suite_parallel
+
+        resolved = [self.config(c) for c in configs]
+        return run_suite_parallel(
+            resolved,
+            max_workers=workers,
+            progress=progress,
+            heartbeat_every=heartbeat_every,
+            ledger=self.ledger,
+            ledger_label=self.label if label is None else label,
+            should_stop=should_stop,
+        )
+
+    def experiment(
+        self,
+        name: str,
+        *,
+        n_writes: int | None = None,
+        workers: int | None = 1,
+        progress: Callable[[ProgressEvent], None] | None = None,
+        should_stop: Callable[[], bool] | None = None,
+        **kwargs: object,
+    ) -> ExperimentResult:
+        """Reproduce one paper exhibit; record it when the ledger is on.
+
+        ``name`` must be a key of
+        :data:`~repro.sim.experiments.EXPERIMENTS`.  Arguments the chosen
+        experiment does not accept (``table2`` takes none) are dropped, so
+        callers can thread uniform knobs.  The returned result carries
+        ``result.manifest`` when recorded.
+        """
+        fn = EXPERIMENTS.get(name)
+        if fn is None:
+            raise ConfigError(
+                f"unknown experiment {name!r}; choose from "
+                + ", ".join(EXPERIMENTS)
+            )
+        call_kwargs: dict[str, object] = {
+            "max_workers": workers,
+            "progress": progress,
+            "ledger": self.ledger,
+            "should_stop": should_stop,
+            **kwargs,
+        }
+        if n_writes is not None:
+            call_kwargs["n_writes"] = n_writes
+        accepted = inspect.signature(fn).parameters
+        call_kwargs = {
+            k: v for k, v in call_kwargs.items() if k in accepted
+        }
+        result = fn(**call_kwargs)
+        if self.ledger is not None:
+            summary = {
+                key: value
+                for key, value in (result.averages or {}).items()
+                if isinstance(value, (int, float))
+            }
+            manifest = build_manifest(
+                kind="experiment",
+                label=name,
+                n_writes=int(call_kwargs.get("n_writes", 0) or 0),
+                wall_time_s=result.wall_time_s,
+                summary=summary,
+            )
+            self.ledger.record(
+                manifest,
+                artifact_text={"result.txt": result.render() + "\n"},
+            )
+            result.manifest = manifest
+        return result
+
+
+def _series_csv_text(series) -> str:
+    """A run's sampled time-series rendered as CSV text (ledger artifact)."""
+    import csv
+    import io
+
+    rows = series.as_rows()
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=list(rows[0]) if rows else ["write_index"]
+    )
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()

@@ -7,6 +7,9 @@ Subcommands
     (persisting a run manifest into the ledger unless ``--no-ledger``).
 ``experiment``
     Reproduce one of the paper's figures/tables (or ``all``).
+``serve``
+    Start the HTTP simulation job service (submit runs/sweeps/experiments
+    as JSON jobs, stream progress, query the ledger).
 ``runs``
     Query the run ledger: ``list``, ``show``, ``diff``, ``gc``.
 ``gate``
@@ -25,6 +28,7 @@ Examples
 
     deuce-sim run --workload mcf --scheme deuce --writes 10000
     deuce-sim experiment fig10
+    deuce-sim serve --port 8787 --job-workers 2
     deuce-sim runs list --scheme deuce
     deuce-sim gate && echo "no regressions"
     deuce-sim dashboard --output dashboard.html
@@ -39,76 +43,28 @@ from repro.analysis.tables import render_table
 from repro.schemes import SCHEME_NAMES
 from repro.sim.config import SimConfig
 from repro.sim.experiments import EXPERIMENTS
-from repro.sim.runner import run
 from repro.workloads.profiles import WORKLOAD_NAMES
 
 
-def _make_ledger(args: argparse.Namespace):
-    """The run ledger selected by CLI flags, or ``None`` when disabled."""
-    if not getattr(args, "ledger", True):
-        return None
-    from repro.obs.ledger import RunLedger
+def _make_session(args: argparse.Namespace):
+    """The :class:`repro.api.Session` selected by CLI flags.
 
-    return RunLedger(getattr(args, "runs_dir", None))
-
-
-def _build_instruments(args: argparse.Namespace, ledger_on: bool = False):
-    """Assemble the run's observability bundle from CLI flags.
-
-    Returns ``(instruments, metrics, tracer, phases)``; all ``None`` when
-    every observability flag is off and the ledger is disabled, so the
-    runner takes its uninstrumented fast path.  With the ledger on, a
-    metrics registry and a phase-accumulating tracer are always live: the
-    manifest needs per-phase wall times and summary counters even when no
-    ``--metrics-out``/``--trace-out`` path was given.
+    This is the single config-resolution path: the same Session the job
+    service and library callers use, so CLI runs and service runs record
+    identical manifests and aggregates.
     """
-    sample_interval = args.sample_interval
-    if args.series_out and not sample_interval:
-        # A series was requested without a cadence: default to ~100 points.
-        sample_interval = max(1, args.writes // 100)
-    if not (
-        ledger_on or args.metrics_out or args.trace_out or sample_interval
-    ):
-        return None, None, None, None
-    from repro.obs import Instruments, JsonlSink, MetricsRegistry, Tracer
-    from repro.obs.ledger import PhaseAccumulator
+    from repro.api import Session
 
-    metrics = (
-        MetricsRegistry() if (args.metrics_out or ledger_on) else None
+    return Session(
+        ledger=getattr(args, "ledger", True),
+        runs_dir=getattr(args, "runs_dir", None),
+        label=getattr(args, "label", "") or "",
     )
-    phases = None
-    tracer = None
-    if args.trace_out or ledger_on:
-        sink = JsonlSink(args.trace_out) if args.trace_out else None
-        if ledger_on:
-            phases = PhaseAccumulator(inner=sink)
-            sink = phases
-        tracer = Tracer(sink)
-    instruments = Instruments(sample_interval=sample_interval)
-    if metrics is not None:
-        instruments.metrics = metrics
-    if tracer is not None:
-        instruments.tracer = tracer
-    return instruments, metrics, tracer, phases
-
-
-def _series_csv_text(series) -> str:
-    """A run's sampled time-series rendered as CSV text (ledger artifact)."""
-    import csv
-    import io
-
-    rows = series.as_rows()
-    buffer = io.StringIO()
-    writer = csv.DictWriter(
-        buffer, fieldnames=list(rows[0]) if rows else ["write_index"]
-    )
-    writer.writeheader()
-    writer.writerows(rows)
-    return buffer.getvalue()
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.analysis.export import summary_row
+    from repro.api import ObsOptions
 
     config = SimConfig(
         workload=args.workload,
@@ -121,17 +77,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         pad_kind=args.pad_kind,
         pad_cache_lines=args.pad_cache_lines,
     )
-    ledger = _make_ledger(args)
-    instruments, metrics, tracer, phases = _build_instruments(
-        args, ledger_on=ledger is not None
+    session = _make_session(args)
+    result = session.run(
+        config,
+        obs=ObsOptions(
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+            sample_interval=args.sample_interval,
+            series_out=args.series_out,
+        ),
     )
-    result = run(config, instruments=instruments)
-    if tracer is not None:
-        tracer.close()
-        if args.trace_out:
-            print(f"trace written to {args.trace_out}")
-    if metrics is not None and args.metrics_out:
-        metrics.dump_jsonl(args.metrics_out)
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
     if result.series is not None:
         print(
@@ -139,40 +97,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"(every {result.series.interval} writes)"
         )
         if args.series_out:
-            from repro.analysis.export import export_series_csv
-
-            export_series_csv(result.series, args.series_out)
             print(f"time-series written to {args.series_out}")
-    manifest = None
-    if ledger is not None:
-        import json
-
-        artifact_text = {}
-        if metrics is not None:
-            artifact_text["metrics.jsonl"] = "".join(
-                json.dumps(snap, separators=(",", ":")) + "\n"
-                for snap in metrics.snapshot()
-            )
-        if result.series is not None:
-            artifact_text["series.csv"] = _series_csv_text(result.series)
-        artifacts = {}
-        if args.trace_out:
-            artifacts["trace"] = args.trace_out
-        manifest = ledger.record_result(
-            result,
-            config,
-            kind="run",
-            label=args.label or "",
-            phases=phases.totals if phases is not None else None,
-            artifacts=artifacts,
-            artifact_text=artifact_text,
-        )
-    row = summary_row(result, manifest)
+    row = summary_row(result, result.manifest)
     print(render_table(list(row), [row]))
     if result.lifetime is not None:
         print(f"lifetime vs encrypted baseline: {result.lifetime.normalized:.2f}x")
-    if manifest is not None:
-        print(f"run {manifest.run_id} recorded in {ledger.root}")
+    if result.manifest is not None:
+        print(f"run {result.manifest.run_id} recorded in {session.ledger.root}")
     return 0
 
 
@@ -189,7 +120,7 @@ def _progress_renderer(args: argparse.Namespace, label: str):
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    ledger = _make_ledger(args)
+    session = _make_session(args)
     for name in (list(EXPERIMENTS) if args.name == "all" else [args.name]):
         if name not in EXPERIMENTS:
             print(
@@ -198,43 +129,37 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        fn = EXPERIMENTS[name]
-        if name == "table2":
-            result = fn()
-        else:
-            renderer = _progress_renderer(args, name)
-            try:
-                result = fn(
-                    n_writes=args.writes,
-                    max_workers=args.workers,
-                    progress=renderer,
-                    ledger=ledger,
-                )
-            finally:
-                if renderer is not None:
-                    renderer.close()
+        renderer = _progress_renderer(args, name)
+        try:
+            result = session.experiment(
+                name,
+                n_writes=args.writes,
+                workers=args.workers,
+                progress=renderer,
+            )
+        finally:
+            if renderer is not None:
+                renderer.close()
         print(result.render())
-        if ledger is not None:
-            from repro.obs.ledger import build_manifest
-
-            summary = {
-                key: value
-                for key, value in (result.averages or {}).items()
-                if isinstance(value, (int, float))
-            }
-            manifest = build_manifest(
-                kind="experiment",
-                label=name,
-                n_writes=0 if name == "table2" else args.writes,
-                wall_time_s=result.wall_time_s,
-                summary=summary,
-            )
-            ledger.record(
-                manifest, artifact_text={"result.txt": result.render() + "\n"}
-            )
-            print(f"experiment {name} recorded as {manifest.run_id}")
+        if result.manifest is not None:
+            print(f"experiment {name} recorded as {result.manifest.run_id}")
         print()
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        args.host,
+        args.port,
+        session=_make_session(args),
+        job_workers=args.job_workers,
+        queue_size=args.queue_size,
+        job_timeout_s=args.job_timeout,
+        max_sweep_workers=args.max_sweep_workers,
+        drain_timeout_s=args.drain_timeout,
+    )
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
@@ -474,6 +399,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_ledger_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the HTTP simulation job service "
+        "(POST /jobs, GET /jobs/{id}, GET /runs, ...)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787)
+    p_serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        help="concurrent jobs (worker threads; each sweep job may also "
+        "fan cells over processes, see --max-sweep-workers)",
+    )
+    p_serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        help="jobs allowed to wait; submissions past this get HTTP 429",
+    )
+    p_serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job deadline (jobs may set their own timeout_s)",
+    )
+    p_serve.add_argument(
+        "--max-sweep-workers",
+        type=int,
+        default=4,
+        help="cap on any job's requested per-sweep worker processes",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds SIGTERM waits for in-flight jobs before forcing "
+        "cooperative cancellation",
+    )
+    _add_ledger_flags(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_runs = sub.add_parser("runs", help="query the run ledger")
     runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)

@@ -122,6 +122,31 @@ def load_baselines(directory: str | Path) -> dict[str, object]:
     return {"flips": flips, "perf": perf, "directory": directory}
 
 
+def suite_configs(baselines_dir: str | Path = DEFAULT_BASELINES_DIR):
+    """The exact pinned-suite :class:`SimConfig` per baselined scheme.
+
+    Decoded through :meth:`SimConfig.from_dict`, so a typo'd key in the
+    baseline ``suite`` block is a :class:`GateError` with the config
+    module's did-you-mean message instead of a silently ignored field.
+    CI (and anyone re-pinning) runs exactly these configs; they are also
+    valid ``POST /jobs`` sweep payloads for the job service.
+    """
+    from repro.sim.config import ConfigError, SimConfig
+
+    baselines = load_baselines(baselines_dir)
+    flips = baselines["flips"]
+    suite: dict = dict(flips.get("suite", {}))  # type: ignore[union-attr]
+    configs: dict[str, SimConfig] = {}
+    for scheme in flips["schemes"]:  # type: ignore[index]
+        try:
+            configs[scheme] = SimConfig.from_dict({**suite, "scheme": scheme})
+        except ConfigError as exc:
+            raise GateError(
+                f"bad 'suite' block in {FLIP_BASELINE_FILE}: {exc}"
+            ) from exc
+    return configs
+
+
 def _band(expected: float, tolerance: float, scale: float) -> tuple[float, float]:
     tol = tolerance * scale
     return expected - tol, expected + tol

@@ -19,6 +19,19 @@ from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 
 
+class RunAborted(RuntimeError):
+    """A run stopped cooperatively because its abort check fired.
+
+    Raised by the instrumented write loop when ``Instruments.abort``
+    returns True (job cancellation, deadline exceeded).  ``writes_done``
+    records how far the run got.
+    """
+
+    def __init__(self, message: str, writes_done: int = 0) -> None:
+        super().__init__(message)
+        self.writes_done = writes_done
+
+
 @dataclass
 class Instruments:
     """Everything a run reports into.
@@ -40,6 +53,12 @@ class Instruments:
     heartbeat_every:
         Writes between heartbeat invocations; ``0`` auto-sizes to ~10 beats
         per run.
+    abort:
+        Optional ``() -> bool`` polled every ``abort_every`` writes; when it
+        returns True the loop raises :class:`RunAborted`.  Cooperative
+        cancellation for the job service and sweep engine.
+    abort_every:
+        Writes between abort polls; ``0`` auto-sizes (~every 512 writes).
     """
 
     metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
@@ -47,6 +66,8 @@ class Instruments:
     sample_interval: int = 0
     heartbeat: Callable[[int, int], None] | None = None
     heartbeat_every: int = 0
+    abort: Callable[[], bool] | None = None
+    abort_every: int = 0
 
     @property
     def enabled(self) -> bool:
@@ -56,6 +77,7 @@ class Instruments:
             or self.tracer.enabled
             or self.sample_interval > 0
             or self.heartbeat is not None
+            or self.abort is not None
         )
 
 

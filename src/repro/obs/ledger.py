@@ -84,11 +84,13 @@ def git_revision(cwd: str | Path | None = None) -> str:
 
 
 def config_dict(config: "SimConfig") -> dict[str, object]:
-    """A JSON-safe dict of a :class:`~repro.sim.config.SimConfig`."""
-    raw = dataclasses.asdict(config)
-    return {
-        k: (v.hex() if isinstance(v, bytes) else v) for k, v in raw.items()
-    }
+    """A JSON-safe dict of a :class:`~repro.sim.config.SimConfig`.
+
+    Thin wrapper over :meth:`SimConfig.to_dict` (kept for callers that
+    predate it); the hex-encoded ``key`` round-trips through
+    :meth:`SimConfig.from_dict`.
+    """
+    return config.to_dict()
 
 
 def config_hash(config: dict[str, object]) -> str:
@@ -374,12 +376,33 @@ class RunLedger:
         manifests = self.list(**filters)  # type: ignore[arg-type]
         return manifests[-1] if manifests else None
 
+    def config_of(self, manifest: RunManifest) -> "SimConfig | None":
+        """The manifest's embedded config decoded back to a SimConfig.
+
+        ``None`` when the manifest carries no config (experiments,
+        benches).  The decode goes through the strict
+        :meth:`~repro.sim.config.SimConfig.from_dict`, so a manifest whose
+        config no longer matches the schema raises
+        :class:`~repro.sim.config.ConfigError` rather than silently
+        misreproducing a run.
+        """
+        if not manifest.config:
+            return None
+        from repro.sim.config import SimConfig
+
+        return SimConfig.from_dict(dict(manifest.config))
+
     def diff(self, run_id_a: str, run_id_b: str) -> dict[str, dict[str, object]]:
         """Numeric summary metrics side by side: ``{metric: {a, b, delta}}``.
 
         Includes ``wall_time_s`` so perf drift shows up next to the
         simulation metrics; non-numeric summary values are compared for
-        equality and reported with ``delta=None`` when they differ.
+        equality and reported with ``delta=None`` when they differ.  When
+        both runs embed configs, differing config fields are surfaced as
+        ``config.<field>`` rows (decoded through the strict
+        :meth:`SimConfig.from_dict <repro.sim.config.SimConfig.from_dict>`
+        so equivalent representations — e.g. a hex vs bytes key — never
+        show as spurious deltas).
         """
         a, b = self.get(run_id_a), self.get(run_id_b)
         rows: dict[str, dict[str, object]] = {}
@@ -393,6 +416,21 @@ class RunLedger:
                 rows[key] = {"a": va, "b": vb, "delta": round(vb - va, 6)}
             elif va != vb:
                 rows[key] = {"a": va, "b": vb, "delta": None}
+        config_a, config_b = self.config_of(a), self.config_of(b)
+        if config_a is not None and config_b is not None:
+            dict_a, dict_b = config_a.to_dict(), config_b.to_dict()
+            for key in dict_a:
+                va, vb = dict_a[key], dict_b[key]
+                if va == vb:
+                    continue
+                if isinstance(va, (int, float)) and isinstance(
+                    vb, (int, float)
+                ) and not isinstance(va, bool) and not isinstance(vb, bool):
+                    rows[f"config.{key}"] = {
+                        "a": va, "b": vb, "delta": round(vb - va, 6)
+                    }
+                else:
+                    rows[f"config.{key}"] = {"a": va, "b": vb, "delta": None}
         return rows
 
     def gc(self, keep: int) -> list[str]:

@@ -15,6 +15,7 @@ need no wall time of their own.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import sys
 import time
@@ -52,6 +53,10 @@ class ProgressEvent:
     n_writes: int = 0
     workload: str = ""
     scheme: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe form (the service streams these as JSONL)."""
+        return dataclasses.asdict(self)
 
 
 @dataclass

@@ -1,0 +1,44 @@
+"""``repro.service`` — the async simulation job service behind ``deuce-sim serve``.
+
+A zero-dependency HTTP JSON API (:mod:`repro.service.server`) over a
+bounded job queue with a worker pool (:mod:`repro.service.jobs`); every
+job executes through the shared :class:`repro.api.Session`, so results
+and ledger manifests are bit-identical to direct library/CLI use.
+"""
+
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_KINDS,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobError,
+    JobManager,
+    JobSpec,
+    QueueFullError,
+    ServiceDraining,
+    UnknownJobError,
+)
+from repro.service.server import SimulationServer, serve
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JOB_KINDS",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "Job",
+    "JobError",
+    "JobManager",
+    "JobSpec",
+    "QueueFullError",
+    "ServiceDraining",
+    "UnknownJobError",
+    "SimulationServer",
+    "serve",
+]

@@ -1,0 +1,529 @@
+"""Job queue and bounded worker pool behind ``deuce-sim serve``.
+
+A :class:`JobManager` owns a bounded FIFO queue of :class:`Job` objects and
+a fixed pool of worker threads that execute them through one shared
+:class:`repro.api.Session` — so every job resolves configs, instruments,
+and the ledger exactly the way a direct API or CLI caller would.  Sweeps
+inside a job reuse :mod:`repro.sim.parallel` (and therefore its process
+pool) with the sweep engine's cooperative ``should_stop`` hook wired to the
+job's cancel flag and deadline, which is what makes cancellation and
+drains orphan-free: unstarted cells are dropped, in-flight cells finish,
+and the pool always shuts down cleanly.
+
+Lifecycle::
+
+    queued -> running -> done
+                      -> failed      (exception or deadline)
+                      -> cancelled   (client DELETE, or drain with cancel)
+
+Backpressure is structural: :meth:`JobManager.submit` raises
+:class:`QueueFullError` when the queue is at capacity (the HTTP layer maps
+it to ``429``) and :class:`ServiceDraining` once a drain began (``503``).
+Every job's progress is a JSONL-able event list that the HTTP layer can
+stream incrementally.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.api import Session
+from repro.obs.instruments import RunAborted
+from repro.obs.progress import ProgressEvent
+from repro.sim.config import ConfigError, SimConfig
+from repro.sim.experiments import EXPERIMENTS
+from repro.sim.parallel import SweepCancelled
+
+#: Job states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Job kinds accepted by the service.
+JOB_KINDS = ("run", "sweep", "experiment")
+
+
+class JobError(ValueError):
+    """A job payload that cannot become a valid :class:`JobSpec` (HTTP 400)."""
+
+
+class QueueFullError(RuntimeError):
+    """The job queue is at capacity — back off and retry (HTTP 429)."""
+
+
+class ServiceDraining(RuntimeError):
+    """The service is draining and accepts no new jobs (HTTP 503)."""
+
+
+class UnknownJobError(KeyError):
+    """No job with that id (HTTP 404)."""
+
+
+def new_job_id() -> str:
+    """Sortable unique job id (same shape as ledger run ids)."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"job-{stamp}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated, executable description of one submitted job.
+
+    ``configs`` holds one config for ``kind="run"`` and the grid for
+    ``kind="sweep"``; experiments carry the exhibit name plus keyword
+    options instead.
+    """
+
+    kind: str
+    configs: tuple[SimConfig, ...] = ()
+    experiment: str = ""
+    options: dict = field(default_factory=dict)
+    workers: int | None = 1
+    timeout_s: float | None = None
+    label: str = ""
+
+    @property
+    def n_cells(self) -> int:
+        if self.kind == "experiment":
+            return 0  # unknown until the exhibit materializes its grid
+        return len(self.configs)
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "JobSpec":
+        """Decode and strictly validate a JSON job submission.
+
+        Raises :class:`JobError` with a client-facing message on any
+        malformed field; config dicts go through the strict
+        :meth:`SimConfig.from_dict <repro.sim.config.SimConfig.from_dict>`.
+        """
+        if not isinstance(payload, dict):
+            raise JobError(
+                f"job payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise JobError(
+                f"job 'kind' must be one of {', '.join(JOB_KINDS)}, "
+                f"got {kind!r}"
+            )
+        known = {"kind", "config", "configs", "experiment", "options",
+                 "workers", "timeout_s", "label"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise JobError(
+                "unknown job field(s): " + ", ".join(map(repr, unknown))
+                + "; valid fields: " + ", ".join(sorted(known))
+            )
+        workers = payload.get("workers", 1)
+        if workers is not None and (
+            isinstance(workers, bool) or not isinstance(workers, int)
+        ):
+            raise JobError(f"'workers' must be an integer, got {workers!r}")
+        timeout_s = payload.get("timeout_s")
+        if timeout_s is not None and (
+            isinstance(timeout_s, bool)
+            or not isinstance(timeout_s, (int, float))
+            or timeout_s <= 0
+        ):
+            raise JobError(
+                f"'timeout_s' must be a positive number, got {timeout_s!r}"
+            )
+        label = payload.get("label", "")
+        if not isinstance(label, str):
+            raise JobError(f"'label' must be a string, got {label!r}")
+
+        configs: tuple[SimConfig, ...] = ()
+        experiment = ""
+        options: dict = {}
+        try:
+            if kind == "run":
+                if "config" not in payload:
+                    raise JobError("a 'run' job needs a 'config' object")
+                configs = (SimConfig.from_dict(payload["config"]),)
+            elif kind == "sweep":
+                raw = payload.get("configs")
+                if not isinstance(raw, list) or not raw:
+                    raise JobError(
+                        "a 'sweep' job needs a non-empty 'configs' array"
+                    )
+                configs = tuple(SimConfig.from_dict(c) for c in raw)
+            else:  # experiment
+                experiment = payload.get("experiment", "")
+                if experiment not in EXPERIMENTS:
+                    raise JobError(
+                        f"unknown experiment {experiment!r}; choose from "
+                        + ", ".join(EXPERIMENTS)
+                    )
+                options = payload.get("options", {})
+                if not isinstance(options, dict):
+                    raise JobError(
+                        f"'options' must be an object, got {options!r}"
+                    )
+        except ConfigError as exc:
+            raise JobError(str(exc)) from exc
+        return cls(
+            kind=kind,
+            configs=configs,
+            experiment=experiment,
+            options=options,
+            workers=workers,
+            timeout_s=float(timeout_s) if timeout_s is not None else None,
+            label=label,
+        )
+
+
+class Job:
+    """One submitted unit of work plus its observable state.
+
+    All mutation happens under ``_lock``; :meth:`snapshot` and
+    :meth:`events_since` are safe to call from any HTTP thread while a
+    worker executes the job.
+    """
+
+    def __init__(self, spec: JobSpec, job_id: str | None = None) -> None:
+        self.id = job_id or new_job_id()
+        self.spec = spec
+        self.state = QUEUED
+        self.error = ""
+        self.created_utc = _utc_now()
+        self.started_utc = ""
+        self.finished_utc = ""
+        self.result: dict | None = None
+        self.cells_done = 0
+        self.writes_done = 0
+        self._events: list[dict] = []
+        self._seq = itertools.count()
+        self._cancel = threading.Event()
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+
+    # -- worker side ---------------------------------------------------------
+
+    def on_progress(self, event: ProgressEvent) -> None:
+        """Progress consumer handed to the session (worker thread)."""
+        record = event.to_dict()
+        with self._lock:
+            record["seq"] = next(self._seq)
+            self._events.append(record)
+            if event.kind == "done":
+                self.cells_done += 1
+                self.writes_done += event.n_writes
+            elif event.kind == "heartbeat":
+                pass  # writes_done tallies only completed cells (monotonic)
+
+    def _transition(self, state: str, error: str = "") -> None:
+        with self._lock:
+            self.state = state
+            if error:
+                self.error = error
+            record = {
+                "seq": next(self._seq),
+                "kind": "state",
+                "state": state,
+            }
+            if error:
+                record["error"] = error
+            self._events.append(record)
+            if state in TERMINAL_STATES:
+                self.finished_utc = _utc_now()
+                self._finished.set()
+
+    # -- client side ---------------------------------------------------------
+
+    @property
+    def cancelled_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def request_cancel(self) -> None:
+        self._cancel.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._finished.wait(timeout)
+
+    def events_since(self, since: int) -> list[dict]:
+        """Events with ``seq >= since`` (the HTTP stream's cursor)."""
+        with self._lock:
+            return [e for e in self._events if e["seq"] >= since]
+
+    def snapshot(self) -> dict:
+        """JSON-safe status view (GET /jobs/{id})."""
+        with self._lock:
+            return {
+                "job_id": self.id,
+                "kind": self.spec.kind,
+                "label": self.spec.label,
+                "experiment": self.spec.experiment,
+                "state": self.state,
+                "error": self.error,
+                "n_cells": self.spec.n_cells,
+                "cells_done": self.cells_done,
+                "writes_done": self.writes_done,
+                "n_events": len(self._events),
+                "created_utc": self.created_utc,
+                "started_utc": self.started_utc,
+                "finished_utc": self.finished_utc,
+                "cancel_requested": self._cancel.is_set(),
+            }
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+#: Queue sentinel that tells a worker thread to exit.
+_SHUTDOWN = object()
+
+
+class JobManager:
+    """Bounded job queue + worker-thread pool over one shared Session.
+
+    Parameters
+    ----------
+    session:
+        The :class:`repro.api.Session` every job executes through (its
+        ledger receives the manifests).
+    job_workers:
+        Concurrent jobs (worker threads).  Each sweep job may additionally
+        fan its cells over processes, bounded by ``max_sweep_workers``.
+    queue_size:
+        Jobs allowed to wait beyond the running ones; submissions past
+        this raise :class:`QueueFullError` (HTTP 429).
+    default_timeout_s:
+        Deadline applied to jobs that do not set their own; ``None`` means
+        no deadline.
+    max_sweep_workers:
+        Hard cap on a job's requested per-sweep worker processes.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        *,
+        job_workers: int = 2,
+        queue_size: int = 16,
+        default_timeout_s: float | None = None,
+        max_sweep_workers: int = 4,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if job_workers < 1:
+            raise ValueError(f"job_workers must be >= 1, got {job_workers}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.session = session
+        self.job_workers = job_workers
+        self.default_timeout_s = default_timeout_s
+        self.max_sweep_workers = max_sweep_workers
+        self._clock = clock
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "JobManager":
+        """Spawn the worker threads (idempotent)."""
+        if not self._threads:
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"deuce-job-worker-{i}",
+                    daemon=True,
+                )
+                for i in range(self.job_workers)
+            ]
+            for thread in self._threads:
+                thread.start()
+        return self
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self, timeout_s: float = 30.0, *, cancel: bool = False) -> bool:
+        """Stop accepting jobs and wait for the backlog to settle.
+
+        With ``cancel=True`` every non-terminal job's cancel flag is set
+        first, so running sweeps stop cooperatively at their next
+        ``should_stop`` poll.  Returns True when every job reached a
+        terminal state within ``timeout_s``.  Worker threads are always
+        shut down before returning, so no job can start after a drain.
+        """
+        self._draining.set()
+        if cancel:
+            for job in self.jobs():
+                job.request_cancel()
+        deadline = self._clock() + timeout_s
+        settled = True
+        for job in self.jobs():
+            remaining = deadline - self._clock()
+            if not job.wait(max(0.0, remaining)):
+                # Still queued or mid-run at the deadline: force the flag
+                # so the worker (or the dequeue check) retires it.
+                job.request_cancel()
+                settled = False
+        for _ in self._threads:
+            try:
+                self._queue.put_nowait(_SHUTDOWN)
+            except queue.Full:  # workers will drain the backlog first
+                self._queue.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - self._clock()) + 5.0)
+        return settled
+
+    # -- submission / queries ------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Enqueue a job; raises on drain or a full queue (backpressure)."""
+        if self._draining.is_set():
+            raise ServiceDraining("service is draining; not accepting jobs")
+        job = Job(spec)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise QueueFullError(
+                f"job queue is full ({self._queue.maxsize} waiting); "
+                "retry after a job finishes"
+            ) from None
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"no job {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        """All known jobs, submission-ordered."""
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cooperative cancellation; returns the job."""
+        job = self.get(job_id)
+        job.request_cancel()
+        return job
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (healthz)."""
+        counts = dict.fromkeys(
+            (QUEUED, RUNNING, DONE, FAILED, CANCELLED), 0
+        )
+        for job in self.jobs():
+            counts[job.state] += 1
+        return counts
+
+    # -- execution -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            try:
+                self._execute(item)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, job: Job) -> None:
+        if job.cancelled_requested:
+            job._transition(CANCELLED, "cancelled while queued")
+            return
+        job.started_utc = _utc_now()
+        job._transition(RUNNING)
+        spec = job.spec
+        timeout_s = (
+            spec.timeout_s
+            if spec.timeout_s is not None
+            else self.default_timeout_s
+        )
+        deadline = self._clock() + timeout_s if timeout_s else None
+
+        def should_stop() -> bool:
+            return job.cancelled_requested or (
+                deadline is not None and self._clock() > deadline
+            )
+
+        try:
+            if spec.kind == "run":
+                result = self.session.run(
+                    spec.configs[0],
+                    label=spec.label,
+                    progress=job.on_progress,
+                    should_stop=should_stop,
+                )
+                payload = _results_payload([result])
+            elif spec.kind == "sweep":
+                workers = min(
+                    spec.workers if spec.workers else self.max_sweep_workers,
+                    self.max_sweep_workers,
+                )
+                results = self.session.sweep(
+                    spec.configs,
+                    workers=workers,
+                    progress=job.on_progress,
+                    label=spec.label,
+                    should_stop=should_stop,
+                )
+                payload = _results_payload(results)
+            else:
+                options = dict(spec.options)
+                options["workers"] = min(
+                    int(options.get("workers", spec.workers or 1) or 1),
+                    self.max_sweep_workers,
+                )
+                experiment = self.session.experiment(
+                    spec.experiment,
+                    progress=job.on_progress,
+                    should_stop=should_stop,
+                    **options,
+                )
+                payload = {
+                    "experiment": spec.experiment,
+                    "rows": experiment.rows,
+                    "averages": experiment.averages,
+                    "paper": experiment.paper,
+                    "rendered": experiment.render(),
+                    "wall_time_s": experiment.wall_time_s,
+                    "run_id": (
+                        experiment.manifest.run_id
+                        if experiment.manifest
+                        else ""
+                    ),
+                }
+            job.result = payload
+            job._transition(DONE)
+        except (RunAborted, SweepCancelled) as exc:
+            if job.cancelled_requested:
+                job._transition(CANCELLED, str(exc))
+            else:
+                job._transition(
+                    FAILED, f"deadline exceeded after {timeout_s}s: {exc}"
+                )
+        except Exception as exc:  # noqa: BLE001 - jobs must never kill workers
+            job._transition(FAILED, f"{type(exc).__name__}: {exc}")
+
+
+def _results_payload(results) -> dict:
+    """JSON result payload for run/sweep jobs (full exact aggregates)."""
+    return {
+        "results": [r.to_dict() for r in results],
+        "run_ids": [r.manifest.run_id if r.manifest else "" for r in results],
+    }

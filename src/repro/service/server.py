@@ -1,0 +1,339 @@
+"""HTTP front end for the simulation job service (``deuce-sim serve``).
+
+Zero-dependency JSON API over :class:`http.server.ThreadingHTTPServer`.
+Endpoints:
+
+=========================  ====================================================
+``GET  /healthz``          liveness + queue/job counters + drain state
+``POST /jobs``             submit a run/sweep/experiment job (``201``;
+                           ``400`` bad payload, ``429`` queue full,
+                           ``503`` draining)
+``GET  /jobs``             snapshots of every known job
+``GET  /jobs/{id}``        one job's status + progress counters
+``GET  /jobs/{id}/result`` the finished job's result (``202`` while
+                           pending, ``409`` for failed/cancelled)
+``GET  /jobs/{id}/events`` chunked JSONL progress stream (``?since=N``
+                           cursor, ``?follow=0`` for a one-shot page)
+``DELETE /jobs/{id}``      cooperative cancellation
+``GET  /runs``             ledger query (``kind``/``scheme``/``workload``/
+                           ``label``/``limit`` filters)
+=========================  ====================================================
+
+Graceful shutdown: SIGTERM/SIGINT flip the service into *draining* —
+``POST /jobs`` answers ``503``, ``/healthz`` reports it — then the job
+manager drains (in-flight sweeps finish or cancel cooperatively, no
+orphaned worker processes) and the listener closes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api import Session
+from repro.service.jobs import (
+    TERMINAL_STATES,
+    DONE,
+    JobError,
+    JobManager,
+    JobSpec,
+    QueueFullError,
+    ServiceDraining,
+    UnknownJobError,
+)
+
+#: Seconds between polls while following a job's event stream.
+EVENT_POLL_S = 0.05
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9._-]+)(/result|/events)?$")
+
+
+class SimulationServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to a :class:`JobManager` + Session."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        manager: JobManager,
+        *,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.manager = manager
+        self.session = manager.session
+        self.quiet = quiet
+        self.started_monotonic = time.monotonic()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: SimulationServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _json(self, status: int, payload: object, **headers: str) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name.replace("_", "-"), value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, **headers: str) -> None:
+        self._json(status, {"error": message}, **headers)
+
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise JobError("request body must be a JSON object")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise JobError(f"request body is not valid JSON: {exc}") from exc
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        query = parse_qs(url.query)
+        if url.path == "/healthz":
+            return self._get_healthz()
+        if url.path == "/runs":
+            return self._get_runs(query)
+        if url.path == "/jobs":
+            return self._json(
+                200,
+                {"jobs": [j.snapshot() for j in self.server.manager.jobs()]},
+            )
+        match = _JOB_PATH.match(url.path)
+        if match:
+            try:
+                job = self.server.manager.get(match.group(1))
+            except UnknownJobError as exc:
+                return self._error(404, str(exc))
+            tail = match.group(2)
+            if tail is None:
+                return self._json(200, job.snapshot())
+            if tail == "/result":
+                return self._get_result(job)
+            return self._stream_events(job, query)
+        self._error(404, f"no route for GET {url.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        if url.path != "/jobs":
+            return self._error(404, f"no route for POST {url.path}")
+        try:
+            spec = JobSpec.from_payload(self._read_json())
+            job = self.server.manager.submit(spec)
+        except JobError as exc:
+            return self._error(400, str(exc))
+        except QueueFullError as exc:
+            return self._error(429, str(exc), Retry_After="1")
+        except ServiceDraining as exc:
+            return self._error(503, str(exc))
+        self._json(
+            201,
+            {
+                "job_id": job.id,
+                "state": job.state,
+                "status_url": f"/jobs/{job.id}",
+                "result_url": f"/jobs/{job.id}/result",
+                "events_url": f"/jobs/{job.id}/events",
+            },
+        )
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        match = _JOB_PATH.match(url.path)
+        if not match or match.group(2):
+            return self._error(404, f"no route for DELETE {url.path}")
+        try:
+            job = self.server.manager.cancel(match.group(1))
+        except UnknownJobError as exc:
+            return self._error(404, str(exc))
+        self._json(200, job.snapshot())
+
+    # -- endpoint bodies -----------------------------------------------------
+
+    def _get_healthz(self) -> None:
+        manager = self.server.manager
+        self._json(
+            200,
+            {
+                "status": "draining" if manager.draining else "ok",
+                "jobs": manager.counts(),
+                "job_workers": manager.job_workers,
+                "queue_capacity": manager._queue.maxsize,
+                "ledger": (
+                    str(self.server.session.ledger.root)
+                    if self.server.session.ledger is not None
+                    else None
+                ),
+                "uptime_s": round(
+                    time.monotonic() - self.server.started_monotonic, 3
+                ),
+            },
+        )
+
+    def _get_runs(self, query: dict[str, list[str]]) -> None:
+        ledger = self.server.session.ledger
+        if ledger is None:
+            return self._error(404, "ledger is disabled on this server")
+        try:
+            limit = int(query.get("limit", ["20"])[0])
+        except ValueError:
+            return self._error(400, "'limit' must be an integer")
+        manifests = ledger.list(
+            kind=query.get("kind", [None])[0],
+            scheme=query.get("scheme", [None])[0],
+            workload=query.get("workload", [None])[0],
+            label=query.get("label", [None])[0],
+            limit=limit or None,
+        )
+        self._json(200, {"runs": [m.to_dict() for m in manifests]})
+
+    def _get_result(self, job) -> None:
+        snapshot = job.snapshot()
+        if snapshot["state"] not in TERMINAL_STATES:
+            return self._json(202, snapshot)
+        if snapshot["state"] != DONE:
+            return self._json(409, snapshot)
+        self._json(200, {**snapshot, "result": job.result})
+
+    def _stream_events(self, job, query: dict[str, list[str]]) -> None:
+        """Chunked JSONL: replay events from ``since``, follow until done."""
+        try:
+            since = int(query.get("since", ["0"])[0])
+        except ValueError:
+            return self._error(400, "'since' must be an integer")
+        follow = query.get("follow", ["1"])[0] not in ("0", "false", "no")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        cursor = since
+        try:
+            while True:
+                events = job.events_since(cursor)
+                for event in events:
+                    self._chunk(json.dumps(event, sort_keys=True) + "\n")
+                    cursor = event["seq"] + 1
+                snapshot = job.snapshot()
+                if snapshot["state"] in TERMINAL_STATES or not follow:
+                    self._chunk(
+                        json.dumps(
+                            {
+                                "kind": "end",
+                                "state": snapshot["state"],
+                                "error": snapshot["error"],
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                    break
+                job.wait(EVENT_POLL_S)
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to clean up
+
+    def _chunk(self, text: str) -> None:
+        data = text.encode()
+        self.wfile.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    *,
+    session: Session | None = None,
+    job_workers: int = 2,
+    queue_size: int = 16,
+    job_timeout_s: float | None = None,
+    max_sweep_workers: int = 4,
+    drain_timeout_s: float = 30.0,
+    quiet: bool = False,
+    ready: threading.Event | None = None,
+) -> int:
+    """Run the job service until SIGTERM/SIGINT, then drain gracefully.
+
+    Blocks the calling thread in ``serve_forever``.  The first signal
+    starts a drain (new submissions get ``503``, in-flight jobs finish or
+    cancel within ``drain_timeout_s``); a second signal cancels remaining
+    jobs outright.  Returns the process exit code.
+    """
+    session = session if session is not None else Session()
+    manager = JobManager(
+        session,
+        job_workers=job_workers,
+        queue_size=queue_size,
+        default_timeout_s=job_timeout_s,
+        max_sweep_workers=max_sweep_workers,
+    ).start()
+    server = SimulationServer((host, port), manager, quiet=quiet)
+    signals_seen = []
+
+    def _graceful(signum, _frame) -> None:
+        signals_seen.append(signum)
+        cancel = len(signals_seen) > 1
+        # shutdown() must not run on the serve_forever thread (deadlock),
+        # and a signal handler interrupts exactly that thread — hand off.
+        threading.Thread(
+            target=_drain_and_stop,
+            args=(manager, server, drain_timeout_s, cancel),
+            daemon=True,
+        ).start()
+
+    previous = {
+        signum: signal.signal(signum, _graceful)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    if not quiet:
+        print(
+            f"deuce-sim serve: listening on http://{host}:{server.port} "
+            f"({job_workers} job workers, queue {queue_size}, ledger "
+            # "is not None": an empty-but-enabled RunLedger has len() == 0.
+            f"{session.ledger.root if session.ledger is not None else 'off'})",
+            flush=True,
+        )
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.server_close()
+    if not quiet:
+        print("deuce-sim serve: drained, bye", flush=True)
+    return 0
+
+
+def _drain_and_stop(
+    manager: JobManager,
+    server: SimulationServer,
+    drain_timeout_s: float,
+    cancel: bool,
+) -> None:
+    manager.drain(drain_timeout_s, cancel=cancel)
+    server.shutdown()

@@ -8,6 +8,8 @@ results.
 
 from __future__ import annotations
 
+import dataclasses
+import difflib
 from dataclasses import dataclass, field, replace
 
 #: Default trace length: long enough for flip statistics to converge to
@@ -16,6 +18,35 @@ DEFAULT_N_WRITES = 20_000
 
 #: Default secret key for pad sources (any bytes; simulations only).
 DEFAULT_KEY = b"deuce-repro-key!"
+
+
+class ConfigError(ValueError):
+    """A config dict that cannot become a valid :class:`SimConfig`.
+
+    Raised with messages meant for API/service clients: the offending key,
+    what was expected, and a close-match suggestion for typos.
+    """
+
+
+#: Accepted runtime types per field, for :meth:`SimConfig.from_dict`.
+#: ``key`` also accepts ``str`` (hex), normalized in ``__post_init__``.
+_FIELD_TYPES: dict[str, tuple[type, ...]] = {
+    "workload": (str,),
+    "scheme": (str,),
+    "n_writes": (int,),
+    "seed": (int,),
+    "pad_kind": (str,),
+    "key": (bytes, str),
+    "line_bytes": (int,),
+    "word_bytes": (int,),
+    "epoch_interval": (int,),
+    "fnw_group_bits": (int,),
+    "wear_leveling": (str,),
+    "gap_write_interval": (int,),
+    "hwl_region_lines": (int, type(None)),
+    "track_per_line_wear": (bool,),
+    "pad_cache_lines": (int,),
+}
 
 
 @dataclass(frozen=True)
@@ -74,6 +105,78 @@ class SimConfig:
     track_per_line_wear: bool = False
     pad_cache_lines: int = 1024
 
+    def __post_init__(self) -> None:
+        # Accept a hex string for ``key`` so configs survive JSON: to_dict
+        # hex-encodes, and from_dict / with_(key="...") / direct
+        # construction all land here and decode back to bytes.
+        if isinstance(self.key, str):
+            try:
+                decoded = bytes.fromhex(self.key)
+            except ValueError:
+                raise ConfigError(
+                    f"config key 'key' must be bytes or a hex string, "
+                    f"got {self.key!r} (not valid hex)"
+                ) from None
+            object.__setattr__(self, "key", decoded)
+
     def with_(self, **changes: object) -> "SimConfig":
-        """A modified copy (dataclasses.replace convenience)."""
+        """A modified copy (dataclasses.replace convenience).
+
+        ``key`` may be given as bytes or a hex string; either round-trips.
+        """
         return replace(self, **changes)  # type: ignore[arg-type]
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-safe dict: every field, with ``key`` hex-encoded.
+
+        The inverse of :meth:`from_dict`:
+        ``SimConfig.from_dict(c.to_dict()) == c`` for every config.
+        """
+        data = dataclasses.asdict(self)
+        data["key"] = self.key.hex()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "SimConfig":
+        """Build a config from a JSON-decoded dict, strictly validated.
+
+        Unknown keys are rejected (with a did-you-mean suggestion), the
+        required ``workload``/``scheme`` keys must be present, and every
+        value must have the field's type (``key`` accepts a hex string).
+        Raises :class:`ConfigError` with a message fit to echo back to an
+        API client.
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"config must be a JSON object, got {type(data).__name__}"
+            )
+        names = [f.name for f in dataclasses.fields(cls)]
+        unknown = [key for key in data if key not in names]
+        if unknown:
+            parts = []
+            for key in unknown:
+                close = difflib.get_close_matches(str(key), names, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                parts.append(f"{key!r}{hint}")
+            raise ConfigError(
+                "unknown config key(s): " + ", ".join(parts)
+                + "; valid keys: " + ", ".join(names)
+            )
+        for required in ("workload", "scheme"):
+            if required not in data:
+                raise ConfigError(
+                    f"missing required config key {required!r} "
+                    "(a config needs at least 'workload' and 'scheme')"
+                )
+        for key, value in data.items():
+            expected = _FIELD_TYPES[key]
+            ok = isinstance(value, expected) and not (
+                isinstance(value, bool) and bool not in expected
+            )
+            if not ok:
+                wanted = " or ".join(t.__name__ for t in expected)
+                raise ConfigError(
+                    f"config key {key!r} expects {wanted}, "
+                    f"got {type(value).__name__} ({value!r})"
+                )
+        return cls(**data)  # type: ignore[arg-type]

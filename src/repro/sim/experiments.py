@@ -22,7 +22,7 @@ from repro.obs.progress import ProgressEvent
 from repro.perf.energy import EnergyConfig, energy_report
 from repro.perf.system import CoreConfig, simulate_execution
 from repro.sim.config import SimConfig
-from repro.sim.parallel import run_suite_parallel
+from repro.sim.parallel import SweepCancelled, run_suite_parallel
 from repro.sim.results import RunResult
 from repro.sim.runner import run
 from repro.workloads.profiles import (
@@ -86,6 +86,9 @@ class ExperimentResult:
     paper: dict[str, float] = field(default_factory=dict)
     #: End-to-end wall seconds of the producing sweep (ledger manifests).
     wall_time_s: float = 0.0
+    #: The experiment-kind ledger manifest recorded for this result, when
+    #: one was (set by repro.api.Session).
+    manifest: object | None = None
 
     def render(self) -> str:
         out = [render_table(self.columns, self.rows, title=self.title)]
@@ -112,6 +115,7 @@ def _scheme_sweep(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """Shared driver: run each scheme over each workload, tabulate a metric.
 
@@ -141,6 +145,7 @@ def _scheme_sweep(
         max_workers=max_workers,
         progress=progress,
         ledger=ledger,
+        should_stop=should_stop,
         ledger_label=exp_id,
     )
     sums = dict.fromkeys(schemes, 0.0)
@@ -169,6 +174,7 @@ def fig5_encryption_overhead(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """Modified bits per write: NoEncr vs Encr under DCW and FNW."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -190,6 +196,7 @@ def fig5_encryption_overhead(
         max_workers=max_workers,
         progress=progress,
         ledger=ledger,
+        should_stop=should_stop,
     )
 
 
@@ -222,6 +229,7 @@ def fig8_word_size(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """DEUCE modified bits vs tracking granularity (1/2/4/8 bytes)."""
     mk = lambda wb: lambda wl: SimConfig(
@@ -240,6 +248,7 @@ def fig8_word_size(
         max_workers=max_workers,
         progress=progress,
         ledger=ledger,
+        should_stop=should_stop,
     )
 
 
@@ -253,6 +262,7 @@ def fig9_epoch_interval(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """DEUCE modified bits vs epoch interval (8/16/32)."""
     mk = lambda ep: lambda wl: SimConfig(
@@ -270,6 +280,7 @@ def fig9_epoch_interval(
         max_workers=max_workers,
         progress=progress,
         ledger=ledger,
+        should_stop=should_stop,
     )
 
 
@@ -283,6 +294,7 @@ def fig10_scheme_comparison(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """Bit flips across FNW, DEUCE, DynDEUCE, DEUCE+FNW, and NoEncr-FNW."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -306,6 +318,7 @@ def fig10_scheme_comparison(
         max_workers=max_workers,
         progress=progress,
         ledger=ledger,
+        should_stop=should_stop,
     )
 
 
@@ -319,6 +332,7 @@ def table3_storage_overhead(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """Per-line metadata bits vs average flip reduction."""
     from repro.sim.runner import build_scheme
@@ -349,6 +363,7 @@ def table3_storage_overhead(
         max_workers=max_workers,
         progress=progress,
         ledger=ledger,
+        should_stop=should_stop,
         ledger_label="table3",
     )
     per_scheme = len(WORKLOAD_NAMES)
@@ -379,6 +394,7 @@ def fig12_bit_position_skew(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """Writes per bit position, normalized to the per-position average."""
     result = ExperimentResult(
@@ -398,6 +414,7 @@ def fig12_bit_position_skew(
         max_workers=max_workers,
         progress=progress,
         ledger=ledger,
+        should_stop=should_stop,
         ledger_label="fig12",
     )
     for workload, r in zip(workloads, runs):
@@ -437,6 +454,7 @@ def fig14_lifetime(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """Lifetime of FNW, DEUCE, and DEUCE+HWL normalized to encrypted memory.
 
@@ -465,7 +483,11 @@ def fig14_lifetime(
         },
     )
     sums = {"FNW": 0.0, "DEUCE": 0.0, "DEUCE-HWL": 0.0}
-    for workload in WORKLOAD_NAMES:
+    for wi, workload in enumerate(WORKLOAD_NAMES):
+        if should_stop is not None and should_stop():
+            raise SweepCancelled(
+                f"fig14 cancelled before workload {wi}/{len(WORKLOAD_NAMES)}"
+            )
         profile = replace(
             get_profile(workload), working_set_lines=working_set_lines
         )
@@ -511,6 +533,7 @@ def fig15_write_slots(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """Average write slots consumed per write request."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -533,6 +556,7 @@ def fig15_write_slots(
         max_workers=max_workers,
         progress=progress,
         ledger=ledger,
+        should_stop=should_stop,
     )
 
 
@@ -548,6 +572,7 @@ def fig16_speedup(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """System speedup over the encrypted-memory baseline."""
     schemes = ("encr-dcw", "encr-fnw", "deuce", "noencr-fnw")
@@ -571,6 +596,7 @@ def fig16_speedup(
         max_workers=max_workers,
         progress=progress,
         ledger=ledger,
+        should_stop=should_stop,
         ledger_label="fig16",
     )
     for wi, workload in enumerate(WORKLOAD_NAMES):
@@ -612,6 +638,7 @@ def fig17_energy_power_edp(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """Speedup, memory energy, memory power, and EDP vs encrypted memory."""
     schemes = {"Encr-FNW": "encr-fnw", "DEUCE": "deuce", "NoEncr-FNW": "noencr-fnw"}
@@ -640,6 +667,7 @@ def fig17_energy_power_edp(
         max_workers=max_workers,
         progress=progress,
         ledger=ledger,
+        should_stop=should_stop,
         ledger_label="fig17",
     )
     for wi, workload in enumerate(WORKLOAD_NAMES):
@@ -690,6 +718,7 @@ def fig18_ble(
     max_workers: int | None = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
     ledger=None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExperimentResult:
     """Block-Level Encryption vs DEUCE vs their combination."""
     mk = lambda scheme: lambda wl: SimConfig(wl, scheme, n_writes, seed)
@@ -705,6 +734,7 @@ def fig18_ble(
         max_workers=max_workers,
         progress=progress,
         ledger=ledger,
+        should_stop=should_stop,
     )
 
 

@@ -39,7 +39,7 @@ import queue as queue_mod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Sequence
 
-from repro.obs.instruments import Instruments
+from repro.obs.instruments import Instruments, RunAborted
 from repro.obs.progress import DONE, HEARTBEAT, START, ProgressEvent
 from repro.sim.config import SimConfig
 from repro.sim.results import RunResult
@@ -50,6 +50,24 @@ MAX_AUTO_WORKERS = 8
 
 #: Seconds between future polls while forwarding progress events.
 _POLL_S = 0.1
+
+
+class SweepCancelled(RuntimeError):
+    """A sweep stopped cooperatively because ``should_stop`` went true.
+
+    In the serial path the in-flight cell aborts mid-trace (via
+    :class:`~repro.obs.instruments.RunAborted`); in the pool path cells not
+    yet started are cancelled and already-running cells complete before the
+    pool shuts down, so no worker process is ever orphaned.  ``results``
+    holds the finished cells' :class:`RunResult`\\ s (submission order,
+    ``None`` for unfinished cells).
+    """
+
+    def __init__(
+        self, message: str, results: list[RunResult | None] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.results = results if results is not None else []
 
 
 def resolve_workers(max_workers: int | None, n_cells: int) -> int:
@@ -115,15 +133,21 @@ def _drain(events, progress: Callable[[ProgressEvent], None]) -> None:
 
 def _run_serial_observed(
     configs: list[SimConfig],
-    progress: Callable[[ProgressEvent], None],
+    progress: Callable[[ProgressEvent], None] | None,
     heartbeat_every: int,
+    should_stop: Callable[[], bool] | None = None,
 ) -> list[RunResult]:
-    """Serial fallback that still reports progress (synchronously)."""
+    """Serial fallback that still reports progress and honours cancellation."""
     from repro.sim.runner import run
 
     n = len(configs)
-    results = []
+    results: list[RunResult | None] = []
     for i, config in enumerate(configs):
+        if should_stop is not None and should_stop():
+            raise SweepCancelled(
+                f"sweep cancelled before cell {i}/{n}", results
+            )
+
         def _event(kind: str, writes_done: int, c=config, i=i) -> ProgressEvent:
             return ProgressEvent(
                 kind=kind,
@@ -135,14 +159,25 @@ def _run_serial_observed(
                 scheme=c.scheme,
             )
 
-        progress(_event(START, 0))
+        heartbeat = None
+        if progress is not None:
+            progress(_event(START, 0))
+            heartbeat = lambda done, total: progress(_event(HEARTBEAT, done))
         instruments = Instruments(
-            heartbeat=lambda done, total: progress(_event(HEARTBEAT, done)),
+            heartbeat=heartbeat,
             heartbeat_every=heartbeat_every,
+            abort=should_stop,
         )
-        results.append(run(config, instruments=instruments))
-        progress(_event(DONE, config.n_writes))
-    return results
+        try:
+            results.append(run(config, instruments=instruments))
+        except RunAborted as exc:
+            results.append(None)
+            raise SweepCancelled(
+                f"sweep cancelled in cell {i}/{n}: {exc}", results
+            ) from exc
+        if progress is not None:
+            progress(_event(DONE, config.n_writes))
+    return results  # type: ignore[return-value]
 
 
 def run_suite_parallel(
@@ -152,6 +187,7 @@ def run_suite_parallel(
     heartbeat_every: int = 0,
     ledger=None,
     ledger_label: str = "",
+    should_stop: Callable[[], bool] | None = None,
 ) -> list[RunResult]:
     """Run a batch of configs, fanned out over worker processes.
 
@@ -182,16 +218,59 @@ def run_suite_parallel(
     ledger_label:
         The ``label`` stamped on recorded sweep-cell manifests (typically
         the experiment id).
+    should_stop:
+        Optional ``() -> bool`` polled between cells (and, serially, every
+        few hundred writes *within* a cell); when it goes true the sweep
+        raises :class:`SweepCancelled` after letting in-flight worker cells
+        finish, so no process is orphaned.  Job cancellation and per-job
+        deadlines in :mod:`repro.service` are built on this hook.
     """
     results = _run_suite_parallel(
-        configs, max_workers, progress, heartbeat_every
+        configs, max_workers, progress, heartbeat_every, should_stop
     )
     if ledger is not None:
         for config, result in zip(configs, results):
-            ledger.record_result(
+            result.manifest = ledger.record_result(
                 result, config, kind="sweep-cell", label=ledger_label
             )
     return results
+
+
+def _collect_futures(
+    futures: dict,
+    results: list[RunResult | None],
+    events,
+    progress: Callable[[ProgressEvent], None] | None,
+    should_stop: Callable[[], bool] | None,
+) -> None:
+    """Poll futures to completion, forwarding events and honouring stops."""
+    pending = set(futures)
+    while pending:
+        done, pending = wait(
+            pending, timeout=_POLL_S, return_when=FIRST_COMPLETED
+        )
+        if progress is not None:
+            _drain(events, progress)
+        for future in done:
+            results[futures[future]] = future.result()
+        if pending and should_stop is not None and should_stop():
+            # Cooperative drain: unstarted cells are cancelled outright,
+            # running cells finish (their results are kept) — the pool
+            # always shuts down with zero orphaned workers.
+            for future in pending:
+                future.cancel()
+            finished, _ = wait(pending)
+            for future in finished:
+                if not future.cancelled():
+                    results[futures[future]] = future.result()
+            if progress is not None:
+                _drain(events, progress)
+            n_done = sum(r is not None for r in results)
+            raise SweepCancelled(
+                f"sweep cancelled with {n_done}/{len(results)} cells "
+                "finished",
+                results,
+            )
 
 
 def _run_suite_parallel(
@@ -199,29 +278,42 @@ def _run_suite_parallel(
     max_workers: int | None,
     progress: Callable[[ProgressEvent], None] | None,
     heartbeat_every: int,
+    should_stop: Callable[[], bool] | None = None,
 ) -> list[RunResult]:
     configs = list(configs)
     if not configs:
         return []
     workers = resolve_workers(max_workers, len(configs))
     if workers <= 1:
-        if progress is None:
+        if progress is None and should_stop is None:
             from repro.sim.runner import run_suite
 
             return run_suite(configs)
-        return _run_serial_observed(configs, progress, heartbeat_every)
+        return _run_serial_observed(
+            configs, progress, heartbeat_every, should_stop
+        )
+    n = len(configs)
+    results: list[RunResult | None] = [None] * n
     if progress is None:
-        # Interleave cells across workers (chunksize 1): adjacent cells
-        # usually share a workload trace, so striding them apart balances
-        # the cache-warm work instead of handing one worker the whole
-        # workload.
+        if should_stop is None:
+            # Interleave cells across workers (chunksize 1): adjacent cells
+            # usually share a workload trace, so striding them apart
+            # balances the cache-warm work instead of handing one worker
+            # the whole workload.
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_run_cell, configs, chunksize=1))
+        # Cancellable but unobserved: submit individually so pending cells
+        # can be cancelled between polls.
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_cell, configs, chunksize=1))
+            futures = {
+                pool.submit(_run_cell, config): i
+                for i, config in enumerate(configs)
+            }
+            _collect_futures(futures, results, None, None, should_stop)
+        return results  # type: ignore[return-value]
     # Progress-streaming path: a manager queue carries events from workers;
     # the main process forwards them between future polls.  Results are
     # still collected by submission index, so ordering is unchanged.
-    n = len(configs)
-    results: list[RunResult | None] = [None] * n
     with multiprocessing.Manager() as manager:
         events = manager.Queue()
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -231,14 +323,9 @@ def _run_suite_parallel(
                 ): i
                 for i, config in enumerate(configs)
             }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(
-                    pending, timeout=_POLL_S, return_when=FIRST_COMPLETED
-                )
-                _drain(events, progress)
-                for future in done:
-                    results[futures[future]] = future.result()
+            _collect_futures(
+                futures, results, events, progress, should_stop
+            )
         # Workers enqueue their final event before returning, so one last
         # drain after the pool closes delivers everything.
         _drain(events, progress)

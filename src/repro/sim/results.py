@@ -4,11 +4,15 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.memory.pcm import WearSummary
 from repro.obs.sampling import TimeSeries
 from repro.sim.config import SimConfig
 from repro.wear.lifetime import LifetimeReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids import cycles
+    from repro.obs.ledger import RunManifest
 
 
 @dataclass
@@ -50,6 +54,9 @@ class RunResult:
     #: The config that produced this result (set by run(); lets the ledger
     #: and sweep engines manifest results without re-threading configs).
     config: "SimConfig | None" = None
+    #: The ledger manifest recorded for this result, when one was (set by
+    #: repro.api.Session and the sweep engine's ledger hook).
+    manifest: "RunManifest | None" = None
 
     @property
     def avg_flips_per_write(self) -> float:
@@ -88,6 +95,44 @@ class RunResult:
         return (
             self.total_words_reencrypted / self.n_writes if self.n_writes else 0.0
         )
+
+    def to_dict(self) -> dict[str, object]:
+        """Full JSON-safe aggregates (service results, stored artifacts).
+
+        Every simulation aggregate is integer-exact, so equality of two
+        ``to_dict`` payloads (ignoring ``wall_time_s``/``run_id``) means the
+        producing runs were bit-identical.  Wear/lifetime/series detail is
+        summarized via :meth:`summary_row` rather than embedded raw.
+        """
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "n_writes": self.n_writes,
+            "line_bits": self.line_bits,
+            "meta_bits": self.meta_bits,
+            "total_flips": self.total_flips,
+            "data_flips": self.data_flips,
+            "meta_flips": self.meta_flips,
+            "set_flips": self.set_flips,
+            "reset_flips": self.reset_flips,
+            "total_slots": self.total_slots,
+            "total_words_reencrypted": self.total_words_reencrypted,
+            "full_reencryptions": self.full_reencryptions,
+            "epoch_resets": self.epoch_resets,
+            "mode_switches": self.mode_switches,
+            "slot_histogram": {
+                str(k): v for k, v in sorted(self.slot_histogram.items())
+            },
+            "mode_histogram": {
+                str(k): v for k, v in sorted(self.mode_histogram.items())
+            },
+            "pad_hits": self.pad_hits,
+            "pad_misses": self.pad_misses,
+            "wall_time_s": self.wall_time_s,
+            "run_id": self.manifest.run_id if self.manifest else "",
+            "summary": self.summary_row(),
+            "config": self.config.to_dict() if self.config else None,
+        }
 
     def summary_row(self) -> dict[str, object]:
         """Flat dict for tables and JSON dumps."""

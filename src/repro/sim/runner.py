@@ -25,7 +25,12 @@ from functools import lru_cache
 
 from repro.crypto.pads import CachingPadSource, make_pad_source
 from repro.memory.pcm import PcmArray, slots_for_write
-from repro.obs.instruments import DISABLED, Instruments, InstrumentedPadSource
+from repro.obs.instruments import (
+    DISABLED,
+    Instruments,
+    InstrumentedPadSource,
+    RunAborted,
+)
 from repro.obs.sampling import IntervalSampler
 from repro.schemes import ENCRYPTED_SCHEMES, make_scheme
 from repro.schemes.base import WriteOutcome, WriteScheme
@@ -249,11 +254,20 @@ def _write_loop_instrumented(
     heartbeat = obs.heartbeat
     if heartbeat is not None:
         hb_every = obs.heartbeat_every or max(1, n_records // 10)
+    abort = obs.abort
+    if abort is not None:
+        abort_every = obs.abort_every or max(1, min(512, n_records // 10))
 
     loop_t0 = perf()
     i = 0
     for record in trace.records:
         i += 1
+        if abort is not None and i % abort_every == 0 and abort():
+            raise RunAborted(
+                f"run aborted before write {i}/{n_records} "
+                f"({config.workload}/{config.scheme})",
+                writes_done=i - 1,
+            )
         t0 = perf()
         outcome = scheme.write(record.address, record.data)
         t1 = perf()

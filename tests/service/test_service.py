@@ -1,0 +1,308 @@
+"""End-to-end HTTP service tests over a live socket.
+
+An in-process :class:`SimulationServer` (ephemeral port) covers the JSON
+API; a subprocess test covers ``deuce-sim serve`` + SIGTERM drain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.api import Session
+from repro.service.jobs import JobManager
+from repro.service.server import SimulationServer
+from repro.sim.config import SimConfig
+
+
+def _request(method: str, url: str, payload: dict | None = None):
+    """(status, decoded-JSON body) for one request; HTTP errors returned."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read() or b"null")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"null")
+
+
+def _poll_terminal(base: str, job_id: str, timeout: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = _request("GET", f"{base}/jobs/{job_id}")
+        assert status == 200
+        if body["state"] in ("done", "failed", "cancelled"):
+            return body
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not settle within {timeout}s")
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server on an ephemeral port; yields (base_url, session)."""
+    session = Session(ledger=tmp_path / "runs")
+    manager = JobManager(
+        session, job_workers=4, queue_size=16, max_sweep_workers=2
+    ).start()
+    server = SimulationServer(("127.0.0.1", 0), manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.port}", session
+    finally:
+        manager.drain(10, cancel=True)
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+RUN_CONFIG = {"workload": "mcf", "scheme": "deuce", "n_writes": 400, "seed": 7}
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        base, _ = service
+        status, body = _request("GET", f"{base}/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["job_workers"] == 4
+        assert body["ledger"]
+
+    def test_submit_run_result_bit_identical(self, service):
+        base, session = service
+        status, body = _request(
+            "POST", f"{base}/jobs", {"kind": "run", "config": RUN_CONFIG}
+        )
+        assert status == 201
+        job_id = body["job_id"]
+        final = _poll_terminal(base, job_id)
+        assert final["state"] == "done", final["error"]
+        status, body = _request("GET", f"{base}/jobs/{job_id}/result")
+        assert status == 200
+        via_http = body["result"]["results"][0]
+        direct = Session(ledger=False).run(SimConfig.from_dict(RUN_CONFIG))
+        expected = direct.to_dict()
+        for side in (via_http, expected):
+            side.pop("wall_time_s", None)
+            side.pop("run_id", None)
+            side["summary"].pop("wall_s", None)
+        assert via_http == expected
+        # The ledger holds the manifest the job reported.
+        run_id = body["result"]["run_ids"][0]
+        assert session.ledger.get(run_id).kind == "run"
+
+    def test_sweep_job_with_events_stream(self, service):
+        base, session = service
+        configs = [dict(RUN_CONFIG, seed=i) for i in range(3)]
+        status, body = _request(
+            "POST",
+            f"{base}/jobs",
+            {"kind": "sweep", "configs": configs, "workers": 1,
+             "label": "e2e"},
+        )
+        assert status == 201
+        job_id = body["job_id"]
+        # Follow the chunked JSONL stream until the terminal line.
+        lines = []
+        with urllib.request.urlopen(
+            f"{base}/jobs/{job_id}/events", timeout=60
+        ) as resp:
+            assert resp.headers["Content-Type"] == "application/x-ndjson"
+            for raw in resp:
+                lines.append(json.loads(raw))
+                if lines[-1].get("kind") == "end":
+                    break
+        assert lines[-1]["state"] == "done"
+        assert [e["kind"] for e in lines].count("done") == 3
+        manifests = session.ledger.list(kind="sweep-cell", label="e2e")
+        assert len(manifests) == 3
+
+    def test_events_page_without_follow(self, service):
+        base, _ = service
+        _, body = _request(
+            "POST", f"{base}/jobs", {"kind": "run", "config": RUN_CONFIG}
+        )
+        job_id = body["job_id"]
+        _poll_terminal(base, job_id)
+        with urllib.request.urlopen(
+            f"{base}/jobs/{job_id}/events?follow=0", timeout=30
+        ) as resp:
+            lines = [json.loads(raw) for raw in resp]
+        assert lines[-1]["kind"] == "end"
+
+    def test_cancel_running_job(self, service):
+        base, _ = service
+        big = [dict(RUN_CONFIG, n_writes=500_000, seed=i) for i in range(4)]
+        _, body = _request(
+            "POST", f"{base}/jobs", {"kind": "sweep", "configs": big,
+                                     "workers": 1}
+        )
+        job_id = body["job_id"]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            _, status_body = _request("GET", f"{base}/jobs/{job_id}")
+            if status_body["state"] == "running":
+                break
+            time.sleep(0.01)
+        status, body = _request("DELETE", f"{base}/jobs/{job_id}")
+        assert status == 200
+        assert body["cancel_requested"]
+        final = _poll_terminal(base, job_id)
+        assert final["state"] == "cancelled"
+        status, _ = _request("GET", f"{base}/jobs/{job_id}/result")
+        assert status == 409
+
+    def test_result_pending_is_202(self, service):
+        base, _ = service
+        _, body = _request(
+            "POST",
+            f"{base}/jobs",
+            {"kind": "run",
+             "config": dict(RUN_CONFIG, n_writes=2_000_000)},
+        )
+        job_id = body["job_id"]
+        status, _ = _request("GET", f"{base}/jobs/{job_id}/result")
+        assert status == 202
+        _request("DELETE", f"{base}/jobs/{job_id}")
+        _poll_terminal(base, job_id)
+
+    def test_bad_payload_is_400(self, service):
+        base, _ = service
+        status, body = _request(
+            "POST",
+            f"{base}/jobs",
+            {"kind": "run",
+             "config": dict(RUN_CONFIG, n_write=10)},
+        )
+        assert status == 400
+        assert "n_writes" in body["error"]  # did-you-mean from from_dict
+
+    def test_unknown_job_is_404(self, service):
+        base, _ = service
+        status, _ = _request("GET", f"{base}/jobs/job-nope")
+        assert status == 404
+        status, _ = _request("DELETE", f"{base}/jobs/job-nope")
+        assert status == 404
+
+    def test_runs_query(self, service):
+        base, _ = service
+        _, body = _request(
+            "POST", f"{base}/jobs",
+            {"kind": "run", "config": RUN_CONFIG, "label": "query-me"},
+        )
+        _poll_terminal(base, body["job_id"])
+        status, body = _request(
+            "GET", f"{base}/runs?label=query-me&scheme=deuce"
+        )
+        assert status == 200
+        assert len(body["runs"]) == 1
+        assert body["runs"][0]["workload"] == "mcf"
+
+    def test_jobs_listing(self, service):
+        base, _ = service
+        _, body = _request(
+            "POST", f"{base}/jobs", {"kind": "run", "config": RUN_CONFIG}
+        )
+        _poll_terminal(base, body["job_id"])
+        status, listing = _request("GET", f"{base}/jobs")
+        assert status == 200
+        assert any(j["job_id"] == body["job_id"] for j in listing["jobs"])
+
+
+class TestBackpressure:
+    def test_429_when_queue_full(self, tmp_path):
+        session = Session(ledger=tmp_path / "runs")
+        manager = JobManager(session, job_workers=1, queue_size=1)
+        # Workers not started: the queue fills deterministically.
+        server = SimulationServer(("127.0.0.1", 0), manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            status, _ = _request(
+                "POST", f"{base}/jobs", {"kind": "run", "config": RUN_CONFIG}
+            )
+            assert status == 201
+            status, body = _request(
+                "POST", f"{base}/jobs", {"kind": "run", "config": RUN_CONFIG}
+            )
+            assert status == 429
+            assert "queue" in body["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def test_503_when_draining(self, tmp_path):
+        session = Session(ledger=tmp_path / "runs")
+        manager = JobManager(session, job_workers=1).start()
+        manager.drain(5)
+        server = SimulationServer(("127.0.0.1", 0), manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            status, _ = _request(
+                "POST", f"{base}/jobs", {"kind": "run", "config": RUN_CONFIG}
+            )
+            assert status == 503
+            status, body = _request("GET", f"{base}/healthz")
+            assert body["status"] == "draining"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+class TestServeProcess:
+    def test_sigterm_drains_cleanly(self, tmp_path):
+        """`deuce-sim serve` + SIGTERM: drain, exit 0, no orphans."""
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        env["DEUCE_RUNS_DIR"] = str(tmp_path / "runs")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--job-workers", "1", "--drain-timeout", "20"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            cwd=tmp_path,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no port in banner: {banner!r}"
+            base = f"http://127.0.0.1:{match.group(1)}"
+            status, _ = _request("GET", f"{base}/healthz")
+            assert status == 200
+            status, body = _request(
+                "POST", f"{base}/jobs", {"kind": "run", "config": RUN_CONFIG}
+            )
+            assert status == 201
+            _poll_terminal(base, body["job_id"])
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0, out
+            assert "drained, bye" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+        # The job's manifest survived in the ledger directory.
+        index = tmp_path / "runs" / "index.jsonl"
+        assert index.exists() and index.read_text().strip()
