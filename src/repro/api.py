@@ -28,10 +28,16 @@ from __future__ import annotations
 import inspect
 import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.obs.instruments import RunAborted
-from repro.obs.ledger import RunLedger, RunManifest, build_manifest
+from repro.obs.ledger import (
+    RunLedger,
+    RunManifest,
+    build_manifest,
+    new_run_id,
+)
 from repro.obs.progress import (
     DONE,
     HEARTBEAT,
@@ -39,12 +45,23 @@ from repro.obs.progress import (
     ProgressEvent,
     ProgressRenderer,
 )
+from repro.sim.checkpoint import (
+    RUN_CHECKPOINT_DIRNAME,
+    CheckpointError,
+    SweepCheckpoint,
+    load_run_checkpoint,
+)
 from repro.sim.config import ConfigError, SimConfig
 from repro.sim.experiments import EXPERIMENTS, ExperimentResult
-from repro.sim.parallel import SweepCancelled, resolve_workers
+from repro.sim.parallel import (
+    SweepCancelled,
+    SweepCellFailed,
+    resolve_workers,
+)
 from repro.sim.results import RunResult
 
 __all__ = [
+    "CheckpointError",
     "ConfigError",
     "ExperimentResult",
     "ObsOptions",
@@ -57,6 +74,7 @@ __all__ = [
     "Session",
     "SimConfig",
     "SweepCancelled",
+    "SweepCellFailed",
     "resolve_workers",
 ]
 
@@ -197,17 +215,66 @@ class Session:
             instruments.tracer = tracer
         return instruments, metrics, tracer, phases
 
+    # -- checkpoint plumbing -------------------------------------------------
+
+    def checkpoint_location(self, resume_from: str) -> tuple[Path, str]:
+        """Resolve a resume token to ``(checkpoint dir, run id)``.
+
+        Accepts a ledger run id (the checkpoint lives at
+        ``<runs_dir>/<run_id>/checkpoint``) or a path to a checkpoint
+        directory.  The run id is recovered from the path when it sits in
+        this session's ledger — a resumed run then records its manifest
+        under the id the interrupted run had already claimed — and is empty
+        otherwise.
+        """
+        path = Path(resume_from)
+        if (path / "checkpoint.json").is_file():
+            run_id = ""
+            if (
+                self.ledger is not None
+                and path.name == RUN_CHECKPOINT_DIRNAME
+                and path.resolve().parent.parent == self.ledger.root.resolve()
+            ):
+                run_id = path.resolve().parent.name
+            return path, run_id
+        if self.ledger is not None:
+            candidate = (
+                self.ledger.run_dir(str(resume_from)) / RUN_CHECKPOINT_DIRNAME
+            )
+            if (candidate / "checkpoint.json").is_file():
+                return candidate, str(resume_from)
+        raise CheckpointError(
+            f"no run checkpoint found for {resume_from!r} (expected a run id "
+            f"recorded in {self.ledger.root if self.ledger else 'a ledger'} "
+            "or a directory containing checkpoint.json)"
+        )
+
+    def sweep_checkpoint(self, sweep_id: str) -> SweepCheckpoint:
+        """The durable cell record for ``sweep_id`` under this ledger.
+
+        Sweep checkpoints live at ``<runs_dir>/sweeps/<sweep_id>/``;
+        re-running a sweep with the same id restores its completed cells.
+        """
+        if self.ledger is None:
+            raise CheckpointError(
+                "sweep checkpoints need a ledger (Session(ledger=...))"
+            )
+        return SweepCheckpoint(self.ledger.root / "sweeps" / sweep_id)
+
     # -- entry points --------------------------------------------------------
 
     def run(
         self,
-        config: SimConfig | dict,
+        config: SimConfig | dict | None = None,
         *,
         label: str | None = None,
         obs: ObsOptions | None = None,
         trace=None,
         progress: Callable[[ProgressEvent], None] | None = None,
         should_stop: Callable[[], bool] | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_dir: str | Path | None = None,
+        resume_from: str | None = None,
     ) -> RunResult:
         """Execute one simulation; record it when the ledger is on.
 
@@ -216,8 +283,39 @@ class Session:
         :class:`ProgressEvent` records (start/heartbeats/done);
         ``should_stop`` is polled during the run and raises
         :class:`~repro.obs.instruments.RunAborted` when it goes true.
+
+        ``checkpoint_every=N`` snapshots all mutable simulation state every
+        N writes into ``checkpoint_dir`` — allocated as
+        ``<runs_dir>/<run_id>/checkpoint`` (the run id is pinned up front
+        and reused for the final manifest) when the ledger is on.
+        ``resume_from`` (a run id or checkpoint directory, see
+        :meth:`checkpoint_location`) restores that state and continues the
+        run bit-identically to an uninterrupted one; ``config`` may then be
+        omitted (it is read from the checkpoint) and further checkpoints
+        land in the same directory.
         """
+        run_id = ""
+        checkpoint = None
+        if resume_from is not None:
+            ck_dir, run_id = self.checkpoint_location(resume_from)
+            checkpoint = load_run_checkpoint(ck_dir)
+            if config is None:
+                config = checkpoint.config
+            if checkpoint_dir is None:
+                checkpoint_dir = ck_dir
+        if config is None:
+            raise ConfigError("config is required unless resume_from is set")
         config = self.config(config)
+        if checkpoint_every > 0 and checkpoint_dir is None:
+            if self.ledger is None:
+                raise CheckpointError(
+                    "checkpoint_every needs a ledger to allocate the "
+                    "checkpoint directory (or pass checkpoint_dir=)"
+                )
+            run_id = new_run_id()
+            checkpoint_dir = (
+                self.ledger.run_dir(run_id) / RUN_CHECKPOINT_DIRNAME
+            )
         obs = obs if obs is not None else self.obs
         instruments, metrics, tracer, phases = self._resolve_instruments(
             config, obs, progress, should_stop
@@ -241,7 +339,14 @@ class Session:
         from repro.sim.runner import run as _run
 
         try:
-            result = _run(config, trace=trace, instruments=instruments)
+            result = _run(
+                config,
+                trace=trace,
+                instruments=instruments,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                resume_from=checkpoint,
+            )
         finally:
             if tracer is not None:
                 tracer.close()
@@ -271,6 +376,7 @@ class Session:
                 phases=phases.totals if phases is not None else None,
                 artifacts=artifacts,
                 artifact_text=artifact_text,
+                run_id=run_id,
             )
         if progress is not None:
             progress(_event(DONE, config.n_writes))
@@ -285,17 +391,36 @@ class Session:
         heartbeat_every: int = 0,
         label: str | None = None,
         should_stop: Callable[[], bool] | None = None,
+        retries: int = 0,
+        retry_backoff_s: float = 0.5,
+        sweep_id: str | None = None,
+        checkpoint: "SweepCheckpoint | str | None" = None,
     ) -> list[RunResult]:
         """Run a batch of configs through the parallel sweep engine.
 
         ``workers`` follows :func:`~repro.sim.parallel.resolve_workers`
         conventions (``None``/``0`` auto, ``1`` serial).  With the ledger
         on, every cell is recorded as a ``sweep-cell`` manifest (attached
-        as ``result.manifest``).  Results are bit-identical to calling
-        :meth:`run` per config.
+        as ``result.manifest``) the moment it finishes.  Results are
+        bit-identical to calling :meth:`run` per config.
+
+        ``retries`` gives each cell a retry budget (capped exponential
+        backoff; crashed workers are detected and their cells requeued).
+        ``sweep_id`` makes the sweep durable: completed cells are fsynced
+        to ``<runs_dir>/sweeps/<sweep_id>/cells.jsonl``, and re-running
+        with the same id restores them and runs only the missing cells
+        (``checkpoint`` passes an explicit
+        :class:`~repro.sim.checkpoint.SweepCheckpoint` or directory
+        instead, e.g. for ledger-less sessions).
         """
         from repro.sim.parallel import run_suite_parallel
 
+        if sweep_id is not None:
+            if checkpoint is not None:
+                raise CheckpointError(
+                    "pass either sweep_id or checkpoint, not both"
+                )
+            checkpoint = self.sweep_checkpoint(sweep_id)
         resolved = [self.config(c) for c in configs]
         return run_suite_parallel(
             resolved,
@@ -305,6 +430,9 @@ class Session:
             ledger=self.ledger,
             ledger_label=self.label if label is None else label,
             should_stop=should_stop,
+            retries=retries,
+            retry_backoff_s=retry_backoff_s,
+            checkpoint=checkpoint,
         )
 
     def experiment(

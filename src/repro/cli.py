@@ -5,6 +5,12 @@ Subcommands
 ``run``
     Stream a workload trace through one scheme and print the summary
     (persisting a run manifest into the ledger unless ``--no-ledger``).
+    ``--checkpoint-every N`` makes the run durably resumable; ``--resume
+    RUN_ID`` continues a killed run bit-identically.
+``sweep``
+    Fan a (workloads x schemes) grid over worker processes with per-cell
+    retries and crash recovery; ``--sweep-id``/``--resume`` checkpoint
+    completed cells so an interrupted sweep re-runs only the missing ones.
 ``experiment``
     Reproduce one of the paper's figures/tables (or ``all``).
 ``serve``
@@ -27,6 +33,10 @@ Examples
 ::
 
     deuce-sim run --workload mcf --scheme deuce --writes 10000
+    deuce-sim run --workload mcf --scheme deuce --checkpoint-every 5000
+    deuce-sim run --resume 20260501T120000-ab12cd
+    deuce-sim sweep --workloads mcf libq --schemes deuce encr-fnw \\
+        --sweep-id nightly --workers 4
     deuce-sim experiment fig10
     deuce-sim serve --port 8787 --job-workers 2
     deuce-sim runs list --scheme deuce
@@ -64,29 +74,43 @@ def _make_session(args: argparse.Namespace):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.analysis.export import summary_row
-    from repro.api import ObsOptions
+    from repro.api import CheckpointError, ObsOptions
 
-    config = SimConfig(
-        workload=args.workload,
-        scheme=args.scheme,
-        n_writes=args.writes,
-        seed=args.seed,
-        word_bytes=args.word_bytes,
-        epoch_interval=args.epoch_interval,
-        wear_leveling=args.wear_leveling,
-        pad_kind=args.pad_kind,
-        pad_cache_lines=args.pad_cache_lines,
-    )
+    config = None
+    if args.resume is None:
+        if not args.workload:
+            print(
+                "error: --workload is required unless --resume is given",
+                file=sys.stderr,
+            )
+            return 2
+        config = SimConfig(
+            workload=args.workload,
+            scheme=args.scheme,
+            n_writes=args.writes,
+            seed=args.seed,
+            word_bytes=args.word_bytes,
+            epoch_interval=args.epoch_interval,
+            wear_leveling=args.wear_leveling,
+            pad_kind=args.pad_kind,
+            pad_cache_lines=args.pad_cache_lines,
+        )
     session = _make_session(args)
-    result = session.run(
-        config,
-        obs=ObsOptions(
-            metrics_out=args.metrics_out,
-            trace_out=args.trace_out,
-            sample_interval=args.sample_interval,
-            series_out=args.series_out,
-        ),
-    )
+    try:
+        result = session.run(
+            config,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=args.resume,
+            obs=ObsOptions(
+                metrics_out=args.metrics_out,
+                trace_out=args.trace_out,
+                sample_interval=args.sample_interval,
+                series_out=args.series_out,
+            ),
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.trace_out:
         print(f"trace written to {args.trace_out}")
     if args.metrics_out:
@@ -104,6 +128,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"lifetime vs encrypted baseline: {result.lifetime.normalized:.2f}x")
     if result.manifest is not None:
         print(f"run {result.manifest.run_id} recorded in {session.ledger.root}")
+        if args.checkpoint_every > 0:
+            print(
+                f"checkpointed every {args.checkpoint_every} writes "
+                f"(resume with: deuce-sim run --resume {result.manifest.run_id})"
+            )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import CheckpointError, SweepCellFailed
+
+    session = _make_session(args)
+    configs = [
+        SimConfig(workload, scheme, n_writes=args.writes, seed=args.seed)
+        for workload in args.workloads
+        for scheme in args.schemes
+    ]
+    sweep_id = args.resume or args.sweep_id
+    renderer = _progress_renderer(args, sweep_id or "sweep")
+    try:
+        results = session.sweep(
+            configs,
+            workers=args.workers,
+            retries=args.retries,
+            sweep_id=sweep_id,
+            progress=renderer,
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SweepCellFailed as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if sweep_id:
+            print(
+                f"completed cells are checkpointed; re-run with "
+                f"--resume {sweep_id} to pick up where it stopped",
+                file=sys.stderr,
+            )
+        return 1
+    finally:
+        if renderer is not None:
+            renderer.close()
+    rows = [r.summary_row() for r in results]
+    print(render_table(list(rows[0]), rows))
+    if args.out:
+        payload = {
+            "sweep_id": sweep_id or "",
+            "results": [r.to_dict() for r in results],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"results written to {args.out}")
+    if sweep_id and session.ledger is not None:
+        print(
+            f"sweep {sweep_id} checkpointed in "
+            f"{session.ledger.root / 'sweeps' / sweep_id}"
+        )
     return 0
 
 
@@ -330,7 +414,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one (workload, scheme) simulation")
-    p_run.add_argument("--workload", choices=WORKLOAD_NAMES, required=True)
+    p_run.add_argument(
+        "--workload",
+        choices=WORKLOAD_NAMES,
+        default=None,
+        help="workload trace (required unless --resume is given)",
+    )
     p_run.add_argument("--scheme", choices=SCHEME_NAMES, default="deuce")
     p_run.add_argument("--writes", type=int, default=10_000)
     p_run.add_argument("--seed", type=int, default=0)
@@ -373,6 +462,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sampled time-series as CSV (implies sampling "
         "at ~100 points if --sample-interval is unset)",
     )
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="snapshot all mutable simulation state every N writes into "
+        "the run's ledger directory (0 = off); a killed run can then be "
+        "continued bit-identically with --resume",
+    )
+    p_run.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="continue a checkpointed run (a ledger run id or a "
+        "checkpoint directory); config flags are read from the checkpoint",
+    )
     _add_ledger_flags(p_run)
     p_run.add_argument(
         "--label",
@@ -380,6 +485,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="free-form tag stored in the run's ledger manifest",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a (workloads x schemes) grid through the fault-tolerant "
+        "parallel sweep engine",
+    )
+    p_sweep.add_argument(
+        "--workloads", nargs="+", choices=WORKLOAD_NAMES, required=True
+    )
+    p_sweep.add_argument(
+        "--schemes", nargs="+", choices=SCHEME_NAMES, required=True
+    )
+    p_sweep.add_argument("--writes", type=int, default=10_000)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (1 = serial, 0 = auto)",
+    )
+    p_sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="per-cell retry budget (crashed workers are detected and "
+        "their cells requeued with exponential backoff)",
+    )
+    p_sweep.add_argument(
+        "--sweep-id",
+        default=None,
+        metavar="ID",
+        help="checkpoint completed cells under <runs-dir>/sweeps/<ID>/ "
+        "as they finish; re-running with the same id (or --resume ID) "
+        "runs only the missing cells",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="ID",
+        help="resume a checkpointed sweep (same as --sweep-id ID on a "
+        "sweep that already has completed cells)",
+    )
+    p_sweep.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the full per-cell results as JSON",
+    )
+    p_sweep.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="live cells-done/in-flight/ETA line on stderr "
+        "(default: only when stderr is a terminal)",
+    )
+    _add_ledger_flags(p_sweep)
+    p_sweep.add_argument(
+        "--label",
+        default="",
+        help="free-form tag stored on recorded sweep-cell manifests",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_exp = sub.add_parser("experiment", help="reproduce a paper figure/table")
     p_exp.add_argument("name", help=f"one of {', '.join(EXPERIMENTS)} or 'all'")

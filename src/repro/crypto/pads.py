@@ -259,6 +259,64 @@ class CachingPadSource(_PadSourceBase):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """Cache contents, LRU order, and hit counters.
+
+        Restoring this makes a resumed run's ``pad_hits``/``pad_misses``
+        match the uninterrupted run exactly.  Pads are pure functions of
+        (key, address, counter), so correctness never depends on it — only
+        the cache statistics do.  Block-cache keys/values pack into fixed
+        (N, 3) / (N, 16) arrays; line-cache values vary in width, so they
+        are concatenated and re-split on load from each key's ``n_bytes``.
+        """
+        n_blocks = len(self._cache)
+        block_keys = np.empty((n_blocks, 3), dtype=np.int64)
+        block_pads = np.empty((n_blocks, PAD_BLOCK_BYTES), dtype=np.uint8)
+        for i, (key, pad) in enumerate(self._cache.items()):
+            block_keys[i] = key
+            block_pads[i] = np.frombuffer(pad, dtype=np.uint8)
+        n_lines = len(self._line_cache)
+        line_keys = np.empty((n_lines, 3), dtype=np.int64)
+        chunks = []
+        for i, (key, pad) in enumerate(self._line_cache.items()):
+            line_keys[i] = key
+            chunks.append(pad)
+        line_pads = (
+            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.uint8)
+        )
+        return {
+            "block_keys": block_keys,
+            "block_pads": block_pads,
+            "line_keys": line_keys,
+            "line_pads": line_pads,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        block_keys = np.asarray(state["block_keys"], dtype=np.int64)
+        block_pads = np.asarray(state["block_pads"], dtype=np.uint8)
+        self._cache = OrderedDict(
+            (
+                tuple(int(v) for v in block_keys[i]),
+                block_pads[i].tobytes(),
+            )
+            for i in range(block_keys.shape[0])
+        )
+        line_keys = np.asarray(state["line_keys"], dtype=np.int64)
+        line_pads = np.asarray(state["line_pads"], dtype=np.uint8)
+        self._line_cache = OrderedDict()
+        offset = 0
+        for i in range(line_keys.shape[0]):
+            key = tuple(int(v) for v in line_keys[i])
+            pad = line_pads[offset: offset + key[2]].copy()
+            offset += key[2]
+            self._line_cache[key] = _freeze(pad)
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+
 
 def make_pad_source(kind: str, key: bytes) -> PadSource:
     """Factory used by simulation configs.

@@ -158,6 +158,38 @@ class PcmArray:
         self.total_flips += int(positions.size)
         return int(positions.size)
 
+    def state_dict(self) -> dict[str, object]:
+        """All mutable wear state (for run checkpoints)."""
+        state: dict[str, object] = {
+            "position_writes": self.position_writes.copy(),
+            "total_writes": self.total_writes,
+            "total_flips": self.total_flips,
+        }
+        if self.track_per_line:
+            n = len(self._line_wear)
+            addresses = np.empty(n, dtype=np.int64)
+            wear = np.empty((n, self.bits_per_line), dtype=np.int64)
+            for i, (addr, w) in enumerate(self._line_wear.items()):
+                addresses[i] = addr
+                wear[i] = w
+            state["wear_addresses"] = addresses
+            state["wear_matrix"] = wear
+        return state
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot bit-identically."""
+        self.position_writes = np.asarray(
+            state["position_writes"], dtype=np.int64
+        ).copy()
+        self.total_writes = int(state["total_writes"])
+        self.total_flips = int(state["total_flips"])
+        self._line_wear = {}
+        if self.track_per_line:
+            addresses = np.asarray(state["wear_addresses"], dtype=np.int64)
+            wear = np.asarray(state["wear_matrix"], dtype=np.int64)
+            for i in range(addresses.size):
+                self._line_wear[int(addresses[i])] = wear[i].copy()
+
     def line_wear(self, address: int) -> np.ndarray:
         """Per-bit program counts for one line (zeros if never written)."""
         if not self.track_per_line:

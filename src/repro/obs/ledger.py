@@ -178,13 +178,19 @@ def build_manifest(
     wall_time_s: float = 0.0,
     phases: dict[str, float] | None = None,
     summary: dict[str, object] | None = None,
+    run_id: str = "",
 ) -> RunManifest:
-    """A manifest with identity/provenance fields filled in."""
+    """A manifest with identity/provenance fields filled in.
+
+    ``run_id`` pins the id when the caller allocated one up front (e.g. a
+    checkpointed run whose artifact dir must exist before the run starts);
+    empty draws a fresh :func:`new_run_id`.
+    """
     import numpy as np
 
     cfg = config or {}
     return RunManifest(
-        run_id=new_run_id(),
+        run_id=run_id or new_run_id(),
         kind=kind,
         label=label,
         created_utc=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -212,6 +218,7 @@ def manifest_from_result(
     kind: str = "run",
     label: str = "",
     phases: dict[str, float] | None = None,
+    run_id: str = "",
 ) -> RunManifest:
     """Build a run manifest from a finished simulation."""
     return build_manifest(
@@ -224,6 +231,7 @@ def manifest_from_result(
         wall_time_s=result.wall_time_s,
         phases=phases,
         summary=result.summary_row(),
+        run_id=run_id,
     )
 
 
@@ -325,10 +333,12 @@ class RunLedger:
         phases: dict[str, float] | None = None,
         artifacts: dict[str, str | Path] | None = None,
         artifact_text: dict[str, str] | None = None,
+        run_id: str = "",
     ) -> RunManifest:
         """Build a manifest from a finished run and :meth:`record` it."""
         manifest = manifest_from_result(
-            result, config, kind=kind, label=label, phases=phases
+            result, config, kind=kind, label=label, phases=phases,
+            run_id=run_id,
         )
         return self.record(
             manifest, artifacts=artifacts, artifact_text=artifact_text
@@ -436,8 +446,12 @@ class RunLedger:
     def gc(self, keep: int) -> list[str]:
         """Retention: drop all but the newest ``keep`` runs; returns removed ids.
 
-        Rewrites the index to the surviving manifests and deletes the pruned
-        runs' artifact directories.
+        Deletes the pruned runs' artifact directories *before* rewriting the
+        index to the surviving manifests.  The order matters for crash
+        safety: a dangling index row (dir gone, row still present) is
+        visible and re-prunable on the next gc, whereas an orphaned artifact
+        directory (row gone, dir still present) would never be looked at
+        again and would leak disk forever.
         """
         if keep < 0:
             raise ValueError(f"keep must be >= 0, got {keep}")
@@ -446,17 +460,17 @@ class RunLedger:
         pruned, kept = manifests[:cut], manifests[cut:]
         if not pruned:
             return []
-        tmp = self.index_path.with_suffix(".jsonl.tmp")
-        with open(tmp, "w") as fh:
-            for manifest in kept:
-                fh.write(json.dumps(manifest.to_dict(), sort_keys=True) + "\n")
-        tmp.replace(self.index_path)
         removed = []
         for manifest in pruned:
             run_dir = self.run_dir(manifest.run_id)
             if run_dir.is_dir():
                 shutil.rmtree(run_dir, ignore_errors=True)
             removed.append(manifest.run_id)
+        tmp = self.index_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w") as fh:
+            for manifest in kept:
+                fh.write(json.dumps(manifest.to_dict(), sort_keys=True) + "\n")
+        tmp.replace(self.index_path)
         return removed
 
     def _read_index(self) -> list[RunManifest]:

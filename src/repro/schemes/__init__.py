@@ -1,11 +1,14 @@
 """Write schemes: baselines, DEUCE, and its combinations.
 
-Every class here implements :class:`repro.schemes.base.WriteScheme`; the
-registry in :func:`make_scheme` is what simulation configs and the CLI use
-to instantiate schemes by name.
+Every class here implements :class:`repro.schemes.base.WriteScheme`;
+:data:`SCHEME_REGISTRY` maps table names to classes, and every
+instantiation — ``build_scheme(config)``, :func:`make_scheme`, service
+payloads — funnels through each class's ``from_config`` classmethod.
 """
 
 from __future__ import annotations
+
+from types import SimpleNamespace
 
 from repro.crypto.pads import PadSource
 from repro.schemes.base import WriteOutcome, WriteScheme
@@ -19,23 +22,30 @@ from repro.schemes.dyndeuce import DynDeuce
 from repro.schemes.fnw import EncryptedFNW, FnwCodec, PlainFNW
 from repro.schemes.invmm import INvmm
 
+#: Name -> class registry behind ``build_scheme`` and :func:`make_scheme`,
+#: in presentation order.
+SCHEME_REGISTRY: dict[str, type[WriteScheme]] = {
+    cls.name: cls
+    for cls in (
+        PlainDCW,
+        PlainFNW,
+        EncryptedDCW,
+        EncryptedFNW,
+        Deuce,
+        DynDeuce,
+        DeuceFnw,
+        BlockLevelEncryption,
+        BleDeuce,
+        INvmm,
+    )
+}
+
 #: Scheme names accepted by :func:`make_scheme`, in presentation order.
-SCHEME_NAMES = (
-    "noencr-dcw",
-    "noencr-fnw",
-    "encr-dcw",
-    "encr-fnw",
-    "deuce",
-    "dyndeuce",
-    "deuce+fnw",
-    "ble",
-    "ble+deuce",
-    "invmm",
-)
+SCHEME_NAMES = tuple(SCHEME_REGISTRY)
 
 #: Schemes that need a pad source (i.e. that encrypt).
 ENCRYPTED_SCHEMES = frozenset(
-    name for name in SCHEME_NAMES if name not in ("noencr-dcw", "noencr-fnw")
+    name for name, cls in SCHEME_REGISTRY.items() if cls.requires_pads
 )
 
 
@@ -50,38 +60,29 @@ def make_scheme(
     """Instantiate a write scheme by its table name.
 
     Parameters mirror the paper's defaults: 64-byte lines, 2-byte DEUCE
-    words, epoch interval 32, 16-bit FNW groups.
+    words, epoch interval 32, 16-bit FNW groups.  Thin front end over
+    :data:`SCHEME_REGISTRY`: the keywords are packed into an ad-hoc config
+    and handed to the class's ``from_config``, so name-based and
+    config-driven construction share one code path.
     """
-    if name in ENCRYPTED_SCHEMES and pads is None:
-        raise ValueError(f"scheme {name!r} requires a pad source")
-    if name == "noencr-dcw":
-        return PlainDCW(line_bytes)
-    if name == "noencr-fnw":
-        return PlainFNW(line_bytes, fnw_group_bits)
-    if name == "encr-dcw":
-        return EncryptedDCW(pads, line_bytes)
-    if name == "encr-fnw":
-        return EncryptedFNW(pads, line_bytes, fnw_group_bits)
-    if name == "deuce":
-        return Deuce(pads, line_bytes, word_bytes, epoch_interval)
-    if name == "dyndeuce":
-        return DynDeuce(pads, line_bytes, word_bytes, epoch_interval)
-    if name == "deuce+fnw":
-        return DeuceFnw(
-            pads, line_bytes, word_bytes, epoch_interval, fnw_group_bits
+    cls = SCHEME_REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown scheme: {name!r} (choose from {SCHEME_NAMES})"
         )
-    if name == "ble":
-        return BlockLevelEncryption(pads, line_bytes)
-    if name == "ble+deuce":
-        return BleDeuce(pads, line_bytes, word_bytes, epoch_interval)
-    if name == "invmm":
-        return INvmm(pads, line_bytes)
-    raise ValueError(f"unknown scheme: {name!r} (choose from {SCHEME_NAMES})")
+    params = SimpleNamespace(
+        line_bytes=line_bytes,
+        word_bytes=word_bytes,
+        epoch_interval=epoch_interval,
+        fnw_group_bits=fnw_group_bits,
+    )
+    return cls.from_config(params, pads=pads)
 
 
 __all__ = [
     "ENCRYPTED_SCHEMES",
     "SCHEME_NAMES",
+    "SCHEME_REGISTRY",
     "BleDeuce",
     "BlockLevelEncryption",
     "Deuce",

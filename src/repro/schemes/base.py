@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
@@ -109,6 +110,15 @@ class WriteScheme(ABC):
 
     name: str = "abstract"
 
+    #: ``SimConfig`` field -> constructor keyword map read by
+    #: :meth:`from_config`.  Subclasses extend this with the geometry knobs
+    #: they consume (word size, epoch interval, FNW group width, ...).
+    config_fields: ClassVar[dict[str, str]] = {"line_bytes": "line_bytes"}
+
+    #: Whether the scheme encrypts and therefore needs a pad source as the
+    #: first constructor argument.
+    requires_pads: ClassVar[bool] = True
+
     def __init__(self, line_bytes: int = 64) -> None:
         if line_bytes <= 0:
             raise ValueError("line_bytes must be positive")
@@ -164,6 +174,92 @@ class WriteScheme(ABC):
     @abstractmethod
     def read(self, address: int) -> bytes:
         """Return the plaintext currently stored at ``address``."""
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_config(cls, config, pads=None) -> "WriteScheme":
+        """Instantiate from a config object (``SimConfig`` or duck-typed).
+
+        Reads exactly the fields named in :attr:`config_fields`; schemes
+        with :attr:`requires_pads` additionally receive the pad source as
+        their first argument.  This is the single construction path behind
+        both ``build_scheme(config)`` and ``make_scheme(name, ...)``.
+        """
+        if cls.requires_pads and pads is None:
+            raise ValueError(f"scheme {cls.name!r} requires a pad source")
+        kwargs = {
+            kw: getattr(config, fieldname)
+            for fieldname, kw in cls.config_fields.items()
+        }
+        if cls.requires_pads:
+            return cls(pads, **kwargs)
+        return cls(**kwargs)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """All mutable scheme state as arrays and JSON-safe scalars.
+
+        The line map is packed into four parallel arrays in dict order
+        (which :meth:`load_state_dict` preserves, so iteration order — and
+        therefore every downstream decision that depends on it — survives a
+        round trip).  Subclasses contribute additional state through
+        :meth:`_extra_state`; its keys are namespaced under ``extra/`` so
+        the two regions can never collide.
+        """
+        n = len(self._lines)
+        addresses = np.empty(n, dtype=np.int64)
+        counters = np.empty(n, dtype=np.int64)
+        data = np.empty((n, self.line_bytes), dtype=np.uint8)
+        meta_width = (
+            next(iter(self._lines.values())).meta.size if n else 0
+        )
+        meta = np.empty((n, meta_width), dtype=np.uint8)
+        for i, (addr, line) in enumerate(self._lines.items()):
+            addresses[i] = addr
+            counters[i] = line.counter
+            data[i] = line.arr
+            meta[i] = line.meta
+        state: dict[str, object] = {
+            "lines/addresses": addresses,
+            "lines/counters": counters,
+            "lines/data": data,
+            "lines/meta": meta,
+        }
+        for key, value in self._extra_state().items():
+            state[f"extra/{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot bit-identically."""
+        addresses = np.asarray(state["lines/addresses"], dtype=np.int64)
+        counters = np.asarray(state["lines/counters"], dtype=np.int64)
+        data = np.asarray(state["lines/data"], dtype=np.uint8)
+        meta = np.asarray(state["lines/meta"], dtype=np.uint8)
+        self._lines = {
+            int(addresses[i]): StoredLine(
+                data[i].copy(), meta[i].copy(), int(counters[i])
+            )
+            for i in range(addresses.size)
+        }
+        self._load_extra_state(
+            {
+                key[len("extra/"):]: value
+                for key, value in state.items()
+                if key.startswith("extra/")
+            }
+        )
+
+    def _extra_state(self) -> dict[str, object]:
+        """Scheme-specific mutable state beyond the line map."""
+        return {}
+
+    def _load_extra_state(self, extra: dict[str, object]) -> None:
+        if extra:
+            raise ValueError(
+                f"scheme {self.name!r} has no extra state, got {sorted(extra)}"
+            )
 
     # -- shared helpers ----------------------------------------------------
 

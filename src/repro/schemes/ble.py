@@ -63,6 +63,23 @@ class BlockLevelEncryption(WriteScheme):
             )
         return pad
 
+    def _extra_state(self) -> dict[str, object]:
+        n = len(self._block_counters)
+        addresses = np.empty(n, dtype=np.int64)
+        counters = np.empty((n, self.n_blocks), dtype=np.int64)
+        for i, (addr, blocks) in enumerate(self._block_counters.items()):
+            addresses[i] = addr
+            counters[i] = blocks
+        return {"block_addresses": addresses, "block_counters": counters}
+
+    def _load_extra_state(self, extra: dict[str, object]) -> None:
+        addresses = np.asarray(extra["block_addresses"], dtype=np.int64)
+        counters = np.asarray(extra["block_counters"], dtype=np.int64)
+        self._block_counters = {
+            int(addresses[i]): [int(c) for c in counters[i]]
+            for i in range(addresses.size)
+        }
+
     def _install(self, address: int, plaintext: bytes) -> StoredLine:
         counters = [0] * self.n_blocks
         self._block_counters[address] = counters

@@ -30,6 +30,12 @@ class BleDeuce(WriteScheme):
 
     name = "ble+deuce"
 
+    config_fields = {
+        "line_bytes": "line_bytes",
+        "word_bytes": "word_bytes",
+        "epoch_interval": "epoch_interval",
+    }
+
     def __init__(
         self,
         pads: PadSource,
@@ -93,6 +99,25 @@ class BleDeuce(WriteScheme):
         trail = self._block_pad(address, tctr, block)
         byte_mask = np.repeat(modified.astype(bool), self.word_bytes)
         return np.where(byte_mask, lead, trail)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _extra_state(self) -> dict[str, object]:
+        n = len(self._block_counters)
+        addresses = np.empty(n, dtype=np.int64)
+        counters = np.empty((n, self.n_blocks), dtype=np.int64)
+        for i, (addr, blocks) in enumerate(self._block_counters.items()):
+            addresses[i] = addr
+            counters[i] = blocks
+        return {"block_addresses": addresses, "block_counters": counters}
+
+    def _load_extra_state(self, extra: dict[str, object]) -> None:
+        addresses = np.asarray(extra["block_addresses"], dtype=np.int64)
+        counters = np.asarray(extra["block_counters"], dtype=np.int64)
+        self._block_counters = {
+            int(addresses[i]): [int(c) for c in counters[i]]
+            for i in range(addresses.size)
+        }
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -18,6 +18,8 @@ class PlainDCW(WriteScheme):
 
     name = "noencr-dcw"
 
+    requires_pads = False
+
     @property
     def metadata_bits_per_line(self) -> int:
         return 0

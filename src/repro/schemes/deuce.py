@@ -62,6 +62,12 @@ class Deuce(WriteScheme):
 
     name = "deuce"
 
+    config_fields = {
+        "line_bytes": "line_bytes",
+        "word_bytes": "word_bytes",
+        "epoch_interval": "epoch_interval",
+    }
+
     def __init__(
         self,
         pads: PadSource,
@@ -115,6 +121,25 @@ class Deuce(WriteScheme):
             line.meta,
             self.word_bytes,
         )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _extra_state(self) -> dict[str, object]:
+        n = len(self._plain)
+        addresses = np.empty(n, dtype=np.int64)
+        plain = np.empty((n, self.line_bytes), dtype=np.uint8)
+        for i, (addr, arr) in enumerate(self._plain.items()):
+            addresses[i] = addr
+            plain[i] = arr
+        return {"plain_addresses": addresses, "plain_data": plain}
+
+    def _load_extra_state(self, extra: dict[str, object]) -> None:
+        addresses = np.asarray(extra["plain_addresses"], dtype=np.int64)
+        plain = np.asarray(extra["plain_data"], dtype=np.uint8)
+        self._plain = {
+            int(addresses[i]): plain[i].copy()
+            for i in range(addresses.size)
+        }
 
     # -- lifecycle -----------------------------------------------------------
 

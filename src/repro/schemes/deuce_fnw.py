@@ -30,6 +30,13 @@ class DeuceFnw(WriteScheme):
 
     name = "deuce+fnw"
 
+    config_fields = {
+        "line_bytes": "line_bytes",
+        "word_bytes": "word_bytes",
+        "epoch_interval": "epoch_interval",
+        "fnw_group_bits": "fnw_group_bits",
+    }
+
     def __init__(
         self,
         pads: PadSource,

@@ -45,6 +45,12 @@ class DynDeuce(WriteScheme):
 
     name = "dyndeuce"
 
+    config_fields = {
+        "line_bytes": "line_bytes",
+        "word_bytes": "word_bytes",
+        "epoch_interval": "epoch_interval",
+    }
+
     def __init__(
         self,
         pads: PadSource,

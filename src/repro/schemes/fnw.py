@@ -132,6 +132,12 @@ class PlainFNW(WriteScheme):
 
     name = "noencr-fnw"
 
+    config_fields = {
+        "line_bytes": "line_bytes",
+        "fnw_group_bits": "group_bits",
+    }
+    requires_pads = False
+
     def __init__(self, line_bytes: int = 64, group_bits: int = 16) -> None:
         super().__init__(line_bytes)
         self.codec = FnwCodec(line_bytes, group_bits)
@@ -168,6 +174,11 @@ class EncryptedFNW(WriteScheme):
     """
 
     name = "encr-fnw"
+
+    config_fields = {
+        "line_bytes": "line_bytes",
+        "fnw_group_bits": "group_bits",
+    }
 
     def __init__(
         self,

@@ -19,6 +19,8 @@ advanced incrementally by a background sweep emulated at write granularity.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.crypto.pads import PadSource
 from repro.memory import bitops
 from repro.memory.line import StoredLine, make_meta
@@ -107,6 +109,38 @@ class INvmm(WriteScheme):
             if idle >= self.idle_threshold:
                 self.sweep_flips += self._encrypt_line(address)
                 self.sweep_encryptions += 1
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _extra_state(self) -> dict[str, object]:
+        last = self._last_write
+        return {
+            "tick": self._tick,
+            "sweep_pos": self._sweep_pos,
+            "sweep_flips": self.sweep_flips,
+            "sweep_encryptions": self.sweep_encryptions,
+            "last_write_addresses": np.fromiter(
+                last.keys(), dtype=np.int64, count=len(last)
+            ),
+            "last_write_ticks": np.fromiter(
+                last.values(), dtype=np.int64, count=len(last)
+            ),
+            "sweep_order": np.asarray(self._sweep_order, dtype=np.int64),
+        }
+
+    def _load_extra_state(self, extra: dict[str, object]) -> None:
+        self._tick = int(extra["tick"])
+        self._sweep_pos = int(extra["sweep_pos"])
+        self.sweep_flips = int(extra["sweep_flips"])
+        self.sweep_encryptions = int(extra["sweep_encryptions"])
+        addresses = np.asarray(extra["last_write_addresses"], dtype=np.int64)
+        ticks = np.asarray(extra["last_write_ticks"], dtype=np.int64)
+        self._last_write = {
+            int(a): int(t) for a, t in zip(addresses, ticks)
+        }
+        self._sweep_order = [
+            int(a) for a in np.asarray(extra["sweep_order"], dtype=np.int64)
+        ]
 
     # -- lifecycle -------------------------------------------------------------
 

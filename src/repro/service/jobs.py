@@ -21,16 +21,27 @@ Backpressure is structural: :meth:`JobManager.submit` raises
 it to ``429``) and :class:`ServiceDraining` once a drain began (``503``).
 Every job's progress is a JSONL-able event list that the HTTP layer can
 stream incrementally.
+
+Jobs survive a server restart: a :class:`JobStore` journals every spec and
+state change to ``jobs.jsonl`` under the ledger, and
+:meth:`JobManager.rehydrate` replays it on startup — terminal jobs come
+back as queryable snapshots, queued/running jobs are resubmitted under
+their original ids.  A resubmitted sweep job resumes from its keyed sweep
+checkpoint (``<ledger>/sweeps/<job_id>``), so cells that completed before
+the crash are not re-simulated.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
+import os
 import queue
 import threading
 import time
 import uuid
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from repro.api import Session
@@ -91,6 +102,7 @@ class JobSpec:
     options: dict = field(default_factory=dict)
     workers: int | None = 1
     timeout_s: float | None = None
+    retries: int = 0
     label: str = ""
 
     @property
@@ -119,7 +131,7 @@ class JobSpec:
                 f"got {kind!r}"
             )
         known = {"kind", "config", "configs", "experiment", "options",
-                 "workers", "timeout_s", "label"}
+                 "workers", "timeout_s", "retries", "label"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise JobError(
@@ -139,6 +151,12 @@ class JobSpec:
         ):
             raise JobError(
                 f"'timeout_s' must be a positive number, got {timeout_s!r}"
+            )
+        retries = payload.get("retries", 0)
+        if isinstance(retries, bool) or not isinstance(retries, int) \
+                or retries < 0:
+            raise JobError(
+                f"'retries' must be a non-negative integer, got {retries!r}"
             )
         label = payload.get("label", "")
         if not isinstance(label, str):
@@ -180,7 +198,37 @@ class JobSpec:
             options=options,
             workers=workers,
             timeout_s=float(timeout_s) if timeout_s is not None else None,
+            retries=retries,
             label=label,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe round-trip form (the :class:`JobStore` journal)."""
+        return {
+            "kind": self.kind,
+            "configs": [c.to_dict() for c in self.configs],
+            "experiment": self.experiment,
+            "options": dict(self.options),
+            "workers": self.workers,
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        """Inverse of :meth:`to_dict` (trusted journal data, not payloads)."""
+        return cls(
+            kind=data["kind"],
+            configs=tuple(
+                SimConfig.from_dict(c) for c in data.get("configs", [])
+            ),
+            experiment=data.get("experiment", ""),
+            options=dict(data.get("options", {})),
+            workers=data.get("workers", 1),
+            timeout_s=data.get("timeout_s"),
+            retries=int(data.get("retries", 0)),
+            label=data.get("label", ""),
         )
 
 
@@ -258,6 +306,45 @@ class Job:
         with self._lock:
             return [e for e in self._events if e["seq"] >= since]
 
+    # -- persistence ---------------------------------------------------------
+
+    def to_record(self) -> dict:
+        """Everything :meth:`from_record` needs to rebuild this job."""
+        with self._lock:
+            return {
+                "job_id": self.id,
+                "spec": self.spec.to_dict(),
+                "state": self.state,
+                "error": self.error,
+                "created_utc": self.created_utc,
+                "started_utc": self.started_utc,
+                "finished_utc": self.finished_utc,
+                "result": self.result,
+                "cells_done": self.cells_done,
+                "writes_done": self.writes_done,
+            }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Job":
+        """Rebuild a job from its last journal line (restart rehydration).
+
+        Progress events are not journaled, so a restored job's event
+        stream starts empty; its counters and result survive.
+        """
+        job = cls(JobSpec.from_dict(record["spec"]),
+                  job_id=record["job_id"])
+        job.state = record.get("state", QUEUED)
+        job.error = record.get("error", "")
+        job.created_utc = record.get("created_utc", job.created_utc)
+        job.started_utc = record.get("started_utc", "")
+        job.finished_utc = record.get("finished_utc", "")
+        job.result = record.get("result")
+        job.cells_done = int(record.get("cells_done", 0))
+        job.writes_done = int(record.get("writes_done", 0))
+        if job.state in TERMINAL_STATES:
+            job._finished.set()
+        return job
+
     def snapshot(self) -> dict:
         """JSON-safe status view (GET /jobs/{id})."""
         with self._lock:
@@ -283,6 +370,48 @@ def _utc_now() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
+class JobStore:
+    """Append-only ``jobs.jsonl`` journal of job specs and state changes.
+
+    One fsynced line per state change; on :meth:`load` the last line per
+    job id wins.  A torn trailing line (crash mid-append) is skipped, so
+    the journal is always readable after a hard kill.
+    """
+
+    FILENAME = "jobs.jsonl"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.path = self.root / self.FILENAME
+
+    def record(self, job: Job) -> None:
+        """Append the job's current record (submit + every transition)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(job.to_record(), sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def load(self) -> dict[str, dict]:
+        """Latest record per job id, in first-submission order."""
+        records: dict[str, dict] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn trailing line from a crash
+                if isinstance(rec, dict) and rec.get("job_id"):
+                    records[rec["job_id"]] = rec
+        return records
+
+
 #: Queue sentinel that tells a worker thread to exit.
 _SHUTDOWN = object()
 
@@ -306,6 +435,10 @@ class JobManager:
         no deadline.
     max_sweep_workers:
         Hard cap on a job's requested per-sweep worker processes.
+    store:
+        Optional :class:`JobStore`; when set, every submission and state
+        change is journaled and :meth:`rehydrate` can restore jobs after
+        a restart.
     """
 
     def __init__(
@@ -316,6 +449,7 @@ class JobManager:
         queue_size: int = 16,
         default_timeout_s: float | None = None,
         max_sweep_workers: int = 4,
+        store: JobStore | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if job_workers < 1:
@@ -326,6 +460,7 @@ class JobManager:
         self.job_workers = job_workers
         self.default_timeout_s = default_timeout_s
         self.max_sweep_workers = max_sweep_workers
+        self.store = store
         self._clock = clock
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._jobs: dict[str, Job] = {}
@@ -349,6 +484,45 @@ class JobManager:
             for thread in self._threads:
                 thread.start()
         return self
+
+    def rehydrate(self) -> list[Job]:
+        """Restore journaled jobs after a restart; returns the resubmitted.
+
+        Terminal jobs come back as queryable snapshots (status, error and
+        result endpoints keep working across restarts).  Queued/running
+        jobs are resubmitted under their original ids; a resubmitted
+        sweep job picks up its keyed sweep checkpoint, so completed cells
+        are restored instead of re-simulated.  Call after :meth:`start`
+        so the workers can drain a backlog larger than the queue.
+        """
+        if self.store is None:
+            return []
+        resubmitted: list[Job] = []
+        for record in self.store.load().values():
+            try:
+                job = Job.from_record(record)
+            except (KeyError, TypeError, ConfigError):
+                continue  # unreadable record must not block startup
+            with self._jobs_lock:
+                if job.id in self._jobs:
+                    continue
+                self._jobs[job.id] = job
+            if job.state in TERMINAL_STATES:
+                continue
+            job.state = QUEUED
+            job.started_utc = ""
+            self._persist(job)
+            self._queue.put(job)
+            resubmitted.append(job)
+        return resubmitted
+
+    def _persist(self, job: Job) -> None:
+        if self.store is None:
+            return
+        try:
+            self.store.record(job)
+        except OSError:
+            pass  # durability is best-effort; never fail the job for it
 
     @property
     def draining(self) -> bool:
@@ -401,6 +575,7 @@ class JobManager:
             ) from None
         with self._jobs_lock:
             self._jobs[job.id] = job
+        self._persist(job)
         return job
 
     def get(self, job_id: str) -> Job:
@@ -445,9 +620,11 @@ class JobManager:
     def _execute(self, job: Job) -> None:
         if job.cancelled_requested:
             job._transition(CANCELLED, "cancelled while queued")
+            self._persist(job)
             return
         job.started_utc = _utc_now()
         job._transition(RUNNING)
+        self._persist(job)
         spec = job.spec
         timeout_s = (
             spec.timeout_s
@@ -475,12 +652,19 @@ class JobManager:
                     spec.workers if spec.workers else self.max_sweep_workers,
                     self.max_sweep_workers,
                 )
+                # Key the sweep checkpoint by job id so a rehydrated job
+                # resumes its completed cells instead of redoing them.
+                sweep_id = (
+                    job.id if self.session.ledger is not None else None
+                )
                 results = self.session.sweep(
                     spec.configs,
                     workers=workers,
                     progress=job.on_progress,
                     label=spec.label,
                     should_stop=should_stop,
+                    retries=spec.retries,
+                    sweep_id=sweep_id,
                 )
                 payload = _results_payload(results)
             else:
@@ -519,6 +703,7 @@ class JobManager:
                 )
         except Exception as exc:  # noqa: BLE001 - jobs must never kill workers
             job._transition(FAILED, f"{type(exc).__name__}: {exc}")
+        self._persist(job)
 
 
 def _results_payload(results) -> dict:

@@ -1,23 +1,37 @@
 """HTTP front end for the simulation job service (``deuce-sim serve``).
 
 Zero-dependency JSON API over :class:`http.server.ThreadingHTTPServer`.
-Endpoints:
+Every route is mounted under the versioned ``/v1`` prefix; the bare paths
+remain as deprecated aliases (see *API versioning* below).  Endpoints:
 
-=========================  ====================================================
-``GET  /healthz``          liveness + queue/job counters + drain state
-``POST /jobs``             submit a run/sweep/experiment job (``201``;
-                           ``400`` bad payload, ``429`` queue full,
-                           ``503`` draining)
-``GET  /jobs``             snapshots of every known job
-``GET  /jobs/{id}``        one job's status + progress counters
-``GET  /jobs/{id}/result`` the finished job's result (``202`` while
-                           pending, ``409`` for failed/cancelled)
-``GET  /jobs/{id}/events`` chunked JSONL progress stream (``?since=N``
-                           cursor, ``?follow=0`` for a one-shot page)
-``DELETE /jobs/{id}``      cooperative cancellation
-``GET  /runs``             ledger query (``kind``/``scheme``/``workload``/
-                           ``label``/``limit`` filters)
-=========================  ====================================================
+============================  =================================================
+``GET  /v1/healthz``          liveness + queue/job counters + drain state +
+                              ``api_version``
+``POST /v1/jobs``             submit a run/sweep/experiment job (``201``;
+                              ``400`` bad payload, ``429`` queue full,
+                              ``503`` draining)
+``GET  /v1/jobs``             snapshots of every known job
+``GET  /v1/jobs/{id}``        one job's status + progress counters
+``GET  /v1/jobs/{id}/result`` the finished job's result (``202`` while
+                              pending, ``409`` for failed/cancelled)
+``GET  /v1/jobs/{id}/events`` chunked JSONL progress stream (``?since=N``
+                              cursor, ``?follow=0`` for a one-shot page)
+``DELETE /v1/jobs/{id}``      cooperative cancellation
+``GET  /v1/runs``             ledger query (``kind``/``scheme``/``workload``/
+                              ``label``/``limit`` filters)
+============================  =================================================
+
+API versioning: clients should call the ``/v1/...`` forms.  The bare
+legacy paths (``/healthz``, ``/jobs``, ...) keep working but every
+response to them carries a ``Deprecation: true`` header plus a ``Link``
+pointing at the ``/v1`` successor; they will be removed when a ``/v2``
+ships.  URLs the service emits (the ``status_url``/``result_url``/
+``events_url`` of a ``201``) echo the prefix the request used.
+
+Restart durability: when the session has a ledger, the manager journals
+jobs to ``<ledger>/service/jobs.jsonl`` and rehydrates them on startup —
+finished jobs stay queryable, unfinished ones are resubmitted and sweep
+jobs resume from their per-job sweep checkpoint.
 
 Graceful shutdown: SIGTERM/SIGINT flip the service into *draining* —
 ``POST /jobs`` answers ``503``, ``/healthz`` reports it — then the job
@@ -42,10 +56,14 @@ from repro.service.jobs import (
     JobError,
     JobManager,
     JobSpec,
+    JobStore,
     QueueFullError,
     ServiceDraining,
     UnknownJobError,
 )
+
+#: Version segment all routes are mounted under (bare paths are aliases).
+API_VERSION = "v1"
 
 #: Seconds between polls while following a job's event stream.
 EVENT_POLL_S = 0.05
@@ -81,17 +99,46 @@ class _Handler(BaseHTTPRequestHandler):
     server: SimulationServer
     protocol_version = "HTTP/1.1"
 
+    #: ``"/v1"`` when the request used the versioned prefix, else ``""``.
+    _prefix = ""
+    #: The route path with the version prefix stripped (set per request).
+    _route_path = "/"
+
     # -- plumbing ------------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.server.quiet:
             super().log_message(format, *args)
 
+    def _route(self, raw_path: str) -> str:
+        """Strip an optional ``/v1`` prefix; remember which form was used."""
+        versioned = f"/{API_VERSION}"
+        if raw_path == versioned or raw_path.startswith(versioned + "/"):
+            self._prefix = versioned
+            path = raw_path[len(versioned):] or "/"
+        else:
+            self._prefix = ""
+            path = raw_path
+        self._route_path = path
+        return path
+
+    def _deprecation_headers(self) -> dict[str, str]:
+        """Alias headers for requests that used a bare legacy path."""
+        if self._prefix:
+            return {}
+        successor = f"/{API_VERSION}{self._route_path}"
+        return {
+            "Deprecation": "true",
+            "Link": f'<{successor}>; rel="successor-version"',
+        }
+
     def _json(self, status: int, payload: object, **headers: str) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in self._deprecation_headers().items():
+            self.send_header(name, value)
         for name, value in headers.items():
             self.send_header(name.replace("_", "-"), value)
         self.end_headers()
@@ -115,16 +162,17 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         url = urlsplit(self.path)
         query = parse_qs(url.query)
-        if url.path == "/healthz":
+        path = self._route(url.path)
+        if path == "/healthz":
             return self._get_healthz()
-        if url.path == "/runs":
+        if path == "/runs":
             return self._get_runs(query)
-        if url.path == "/jobs":
+        if path == "/jobs":
             return self._json(
                 200,
                 {"jobs": [j.snapshot() for j in self.server.manager.jobs()]},
             )
-        match = _JOB_PATH.match(url.path)
+        match = _JOB_PATH.match(path)
         if match:
             try:
                 job = self.server.manager.get(match.group(1))
@@ -140,7 +188,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         url = urlsplit(self.path)
-        if url.path != "/jobs":
+        path = self._route(url.path)
+        if path != "/jobs":
             return self._error(404, f"no route for POST {url.path}")
         try:
             spec = JobSpec.from_payload(self._read_json())
@@ -151,20 +200,23 @@ class _Handler(BaseHTTPRequestHandler):
             return self._error(429, str(exc), Retry_After="1")
         except ServiceDraining as exc:
             return self._error(503, str(exc))
+        # Echo the version prefix the client used, so versioned clients
+        # stay on /v1 and legacy clients keep working unchanged.
+        base = self._prefix
         self._json(
             201,
             {
                 "job_id": job.id,
                 "state": job.state,
-                "status_url": f"/jobs/{job.id}",
-                "result_url": f"/jobs/{job.id}/result",
-                "events_url": f"/jobs/{job.id}/events",
+                "status_url": f"{base}/jobs/{job.id}",
+                "result_url": f"{base}/jobs/{job.id}/result",
+                "events_url": f"{base}/jobs/{job.id}/events",
             },
         )
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
         url = urlsplit(self.path)
-        match = _JOB_PATH.match(url.path)
+        match = _JOB_PATH.match(self._route(url.path))
         if not match or match.group(2):
             return self._error(404, f"no route for DELETE {url.path}")
         try:
@@ -181,6 +233,7 @@ class _Handler(BaseHTTPRequestHandler):
             200,
             {
                 "status": "draining" if manager.draining else "ok",
+                "api_version": API_VERSION,
                 "jobs": manager.counts(),
                 "job_workers": manager.job_workers,
                 "queue_capacity": manager._queue.maxsize,
@@ -230,6 +283,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
+        for name, value in self._deprecation_headers().items():
+            self.send_header(name, value)
         self.end_headers()
         cursor = since
         try:
@@ -289,7 +344,19 @@ def serve(
         queue_size=queue_size,
         default_timeout_s=job_timeout_s,
         max_sweep_workers=max_sweep_workers,
+        store=(
+            JobStore(session.ledger.root / "service")
+            if session.ledger is not None
+            else None
+        ),
     ).start()
+    restored = manager.rehydrate()
+    if not quiet and restored:
+        print(
+            f"deuce-sim serve: rehydrated {len(restored)} unfinished "
+            f"job(s) from the ledger journal",
+            flush=True,
+        )
     server = SimulationServer((host, port), manager, quiet=quiet)
     signals_seen = []
 

@@ -24,23 +24,41 @@ Guarantees:
   :class:`~repro.obs.progress.ProgressRenderer`) and workers stream
   ``start``/``heartbeat``/``done`` :class:`~repro.obs.progress.ProgressEvent`
   records over a ``multiprocessing`` queue as each cell advances.
+* **Fault tolerance** — ``retries`` grants each cell a retry budget spent
+  under capped exponential backoff; a worker crash hard enough to break
+  the process pool (SIGKILL, segfault, OOM kill) is detected, the pool is
+  rebuilt, and the lost in-flight cells are requeued against the same
+  budget.  A cell that exhausts its budget raises :class:`SweepCellFailed`
+  carrying the partial results.
+* **Durable progress** — pass ``checkpoint=`` a
+  :class:`~repro.sim.checkpoint.SweepCheckpoint` (or its directory) and
+  every completed cell is fsynced to ``cells.jsonl`` the moment it
+  finishes; a re-run with the same checkpoint restores finished cells by
+  config signature and runs only the missing ones.  Ledger recording
+  (``ledger=``) is likewise incremental, in completion order, so a crashed
+  sweep leaves every finished cell recorded.
 
 Worker-count conventions (unified for the CLI and the API): ``None`` *or*
 ``0`` auto-sizes to the machine (capped at :data:`MAX_AUTO_WORKERS`), ``1``
 forces the serial fallback, any larger value is honoured but never exceeds
-the number of cells.  Negative values are an error.
+the number of cells still to run.  Negative values are an error.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
 import queue as queue_mod
+import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
 from repro.obs.instruments import Instruments, RunAborted
 from repro.obs.progress import DONE, HEARTBEAT, START, ProgressEvent
+from repro.sim.checkpoint import SweepCheckpoint, config_signature
 from repro.sim.config import SimConfig
 from repro.sim.results import RunResult
 
@@ -50,6 +68,9 @@ MAX_AUTO_WORKERS = 8
 
 #: Seconds between future polls while forwarding progress events.
 _POLL_S = 0.1
+
+#: Ceiling on the exponential retry backoff, whatever the attempt count.
+_BACKOFF_CAP_S = 30.0
 
 
 class SweepCancelled(RuntimeError):
@@ -70,6 +91,33 @@ class SweepCancelled(RuntimeError):
         self.results = results if results is not None else []
 
 
+class SweepCellFailed(RuntimeError):
+    """A sweep cell failed on every attempt its retry budget allowed.
+
+    Completed cells were already recorded to the ledger/checkpoint before
+    this raised, so ``--resume`` re-runs only the failed and not-yet-run
+    cells.  ``results`` holds the partial results (submission order,
+    ``None`` for unfinished cells); ``index``/``config``/``attempts``
+    identify the failing cell.  The final per-attempt error is chained as
+    ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: int,
+        config: SimConfig,
+        attempts: int,
+        results: list[RunResult | None] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.config = config
+        self.attempts = attempts
+        self.results = results if results is not None else []
+
+
 def resolve_workers(max_workers: int | None, n_cells: int) -> int:
     """Effective worker count for a sweep of ``n_cells`` cells.
 
@@ -83,6 +131,11 @@ def resolve_workers(max_workers: int | None, n_cells: int) -> int:
     if max_workers < 0:
         raise ValueError(f"max_workers must be >= 0 or None, got {max_workers}")
     return max(1, min(max_workers, n_cells))
+
+
+def _backoff_delay(attempt: int, base_s: float) -> float:
+    """Capped exponential backoff before retry ``attempt`` (1-based)."""
+    return min(_BACKOFF_CAP_S, base_s * (2 ** (attempt - 1)))
 
 
 def _run_cell(config: SimConfig) -> RunResult:
@@ -131,55 +184,6 @@ def _drain(events, progress: Callable[[ProgressEvent], None]) -> None:
             return
 
 
-def _run_serial_observed(
-    configs: list[SimConfig],
-    progress: Callable[[ProgressEvent], None] | None,
-    heartbeat_every: int,
-    should_stop: Callable[[], bool] | None = None,
-) -> list[RunResult]:
-    """Serial fallback that still reports progress and honours cancellation."""
-    from repro.sim.runner import run
-
-    n = len(configs)
-    results: list[RunResult | None] = []
-    for i, config in enumerate(configs):
-        if should_stop is not None and should_stop():
-            raise SweepCancelled(
-                f"sweep cancelled before cell {i}/{n}", results
-            )
-
-        def _event(kind: str, writes_done: int, c=config, i=i) -> ProgressEvent:
-            return ProgressEvent(
-                kind=kind,
-                cell=i,
-                n_cells=n,
-                writes_done=writes_done,
-                n_writes=c.n_writes,
-                workload=c.workload,
-                scheme=c.scheme,
-            )
-
-        heartbeat = None
-        if progress is not None:
-            progress(_event(START, 0))
-            heartbeat = lambda done, total: progress(_event(HEARTBEAT, done))
-        instruments = Instruments(
-            heartbeat=heartbeat,
-            heartbeat_every=heartbeat_every,
-            abort=should_stop,
-        )
-        try:
-            results.append(run(config, instruments=instruments))
-        except RunAborted as exc:
-            results.append(None)
-            raise SweepCancelled(
-                f"sweep cancelled in cell {i}/{n}: {exc}", results
-            ) from exc
-        if progress is not None:
-            progress(_event(DONE, config.n_writes))
-    return results  # type: ignore[return-value]
-
-
 def run_suite_parallel(
     configs: Sequence[SimConfig],
     max_workers: int | None = None,
@@ -188,6 +192,10 @@ def run_suite_parallel(
     ledger=None,
     ledger_label: str = "",
     should_stop: Callable[[], bool] | None = None,
+    *,
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
+    checkpoint: "SweepCheckpoint | str | None" = None,
 ) -> list[RunResult]:
     """Run a batch of configs, fanned out over worker processes.
 
@@ -212,9 +220,10 @@ def run_suite_parallel(
     ledger:
         Optional :class:`~repro.obs.ledger.RunLedger`; when given, every
         cell's result is recorded as a ``kind="sweep-cell"`` manifest
-        (labelled ``ledger_label``) after the sweep completes.  Recording
-        happens in the parent process on the collected results, so it never
-        affects worker execution or result identity.
+        (labelled ``ledger_label``) the moment the cell completes, so a
+        crashed or cancelled sweep leaves all finished cells recorded.
+        Recording happens in the parent process on the collected results,
+        so it never affects worker execution or result identity.
     ledger_label:
         The ``label`` stamped on recorded sweep-cell manifests (typically
         the experiment id).
@@ -224,109 +233,315 @@ def run_suite_parallel(
         raises :class:`SweepCancelled` after letting in-flight worker cells
         finish, so no process is orphaned.  Job cancellation and per-job
         deadlines in :mod:`repro.service` are built on this hook.
+    retries:
+        Retry budget per cell.  A cell whose attempt raises (including
+        being lost to a crashed worker) is requeued after capped
+        exponential backoff until the budget is spent, then the sweep
+        raises :class:`SweepCellFailed`.  ``0`` (the default) fails fast.
+    retry_backoff_s:
+        Base backoff: retry ``k`` waits ``min(30, retry_backoff_s * 2**(k-1))``
+        seconds.
+    checkpoint:
+        Optional :class:`~repro.sim.checkpoint.SweepCheckpoint` (or the
+        directory to hold one).  Completed cells are durably appended as
+        they finish; on entry, cells whose config signature is already
+        recorded are restored from the checkpoint instead of re-run.
+        Restored results are exact for every simulation aggregate but
+        carry no raw wear/lifetime/series detail (the headline
+        ``lifetime_norm`` survives via the stored summary).
     """
-    results = _run_suite_parallel(
-        configs, max_workers, progress, heartbeat_every, should_stop
-    )
-    if ledger is not None:
-        for config, result in zip(configs, results):
-            result.manifest = ledger.record_result(
-                result, config, kind="sweep-cell", label=ledger_label
-            )
-    return results
-
-
-def _collect_futures(
-    futures: dict,
-    results: list[RunResult | None],
-    events,
-    progress: Callable[[ProgressEvent], None] | None,
-    should_stop: Callable[[], bool] | None,
-) -> None:
-    """Poll futures to completion, forwarding events and honouring stops."""
-    pending = set(futures)
-    while pending:
-        done, pending = wait(
-            pending, timeout=_POLL_S, return_when=FIRST_COMPLETED
-        )
-        if progress is not None:
-            _drain(events, progress)
-        for future in done:
-            results[futures[future]] = future.result()
-        if pending and should_stop is not None and should_stop():
-            # Cooperative drain: unstarted cells are cancelled outright,
-            # running cells finish (their results are kept) — the pool
-            # always shuts down with zero orphaned workers.
-            for future in pending:
-                future.cancel()
-            finished, _ = wait(pending)
-            for future in finished:
-                if not future.cancelled():
-                    results[futures[future]] = future.result()
-            if progress is not None:
-                _drain(events, progress)
-            n_done = sum(r is not None for r in results)
-            raise SweepCancelled(
-                f"sweep cancelled with {n_done}/{len(results)} cells "
-                "finished",
-                results,
-            )
-
-
-def _run_suite_parallel(
-    configs: Sequence[SimConfig],
-    max_workers: int | None,
-    progress: Callable[[ProgressEvent], None] | None,
-    heartbeat_every: int,
-    should_stop: Callable[[], bool] | None = None,
-) -> list[RunResult]:
     configs = list(configs)
     if not configs:
         return []
-    workers = resolve_workers(max_workers, len(configs))
-    if workers <= 1:
-        if progress is None and should_stop is None:
-            from repro.sim.runner import run_suite
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if checkpoint is not None and not isinstance(checkpoint, SweepCheckpoint):
+        checkpoint = SweepCheckpoint(checkpoint)
 
-            return run_suite(configs)
-        return _run_serial_observed(
-            configs, progress, heartbeat_every, should_stop
-        )
     n = len(configs)
     results: list[RunResult | None] = [None] * n
-    if progress is None:
-        if should_stop is None:
-            # Interleave cells across workers (chunksize 1): adjacent cells
-            # usually share a workload trace, so striding them apart
-            # balances the cache-warm work instead of handing one worker
-            # the whole workload.
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_run_cell, configs, chunksize=1))
-        # Cancellable but unobserved: submit individually so pending cells
-        # can be cancelled between polls.
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_run_cell, config): i
-                for i, config in enumerate(configs)
-            }
-            _collect_futures(futures, results, None, None, should_stop)
+    if checkpoint is not None:
+        restored = checkpoint.restore()
+        for i, config in enumerate(configs):
+            hit = restored.get(config_signature(config))
+            if hit is not None:
+                results[i] = hit
+    todo = [i for i in range(n) if results[i] is None]
+    if not todo:
         return results  # type: ignore[return-value]
-    # Progress-streaming path: a manager queue carries events from workers;
-    # the main process forwards them between future polls.  Results are
-    # still collected by submission index, so ordering is unchanged.
+
+    def on_complete(index: int, result: RunResult) -> None:
+        """Record one finished cell durably, the moment it finishes."""
+        config = configs[index]
+        if ledger is not None:
+            result.manifest = ledger.record_result(
+                result, config, kind="sweep-cell", label=ledger_label
+            )
+        if checkpoint is not None:
+            run_id = result.manifest.run_id if result.manifest else ""
+            checkpoint.record(index, config, result, run_id=run_id)
+
+    workers = resolve_workers(max_workers, len(todo))
+    if workers <= 1:
+        _run_serial(
+            configs, todo, results, progress, heartbeat_every,
+            should_stop, retries, retry_backoff_s, on_complete,
+        )
+    else:
+        _run_pool(
+            configs, todo, results, workers, progress, heartbeat_every,
+            should_stop, retries, retry_backoff_s, on_complete,
+        )
+    return results  # type: ignore[return-value]
+
+
+def _run_serial(
+    configs: list[SimConfig],
+    todo: list[int],
+    results: list[RunResult | None],
+    progress: Callable[[ProgressEvent], None] | None,
+    heartbeat_every: int,
+    should_stop: Callable[[], bool] | None,
+    retries: int,
+    backoff_s: float,
+    on_complete: Callable[[int, RunResult], None],
+) -> None:
+    """Serial fallback: same retry, progress, and cancellation semantics."""
+    from repro.sim.runner import run
+
+    n = len(configs)
+    for i in todo:
+        config = configs[i]
+        if should_stop is not None and should_stop():
+            raise SweepCancelled(
+                f"sweep cancelled before cell {i}/{n}", list(results)
+            )
+
+        def _event(kind: str, writes_done: int, c=config, i=i) -> ProgressEvent:
+            return ProgressEvent(
+                kind=kind,
+                cell=i,
+                n_cells=n,
+                writes_done=writes_done,
+                n_writes=c.n_writes,
+                workload=c.workload,
+                scheme=c.scheme,
+            )
+
+        attempt = 0
+        while True:
+            instruments = None
+            if progress is not None or should_stop is not None:
+                heartbeat = None
+                if progress is not None:
+                    progress(_event(START, 0))
+                    heartbeat = lambda done, total, _e=_event: progress(
+                        _e(HEARTBEAT, done)
+                    )
+                instruments = Instruments(
+                    heartbeat=heartbeat,
+                    heartbeat_every=heartbeat_every,
+                    abort=should_stop,
+                )
+            try:
+                result = run(config, instruments=instruments)
+            except RunAborted as exc:
+                raise SweepCancelled(
+                    f"sweep cancelled in cell {i}/{n}: {exc}", list(results)
+                ) from exc
+            except Exception as exc:
+                attempt += 1
+                if attempt > retries:
+                    raise SweepCellFailed(
+                        f"cell {i}/{n} ({config.workload}/{config.scheme}) "
+                        f"failed after {attempt} attempt(s): {exc}",
+                        index=i,
+                        config=config,
+                        attempts=attempt,
+                        results=list(results),
+                    ) from exc
+                time.sleep(_backoff_delay(attempt, backoff_s))
+                continue
+            break
+        results[i] = result
+        on_complete(i, result)
+        if progress is not None:
+            progress(_event(DONE, config.n_writes))
+
+
+def _run_pool(
+    configs: list[SimConfig],
+    todo: list[int],
+    results: list[RunResult | None],
+    workers: int,
+    progress: Callable[[ProgressEvent], None] | None,
+    heartbeat_every: int,
+    should_stop: Callable[[], bool] | None,
+    retries: int,
+    backoff_s: float,
+    on_complete: Callable[[int, RunResult], None],
+) -> None:
+    """Pool front-end: sets up the event queue iff progress is wanted."""
+    if progress is None:
+        _run_pool_scheduler(
+            configs, todo, results, workers, None, None, heartbeat_every,
+            should_stop, retries, backoff_s, on_complete,
+        )
+        return
+    # A manager queue carries events from workers; the main process
+    # forwards them between future polls.  Results are still collected by
+    # submission index, so ordering is unchanged.
     with multiprocessing.Manager() as manager:
         events = manager.Queue()
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _run_cell_observed, i, config, n, events, heartbeat_every
-                ): i
-                for i, config in enumerate(configs)
-            }
-            _collect_futures(
-                futures, results, events, progress, should_stop
+        _run_pool_scheduler(
+            configs, todo, results, workers, events, progress,
+            heartbeat_every, should_stop, retries, backoff_s, on_complete,
+        )
+
+
+def _run_pool_scheduler(
+    configs: list[SimConfig],
+    todo: list[int],
+    results: list[RunResult | None],
+    workers: int,
+    events,
+    progress: Callable[[ProgressEvent], None] | None,
+    heartbeat_every: int,
+    should_stop: Callable[[], bool] | None,
+    retries: int,
+    backoff_s: float,
+    on_complete: Callable[[int, RunResult], None],
+) -> None:
+    """The fault-tolerant scheduler shared by all pool paths.
+
+    Cells move between three places: ``ready`` (submit at the next
+    opportunity), ``delayed`` (a backoff heap of ``(ready_at, index)``),
+    and ``futures`` (in flight).  A cell whose attempt raises is charged
+    one attempt and pushed onto the backoff heap; a
+    :class:`BrokenProcessPool` kills every in-flight future, so the pool
+    is rebuilt and all lost cells are charged and requeued together (the
+    executor cannot say which cell crashed the worker).
+    """
+    n = len(configs)
+    ready: deque[int] = deque(todo)
+    delayed: list[tuple[float, int]] = []
+    futures: dict = {}
+    attempts = dict.fromkeys(todo, 0)
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def submit(index: int) -> None:
+        config = configs[index]
+        if events is not None:
+            future = pool.submit(
+                _run_cell_observed, index, config, n, events, heartbeat_every
             )
-        # Workers enqueue their final event before returning, so one last
-        # drain after the pool closes delivers everything.
-        _drain(events, progress)
-    return results  # type: ignore[return-value]
+        else:
+            future = pool.submit(_run_cell, config)
+        futures[future] = index
+
+    def charge(index: int, exc: BaseException) -> float:
+        """Spend one retry; return the backoff delay or fail the sweep."""
+        attempts[index] += 1
+        if attempts[index] > retries:
+            config = configs[index]
+            raise SweepCellFailed(
+                f"cell {index}/{n} ({config.workload}/{config.scheme}) "
+                f"failed after {attempts[index]} attempt(s): {exc}",
+                index=index,
+                config=config,
+                attempts=attempts[index],
+                results=list(results),
+            ) from exc
+        return _backoff_delay(attempts[index], backoff_s)
+
+    try:
+        while ready or delayed or futures:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                ready.append(heapq.heappop(delayed)[1])
+
+            broken: BaseException | None = None
+            lost: list[int] = []  # submitted cells whose worker crashed
+            while ready and broken is None:
+                index = ready.popleft()
+                try:
+                    submit(index)
+                except BrokenProcessPool as exc:
+                    # Never submitted: back in line, no attempt charged.
+                    broken = exc
+                    ready.appendleft(index)
+
+            if broken is None and futures:
+                done, _ = wait(
+                    set(futures), timeout=_POLL_S, return_when=FIRST_COMPLETED
+                )
+                if progress is not None:
+                    _drain(events, progress)
+                for future in done:
+                    index = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = exc
+                        lost.append(index)
+                    except Exception as exc:
+                        delay = charge(index, exc)
+                        heapq.heappush(
+                            delayed, (time.monotonic() + delay, index)
+                        )
+                    else:
+                        results[index] = result
+                        on_complete(index, result)
+            elif broken is None and delayed:
+                # Everything left is waiting out a backoff.
+                pause = delayed[0][0] - time.monotonic()
+                time.sleep(max(0.0, min(_POLL_S, pause)))
+
+            if broken is not None:
+                # A worker died hard (SIGKILL/segfault/OOM): the pool is
+                # unusable and every in-flight future is lost.  Rebuild the
+                # pool and requeue the lost cells against their budgets.
+                lost.extend(futures.values())
+                futures.clear()
+                pool.shutdown(wait=False)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                base = time.monotonic()
+                for index in lost:
+                    heapq.heappush(
+                        delayed, (base + charge(index, broken), index)
+                    )
+
+            if (
+                (ready or delayed or futures)
+                and should_stop is not None
+                and should_stop()
+            ):
+                # Cooperative drain: unstarted cells are cancelled outright,
+                # running cells finish (their results are kept and recorded)
+                # — the pool always shuts down with zero orphaned workers.
+                for future in futures:
+                    future.cancel()
+                finished, _ = wait(set(futures))
+                for future in finished:
+                    if future.cancelled():
+                        continue
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                    except Exception:
+                        continue  # cancelling anyway; drop the attempt
+                    on_complete(index, results[index])
+                if progress is not None:
+                    _drain(events, progress)
+                n_done = sum(r is not None for r in results)
+                raise SweepCancelled(
+                    f"sweep cancelled with {n_done}/{len(results)} cells "
+                    "finished",
+                    list(results),
+                )
+    finally:
+        pool.shutdown(wait=True)
+        if progress is not None:
+            # Workers enqueue their final event before returning, so one
+            # last drain after the pool closes delivers everything.
+            _drain(events, progress)

@@ -57,6 +57,10 @@ class RunResult:
     #: The ledger manifest recorded for this result, when one was (set by
     #: repro.api.Session and the sweep engine's ledger hook).
     manifest: "RunManifest | None" = None
+    #: ``summary_row``'s lifetime_norm carried over by :meth:`from_dict`
+    #: for results restored from stored payloads (the raw wear/lifetime
+    #: detail is not embedded in ``to_dict``, but the headline number is).
+    restored_lifetime_norm: float | None = None
 
     @property
     def avg_flips_per_write(self) -> float:
@@ -150,4 +154,81 @@ class RunResult:
         }
         if self.lifetime is not None:
             row["lifetime_norm"] = round(self.lifetime.normalized, 3)
+        elif self.restored_lifetime_norm is not None:
+            row["lifetime_norm"] = self.restored_lifetime_norm
         return row
+
+    # -- restore / checkpoint ----------------------------------------------
+
+    #: The mutable aggregates the write loop folds outcomes into; exactly
+    #: what a mid-run checkpoint must capture (everything else is either
+    #: static geometry or derived after the loop).
+    _MUTABLE_FIELDS = (
+        "total_flips",
+        "data_flips",
+        "meta_flips",
+        "set_flips",
+        "reset_flips",
+        "total_slots",
+        "total_words_reencrypted",
+        "full_reencryptions",
+        "epoch_resets",
+        "mode_switches",
+    )
+
+    def checkpoint_state(self) -> dict[str, object]:
+        """JSON-safe snapshot of the in-loop aggregates (histograms too).
+
+        Encodings match :meth:`to_dict`, so :meth:`load_checkpoint_state`
+        accepts either a checkpoint snapshot or a full ``to_dict`` payload.
+        """
+        state: dict[str, object] = {
+            name: getattr(self, name) for name in self._MUTABLE_FIELDS
+        }
+        state["slot_histogram"] = {
+            str(k): v for k, v in sorted(self.slot_histogram.items())
+        }
+        state["mode_histogram"] = {
+            str(k): v for k, v in sorted(self.mode_histogram.items())
+        }
+        return state
+
+    def load_checkpoint_state(self, state: dict[str, object]) -> None:
+        """Restore :meth:`checkpoint_state` output bit-identically."""
+        for name in self._MUTABLE_FIELDS:
+            setattr(self, name, int(state[name]))
+        self.slot_histogram = Counter(
+            {int(k): int(v) for k, v in state["slot_histogram"].items()}
+        )
+        self.mode_histogram = Counter(
+            {str(k): int(v) for k, v in state["mode_histogram"].items()}
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "RunResult":
+        """Rebuild a result from a :meth:`to_dict` payload.
+
+        The inverse up to what ``to_dict`` drops: raw wear/lifetime/series
+        detail is not embedded, so those stay ``None`` (the summary's
+        ``lifetime_norm`` is carried over verbatim), and no ledger manifest
+        is attached.  Used by sweep-checkpoint resume to treat completed
+        cells stored as JSON as first-class results.
+        """
+        result = cls(
+            workload=str(data["workload"]),
+            scheme=str(data["scheme"]),
+            n_writes=int(data["n_writes"]),
+            line_bits=int(data["line_bits"]),
+            meta_bits=int(data["meta_bits"]),
+            pad_hits=int(data.get("pad_hits", 0)),
+            pad_misses=int(data.get("pad_misses", 0)),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+        )
+        result.load_checkpoint_state(data)
+        config = data.get("config")
+        if config is not None:
+            result.config = SimConfig.from_dict(dict(config))
+        summary = data.get("summary") or {}
+        if "lifetime_norm" in summary:
+            result.restored_lifetime_norm = float(summary["lifetime_norm"])
+        return result

@@ -32,8 +32,15 @@ from repro.obs.instruments import (
     RunAborted,
 )
 from repro.obs.sampling import IntervalSampler
-from repro.schemes import ENCRYPTED_SCHEMES, make_scheme
+from repro.schemes import SCHEME_NAMES, SCHEME_REGISTRY
 from repro.schemes.base import WriteOutcome, WriteScheme
+from repro.sim.checkpoint import (
+    CheckpointError,
+    RunCheckpoint,
+    RunCheckpointer,
+    config_signature,
+    load_run_checkpoint,
+)
 from repro.sim.config import SimConfig
 from repro.sim.results import RunResult
 from repro.wear.hwl import HorizontalWearLeveler, NoWearLeveler
@@ -59,19 +66,17 @@ def build_scheme(config: SimConfig) -> WriteScheme:
     ``config.pad_cache_lines`` (0 disables), so epoch-boundary re-reads of a
     hot line's trailing pad hit the cache instead of the cipher.
     """
+    cls = SCHEME_REGISTRY.get(config.scheme)
+    if cls is None:
+        raise ValueError(
+            f"unknown scheme: {config.scheme!r} (choose from {SCHEME_NAMES})"
+        )
     pads = None
-    if config.scheme in ENCRYPTED_SCHEMES:
+    if cls.requires_pads:
         pads = make_pad_source(config.pad_kind, config.key)
         if config.pad_cache_lines > 0:
             pads = CachingPadSource(pads, capacity=config.pad_cache_lines)
-    return make_scheme(
-        config.scheme,
-        pads,
-        line_bytes=config.line_bytes,
-        word_bytes=config.word_bytes,
-        epoch_interval=config.epoch_interval,
-        fnw_group_bits=config.fnw_group_bits,
-    )
+    return cls.from_config(config, pads=pads)
 
 
 def _find_pad_cache(pads) -> CachingPadSource | None:
@@ -109,16 +114,21 @@ def _accumulate(
 
 
 def run(
-    config: SimConfig,
+    config: SimConfig | None = None,
     trace: Trace | None = None,
     instruments: Instruments | None = None,
+    *,
+    checkpoint_dir=None,
+    checkpoint_every: int = 0,
+    resume_from: "RunCheckpoint | str | None" = None,
 ) -> RunResult:
     """Execute one simulation and return aggregated results.
 
     Parameters
     ----------
     config:
-        The run configuration.
+        The run configuration.  May be omitted when resuming — the
+        checkpoint carries its config; when both are given they must match.
     trace:
         Optional pre-generated trace (must match the config's workload and
         line size); omitted, the cached generator is used.
@@ -126,10 +136,37 @@ def run(
         Optional observability bundle (metrics, tracing, sampling,
         heartbeats).  ``None`` (or a fully-null bundle) takes the
         uninstrumented fast path; results are identical either way.
+    checkpoint_dir / checkpoint_every:
+        When ``checkpoint_every > 0``, snapshot all mutable state into
+        ``checkpoint_dir`` every that many writes (crash-safe; see
+        :mod:`repro.sim.checkpoint`).
+    resume_from:
+        A :class:`RunCheckpoint` or a checkpoint directory path.  The run
+        skips install, restores every piece of state, and continues from
+        the saved write index; the final result is bit-identical to an
+        uninterrupted run (only ``wall_time_s`` covers the continuation).
     """
     t_start = time.perf_counter()
     obs = instruments if instruments is not None else DISABLED
     tracer = obs.tracer
+
+    checkpoint = None
+    if resume_from is not None:
+        checkpoint = (
+            resume_from
+            if isinstance(resume_from, RunCheckpoint)
+            else load_run_checkpoint(resume_from)
+        )
+        if config is None:
+            config = checkpoint.config
+        elif config_signature(config) != config_signature(checkpoint.config):
+            raise CheckpointError(
+                "resume config does not match the checkpoint's config "
+                f"({config_signature(config)} != "
+                f"{config_signature(checkpoint.config)})"
+            )
+    if config is None:
+        raise ValueError("run() needs a config or a resume_from checkpoint")
 
     if trace is None:
         with tracer.span("trace.gen", workload=config.workload):
@@ -144,9 +181,13 @@ def run(
         scheme.pads = InstrumentedPadSource(scheme.pads, obs.metrics, tracer)
 
     addresses = trace.addresses()
-    with tracer.span("install", lines=len(addresses)):
-        for addr in addresses:
-            scheme.install(addr, trace.initial[addr])
+    if checkpoint is None:
+        with tracer.span("install", lines=len(addresses)):
+            for addr in addresses:
+                scheme.install(addr, trace.initial[addr])
+    else:
+        with tracer.span("resume.load", write_index=checkpoint.write_index):
+            scheme.load_state_dict(checkpoint.scheme_state)
 
     meta_bits = scheme.metadata_bits_per_line
     pcm = PcmArray(
@@ -174,13 +215,38 @@ def run(
         line_bits=8 * config.line_bytes,
         meta_bits=meta_bits,
     )
+    start = 0
+    if checkpoint is not None:
+        pcm.load_state_dict(checkpoint.pcm_state)
+        leveler.load_state_dict(checkpoint.leveler_state)
+        if pad_cache is not None and checkpoint.pad_cache_state is not None:
+            pad_cache.load_state_dict(checkpoint.pad_cache_state)
+        result.load_checkpoint_state(checkpoint.result_state)
+        start = checkpoint.write_index
+    checkpointer = None
+    if checkpoint_every > 0:
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every > 0 needs a checkpoint_dir")
+        checkpointer = RunCheckpointer(
+            checkpoint_dir,
+            checkpoint_every,
+            config=config,
+            scheme=scheme,
+            pcm=pcm,
+            leveler=leveler,
+            result=result,
+            pad_cache=pad_cache,
+        )
     if obs.enabled:
         _write_loop_instrumented(
             config, trace, scheme, pcm, leveler, vwl, line_index, result, obs,
-            pad_cache,
+            pad_cache, start=start, checkpointer=checkpointer,
         )
     else:
-        _write_loop(config, trace, scheme, pcm, leveler, vwl, line_index, result)
+        _write_loop(
+            config, trace, scheme, pcm, leveler, vwl, line_index, result,
+            start=start, checkpointer=checkpointer,
+        )
 
     result.wear = pcm.summary()
     result.lifetime = lifetime_report(
@@ -205,16 +271,36 @@ def _write_loop(
     vwl,
     line_index: dict[int, int],
     result: RunResult,
+    start: int = 0,
+    checkpointer: RunCheckpointer | None = None,
 ) -> None:
-    """The uninstrumented hot loop — nothing here but the simulation."""
+    """The uninstrumented hot loop — nothing here but the simulation.
+
+    ``start`` skips already-applied writes on resume.  With a checkpointer
+    the loop pays one counter and one call per write; without one the
+    original zero-overhead body runs.
+    """
     line_bits = 8 * config.line_bytes
-    for record in trace.records:
+    records = trace.records if not start else trace.records[start:]
+    if checkpointer is None:
+        for record in records:
+            outcome = scheme.write(record.address, record.data)
+            rotation = leveler.rotation(line_index[record.address])
+            pcm.apply_write(outcome, rotation=rotation)
+            if vwl is not None:
+                vwl.on_write()
+            _accumulate(result, outcome, line_bits)
+        return
+    i = start
+    for record in records:
         outcome = scheme.write(record.address, record.data)
         rotation = leveler.rotation(line_index[record.address])
         pcm.apply_write(outcome, rotation=rotation)
         if vwl is not None:
             vwl.on_write()
         _accumulate(result, outcome, line_bits)
+        i += 1
+        checkpointer.maybe(i)
 
 
 def _write_loop_instrumented(
@@ -228,6 +314,8 @@ def _write_loop_instrumented(
     result: RunResult,
     obs: Instruments,
     pad_cache: CachingPadSource | None,
+    start: int = 0,
+    checkpointer: RunCheckpointer | None = None,
 ) -> None:
     """The observed write loop: timers, spans, samples, heartbeats.
 
@@ -259,8 +347,9 @@ def _write_loop_instrumented(
         abort_every = obs.abort_every or max(1, min(512, n_records // 10))
 
     loop_t0 = perf()
-    i = 0
-    for record in trace.records:
+    i = start
+    records = trace.records if not start else trace.records[start:]
+    for record in records:
         i += 1
         if abort is not None and i % abort_every == 0 and abort():
             raise RunAborted(
@@ -281,6 +370,8 @@ def _write_loop_instrumented(
         t_rotate.observe(t2 - t1)
         t_pcm.observe(t3 - t2)
         _accumulate(result, outcome, line_bits)
+        if checkpointer is not None:
+            checkpointer.maybe(i)
         if tracing:
             tracer.span_event(
                 "scheme.write",

@@ -57,6 +57,13 @@ class HorizontalWearLeveler:
         self.hashed = hashed
         self.key = bytes(key)
 
+    def state_dict(self) -> dict[str, object]:
+        """The leveler itself is stateless; delegate to Start-Gap."""
+        return self.startgap.state_dict()
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.startgap.load_state_dict(state)
+
     def rotation(self, logical_line: int) -> int:
         """Current rotation amount for a line, in bit positions."""
         start_prime = self.startgap.effective_start(logical_line)
@@ -76,3 +83,10 @@ class NoWearLeveler:
 
     def rotation(self, logical_line: int) -> int:
         return 0
+
+    def state_dict(self) -> dict[str, object]:
+        return {}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        if state:
+            raise ValueError("NoWearLeveler carries no state")

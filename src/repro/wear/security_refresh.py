@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import hashlib
 
+import numpy as np
+
 
 class SecurityRefresh:
     """Single-level Security Refresh over a power-of-two region.
@@ -109,6 +111,30 @@ class SecurityRefresh:
             self.refresh_ptr = 0
             self._migrated = [False] * self.n_lines
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "round": self.round,
+            "current_key": self.current_key,
+            "next_key": self.next_key,
+            "refresh_ptr": self.refresh_ptr,
+            "writes_since_refresh": self._writes_since_refresh,
+            "refresh_writes": self.refresh_writes,
+            "migrated": np.asarray(self._migrated, dtype=np.uint8),
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.round = int(state["round"])
+        self.current_key = int(state["current_key"])
+        self.next_key = int(state["next_key"])
+        self.refresh_ptr = int(state["refresh_ptr"])
+        self._writes_since_refresh = int(state["writes_since_refresh"])
+        self.refresh_writes = int(state["refresh_writes"])
+        self._migrated = [
+            bool(v) for v in np.asarray(state["migrated"], dtype=np.uint8)
+        ]
+
     # -- mapping --------------------------------------------------------------------
 
     def physical_index(self, logical: int) -> int:
@@ -153,6 +179,13 @@ class SecurityRefreshHWL:
         self.refresh = refresh
         self.bits_per_line = bits_per_line
         self.key = bytes(key)
+
+    def state_dict(self) -> dict[str, object]:
+        """The HWL layer is stateless; delegate to Security Refresh."""
+        return self.refresh.state_dict()
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.refresh.load_state_dict(state)
 
     def rotation(self, logical_line: int) -> int:
         round_prime = self.refresh.rotation_round(logical_line)

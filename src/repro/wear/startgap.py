@@ -64,6 +64,22 @@ class StartGap:
         else:
             self.gap -= 1
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "start": self.start,
+            "gap": self.gap,
+            "writes_since_move": self._writes_since_move,
+            "move_writes": self.move_writes,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.start = int(state["start"])
+        self.gap = int(state["gap"])
+        self._writes_since_move = int(state["writes_since_move"])
+        self.move_writes = int(state["move_writes"])
+
     # -- mapping ---------------------------------------------------------------
 
     def gap_crossed(self, logical: int) -> bool:

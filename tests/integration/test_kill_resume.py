@@ -1,0 +1,172 @@
+"""SIGKILL a checkpointing run/sweep mid-flight; ``--resume`` must finish it.
+
+The hard variant of the resume guarantee: the process is killed with
+``SIGKILL`` (no cleanup, no atexit, mid-write), so only the crash-safe
+on-disk checkpoint survives.  Resuming must complete the run and match a
+clean, uninterrupted run on every exact aggregate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import Session
+from repro.obs.ledger import RunLedger
+from repro.sim.config import SimConfig
+
+WRITES = 400_000
+CKPT_EVERY = 20_000
+
+
+def _cli(args: list[str], tmp_path: Path, **popen_kwargs) -> subprocess.Popen:
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        cwd=tmp_path,
+        text=True,
+        **popen_kwargs,
+    )
+
+
+def _exact_summary(manifest) -> dict:
+    """The integer-exact slice of a manifest summary (drops wall clock)."""
+    return {
+        k: v
+        for k, v in manifest.summary.items()
+        if not k.startswith("wall")
+    }
+
+
+class TestKillResume:
+    def test_sigkilled_run_resumes_bit_identically(self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        proc = _cli(
+            [
+                "run", "--workload", "libq", "--scheme", "deuce",
+                "--writes", str(WRITES),
+                "--checkpoint-every", str(CKPT_EVERY),
+                "--runs-dir", str(runs_dir),
+            ],
+            tmp_path,
+        )
+        try:
+            # Wait for the first durable snapshot, then kill -9 mid-run.
+            deadline = time.monotonic() + 120
+            manifest_path = None
+            while time.monotonic() < deadline:
+                found = list(runs_dir.glob("*/checkpoint/checkpoint.json"))
+                if found:
+                    manifest_path = found[0]
+                    break
+                if proc.poll() is not None:
+                    pytest.fail(
+                        "run finished before a checkpoint appeared: "
+                        + proc.stdout.read()
+                    )
+                time.sleep(0.01)
+            assert manifest_path is not None, "no checkpoint within 120s"
+            proc.send_signal(signal.SIGKILL)
+            proc.communicate(timeout=30)
+            assert proc.returncode == -signal.SIGKILL
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+
+        run_id = manifest_path.parent.parent.name
+        ledger = RunLedger(runs_dir)
+        assert ledger.list() == []  # killed before any manifest landed
+
+        # The kill landed mid-run: the checkpoint is at an intermediate
+        # write index (crash-safe commit means it loads cleanly).
+        manifest = json.loads(manifest_path.read_text())
+        assert 0 < manifest["write_index"] < WRITES
+
+        resume = _cli(
+            ["run", "--resume", run_id, "--runs-dir", str(runs_dir)],
+            tmp_path,
+        )
+        out, _ = resume.communicate(timeout=300)
+        assert resume.returncode == 0, out
+
+        # The resumed run recorded its manifest under the original id.
+        resumed = ledger.get(run_id)
+        clean = Session(ledger=tmp_path / "clean-runs").run(
+            SimConfig("libq", "deuce", n_writes=WRITES, seed=0)
+        )
+        assert _exact_summary(resumed) == _exact_summary(clean.manifest)
+
+    def test_sigkilled_sweep_resumes_missing_cells_only(self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        sweep_id = "kill-drill"
+        argv = [
+            "sweep", "--workloads", "libq", "mcf", "--schemes", "deuce",
+            "noencr-dcw", "--writes", "120000", "--workers", "2",
+            "--sweep-id", sweep_id, "--runs-dir", str(runs_dir),
+            "--no-progress",
+        ]
+        cells_path = runs_dir / "sweeps" / sweep_id / "cells.jsonl"
+        # Own process group: SIGKILL must take out the pool workers too,
+        # or the orphans would keep appending cells after the "crash".
+        proc = _cli(argv, tmp_path, start_new_session=True)
+        try:
+            # Kill -9 the whole sweep as soon as one cell is durable.
+            deadline = time.monotonic() + 180
+            while time.monotonic() < deadline:
+                if cells_path.is_file() and cells_path.read_text().strip():
+                    break
+                if proc.poll() is not None:
+                    pytest.fail(
+                        "sweep ended before any cell completed: "
+                        + proc.stdout.read()
+                    )
+                time.sleep(0.01)
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=10)
+            proc.stdout.close()
+
+        done_before = len(cells_path.read_text().splitlines())
+        assert 1 <= done_before < 4
+
+        out_path = tmp_path / "resumed.json"
+        resume = _cli(
+            argv[:-1] + ["--resume", sweep_id, "--out", str(out_path)],
+            tmp_path,
+        )
+        out, _ = resume.communicate(timeout=600)
+        assert resume.returncode == 0, out
+
+        payload = json.loads(out_path.read_text())
+        assert payload["sweep_id"] == sweep_id
+        assert len(payload["results"]) == 4
+
+        # Every cell — restored and re-run alike — matches a clean run.
+        session = Session(ledger=tmp_path / "clean-runs")
+        for cell in payload["results"]:
+            clean = session.run(
+                SimConfig(
+                    cell["workload"], cell["scheme"],
+                    n_writes=cell["n_writes"], seed=0,
+                )
+            )
+            assert cell["total_flips"] == clean.total_flips
+            assert cell["slot_histogram"] == {
+                str(k): v for k, v in sorted(clean.slot_histogram.items())
+            }

@@ -171,6 +171,37 @@ class TestRunLedger:
         with pytest.raises(ValueError):
             RunLedger(tmp_path / "runs").gc(keep=-1)
 
+    def test_gc_crash_leaves_no_orphaned_dirs(self, tmp_path, monkeypatch):
+        """Regression: gc once rewrote the index *before* deleting the
+        pruned artifact dirs, so a crash in between leaked the dirs
+        forever (no index row ever points at them again).  The fixed
+        ordering deletes dirs first — a crash then leaves dangling index
+        rows, which the next gc prunes."""
+        from pathlib import Path
+
+        ledger = RunLedger(tmp_path / "runs")
+        manifests = [ledger.record(make_manifest()) for _ in range(4)]
+
+        real_replace = Path.replace
+
+        def crash_on_index_rewrite(self, target):
+            if str(target).endswith("index.jsonl"):
+                raise OSError("simulated crash mid-gc")
+            return real_replace(self, target)
+
+        monkeypatch.setattr(Path, "replace", crash_on_index_rewrite)
+        with pytest.raises(OSError, match="simulated crash"):
+            ledger.gc(keep=1)
+        monkeypatch.undo()
+
+        # Artifact dirs of the pruned runs are already gone ...
+        for manifest in manifests[:3]:
+            assert not ledger.run_dir(manifest.run_id).exists()
+        # ... and the (dangling) index rows survive and re-prune cleanly.
+        assert len(ledger) == 4
+        assert ledger.gc(keep=1) == [m.run_id for m in manifests[:3]]
+        assert {m.run_id for m in ledger.list()} == {manifests[3].run_id}
+
 
 class TestPhaseAccumulator:
     def test_sums_span_durations_by_name(self):

@@ -1,0 +1,285 @@
+"""Service restart durability (JobStore/rehydrate) and the /v1 surface."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Session
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    QUEUED,
+    Job,
+    JobError,
+    JobManager,
+    JobSpec,
+    JobStore,
+)
+from repro.service.server import API_VERSION, SimulationServer
+from repro.sim.config import SimConfig
+
+RUN_CONFIG = {"workload": "mcf", "scheme": "deuce", "n_writes": 400, "seed": 7}
+
+
+def _spec(**overrides) -> JobSpec:
+    payload = {"kind": "run", "config": RUN_CONFIG, **overrides}
+    return JobSpec.from_payload(payload)
+
+
+class TestJobSpecRoundTrip:
+    def test_to_from_dict_round_trip(self):
+        spec = JobSpec.from_payload(
+            {
+                "kind": "sweep",
+                "configs": [RUN_CONFIG, {**RUN_CONFIG, "scheme": "ble"}],
+                "workers": 3,
+                "timeout_s": 12.5,
+                "retries": 2,
+                "label": "night-sweep",
+            }
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_form_is_json_safe(self):
+        spec = _spec(retries=1)
+        assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+    def test_retries_validated(self):
+        with pytest.raises(JobError, match="retries"):
+            JobSpec.from_payload(
+                {"kind": "run", "config": RUN_CONFIG, "retries": -1}
+            )
+        with pytest.raises(JobError, match="retries"):
+            JobSpec.from_payload(
+                {"kind": "run", "config": RUN_CONFIG, "retries": "two"}
+            )
+
+
+class TestJobStore:
+    def test_last_record_per_job_wins(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = Job(_spec())
+        store.record(job)
+        job._transition(DONE)
+        job.result = {"results": []}
+        store.record(job)
+        records = store.load()
+        assert list(records) == [job.id]
+        assert records[job.id]["state"] == DONE
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = Job(_spec())
+        store.record(job)
+        with open(store.path, "a") as fh:
+            fh.write('{"job_id": "job-torn", "spec"')  # SIGKILL mid-append
+        assert list(store.load()) == [job.id]
+
+    def test_job_record_round_trip(self, tmp_path):
+        job = Job(_spec(label="keepme"))
+        job.started_utc = "2026-01-01T00:00:00Z"
+        job._transition(DONE)
+        job.result = {"results": [], "run_ids": []}
+        job.cells_done = 1
+        restored = Job.from_record(job.to_record())
+        assert restored.id == job.id
+        assert restored.spec == job.spec
+        assert restored.state == DONE
+        assert restored.result == job.result
+        assert restored.wait(0)  # terminal: result endpoint won't block
+
+
+class TestRehydration:
+    def _manager(self, tmp_path, **kwargs) -> JobManager:
+        session = Session(ledger=tmp_path / "runs")
+        store = JobStore(session.ledger.root / "service")
+        return JobManager(
+            session, job_workers=1, max_sweep_workers=2, store=store,
+            **kwargs,
+        )
+
+    def test_terminal_jobs_restore_as_snapshots(self, tmp_path):
+        manager = self._manager(tmp_path).start()
+        job = manager.submit(_spec())
+        assert job.wait(60) and job.state == DONE
+        manager.drain(10)
+
+        reborn = self._manager(tmp_path).start()
+        assert reborn.rehydrate() == []  # nothing to resubmit
+        restored = reborn.get(job.id)
+        assert restored.state == DONE
+        assert restored.result == job.result
+        reborn.drain(10)
+
+    def test_unfinished_job_is_resubmitted_and_completes(self, tmp_path):
+        # Journal a job that never got past "running" (simulated crash).
+        store = JobStore(tmp_path / "runs" / "service")
+        crashed = Job(_spec())
+        crashed.state = "running"
+        store.record(crashed)
+
+        manager = self._manager(tmp_path).start()
+        restored = manager.rehydrate()
+        assert [j.id for j in restored] == [crashed.id]
+        assert restored[0].wait(60)
+        assert restored[0].state == DONE
+        assert restored[0].result["results"][0]["n_writes"] == 400
+        manager.drain(10)
+
+    def test_resubmitted_sweep_resumes_from_keyed_checkpoint(self, tmp_path):
+        configs = (
+            SimConfig("libq", "deuce", n_writes=400, seed=7),
+            SimConfig("mcf", "deuce", n_writes=400, seed=7),
+        )
+        spec = JobSpec(kind="sweep", configs=configs, workers=1)
+        crashed = Job(spec)
+        crashed.state = QUEUED
+        store = JobStore(tmp_path / "runs" / "service")
+        store.record(crashed)
+
+        # One cell completed before the crash: it sits in the job-keyed
+        # sweep checkpoint and must be restored, not re-simulated.
+        session = Session(ledger=tmp_path / "runs")
+        done_before = session.run(configs[0])
+        session.sweep_checkpoint(crashed.id).record(
+            0, configs[0], done_before, run_id="pre-crash"
+        )
+
+        manager = self._manager(tmp_path).start()
+        (job,) = manager.rehydrate()
+        assert job.wait(60) and job.state == DONE
+        results = job.result["results"]
+        assert results[0]["total_flips"] == done_before.total_flips
+        assert results[1]["total_flips"] == session.run(configs[1]).total_flips
+        # Only the missing cell ran, so only it emitted progress events.
+        done_cells = {
+            e["cell"] for e in job.events_since(0) if e.get("kind") == "done"
+        }
+        assert done_cells == {1}
+        manager.drain(10)
+
+    def test_cancelled_while_queued_is_journaled(self, tmp_path):
+        manager = self._manager(tmp_path)  # workers not started yet
+        job = manager.submit(_spec())
+        job.request_cancel()
+        manager.start()
+        assert job.wait(30)
+        assert job.state == CANCELLED
+        manager.drain(10)
+        assert JobStore(tmp_path / "runs" / "service").load()[job.id][
+            "state"
+        ] == CANCELLED
+
+
+def _request(method: str, url: str, payload: dict | None = None):
+    """(status, headers, decoded body) for one request."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read() or b"null")
+
+
+@pytest.fixture
+def service(tmp_path):
+    session = Session(ledger=tmp_path / "runs")
+    manager = JobManager(
+        session, job_workers=2, queue_size=16, max_sweep_workers=2
+    ).start()
+    server = SimulationServer(("127.0.0.1", 0), manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.port}"
+    finally:
+        manager.drain(10, cancel=True)
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+class TestApiVersioning:
+    def test_healthz_reports_api_version(self, service):
+        status, headers, body = _request("GET", f"{service}/v1/healthz")
+        assert status == 200
+        assert body["api_version"] == API_VERSION == "v1"
+        assert "Deprecation" not in headers
+
+    def test_bare_paths_answer_with_deprecation(self, service):
+        for path in ("/healthz", "/jobs", "/runs"):
+            status, headers, _ = _request("GET", f"{service}{path}")
+            assert status == 200, path
+            assert headers.get("Deprecation") == "true", path
+            assert f'</v1{path}>; rel="successor-version"' == headers.get(
+                "Link"
+            ), path
+
+    def test_versioned_submission_echoes_v1_urls(self, service):
+        status, headers, body = _request(
+            "POST", f"{service}/v1/jobs", {"kind": "run", "config": RUN_CONFIG}
+        )
+        assert status == 201
+        assert "Deprecation" not in headers
+        assert body["status_url"] == f"/v1/jobs/{body['job_id']}"
+        assert body["result_url"].startswith("/v1/jobs/")
+        # The echoed URL works as-is.
+        status, _, snap = _request("GET", service + body["status_url"])
+        assert status == 200 and snap["job_id"] == body["job_id"]
+
+    def test_legacy_submission_keeps_bare_urls(self, service):
+        status, headers, body = _request(
+            "POST", f"{service}/jobs", {"kind": "run", "config": RUN_CONFIG}
+        )
+        assert status == 201
+        assert headers.get("Deprecation") == "true"
+        assert body["status_url"] == f"/jobs/{body['job_id']}"
+
+    def test_full_job_lifecycle_on_v1(self, service):
+        _, _, body = _request(
+            "POST", f"{service}/v1/jobs", {"kind": "run", "config": RUN_CONFIG}
+        )
+        job_id = body["job_id"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            status, headers, snap = _request(
+                "GET", f"{service}/v1/jobs/{job_id}"
+            )
+            assert status == 200 and "Deprecation" not in headers
+            if snap["state"] == "done":
+                break
+            time.sleep(0.02)
+        assert snap["state"] == "done"
+        status, _, result = _request(
+            "GET", f"{service}/v1/jobs/{job_id}/result"
+        )
+        assert status == 200
+        assert result["result"]["results"][0]["n_writes"] == 400
+
+    def test_delete_works_on_both_prefixes(self, service):
+        for prefix in ("/v1", ""):
+            _, _, body = _request(
+                "POST",
+                f"{service}{prefix or ''}/jobs",
+                {"kind": "run", "config": RUN_CONFIG},
+            )
+            status, headers, snap = _request(
+                "DELETE", f"{service}{prefix}/jobs/{body['job_id']}"
+            )
+            assert status == 200
+            assert snap["cancel_requested"] is True
+            assert ("Deprecation" in headers) == (prefix == "")
+
+    def test_unknown_route_under_v1_is_404(self, service):
+        status, headers, _ = _request("GET", f"{service}/v1/nope")
+        assert status == 404
+        assert "Deprecation" not in headers
