@@ -56,8 +56,9 @@ def record(exp_id: str, rendered: str, data: dict | None = None) -> None:
 
     When ``data`` is given it is additionally written as machine-readable
     JSON to ``benchmarks/results/BENCH_{exp_id}.json`` (for CI trend checks
-    and speedup gates); the write-path kernel bench also drops a copy at the
-    repo root (``BENCH_writepath.json``) where perf-trend tooling expects
+    and speedup gates); the write-path and trace-path benches also drop a
+    copy at the repo root (``BENCH_writepath.json`` /
+    ``BENCH_tracepath.json``) where perf-trend tooling expects
     it.  Every bench result is additionally recorded in the run ledger as a
     ``kind="bench"`` manifest.
     """
@@ -68,8 +69,8 @@ def record(exp_id: str, rendered: str, data: dict | None = None) -> None:
     if data is not None:
         blob = json.dumps(data, indent=2, sort_keys=True) + "\n"
         (RESULTS_DIR / f"BENCH_{exp_id}.json").write_text(blob)
-        if exp_id == "writepath":
-            (REPO_ROOT / "BENCH_writepath.json").write_text(blob)
+        if exp_id in ("writepath", "tracepath"):
+            (REPO_ROOT / f"BENCH_{exp_id}.json").write_text(blob)
     _record_in_ledger(exp_id, rendered, data)
 
 

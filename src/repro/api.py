@@ -213,6 +213,11 @@ class Session:
             instruments.metrics = metrics
         if tracer is not None:
             instruments.tracer = tracer
+            # Write-granular spans only when a trace file was asked for;
+            # the ledger's phase totals aggregate identically from the
+            # chunked loop's one-span-per-chunk stream, so ledger-only
+            # runs keep the batched fast path.
+            instruments.per_write_spans = bool(obs.trace_out)
         return instruments, metrics, tracer, phases
 
     # -- checkpoint plumbing -------------------------------------------------

@@ -94,6 +94,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             wear_leveling=args.wear_leveling,
             pad_kind=args.pad_kind,
             pad_cache_lines=args.pad_cache_lines,
+            chunk_size=args.chunk_size,
         )
     session = _make_session(args)
     try:
@@ -143,7 +144,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     session = _make_session(args)
     configs = [
-        SimConfig(workload, scheme, n_writes=args.writes, seed=args.seed)
+        SimConfig(
+            workload,
+            scheme,
+            n_writes=args.writes,
+            seed=args.seed,
+            chunk_size=args.chunk_size,
+        )
         for workload in args.workloads
         for scheme in args.schemes
     ]
@@ -438,6 +445,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU pad-cache capacity in line pads (0 disables caching)",
     )
     p_run.add_argument(
+        "--chunk-size",
+        type=int,
+        default=SimConfig("mcf", "deuce").chunk_size,
+        metavar="N",
+        help="writes handed to the scheme's batched write path at once "
+        "(1 forces the per-write loop; results are bit-identical at any "
+        "value)",
+    )
+    p_run.add_argument(
         "--metrics-out",
         metavar="PATH",
         help="write end-of-run metrics (counters/timers) as JSONL",
@@ -499,6 +515,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--writes", type=int, default=10_000)
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=SimConfig("mcf", "deuce").chunk_size,
+        metavar="N",
+        help="batched write-path chunk size for every cell (1 forces the "
+        "per-write loop; results are bit-identical at any value)",
+    )
     p_sweep.add_argument(
         "--workers",
         type=int,

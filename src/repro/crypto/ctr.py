@@ -58,6 +58,17 @@ class CounterModeEngine:
                 f"line must be {self.line_bytes} bytes, got {len(data)}"
             )
 
+    def keystream(
+        self, addresses: np.ndarray, counters: np.ndarray
+    ) -> np.ndarray:
+        """Whole-batch CTR keystream: ``(m, line_bytes)`` pads in one call.
+
+        Row ``i`` equals ``pad(addresses[i], counters[i])``; the heavy
+        lifting is the pad source's wide batch path (one vectorized AES pass
+        or one joined BLAKE2 digest stream per chunk).
+        """
+        return self.pads.line_pads_batch(addresses, counters, self.line_bytes)
+
 
 def mix_pads_array(
     pad_leading: np.ndarray,

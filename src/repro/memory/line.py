@@ -70,6 +70,25 @@ class StoredLine:
         )
         self.counter = counter
 
+    @classmethod
+    def from_parts(
+        cls, arr: np.ndarray, meta: np.ndarray, counter: int
+    ) -> "StoredLine":
+        """Zero-validation construction for the batch write paths.
+
+        The caller must pass read-only ``uint8`` arrays (typically row views
+        of a frozen parent buffer); no copies, casts, or flag changes are
+        performed.  Semantically identical to ``StoredLine(arr, meta,
+        counter)`` — this exists because the batch commit loops create
+        thousands of lines per chunk and the constructor's checks dominate.
+        """
+        self = cls.__new__(cls)
+        self._data = None
+        self.arr = arr
+        self.meta = meta
+        self.counter = counter
+        return self
+
     @property
     def data(self) -> bytes:
         if self._data is None:

@@ -63,6 +63,62 @@ def slots_for_write(
     return slots_for_positions(positions, line_bits, slot_bits)
 
 
+def slots_for_batch(
+    n_writes: int,
+    data_positions: np.ndarray,
+    data_rows: np.ndarray,
+    meta_positions: np.ndarray,
+    meta_rows: np.ndarray,
+    line_bits: int,
+    slot_bits: int = SLOT_BITS,
+) -> np.ndarray:
+    """Per-write slot counts for a whole chunk (vectorized).
+
+    Builds a (write, region) presence matrix and sums it per row — the
+    batched form of :func:`slots_for_write` for a
+    :class:`~repro.schemes.batch.BatchOutcome`'s flat position arrays.
+    """
+    n_regions = -(-line_bits // slot_bits)
+    presence = np.zeros((n_writes, n_regions), dtype=bool)
+    if data_positions.size:
+        regions = np.minimum(data_positions // slot_bits, n_regions - 1)
+        presence[data_rows, regions] = True
+    if meta_positions.size:
+        # Metadata bits ride along with the last region (positions are
+        # >= line_bits after the offset, hence always clamped).
+        presence[meta_rows, n_regions - 1] = True
+    return presence.sum(axis=1, dtype=np.int64)
+
+
+def slots_for_batch_diffs(
+    data_diff: np.ndarray,
+    meta_diff: np.ndarray | None,
+    line_bits: int,
+    slot_bits: int = SLOT_BITS,
+) -> np.ndarray:
+    """Per-write slot counts straight from a chunk's packed diff matrices.
+
+    Equivalent to :func:`slots_for_batch` over the expanded bit positions,
+    but works on the ``(m, line_bytes)`` byte diff: a region is occupied iff
+    any of its bytes differ, one ``reduceat`` per chunk.  Requires
+    byte-aligned regions (``slot_bits % 8 == 0``, true for the hardware's
+    128-bit slots).
+    """
+    if slot_bits % 8:
+        raise ValueError("slot_bits must be a multiple of 8")
+    m, n_bytes = data_diff.shape
+    n_regions = -(-line_bits // slot_bits)
+    slot_bytes = slot_bits // 8
+    # Region boundaries in byte space; bytes past (n_regions-1)*slot_bytes
+    # collapse into the last region exactly like the position clamp.
+    starts = np.arange(0, min(n_regions * slot_bytes, n_bytes), slot_bytes)
+    presence = np.bitwise_or.reduceat(data_diff, starts, axis=1) != 0
+    if meta_diff is not None and meta_diff.size:
+        # Metadata bits ride along with the last region.
+        presence[:, -1] |= meta_diff.any(axis=1)
+    return presence.sum(axis=1, dtype=np.int64)
+
+
 @dataclass
 class WearSummary:
     """Aggregate wear statistics over the tracked array region.
@@ -157,6 +213,121 @@ class PcmArray:
         self.total_writes += 1
         self.total_flips += int(positions.size)
         return int(positions.size)
+
+    def apply_batch(
+        self,
+        addresses: np.ndarray,
+        data_positions: np.ndarray,
+        data_rows: np.ndarray,
+        meta_positions: np.ndarray,
+        meta_rows: np.ndarray,
+        rotations: np.ndarray | None = None,
+    ) -> int:
+        """Record a whole chunk's cell programs with scatter-adds.
+
+        Parameters mirror the flat position arrays of a
+        :class:`~repro.schemes.batch.BatchOutcome`: ``addresses`` is the
+        per-row line address, ``*_positions`` the flipped bit indices and
+        ``*_rows`` the row each belongs to.  ``rotations``, when given, is
+        the per-row HWL rotation (static within a chunk — the runner cuts
+        chunks at rotation changes).  Equivalent to ``m`` sequential
+        :meth:`apply_write` calls; returns the total flip count.
+        """
+        m = int(addresses.shape[0])
+        if meta_positions.size:
+            positions = np.concatenate(
+                [data_positions, meta_positions + 8 * self.line_bytes]
+            )
+            rows = np.concatenate([data_rows, meta_rows])
+        else:
+            positions = data_positions
+            rows = data_rows
+        if rotations is not None and positions.size:
+            positions = (positions + rotations[rows]) % self.bits_per_line
+        if positions.size:
+            np.add.at(self.position_writes, positions, 1)
+        if self.track_per_line and positions.size:
+            # One bincount per touched line: flatten (line, position) into a
+            # single index space so the whole chunk is one scatter.
+            line_ids = addresses[rows]
+            uniq, inv = np.unique(line_ids, return_inverse=True)
+            flat = np.bincount(
+                inv * self.bits_per_line + positions,
+                minlength=uniq.size * self.bits_per_line,
+            ).reshape(uniq.size, self.bits_per_line)
+            for k, addr in enumerate(uniq.tolist()):
+                wear = self._line_wear.get(addr)
+                if wear is None:
+                    wear = np.zeros(self.bits_per_line, dtype=np.int64)
+                    self._line_wear[addr] = wear
+                wear += flat[k]
+        self.total_writes += m
+        self.total_flips += int(positions.size)
+        return int(positions.size)
+
+    def apply_batch_diffs(
+        self,
+        addresses: np.ndarray,
+        data_diff: np.ndarray,
+        meta_diff: np.ndarray | None = None,
+        rotations: np.ndarray | None = None,
+    ) -> int:
+        """Record a chunk's cell programs from its packed diff matrices.
+
+        The histogram contribution of a chunk is a column-wise bit count of
+        the unpacked diff — no flat position arrays.  ``rotations`` (per
+        row) must be constant within each line's rows, which the runner
+        guarantees by cutting chunks at wear-leveler events; a line's
+        rotated histogram is then just ``np.roll`` of its unrotated one.
+        Bit-identical to :meth:`apply_batch` over the expanded positions.
+        """
+        m, n_bytes = data_diff.shape
+        if n_bytes != self.line_bytes:
+            raise ValueError("diff width does not match line_bytes")
+        data_bits = 8 * n_bytes
+        bits = np.unpackbits(data_diff, axis=1)
+        meta_w = (
+            meta_diff.shape[1]
+            if meta_diff is not None and meta_diff.size
+            else 0
+        )
+        rotated = rotations is not None and bool(np.any(rotations))
+        if not (self.track_per_line or rotated):
+            colsum = bits.sum(axis=0, dtype=np.int64)
+            self.position_writes[:data_bits] += colsum
+            flips = int(colsum.sum())
+            if meta_w:
+                meta_colsum = meta_diff.sum(axis=0, dtype=np.int64)
+                self.position_writes[data_bits : data_bits + meta_w] += (
+                    meta_colsum
+                )
+                flips += int(meta_colsum.sum())
+        else:
+            flips = 0
+            uniq, inv = np.unique(addresses, return_inverse=True)
+            for k, addr in enumerate(uniq.tolist()):
+                rows = inv == k
+                h = np.zeros(self.bits_per_line, dtype=np.int64)
+                h[:data_bits] = bits[rows].sum(axis=0, dtype=np.int64)
+                if meta_w:
+                    h[data_bits : data_bits + meta_w] = meta_diff[rows].sum(
+                        axis=0, dtype=np.int64
+                    )
+                flips += int(h.sum())
+                if rotations is not None:
+                    rot = int(rotations[int(np.argmax(rows))])
+                    if rot:
+                        h = np.roll(h, rot % self.bits_per_line)
+                self.position_writes += h
+                if self.track_per_line:
+                    wear = self._line_wear.get(addr)
+                    if wear is None:
+                        wear = np.zeros(self.bits_per_line, dtype=np.int64)
+                        self._line_wear[addr] = wear
+                    wear += h
+        self.total_writes += m
+        self.total_flips += flips
+        return flips
 
     def state_dict(self) -> dict[str, object]:
         """All mutable wear state (for run checkpoints)."""

@@ -59,6 +59,11 @@ class Instruments:
         cancellation for the job service and sweep engine.
     abort_every:
         Writes between abort polls; ``0`` auto-sizes (~every 512 writes).
+    per_write_spans:
+        When tracing is live, emit one span per write (full-fidelity JSONL
+        traces).  Set False when the trace sink only aggregates per-phase
+        totals (the run ledger's default), which frees the runner to execute
+        chunked with one span per chunk under the same span names.
     """
 
     metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
@@ -68,6 +73,7 @@ class Instruments:
     heartbeat_every: int = 0
     abort: Callable[[], bool] | None = None
     abort_every: int = 0
+    per_write_spans: bool = True
 
     @property
     def enabled(self) -> bool:
@@ -131,3 +137,20 @@ class InstrumentedPadSource:
         pad = self._inner.line_pad_array(address, counter, n_bytes)
         self._observe(t0, "line_array")
         return pad
+
+    def line_pads_batch(self, addresses, counters, n_bytes: int):
+        """Batched fetch: one timed call attributed to every pad in it.
+
+        Counts ``len(addresses)`` fetches and the same number of timer
+        observations (via ``observe_many``), so ``pad.fetches`` and the
+        ``pad.fetch_s`` count match the per-write path exactly.
+        """
+        t0 = self._clock()
+        pads = self._inner.line_pads_batch(addresses, counters, n_bytes)
+        dur = self._clock() - t0
+        n = len(addresses)
+        self._timer.observe_many(dur, n)
+        self._count.inc(n)
+        if self._tracer.enabled:
+            self._tracer.span_event("pad.fetch", t0, dur, op="batch", n=n)
+        return pads

@@ -90,6 +90,25 @@ class Histogram:
         if value > self.max:
             self.max = value
 
+    def observe_many(self, total: float, count: int) -> None:
+        """Fold ``count`` observations summing to ``total`` in one call.
+
+        Used by the chunked write loop, which times a whole chunk and
+        attributes it to its writes: counts and sums stay exactly what the
+        per-write path would record, while min/max are updated with the
+        chunk mean (per-observation extremes are not recoverable from a
+        chunk-level timing).
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total += total
+        mean = total / count
+        if mean < self.min:
+            self.min = mean
+        if mean > self.max:
+            self.max = mean
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -153,6 +172,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, total: float, count: int) -> None:
         pass
 
     class _NullTiming:

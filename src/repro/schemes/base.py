@@ -119,6 +119,12 @@ class WriteScheme(ABC):
     #: first constructor argument.
     requires_pads: ClassVar[bool] = True
 
+    #: Whether :meth:`write_batch` is a genuinely vectorized implementation.
+    #: The chunked runner only batches schemes that set this; for the rest
+    #: the generic per-write fallback below exists for tests and tooling but
+    #: is slower than the serial loop.
+    supports_write_batch: ClassVar[bool] = False
+
     def __init__(self, line_bytes: int = 64) -> None:
         if line_bytes <= 0:
             raise ValueError("line_bytes must be positive")
@@ -158,6 +164,19 @@ class WriteScheme(ABC):
     def _install(self, address: int, plaintext: bytes) -> StoredLine:
         """Scheme-specific initial placement."""
 
+    def install_batch(self, addresses, data) -> None:
+        """Install ``n`` lines at once (a working set's initial encryption).
+
+        Parameters are ``(n,)`` int64 addresses and ``(n, line_bytes)``
+        uint8 images.  The default implementation loops :meth:`install`;
+        pad-based batch schemes override it to fetch the whole initial
+        keystream in one wide pad call.  Either way the resulting scheme
+        state — and the pad cache's LRU order and hit/miss statistics —
+        is bit-identical to ``n`` sequential installs.
+        """
+        for i in range(len(addresses)):
+            self.install(int(addresses[i]), bytes(data[i]))
+
     def write(self, address: int, plaintext: bytes) -> WriteOutcome:
         """Apply a writeback and report its cell-level effect."""
         self._check_line(plaintext)
@@ -170,6 +189,25 @@ class WriteScheme(ABC):
     @abstractmethod
     def _write(self, address: int, plaintext: bytes) -> WriteOutcome:
         """Scheme-specific write path."""
+
+    def write_batch(self, addresses, data) -> "BatchOutcome":
+        """Apply ``m`` consecutive writebacks and report their effects.
+
+        Parameters are ``(m,)`` int64 addresses and ``(m, line_bytes)``
+        uint8 payloads, in trace order.  The default implementation loops
+        :meth:`write` and packs the outcomes; vectorized schemes override
+        it (and set :attr:`supports_write_batch`) to process the whole
+        chunk as one array program.  Either way the result is bit-identical
+        to ``m`` sequential :meth:`write` calls.
+        """
+        from repro.schemes.batch import BatchOutcome
+
+        return BatchOutcome.from_outcomes(
+            [
+                self.write(int(addresses[i]), data[i].tobytes())
+                for i in range(len(addresses))
+            ]
+        )
 
     @abstractmethod
     def read(self, address: int) -> bytes:

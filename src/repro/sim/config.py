@@ -46,6 +46,7 @@ _FIELD_TYPES: dict[str, tuple[type, ...]] = {
     "hwl_region_lines": (int, type(None)),
     "track_per_line_wear": (bool,),
     "pad_cache_lines": (int,),
+    "chunk_size": (int,),
 }
 
 
@@ -87,6 +88,13 @@ class SimConfig:
     pad_cache_lines:
         Capacity (in cached line pads) of the LRU pad cache wrapped around
         the pad source; ``0`` disables caching.
+    chunk_size:
+        Writes the runner hands to ``scheme.write_batch`` at once when the
+        scheme supports it.  ``1`` forces the serial per-write loop.
+        Results are bit-identical at any value (chunks are cut at
+        checkpoint, sampling, heartbeat, and wear-leveler boundaries, and
+        epoch resets are handled inside the batch); larger chunks amortize
+        dispatch overhead across the whole batch.
     """
 
     workload: str
@@ -104,6 +112,7 @@ class SimConfig:
     hwl_region_lines: int | None = None
     track_per_line_wear: bool = False
     pad_cache_lines: int = 1024
+    chunk_size: int = 512
 
     def __post_init__(self) -> None:
         # Accept a hex string for ``key`` so configs survive JSON: to_dict

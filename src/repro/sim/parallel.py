@@ -14,9 +14,17 @@ Guarantees:
   :class:`~repro.sim.results.RunResult`s to a serial one (there is a test
   for this).  Progress streaming never changes results: worker-side
   instrumentation is read-only.
-* **Per-worker trace caching** — :func:`repro.sim.runner.cached_trace` is an
-  ``lru_cache``, which is per-process; every worker that simulates several
-  schemes of one workload generates that workload's trace once.
+* **Shared-memory traces** — the pool path materializes each unique
+  workload trace once in the parent and publishes it into
+  ``multiprocessing.shared_memory`` segments
+  (:class:`~repro.sim.shm.TracePublisher`); workers receive only a tiny
+  :class:`~repro.sim.shm.TraceShmSpec` and attach zero-copy
+  :class:`~repro.workloads.trace.Trace` views, so no trace bytes are
+  pickled to workers and no worker regenerates a trace.  If publishing or
+  attaching fails (e.g. an exhausted ``/dev/shm``) the affected cells fall
+  back to the per-process ``lru_cache`` of
+  :func:`repro.sim.runner.cached_trace` — shared memory is an
+  optimization, never a correctness dependency.
 * **Serial fallback** — an effective worker count of 1 (or a single-cell
   sweep) runs inline in the calling process with no pool overhead, so
   callers can thread one knob through unconditionally.
@@ -61,6 +69,7 @@ from repro.obs.progress import DONE, HEARTBEAT, START, ProgressEvent
 from repro.sim.checkpoint import SweepCheckpoint, config_signature
 from repro.sim.config import SimConfig
 from repro.sim.results import RunResult
+from repro.sim.shm import TracePublisher, TraceShmSpec, attach_trace
 
 #: Upper bound on auto-selected workers; grids rarely have more useful
 #: parallelism and oversubscribing a small container only adds overhead.
@@ -138,11 +147,28 @@ def _backoff_delay(attempt: int, base_s: float) -> float:
     return min(_BACKOFF_CAP_S, base_s * (2 ** (attempt - 1)))
 
 
-def _run_cell(config: SimConfig) -> RunResult:
+def _worker_trace(spec: TraceShmSpec | None):
+    """Attach a published trace, or ``None`` to regenerate locally.
+
+    Attach failures (the parent's segment vanished, a platform without
+    POSIX shared memory) degrade to the pre-shared-memory behaviour:
+    ``run(config)`` falls back to its per-process ``cached_trace``.
+    """
+    if spec is None:
+        return None
+    try:
+        return attach_trace(spec)
+    except Exception:
+        return None
+
+
+def _run_cell(
+    config: SimConfig, trace_spec: TraceShmSpec | None = None
+) -> RunResult:
     """Worker entry point: one simulation cell (module-level for pickling)."""
     from repro.sim.runner import run
 
-    return run(config)
+    return run(config, trace=_worker_trace(trace_spec))
 
 
 def _run_cell_observed(
@@ -151,6 +177,7 @@ def _run_cell_observed(
     n_cells: int,
     events,
     heartbeat_every: int,
+    trace_spec: TraceShmSpec | None = None,
 ) -> RunResult:
     """Worker entry point streaming progress events for one cell."""
     from repro.sim.runner import run
@@ -171,7 +198,9 @@ def _run_cell_observed(
         heartbeat=lambda done, total: events.put(_event(HEARTBEAT, done)),
         heartbeat_every=heartbeat_every,
     )
-    result = run(config, instruments=instruments)
+    result = run(
+        config, trace=_worker_trace(trace_spec), instruments=instruments
+    )
     events.put(_event(DONE, config.n_writes))
     return result
 
@@ -288,10 +317,21 @@ def run_suite_parallel(
             should_stop, retries, retry_backoff_s, on_complete,
         )
     else:
-        _run_pool(
-            configs, todo, results, workers, progress, heartbeat_every,
-            should_stop, retries, retry_backoff_s, on_complete,
-        )
+        # Publish each unique trace into shared memory once; workers get a
+        # tiny spec per cell and attach zero-copy instead of regenerating.
+        # The publisher outlives the pool (workers hold live mappings) and
+        # unlinks every segment on the way out, success or failure.
+        with TracePublisher() as publisher:
+            todo_set = set(todo)
+            specs = [
+                publisher.publish(configs[i]) if i in todo_set else None
+                for i in range(n)
+            ]
+            _run_pool(
+                configs, specs, todo, results, workers, progress,
+                heartbeat_every, should_stop, retries, retry_backoff_s,
+                on_complete,
+            )
     return results  # type: ignore[return-value]
 
 
@@ -371,6 +411,7 @@ def _run_serial(
 
 def _run_pool(
     configs: list[SimConfig],
+    specs: list["TraceShmSpec | None"],
     todo: list[int],
     results: list[RunResult | None],
     workers: int,
@@ -384,8 +425,8 @@ def _run_pool(
     """Pool front-end: sets up the event queue iff progress is wanted."""
     if progress is None:
         _run_pool_scheduler(
-            configs, todo, results, workers, None, None, heartbeat_every,
-            should_stop, retries, backoff_s, on_complete,
+            configs, specs, todo, results, workers, None, None,
+            heartbeat_every, should_stop, retries, backoff_s, on_complete,
         )
         return
     # A manager queue carries events from workers; the main process
@@ -394,13 +435,14 @@ def _run_pool(
     with multiprocessing.Manager() as manager:
         events = manager.Queue()
         _run_pool_scheduler(
-            configs, todo, results, workers, events, progress,
+            configs, specs, todo, results, workers, events, progress,
             heartbeat_every, should_stop, retries, backoff_s, on_complete,
         )
 
 
 def _run_pool_scheduler(
     configs: list[SimConfig],
+    specs: list["TraceShmSpec | None"],
     todo: list[int],
     results: list[RunResult | None],
     workers: int,
@@ -431,12 +473,14 @@ def _run_pool_scheduler(
 
     def submit(index: int) -> None:
         config = configs[index]
+        spec = specs[index]
         if events is not None:
             future = pool.submit(
-                _run_cell_observed, index, config, n, events, heartbeat_every
+                _run_cell_observed, index, config, n, events,
+                heartbeat_every, spec,
             )
         else:
-            future = pool.submit(_run_cell, config)
+            future = pool.submit(_run_cell, config, spec)
         futures[future] = index
 
     def charge(index: int, exc: BaseException) -> float:

@@ -20,11 +20,20 @@ identical results (there is a test for this).
 
 from __future__ import annotations
 
+import threading
 import time
-from functools import lru_cache
+from collections import OrderedDict
+
+import numpy as np
 
 from repro.crypto.pads import CachingPadSource, make_pad_source
-from repro.memory.pcm import PcmArray, slots_for_write
+from repro.memory.pcm import (
+    PcmArray,
+    slots_for_batch,
+    slots_for_batch_diffs,
+    slots_for_write,
+)
+from repro.schemes.batch import BatchOutcome
 from repro.obs.instruments import (
     DISABLED,
     Instruments,
@@ -50,12 +59,35 @@ from repro.wear.startgap import StartGap
 from repro.workloads.trace import Trace, generate_trace
 
 
-@lru_cache(maxsize=32)
+_TRACE_CACHE: OrderedDict[tuple, Trace] = OrderedDict()
+_TRACE_CACHE_MAX = 32
+_TRACE_CACHE_LOCK = threading.Lock()
+
+
 def cached_trace(
-    workload: str, n_writes: int, seed: int, line_bytes: int
+    workload: str, n_writes: int, seed: int, line_bytes: int, abort=None
 ) -> Trace:
-    """Memoized trace generation (same stream for every scheme compared)."""
-    return generate_trace(workload, n_writes, seed=seed, line_bytes=line_bytes)
+    """Memoized trace generation (same stream for every scheme compared).
+
+    ``abort`` is threaded into :func:`generate_trace` so a job deadline or
+    cancel can interrupt synthesis of a large trace; an aborted generation
+    raises without poisoning the cache.
+    """
+    key = (workload, n_writes, seed, line_bytes)
+    with _TRACE_CACHE_LOCK:
+        trace = _TRACE_CACHE.get(key)
+        if trace is not None:
+            _TRACE_CACHE.move_to_end(key)
+            return trace
+    trace = generate_trace(
+        workload, n_writes, seed=seed, line_bytes=line_bytes, abort=abort
+    )
+    with _TRACE_CACHE_LOCK:
+        _TRACE_CACHE[key] = trace
+        _TRACE_CACHE.move_to_end(key)
+        while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+            _TRACE_CACHE.popitem(last=False)
+    return trace
 
 
 def build_scheme(config: SimConfig) -> WriteScheme:
@@ -111,6 +143,47 @@ def _accumulate(
     if outcome.mode:
         result.mode_histogram[outcome.mode] += 1
     return slots
+
+
+def _accumulate_batch(
+    result: RunResult, batch: BatchOutcome, line_bits: int
+) -> None:
+    """Fold a whole chunk's outcomes into the aggregates at once.
+
+    Every count a :func:`_accumulate` loop would produce, computed as array
+    sums and one ``bincount`` for the slot histogram — bit-identical to
+    folding the chunk's writes one at a time.
+    """
+    data = int(batch.data_flips.sum())
+    meta = int(batch.meta_flips.sum())
+    result.total_flips += data + meta
+    result.data_flips += data
+    result.meta_flips += meta
+    result.set_flips += int(batch.set_flips.sum())
+    result.reset_flips += int(batch.reset_flips.sum())
+    if batch.data_diff is not None:
+        slots = slots_for_batch_diffs(
+            batch.data_diff, batch.meta_diff, line_bits
+        )
+    else:
+        slots = slots_for_batch(
+            batch.n_writes,
+            batch.data_positions,
+            batch.data_rows,
+            batch.meta_positions,
+            batch.meta_rows,
+            line_bits,
+        )
+    result.total_slots += int(slots.sum())
+    for n_slots, count in enumerate(np.bincount(slots).tolist()):
+        if count:
+            result.slot_histogram[n_slots] += count
+    result.total_words_reencrypted += int(batch.words_reencrypted.sum())
+    result.full_reencryptions += int(batch.full_line_reencrypted.sum())
+    result.epoch_resets += int(batch.epoch_reset.sum())
+    result.mode_switches += int(batch.mode_switched.sum())
+    for mode, count in batch.mode_counts.items():
+        result.mode_histogram[mode] += count
 
 
 def run(
@@ -171,7 +244,11 @@ def run(
     if trace is None:
         with tracer.span("trace.gen", workload=config.workload):
             trace = cached_trace(
-                config.workload, config.n_writes, config.seed, config.line_bytes
+                config.workload,
+                config.n_writes,
+                config.seed,
+                config.line_bytes,
+                abort=obs.abort if obs.enabled else None,
             )
     scheme = build_scheme(config)
     pad_cache = _find_pad_cache(getattr(scheme, "pads", None))
@@ -180,11 +257,26 @@ def run(
         # (cache hits included).
         scheme.pads = InstrumentedPadSource(scheme.pads, obs.metrics, tracer)
 
+    # The chunked loop replicates every observable the instrumented loop
+    # records except per-write trace spans, so it runs whenever the scheme
+    # can batch and nobody asked for write-granular spans.  Decided before
+    # install: the chunked path also installs the working set through one
+    # batched pad call, while ``chunk_size=1`` keeps the per-write
+    # reference behaviour end to end.
+    use_chunked = (
+        config.chunk_size > 1
+        and scheme.supports_write_batch
+        and not (tracer.enabled and obs.per_write_spans)
+    )
     addresses = trace.addresses()
     if checkpoint is None:
         with tracer.span("install", lines=len(addresses)):
-            for addr in addresses:
-                scheme.install(addr, trace.initial[addr])
+            if use_chunked:
+                init_addresses, init_data = trace.initial_arrays()
+                scheme.install_batch(init_addresses, init_data)
+            else:
+                for addr in addresses:
+                    scheme.install(addr, trace.initial[addr])
     else:
         with tracer.span("resume.load", write_index=checkpoint.write_index):
             scheme.load_state_dict(checkpoint.scheme_state)
@@ -206,7 +298,12 @@ def run(
     vwl = getattr(leveler, "startgap", None) or getattr(
         leveler, "refresh", None
     )
-    line_index = {addr: i % region for i, addr in enumerate(addresses)}
+    # The chunked loop never consults the line index without a wear
+    # leveler, so skip building it for that combination.
+    if use_chunked and isinstance(leveler, NoWearLeveler):
+        line_index: dict[int, int] = {}
+    else:
+        line_index = {addr: i % region for i, addr in enumerate(addresses)}
 
     result = RunResult(
         workload=config.workload,
@@ -237,7 +334,12 @@ def run(
             result=result,
             pad_cache=pad_cache,
         )
-    if obs.enabled:
+    if use_chunked:
+        _write_loop_chunked(
+            config, trace, scheme, pcm, leveler, vwl, line_index, result, obs,
+            pad_cache, start=start, checkpointer=checkpointer,
+        )
+    elif obs.enabled:
         _write_loop_instrumented(
             config, trace, scheme, pcm, leveler, vwl, line_index, result, obs,
             pad_cache, start=start, checkpointer=checkpointer,
@@ -301,6 +403,170 @@ def _write_loop(
         _accumulate(result, outcome, line_bits)
         i += 1
         checkpointer.maybe(i)
+
+
+def _next_multiple(i: int, every: int) -> int:
+    """The smallest multiple of ``every`` strictly greater than ``i``."""
+    return (i // every + 1) * every
+
+
+def _write_loop_chunked(
+    config: SimConfig,
+    trace: Trace,
+    scheme: WriteScheme,
+    pcm: PcmArray,
+    leveler,
+    vwl,
+    line_index: dict[int, int],
+    result: RunResult,
+    obs: Instruments,
+    pad_cache: CachingPadSource | None,
+    start: int = 0,
+    checkpointer: RunCheckpointer | None = None,
+) -> None:
+    """The batched write loop: whole trace chunks through ``write_batch``.
+
+    Chunks are cut so that every interval-triggered side effect — abort
+    polls, checkpoint saves, interval samples, heartbeats, and wear-leveler
+    gap movements — lands exactly where the serial loops put it:
+
+    * sample/heartbeat/checkpoint intervals fire *after* the write at each
+      multiple, so a chunk never crosses a multiple (it ends on one);
+    * abort polls happen *before* the write at each multiple, so a chunk
+      never contains one (the poll runs at the top of the next chunk);
+    * a Start-Gap/Security-Refresh event fires at most once per chunk, as
+      its final write, keeping the HWL rotation constant across the chunk
+      (the serial loop computes each write's rotation before notifying the
+      leveler, so the triggering write itself still uses the old rotation).
+
+    Everything else (epoch resets, pad-cache traffic, flip accounting) is
+    handled inside ``write_batch`` bit-identically to the serial path.
+    Metrics use ``observe_many`` so timer/counter counts match the
+    per-write loop; when tracing is live, one span per chunk is emitted
+    under the serial span names (the loop is only selected with tracing on
+    when ``per_write_spans`` is off).
+    """
+    line_bits = 8 * config.line_bytes
+    addresses_arr, data_arr = trace.write_arrays()
+    n_records = int(addresses_arr.shape[0])
+    chunk_size = config.chunk_size
+    no_rotation = isinstance(leveler, NoWearLeveler)
+    enabled = obs.enabled
+    metrics = obs.metrics
+    tracer = obs.tracer
+    tracing = tracer.enabled
+    perf = time.perf_counter
+
+    t_write = t_rotate = t_pcm = None
+    if enabled:
+        t_write = metrics.timer("scheme.write_s")
+        t_rotate = metrics.timer("wear.rotation_s")
+        t_pcm = metrics.timer("pcm.apply_s")
+    sampler = None
+    sample_every = 0
+    if enabled and obs.sample_interval > 0:
+        sampler = IntervalSampler(obs.sample_interval, result, pcm, pad_cache)
+        sample_every = obs.sample_interval
+    heartbeat = obs.heartbeat if enabled else None
+    hb_every = 0
+    if heartbeat is not None:
+        hb_every = obs.heartbeat_every or max(1, n_records // 10)
+    abort = obs.abort if enabled else None
+    abort_every = 0
+    if abort is not None:
+        abort_every = obs.abort_every or max(1, min(512, n_records // 10))
+
+    loop_t0 = perf()
+    i = start
+    while i < n_records:
+        if abort is not None and (i + 1) % abort_every == 0 and abort():
+            raise RunAborted(
+                f"run aborted before write {i + 1}/{n_records} "
+                f"({config.workload}/{config.scheme})",
+                writes_done=i,
+            )
+        end = min(i + chunk_size, n_records)
+        if sample_every:
+            end = min(end, _next_multiple(i, sample_every))
+        if hb_every:
+            end = min(end, _next_multiple(i, hb_every))
+        if checkpointer is not None:
+            end = min(end, _next_multiple(i, checkpointer.every))
+        if abort_every:
+            end = min(end, _next_multiple(i + 1, abort_every) - 1)
+        if vwl is not None:
+            end = min(end, i + vwl.writes_until_event)
+        k = end - i
+
+        t0 = perf()
+        batch = scheme.write_batch(addresses_arr[i:end], data_arr[i:end])
+        t1 = perf()
+        if no_rotation:
+            rotations = None
+        else:
+            uniq, inv = np.unique(batch.addresses, return_inverse=True)
+            per_line = np.fromiter(
+                (leveler.rotation(line_index[int(a)]) for a in uniq),
+                dtype=np.int64,
+                count=uniq.size,
+            )
+            rotations = per_line[inv]
+        t2 = perf()
+        if batch.data_diff is not None:
+            pcm.apply_batch_diffs(
+                batch.addresses,
+                batch.data_diff,
+                batch.meta_diff,
+                rotations=rotations,
+            )
+        else:
+            pcm.apply_batch(
+                batch.addresses,
+                batch.data_positions,
+                batch.data_rows,
+                batch.meta_positions,
+                batch.meta_rows,
+                rotations=rotations,
+            )
+        t3 = perf()
+        if vwl is not None:
+            vwl.advance(k)
+        _accumulate_batch(result, batch, line_bits)
+        i = end
+
+        if enabled:
+            t_write.observe_many(t1 - t0, k)
+            t_rotate.observe_many(t2 - t1, k)
+            t_pcm.observe_many(t3 - t2, k)
+            if tracing:
+                tracer.span_event(
+                    "scheme.write", t0, t1 - t0, write=i, n=k,
+                    flips=int(batch.data_flips.sum() + batch.meta_flips.sum()),
+                )
+                tracer.span_event("wear.rotation", t1, t2 - t1, write=i, n=k)
+                tracer.span_event("pcm.apply", t2, t3 - t2, write=i, n=k)
+        if checkpointer is not None:
+            checkpointer.maybe(i)
+        if sample_every and i % sample_every == 0:
+            sampler.record(i)
+        if hb_every and i % hb_every == 0:
+            heartbeat(i, n_records)
+
+    if enabled:
+        metrics.gauge("run.write_loop_s").set(perf() - loop_t0)
+        metrics.counter("run.writes").inc(result.n_writes)
+        metrics.counter("run.flips").inc(result.total_flips)
+        metrics.counter("run.slots").inc(result.total_slots)
+        metrics.counter("run.epoch_resets").inc(result.epoch_resets)
+        metrics.counter("run.mode_switches").inc(result.mode_switches)
+        metrics.counter("run.full_reencryptions").inc(
+            result.full_reencryptions
+        )
+        if pad_cache is not None:
+            metrics.counter("pad.cache_hits").inc(pad_cache.hits)
+            metrics.counter("pad.cache_misses").inc(pad_cache.misses)
+        if sampler is not None:
+            result.series = sampler.finalize(n_records)
 
 
 def _write_loop_instrumented(

@@ -82,6 +82,33 @@ class SecurityRefresh:
         self._refresh_one()
         return True
 
+    @property
+    def writes_until_event(self) -> int:
+        """Demand writes remaining until the next refresh (>= 1).
+
+        Chunk-boundary hook for the batched runner, mirroring
+        :attr:`StartGap.writes_until_event`.
+        """
+        return self.refresh_interval - self._writes_since_refresh
+
+    def advance(self, k: int) -> bool:
+        """Count ``k`` demand writes at once; equivalent to ``k`` on_write().
+
+        ``k`` must not exceed :attr:`writes_until_event`, so at most one
+        refresh can fire (on the final write).  Returns True when it did.
+        """
+        if k < 0 or k > self.writes_until_event:
+            raise ValueError(
+                f"advance({k}) crosses a refresh "
+                f"(writes_until_event={self.writes_until_event})"
+            )
+        self._writes_since_refresh += k
+        if self._writes_since_refresh < self.refresh_interval:
+            return False
+        self._writes_since_refresh = 0
+        self._refresh_one()
+        return True
+
     def _refresh_one(self) -> None:
         # Skip lines already migrated as a partner of an earlier refresh.
         while (

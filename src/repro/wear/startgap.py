@@ -55,6 +55,35 @@ class StartGap:
         self._move_gap()
         return True
 
+    @property
+    def writes_until_event(self) -> int:
+        """Demand writes remaining until the next gap movement (>= 1).
+
+        The chunked runner cuts its batches here so a chunk contains at
+        most one gap movement — as its final write — keeping the rotation
+        constant across the chunk.
+        """
+        return self.gap_write_interval - self._writes_since_move
+
+    def advance(self, k: int) -> bool:
+        """Count ``k`` demand writes at once; equivalent to ``k`` on_write().
+
+        ``k`` must not exceed :attr:`writes_until_event`, so at most one
+        gap movement can fire (on the final write).  Returns True when it
+        did.
+        """
+        if k < 0 or k > self.writes_until_event:
+            raise ValueError(
+                f"advance({k}) crosses a gap movement "
+                f"(writes_until_event={self.writes_until_event})"
+            )
+        self._writes_since_move += k
+        if self._writes_since_move < self.gap_write_interval:
+            return False
+        self._writes_since_move = 0
+        self._move_gap()
+        return True
+
     def _move_gap(self) -> None:
         self.move_writes += 1
         if self.gap == 0:

@@ -12,9 +12,41 @@ import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Sequence
+
+import numpy as np
 
 from repro.workloads.generator import TraceGenerator, WriteRecord
 from repro.workloads.profiles import WorkloadProfile, get_profile
+
+
+class _LazyRecords(Sequence):
+    """Record list backed by (addresses, data) arrays, built on demand.
+
+    Shared-memory traces attach to another process's buffers; materializing
+    ``n_writes`` :class:`WriteRecord` objects up front would copy everything
+    the shared mapping exists to avoid.  This view constructs records only
+    when the serial loop actually asks for them; the chunked loop reads the
+    arrays directly and never touches it.
+    """
+
+    def __init__(self, addresses: np.ndarray, data: np.ndarray) -> None:
+        self._addresses = addresses
+        self._data = data
+
+    def __len__(self) -> int:
+        return int(self._addresses.shape[0])
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            rng = range(*index.indices(len(self)))
+            return [
+                WriteRecord(int(self._addresses[i]), self._data[i].tobytes())
+                for i in rng
+            ]
+        return WriteRecord(
+            int(self._addresses[index]), self._data[index].tobytes()
+        )
 
 _MAGIC = b"DEUCETRC"
 _VERSION = 1
@@ -42,7 +74,13 @@ class Trace:
     seed: int
     line_bytes: int
     initial: dict[int, bytes]
-    records: list[WriteRecord] = field(default_factory=list)
+    records: list[WriteRecord] | _LazyRecords = field(default_factory=list)
+    _arrays: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
+    _init_arrays: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_writes(self) -> int:
@@ -50,6 +88,75 @@ class Trace:
 
     def addresses(self) -> list[int]:
         return sorted(self.initial)
+
+    # -- array form ----------------------------------------------------------
+
+    def write_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The writeback stream as ``(addresses, data)`` arrays, cached.
+
+        ``addresses`` is ``(n,)`` int64 and ``data`` ``(n, line_bytes)``
+        uint8, in trace order — the chunked write path slices these instead
+        of iterating :class:`WriteRecord` objects.
+        """
+        if self._arrays is None:
+            n = len(self.records)
+            addresses = np.empty(n, dtype=np.int64)
+            data = np.empty((n, self.line_bytes), dtype=np.uint8)
+            for i, rec in enumerate(self.records):
+                addresses[i] = rec.address
+                data[i] = np.frombuffer(rec.data, dtype=np.uint8)
+            self._arrays = (addresses, data)
+        return self._arrays
+
+    def initial_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``initial`` as ``(addresses, data)`` arrays in address order.
+
+        Cached; feeds the batched install path (one wide pad call for the
+        whole working set) and the shared-memory trace publisher.
+        """
+        if self._init_arrays is None:
+            addrs = sorted(self.initial)
+            init_addresses = np.asarray(addrs, dtype=np.int64)
+            if addrs:
+                init_data = np.frombuffer(
+                    b"".join(self.initial[a] for a in addrs), dtype=np.uint8
+                ).reshape(len(addrs), self.line_bytes)
+            else:
+                init_data = np.empty((0, self.line_bytes), dtype=np.uint8)
+            self._init_arrays = (init_addresses, init_data)
+        return self._init_arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        profile_name: str,
+        seed: int,
+        line_bytes: int,
+        init_addresses: np.ndarray,
+        init_data: np.ndarray,
+        addresses: np.ndarray,
+        data: np.ndarray,
+    ) -> "Trace":
+        """Build a trace view over preexisting arrays without copying.
+
+        Used by the shared-memory sweep path: the arrays may live in a
+        ``multiprocessing.shared_memory`` buffer owned by another process.
+        ``records`` stays lazy, so nothing is materialized unless the
+        serial loop iterates it.
+        """
+        initial = {
+            int(init_addresses[i]): init_data[i].tobytes()
+            for i in range(init_addresses.shape[0])
+        }
+        return cls(
+            profile_name=profile_name,
+            seed=seed,
+            line_bytes=line_bytes,
+            initial=initial,
+            records=_LazyRecords(addresses, data),
+            _arrays=(addresses, data),
+            _init_arrays=(init_addresses, init_data),
+        )
 
     # -- serialization -------------------------------------------------------
 
@@ -111,8 +218,17 @@ def generate_trace(
     n_writes: int,
     seed: int = 0,
     line_bytes: int = 64,
+    abort=None,
+    abort_every: int = 1024,
 ) -> Trace:
-    """Materialize a trace of ``n_writes`` writebacks for a workload."""
+    """Materialize a trace of ``n_writes`` writebacks for a workload.
+
+    ``abort`` is an optional zero-argument callable polled every
+    ``abort_every`` generated writes; when it returns True, generation
+    stops and :class:`~repro.obs.instruments.RunAborted` is raised.  Large
+    traces take long enough to synthesize that a job deadline or cancel
+    must be able to interrupt this phase too, not just the write loop.
+    """
     if isinstance(profile, str):
         profile = get_profile(profile)
     gen = TraceGenerator(profile, seed=seed, line_bytes=line_bytes)
@@ -122,5 +238,19 @@ def generate_trace(
         line_bytes=line_bytes,
         initial=gen.initial_lines(),
     )
-    trace.records = list(gen.writes(n_writes))
+    if abort is None:
+        trace.records = list(gen.writes(n_writes))
+        return trace
+    from repro.obs.instruments import RunAborted
+
+    records: list[WriteRecord] = []
+    append = records.append
+    next_write = gen.next_write
+    for i in range(n_writes):
+        if i % abort_every == 0 and abort():
+            raise RunAborted(
+                f"trace generation aborted at write {i}/{n_writes}"
+            )
+        append(next_write())
+    trace.records = records
     return trace

@@ -1,0 +1,182 @@
+"""Batched pad fetches keep the LRU cache bit-identical to serial fetches.
+
+``CachingPadSource.line_pads_batch`` promises that after any batch the
+cache contents, the eviction (LRU) order, and the hit/miss counters are
+exactly what ``m`` sequential ``line_pad_array`` calls would have left —
+including the all-miss fast path the chunked write loop rides.  These
+tests drive a batch instance and a serial reference instance through the
+same request streams and compare everything observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.pads import Blake2PadSource, CachingPadSource
+
+KEY = b"pad-batch-key-16"
+N_BYTES = 64
+
+
+def _pair(capacity: int) -> tuple[CachingPadSource, CachingPadSource]:
+    return (
+        CachingPadSource(Blake2PadSource(KEY), capacity=capacity),
+        CachingPadSource(Blake2PadSource(KEY), capacity=capacity),
+    )
+
+
+def _serial_reference(
+    cache: CachingPadSource, addresses, counters
+) -> np.ndarray:
+    rows = [
+        cache.line_pad_array(a, c, N_BYTES)
+        for a, c in zip(addresses, counters)
+    ]
+    return np.stack(rows) if rows else np.empty((0, N_BYTES), np.uint8)
+
+
+def _assert_equivalent(batch, serial, got, want) -> None:
+    assert np.array_equal(got, want)
+    assert batch.hits == serial.hits
+    assert batch.misses == serial.misses
+    # Same keys in the same LRU (eviction) order, mapping to equal pads.
+    b_items = list(batch._line_cache.items())
+    s_items = list(serial._line_cache.items())
+    assert [k for k, _ in b_items] == [k for k, _ in s_items]
+    for (_, bv), (_, sv) in zip(b_items, s_items):
+        assert np.array_equal(bv, sv)
+
+
+def _drive(capacity: int, requests: list[tuple[int, int]]) -> None:
+    batch, serial = _pair(capacity)
+    addresses = np.asarray([a for a, _ in requests], dtype=np.int64)
+    counters = np.asarray([c for _, c in requests], dtype=np.int64)
+    got = batch.line_pads_batch(addresses, counters, N_BYTES)
+    want = _serial_reference(serial, addresses, counters)
+    _assert_equivalent(batch, serial, got, want)
+
+
+class TestAllMissFastPath:
+    """Distinct, absent keys — the shape the chunked write loop produces."""
+
+    def test_fresh_cache_all_distinct(self):
+        _drive(capacity=64, requests=[(a, 1) for a in range(10)])
+
+    def test_batch_larger_than_capacity(self):
+        # Only the last ``capacity`` pads survive; older ones are evicted
+        # in order, exactly as serial insertion would.
+        _drive(capacity=4, requests=[(a, 1) for a in range(10)])
+
+    def test_batch_equal_to_capacity(self):
+        _drive(capacity=8, requests=[(a, 1) for a in range(8)])
+
+    def test_eviction_of_preexisting_entries(self):
+        batch, serial = _pair(6)
+        warm = ([10, 11, 12, 13], [0, 0, 0, 0])
+        _serial_reference(serial, *warm)
+        batch.line_pads_batch(
+            np.asarray(warm[0], np.int64), np.asarray(warm[1], np.int64), N_BYTES
+        )
+        # 4 warm entries + 4 fresh > capacity 6: two warm ones must go.
+        addresses = np.asarray([0, 1, 2, 3], dtype=np.int64)
+        counters = np.asarray([5, 5, 5, 5], dtype=np.int64)
+        got = batch.line_pads_batch(addresses, counters, N_BYTES)
+        want = _serial_reference(serial, addresses, counters)
+        _assert_equivalent(batch, serial, got, want)
+
+    def test_returned_rows_are_read_only(self):
+        batch, _ = _pair(16)
+        pads = batch.line_pads_batch(
+            np.arange(4, dtype=np.int64), np.ones(4, dtype=np.int64), N_BYTES
+        )
+        with pytest.raises(ValueError):
+            np.asarray(pads)[0, 0] = 1
+
+
+class TestGeneralWalk:
+    """Batches with hits or duplicates fall back to the per-request walk."""
+
+    def test_warm_hits(self):
+        batch, serial = _pair(32)
+        addrs, ctrs = [1, 2, 3], [7, 7, 7]
+        batch.line_pads_batch(
+            np.asarray(addrs, np.int64), np.asarray(ctrs, np.int64), N_BYTES
+        )
+        _serial_reference(serial, addrs, ctrs)
+        # Second fetch of the same keys: all hits, recency refreshed.
+        got = batch.line_pads_batch(
+            np.asarray(addrs, np.int64), np.asarray(ctrs, np.int64), N_BYTES
+        )
+        want = _serial_reference(serial, addrs, ctrs)
+        _assert_equivalent(batch, serial, got, want)
+        assert batch.hits == 3
+
+    def test_duplicate_keys_within_batch(self):
+        # The second occurrence of a key is a hit on the pending entry
+        # installed by the first — same accounting as serial.
+        _drive(capacity=16, requests=[(5, 1), (6, 1), (5, 1), (5, 1)])
+
+    def test_duplicates_with_eviction_pressure(self):
+        _drive(
+            capacity=3,
+            requests=[(0, 1), (1, 1), (0, 1), (2, 1), (3, 1), (0, 1)],
+        )
+
+    def test_mixed_hit_miss_eviction(self):
+        batch, serial = _pair(4)
+        warm = ([1, 2, 3], [0, 0, 0])
+        batch.line_pads_batch(
+            np.asarray(warm[0], np.int64), np.asarray(warm[1], np.int64), N_BYTES
+        )
+        _serial_reference(serial, warm[0], warm[1])
+        mixed = [(2, 0), (9, 0), (1, 0), (8, 0), (2, 0), (7, 0)]
+        addresses = np.asarray([a for a, _ in mixed], np.int64)
+        counters = np.asarray([c for _, c in mixed], np.int64)
+        got = batch.line_pads_batch(addresses, counters, N_BYTES)
+        want = _serial_reference(serial, addresses, counters)
+        _assert_equivalent(batch, serial, got, want)
+
+    def test_empty_batch(self):
+        batch, _ = _pair(4)
+        got = batch.line_pads_batch(
+            np.empty(0, np.int64), np.empty(0, np.int64), N_BYTES
+        )
+        assert len(got) == 0
+        assert batch.hits == 0 and batch.misses == 0
+
+
+class TestStatParityProperty:
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        requests=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=40,
+        ),
+        split=st.integers(min_value=0, max_value=40),
+    )
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_streams_match_serial(self, capacity, requests, split):
+        # Warm both caches with the stream's prefix serially, then feed
+        # the suffix as one batch: stats, contents, order, values all
+        # match a fully serial replay.
+        batch, serial = _pair(capacity)
+        split = min(split, len(requests))
+        prefix, suffix = requests[:split], requests[split:]
+        for a, c in prefix:
+            batch.line_pad_array(a, c, N_BYTES)
+            serial.line_pad_array(a, c, N_BYTES)
+        addresses = np.asarray([a for a, _ in suffix], np.int64)
+        counters = np.asarray([c for _, c in suffix], np.int64)
+        got = batch.line_pads_batch(addresses, counters, N_BYTES)
+        want = _serial_reference(serial, addresses, counters)
+        _assert_equivalent(batch, serial, got, want)
