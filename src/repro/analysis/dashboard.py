@@ -11,6 +11,10 @@ Layout
 * **Gate panel** — one status tile per gate check (PASS/FAIL with icon and
   label, never color alone), or a neutral tile when the gate cannot be
   evaluated (no baselines / no runs).
+* **Service SLO panel** — tiles from the newest ``kind="loadtest"``
+  manifest (``deuce-sim loadtest``): p99 latency and error rate judged
+  against the soak's SLO targets when it set any, queue saturation, and a
+  queue-depth sparkline over the soak.
 * **Scheme cards** — one card per scheme seen in the ledger, each with one
   sparkline per metric in :data:`TRACKED_METRICS` plotted across that
   scheme's run history (oldest left, newest right).
@@ -217,6 +221,137 @@ def _gate_tiles(ledger: "RunLedger", baselines_dir: str | Path) -> str:
     return '<div class="tiles">' + "".join(tiles) + "</div>"
 
 
+def _latest_loadtest(
+    ledger: "RunLedger",
+) -> tuple["RunManifest | None", dict | None]:
+    """Newest loadtest manifest and its report artifact.
+
+    The report is ``None`` when the artifact is missing or corrupt — the
+    tiles then fall back to the manifest's summary numbers alone.
+    """
+    import json
+
+    manifests = ledger.list(kind="loadtest", limit=1)
+    if not manifests:
+        return None, None
+    manifest = manifests[-1]
+    filename = manifest.artifacts.get("loadtest")
+    report = None
+    if filename:
+        try:
+            raw = (ledger.run_dir(manifest.run_id) / filename).read_text()
+            loaded = json.loads(raw)
+            if isinstance(loaded, dict):
+                report = loaded
+        except (OSError, ValueError):
+            report = None
+    return manifest, report
+
+
+def _slo_tile(cls: str, verdict: str, name: str, band: str) -> str:
+    return (
+        f'<div class="tile {cls}">'
+        f'<div class="verdict">{verdict}</div>'
+        f'<div class="name">{html.escape(name)}</div>'
+        f'<div class="band">{band}</div>'
+        "</div>"
+    )
+
+
+def _slo_tiles(ledger: "RunLedger") -> str:
+    """Service SLO tiles from the newest loadtest manifest."""
+    manifest, report = _latest_loadtest(ledger)
+    if manifest is None:
+        return (
+            '<div class="tiles"><div class="tile none">'
+            '<div class="verdict">&#9675; no load tests</div>'
+            '<div class="name">run deuce-sim loadtest to record one</div>'
+            "</div></div>"
+        )
+    summary = manifest.summary
+    slo = (report or {}).get("slo", {})
+    tiles = []
+
+    p99 = float(summary.get("p99_ms", 0.0))
+    p99_target = float(slo.get("p99_slo_ms", 0.0) or 0.0)
+    if p99_target > 0:
+        ok = p99 <= p99_target
+        cls = "pass" if ok else "fail"
+        verdict = (
+            ("&#10003; PASS " if ok else "&#10007; FAIL ")
+            + f"{_fmt(p99)} ms"
+        )
+        band = f"target &le; {_fmt(p99_target)} ms"
+    else:
+        cls, verdict, band = "none", f"&#9675; {_fmt(p99)} ms", "no SLO target"
+    tiles.append(_slo_tile(cls, verdict, "p99 request latency", band))
+    error_rate = float(summary.get("error_rate", 0.0))
+    max_error = float(slo.get("max_error_rate", -1.0))
+    if max_error >= 0:
+        ok = error_rate <= max_error
+        cls = "pass" if ok else "fail"
+        verdict = (
+            ("&#10003; PASS " if ok else "&#10007; FAIL ")
+            + f"{error_rate:.2%}"
+        )
+        band = f"target &le; {max_error:.2%}"
+    else:
+        cls, verdict, band = "none", f"&#9675; {error_rate:.2%}", "no SLO target"
+    tiles.append(_slo_tile(cls, verdict, "error rate (5xx + transport)", band))
+
+    saturation = float(summary.get("saturation", 0.0))
+    depth_peak = summary.get("queue_depth_peak", 0.0)
+    capacity = (report or {}).get("queue", {}).get("capacity", 0)
+    tiles.append(
+        _slo_tile(
+            "none",
+            f"&#9675; {saturation:.0%}",
+            "queue saturation (peak/capacity)",
+            f"peak depth {_fmt(float(depth_peak), 0)}"
+            + (f" of {capacity}" if capacity else ""),
+        )
+    )
+
+    samples = (report or {}).get("queue", {}).get("samples") or []
+    depths = [
+        float(s[1]) for s in samples
+        if isinstance(s, (list, tuple)) and len(s) >= 2
+        and isinstance(s[1], (int, float))
+    ]
+    if depths:
+        title = (
+            f"queue depth over the soak: peak {_fmt(max(depths), 0)}"
+        )
+        light, dark = _PALETTE_LIGHT[0], _PALETTE_DARK[0]
+        spark = (
+            f'<span class="light-only">'
+            f"{sparkline_svg(depths, light, width=180, height=36, title=title)}"
+            "</span>"
+            f'<span class="dark-only">'
+            f"{sparkline_svg(depths, dark, width=180, height=36, title=title)}"
+            "</span>"
+        )
+        tiles.append(
+            '<div class="tile none">'
+            f"{spark}"
+            '<div class="name">queue depth during soak</div>'
+            f'<div class="band">{len(depths)} samples</div>'
+            "</div>"
+        )
+
+    totals = (report or {}).get("totals", {})
+    requests = totals.get("requests", summary.get("requests", 0))
+    rps = totals.get("rps", summary.get("rps", 0.0))
+    meta = (
+        f'<p class="sub">{html.escape(manifest.run_id)} &middot; '
+        f"{html.escape(manifest.created_utc)} &middot; "
+        f"{_fmt(float(requests), 0)} requests at {_fmt(float(rps), 1)} rps"
+        + (f" &middot; {html.escape(manifest.label)}" if manifest.label else "")
+        + "</p>"
+    )
+    return '<div class="tiles">' + "".join(tiles) + "</div>" + meta
+
+
 def _scheme_cards(by_scheme: dict[str, list["RunManifest"]]) -> str:
     cards = []
     for scheme, manifests in by_scheme.items():
@@ -328,6 +463,8 @@ def render_dashboard(
         f"{len(by_scheme)} schemes charted</p>"
         "<h2>Regression gate</h2>"
         + _gate_tiles(ledger, baselines_dir)
+        + "<h2>Service SLO (latest load test)</h2>"
+        + _slo_tiles(ledger)
         + "<h2>Scheme trajectories (oldest &rarr; newest run)</h2>"
         + schemes_html
         + "<h2>Recent runs</h2>"

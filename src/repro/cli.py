@@ -16,6 +16,10 @@ Subcommands
 ``serve``
     Start the HTTP simulation job service (submit runs/sweeps/experiments
     as JSON jobs, stream progress, query the ledger).
+``loadtest``
+    Soak the job service with concurrent clients and report latency
+    percentiles, error rates, and SLO pass/fail (spawns a private
+    service unless ``--url`` points at a running one).
 ``runs``
     Query the run ledger: ``list``, ``show``, ``diff``, ``gc``.
 ``gate``
@@ -39,6 +43,7 @@ Examples
         --sweep-id nightly --workers 4
     deuce-sim experiment fig10
     deuce-sim serve --port 8787 --job-workers 2
+    deuce-sim loadtest --duration 30 --clients 8 --p99-slo 500
     deuce-sim runs list --scheme deuce
     deuce-sim gate && echo "no regressions"
     deuce-sim dashboard --output dashboard.html
@@ -251,6 +256,79 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_sweep_workers=args.max_sweep_workers,
         drain_timeout_s=args.drain_timeout,
     )
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import contextlib
+    import json
+    from pathlib import Path
+
+    from repro.service.loadtest import (
+        LoadTestOptions,
+        parse_mix,
+        run_loadtest,
+        spawned_service,
+    )
+
+    try:
+        mix = parse_mix(args.mix) if args.mix else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    options = LoadTestOptions(
+        duration_s=args.duration,
+        clients=args.clients,
+        writes=args.writes,
+        workload=args.workload,
+        scheme=args.scheme,
+        seed=args.seed,
+        p99_slo_ms=args.p99_slo,
+        max_error_rate=args.max_error_rate,
+        label=getattr(args, "label", "") or "",
+    )
+    if mix is not None:
+        options.mix = mix
+    session = _make_session(args)
+    with contextlib.ExitStack() as stack:
+        base = args.url or stack.enter_context(
+            spawned_service(
+                session,
+                job_workers=args.job_workers,
+                queue_size=args.queue_size,
+                max_sweep_workers=args.max_sweep_workers,
+            )
+        )
+        report = run_loadtest(base, options, ledger=session.ledger)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+    totals = report["totals"]
+    latency = report["latency_ms"]
+    slo = report["slo"]
+    print(
+        f"loadtest: {totals['requests']} requests in "
+        f"{report['duration_s']}s ({totals['rps']} rps) | "
+        f"p50 {latency['p50']}ms p95 {latency['p95']}ms "
+        f"p99 {latency['p99']}ms | errors {totals['errors']} "
+        f"({totals['error_rate']:.2%}), 429s {totals['backpressure_429']}"
+    )
+    if not slo["passed"]:
+        parts = []
+        if options.p99_slo_ms > 0 and slo["p99_ms"] > options.p99_slo_ms:
+            parts.append(
+                f"p99 {slo['p99_ms']}ms > {options.p99_slo_ms}ms"
+            )
+        if 0 <= options.max_error_rate < slo["error_rate"]:
+            parts.append(
+                f"error rate {slo['error_rate']:.2%} > "
+                f"{options.max_error_rate:.2%}"
+            )
+        print("loadtest: SLO FAILED: " + "; ".join(parts), file=sys.stderr)
+        return 1
+    if options.p99_slo_ms > 0 or options.max_error_rate >= 0:
+        print("loadtest: SLO passed")
+    return 0
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
@@ -634,6 +712,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_ledger_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="soak the job service with concurrent clients; report "
+        "latency percentiles + error rates, optionally gate on SLOs",
+    )
+    p_load.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running service; omitted = spawn a private "
+        "in-process service for the soak",
+    )
+    p_load.add_argument(
+        "--duration", type=float, default=10.0, metavar="SECONDS",
+        help="soak length (default: 10)",
+    )
+    p_load.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent client threads (default: 8)",
+    )
+    p_load.add_argument(
+        "--writes", type=int, default=200,
+        help="n_writes of each submitted job (default: 200)",
+    )
+    p_load.add_argument("--workload", default="mcf",
+                        help="workload of submitted jobs")
+    p_load.add_argument("--scheme", default="deuce",
+                        help="scheme of submitted jobs")
+    p_load.add_argument(
+        "--mix", default=None, metavar="OP=W,...",
+        help="operation weights, e.g. run=2,status=6,cancel=0.5 "
+        "(ops: run, sweep, status, cancel, healthz)",
+    )
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="base RNG seed for the client mix")
+    p_load.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the full report JSON here",
+    )
+    p_load.add_argument(
+        "--p99-slo", dest="p99_slo", type=float, default=0.0,
+        metavar="MS",
+        help="fail (exit 1) if p99 latency exceeds this many ms",
+    )
+    p_load.add_argument(
+        "--max-error-rate", type=float, default=-1.0, metavar="RATE",
+        help="fail (exit 1) if error rate exceeds this fraction "
+        "(429 backpressure is not an error)",
+    )
+    p_load.add_argument(
+        "--job-workers", type=int, default=2,
+        help="spawned service: concurrent jobs (ignored with --url)",
+    )
+    p_load.add_argument(
+        "--queue-size", type=int, default=16,
+        help="spawned service: queue bound (ignored with --url)",
+    )
+    p_load.add_argument(
+        "--max-sweep-workers", type=int, default=2,
+        help="spawned service: per-sweep process cap (ignored with --url)",
+    )
+    p_load.add_argument("--label", default="",
+                        help="label for the recorded loadtest manifest")
+    _add_ledger_flags(p_load)
+    p_load.set_defaults(func=_cmd_loadtest)
 
     p_runs = sub.add_parser("runs", help="query the run ledger")
     runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)

@@ -46,7 +46,9 @@ from repro.obs.ledger import (
     new_run_id,
 )
 from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
     NULL_METRICS,
+    BucketHistogram,
     Counter,
     Gauge,
     Histogram,
@@ -54,6 +56,7 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
     Timer,
 )
+from repro.obs.promfmt import render_prometheus
 from repro.obs.progress import (
     ProgressEvent,
     ProgressRenderer,
@@ -89,13 +92,16 @@ __all__ = [
     "git_revision",
     "manifest_from_result",
     "new_run_id",
+    "DEFAULT_LATENCY_BUCKETS",
     "NULL_METRICS",
+    "BucketHistogram",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullMetricsRegistry",
     "Timer",
+    "render_prometheus",
     "ProgressEvent",
     "ProgressRenderer",
     "ProgressState",

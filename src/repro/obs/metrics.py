@@ -13,9 +13,15 @@ built around two rules:
   export machinery in the hot path.  Snapshots are taken once at the end of a
   run and dumped as JSON lines.
 
-Instruments are keyed by name; asking the registry for the same name twice
-returns the same instrument, and asking for a name under two different types
-is an error (it would silently split the data otherwise).
+Instruments are keyed by name plus an optional label set; asking the
+registry for the same (name, labels) twice returns the same instrument, and
+asking for a key under two different types is an error (it would silently
+split the data otherwise).
+
+The service layer additionally uses :class:`BucketHistogram` — fixed
+upper-bound buckets with p50/p95/p99 quantile estimation — and renders the
+whole registry in Prometheus text exposition format via
+:mod:`repro.obs.promfmt`.
 """
 
 from __future__ import annotations
@@ -23,44 +29,59 @@ from __future__ import annotations
 import json
 import math
 import time
+from bisect import bisect_left
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Sequence
+
+
+def _with_labels(snap: dict[str, object], labels: dict[str, str]) -> dict[str, object]:
+    if labels:
+        snap["labels"] = dict(labels)
+    return snap
 
 
 class Counter:
     """Monotonically increasing count (writes, flips, cache hits, ...)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
     kind = "counter"
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: dict[str, str] | None = None) -> None:
         self.name = name
         self.value = 0
+        self.labels = dict(labels or {})
 
     def inc(self, n: int = 1) -> None:
         self.value += n
 
     def snapshot(self) -> dict[str, object]:
-        return {"type": self.kind, "name": self.name, "value": self.value}
+        return _with_labels(
+            {"type": self.kind, "name": self.name, "value": self.value},
+            self.labels,
+        )
 
 
 class Gauge:
     """Last-write-wins scalar (working-set size, current epoch, ...)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
     kind = "gauge"
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: dict[str, str] | None = None) -> None:
         self.name = name
         self.value = 0.0
+        self.labels = dict(labels or {})
 
     def set(self, value: float) -> None:
         self.value = value
 
     def snapshot(self) -> dict[str, object]:
-        return {"type": self.kind, "name": self.name, "value": self.value}
+        return _with_labels(
+            {"type": self.kind, "name": self.name, "value": self.value},
+            self.labels,
+        )
 
 
 class Histogram:
@@ -71,16 +92,17 @@ class Histogram:
     and extremes, not exact quantiles.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "labels")
 
     kind = "histogram"
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: dict[str, str] | None = None) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.labels = dict(labels or {})
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -114,7 +136,128 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def snapshot(self) -> dict[str, object]:
+        return _with_labels(
+            {
+                "type": self.kind,
+                "name": self.name,
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+                "mean": self.mean,
+            },
+            self.labels,
+        )
+
+
+#: Default latency bucket upper bounds in seconds (Prometheus-style, spanning
+#: sub-millisecond HTTP handlers up to multi-second simulation jobs).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class BucketHistogram:
+    """Fixed-bucket histogram with streaming quantile estimation.
+
+    Unlike :class:`Histogram` (which keeps only count/sum/min/max for the
+    simulation hot loop), this instrument bins every observation into fixed
+    upper-bound buckets, so the service layer can answer "what is the p99
+    request latency" without storing raw samples.  An observation lands in
+    the first bucket whose bound is ``>= value`` (``le`` semantics); values
+    beyond the last bound land in an implicit ``+Inf`` overflow bucket.
+
+    :meth:`quantile` interpolates linearly inside the bucket containing the
+    requested rank (the Prometheus ``histogram_quantile`` estimator), so the
+    estimate is always within one bucket width of the true quantile.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max",
+                 "labels")
+
+    kind = "bucket_histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("bucket_histogram needs at least one bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got {bounds}"
+            )
+        if not math.isfinite(bounds[-1]):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # trailing +Inf overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.labels = dict(labels or {})
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.counts[bisect_left(self.buckets, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[int]:
+        """Cumulative per-bucket counts (Prometheus ``le`` semantics)."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) of the observations.
+
+        Linear interpolation inside the bucket holding the target rank;
+        the first bucket interpolates from a lower bound of 0 (latencies
+        are non-negative), the overflow bucket reports the observed max.
+        Empty histograms report 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if c and cum >= rank:
+                if i == len(self.buckets):
+                    return self.max  # overflow bucket: no upper bound
+                lo = self.buckets[i - 1] if i else 0.0
+                hi = self.buckets[i]
+                frac = min(1.0, max(0.0, (rank - (cum - c)) / c))
+                return lo + (hi - lo) * frac
+        return self.max
+
+    def percentiles(self) -> dict[str, float]:
+        """The SLO staples: estimated p50, p95, and p99."""
         return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def snapshot(self) -> dict[str, object]:
+        snap: dict[str, object] = {
             "type": self.kind,
             "name": self.name,
             "count": self.count,
@@ -122,7 +265,14 @@ class Histogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
+            "buckets": [
+                [bound, cum]
+                for bound, cum in zip(self.buckets, self.cumulative())
+            ]
+            + [["+Inf", self.count]],
         }
+        snap.update(self.percentiles())
+        return _with_labels(snap, self.labels)
 
 
 class Timer(Histogram):
@@ -164,6 +314,8 @@ class _NullInstrument:
     mean = 0.0
     min = 0.0
     max = 0.0
+    labels: dict[str, str] = {}
+    buckets: tuple[float, ...] = ()
 
     def inc(self, n: int = 1) -> None:
         pass
@@ -176,6 +328,15 @@ class _NullInstrument:
 
     def observe_many(self, total: float, count: int) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def percentiles(self) -> dict[str, float]:
+        return {}
+
+    def cumulative(self) -> list[int]:
+        return []
 
     class _NullTiming:
         __slots__ = ()
@@ -212,30 +373,64 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[str, object] = {}
 
-    def _get(self, name: str, cls: type):
-        instrument = self._instruments.get(name)
+    @staticmethod
+    def _key(name: str, labels: dict[str, str] | None) -> str:
+        """Registry key: the name plus a canonical label rendering.
+
+        Instruments with the same name but different labels are distinct
+        time series (``http_requests{route="/jobs"}`` vs ``{route="/runs"}``)
+        and live side by side in the registry.
+        """
+        if not labels:
+            return name
+        rendered = ",".join(
+            f'{k}="{labels[k]}"' for k in sorted(labels)
+        )
+        return f"{name}{{{rendered}}}"
+
+    def _get(self, name: str, cls: type,
+             labels: dict[str, str] | None = None, **kwargs):
+        key = self._key(name, labels)
+        instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = cls(name)
-            self._instruments[name] = instrument
+            instrument = cls(name, labels=labels, **kwargs)
+            self._instruments[key] = instrument
             return instrument
         if type(instrument) is not cls:
             raise TypeError(
-                f"metric {name!r} already registered as "
+                f"metric {key!r} already registered as "
                 f"{type(instrument).__name__}, requested {cls.__name__}"
             )
         return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str,
+                labels: dict[str, str] | None = None) -> Counter:
+        return self._get(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str,
+              labels: dict[str, str] | None = None) -> Gauge:
+        return self._get(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str,
+                  labels: dict[str, str] | None = None) -> Histogram:
+        return self._get(name, Histogram, labels)
 
-    def timer(self, name: str) -> Timer:
-        return self._get(name, Timer)
+    def bucket_histogram(
+        self,
+        name: str,
+        labels: dict[str, str] | None = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> BucketHistogram:
+        """Get or create a fixed-bucket histogram.
+
+        ``buckets`` applies only on first creation; later lookups under the
+        same (name, labels) return the existing instrument unchanged.
+        """
+        return self._get(name, BucketHistogram, labels, buckets=buckets)
+
+    def timer(self, name: str,
+              labels: dict[str, str] | None = None) -> Timer:
+        return self._get(name, Timer, labels)
 
     def __len__(self) -> int:
         return len(self._instruments)
@@ -264,7 +459,8 @@ class NullMetricsRegistry(MetricsRegistry):
     def __init__(self) -> None:
         super().__init__()
 
-    def _get(self, name: str, cls: type):
+    def _get(self, name: str, cls: type,
+             labels: dict[str, str] | None = None, **kwargs):
         return _NULL_INSTRUMENT
 
     def snapshot(self) -> list[dict[str, object]]:

@@ -1,0 +1,163 @@
+"""Prometheus text exposition format (version 0.0.4) for metric snapshots.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+(or a list of instrument snapshots) into the plain-text scrape format every
+Prometheus-compatible collector understands::
+
+    # TYPE deuce_http_requests_total counter
+    deuce_http_requests_total{method="POST",route="/jobs",status="201"} 42
+    # TYPE deuce_http_request_duration_seconds histogram
+    deuce_http_request_duration_seconds_bucket{route="/jobs",le="0.005"} 40
+    deuce_http_request_duration_seconds_bucket{route="/jobs",le="+Inf"} 42
+    deuce_http_request_duration_seconds_sum{route="/jobs"} 0.137
+    deuce_http_request_duration_seconds_count{route="/jobs"} 42
+
+Mapping rules:
+
+* ``Counter`` -> ``counter``; ``Gauge`` -> ``gauge``.
+* ``Histogram``/``Timer`` (count/sum/min/max only) -> ``summary`` with just
+  ``_sum`` and ``_count`` series (quantiles are not recoverable).
+* ``BucketHistogram`` -> ``histogram`` with cumulative ``_bucket{le=...}``
+  series, a terminal ``le="+Inf"`` bucket, ``_sum``, and ``_count``.
+
+Metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (invalid
+characters fold to ``_``); label names likewise (no colons); label values
+are escaped per the spec (backslash, double-quote, newline).  A ``# TYPE``
+line is emitted once per metric family, before its first sample.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+#: Prometheus content type for scrape responses.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A legal metric name: invalid chars fold to ``_``, digits can't lead."""
+    name = _NAME_INVALID.sub("_", name) or "_"
+    if name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def sanitize_label_name(name: str) -> str:
+    """A legal label name (like metric names but colons are reserved)."""
+    name = _LABEL_INVALID.sub("_", name) or "_"
+    if name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def format_value(value: object) -> str:
+    """Render a sample value (ints stay integral, specials per spec)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    v = float(value)  # type: ignore[arg-type]
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _render_labels(labels: dict[str, object], extra: dict[str, str] | None = None) -> str:
+    pairs = {sanitize_label_name(str(k)): str(v) for k, v in labels.items()}
+    for k, v in (extra or {}).items():
+        pairs[k] = v
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{k}="{escape_label_value(v)}"' for k, v in sorted(pairs.items())
+    )
+    return "{" + body + "}"
+
+
+def _bound_label(bound: object) -> str:
+    if isinstance(bound, str):  # the snapshot's terminal "+Inf"
+        return bound
+    return "%g" % float(bound)  # type: ignore[arg-type]
+
+
+def render_prometheus(source: "MetricsRegistry | Iterable[dict]") -> str:
+    """The full exposition document for a registry or its snapshots.
+
+    Accepts either a live registry (its :meth:`snapshot` is taken) or an
+    already-materialized snapshot list, so the HTTP layer can render the
+    same data it serves as JSON.  Ends with a trailing newline as the spec
+    requires.
+    """
+    snapshot = getattr(source, "snapshot", None)
+    snaps: Iterable[dict] = snapshot() if callable(snapshot) else source  # type: ignore[assignment]
+    type_for = {
+        "counter": "counter",
+        "gauge": "gauge",
+        "histogram": "summary",
+        "timer": "summary",
+        "bucket_histogram": "histogram",
+    }
+    # All samples of a family must be contiguous under one # TYPE line, but
+    # label variants register in the order traffic created them — group by
+    # (sanitized) family name first, keeping first-appearance order.
+    families: dict[str, list[dict]] = {}
+    for snap in snaps:
+        if snap.get("type") in type_for:
+            name = sanitize_metric_name(str(snap.get("name", "")))
+            families.setdefault(name, []).append(snap)
+    lines: list[str] = []
+    for name, members in families.items():
+        prom_type = type_for[str(members[0]["type"])]
+        lines.append(f"# TYPE {name} {prom_type}")
+        for snap in members:
+            _render_instrument(lines, name, snap)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _render_instrument(lines: list[str], name: str, snap: dict) -> None:
+    """Append one instrument's sample lines."""
+    kind = str(snap.get("type", ""))
+    labels = dict(snap.get("labels") or {})
+    if kind in ("counter", "gauge"):
+        lines.append(
+            f"{name}{_render_labels(labels)} "
+            f"{format_value(snap.get('value', 0))}"
+        )
+        return
+    if kind == "bucket_histogram":
+        for bound, cum in snap.get("buckets", []):
+            lines.append(
+                f"{name}_bucket"
+                f"{_render_labels(labels, {'le': _bound_label(bound)})} "
+                f"{format_value(cum)}"
+            )
+    lines.append(
+        f"{name}_sum{_render_labels(labels)} "
+        f"{format_value(snap.get('sum', 0.0))}"
+    )
+    lines.append(
+        f"{name}_count{_render_labels(labels)} "
+        f"{format_value(snap.get('count', 0))}"
+    )

@@ -24,6 +24,7 @@ no-op context manager and ``event()`` does nothing.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Protocol
@@ -50,20 +51,80 @@ class ListSink:
 
 
 class JsonlSink:
-    """Append trace records to a JSONL file, one object per line."""
+    """Append trace records to a JSONL file, one object per line.
 
-    def __init__(self, path: str | Path) -> None:
+    Writes are buffered: records are encoded immediately but hit the file
+    in batches — every ``flush_every`` records, whenever
+    ``flush_interval_s`` seconds have passed since the last flush (checked
+    on emit), and always on :meth:`flush`/:meth:`close`.  A hot loop
+    emitting one span per write therefore pays one syscall per batch, not
+    per record.
+
+    ``rotate_bytes`` bounds on-disk growth for long soaks: when a flush
+    would push the current file past the limit, the file is renamed to
+    ``<name>.1`` (replacing any previous rotation — at most two
+    generations ever exist) and a fresh file begins.  ``0`` disables
+    rotation.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        flush_every: int = 256,
+        flush_interval_s: float | None = 1.0,
+        rotate_bytes: int = 0,
+    ) -> None:
+        if rotate_bytes < 0:
+            raise ValueError(f"rotate_bytes must be >= 0, got {rotate_bytes}")
         self.path = Path(path)
+        self.flush_every = max(1, int(flush_every))
+        self.flush_interval_s = flush_interval_s
+        self.rotate_bytes = int(rotate_bytes)
         self._fh = open(self.path, "w")
+        self._buffer: list[str] = []
+        self._written = 0  # chars in the current file (ASCII JSON: == bytes)
+        self._last_flush = time.monotonic()
+
+    @property
+    def rotated_path(self) -> Path:
+        """Where the previous generation lands when rotation triggers."""
+        return self.path.with_name(self.path.name + ".1")
 
     def emit(self, record: dict[str, object]) -> None:
-        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._buffer.append(json.dumps(record, separators=(",", ":")) + "\n")
+        if len(self._buffer) >= self.flush_every or (
+            self.flush_interval_s is not None
+            and time.monotonic() - self._last_flush >= self.flush_interval_s
+        ):
+            self.flush()
 
     def flush(self) -> None:
+        if self._buffer:
+            data = "".join(self._buffer)
+            self._buffer.clear()
+            # Never rotate an empty file (a single oversized batch would
+            # otherwise rotate forever without retaining anything).
+            if (
+                self.rotate_bytes
+                and self._written
+                and self._written + len(data) > self.rotate_bytes
+            ):
+                self._rotate()
+            self._fh.write(data)
+            self._written += len(data)
         self._fh.flush()
+        self._last_flush = time.monotonic()
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        os.replace(self.path, self.rotated_path)
+        self._fh = open(self.path, "w")
+        self._written = 0
 
     def close(self) -> None:
         if not self._fh.closed:
+            self.flush()
             self._fh.close()
 
     def __enter__(self) -> "JsonlSink":

@@ -4,6 +4,9 @@ A zero-dependency HTTP JSON API (:mod:`repro.service.server`) over a
 bounded job queue with a worker pool (:mod:`repro.service.jobs`); every
 job executes through the shared :class:`repro.api.Session`, so results
 and ledger manifests are bit-identical to direct library/CLI use.
+:mod:`repro.service.telemetry` instruments both layers (scraped at
+``GET /v1/metrics``) and :mod:`repro.service.loadtest` soaks the whole
+stack with concurrent clients (``deuce-sim loadtest``).
 """
 
 from repro.service.jobs import (
@@ -22,7 +25,15 @@ from repro.service.jobs import (
     ServiceDraining,
     UnknownJobError,
 )
+from repro.service.loadtest import (
+    DEFAULT_MIX,
+    LoadTestOptions,
+    parse_mix,
+    run_loadtest,
+    spawned_service,
+)
 from repro.service.server import SimulationServer, serve
+from repro.service.telemetry import ServiceTelemetry
 
 __all__ = [
     "CANCELLED",
@@ -41,4 +52,10 @@ __all__ = [
     "UnknownJobError",
     "SimulationServer",
     "serve",
+    "ServiceTelemetry",
+    "DEFAULT_MIX",
+    "LoadTestOptions",
+    "parse_mix",
+    "run_loadtest",
+    "spawned_service",
 ]

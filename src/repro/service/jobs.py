@@ -47,6 +47,7 @@ from typing import Callable
 from repro.api import Session
 from repro.obs.instruments import RunAborted
 from repro.obs.progress import ProgressEvent
+from repro.service.telemetry import ServiceTelemetry
 from repro.sim.config import ConfigError, SimConfig
 from repro.sim.experiments import EXPERIMENTS
 from repro.sim.parallel import SweepCancelled
@@ -248,6 +249,10 @@ class Job:
         self.created_utc = _utc_now()
         self.started_utc = ""
         self.finished_utc = ""
+        # Monotonic stamps for phase telemetry (queue-wait/exec/total).
+        # Not journaled: a rehydrated job's clock restarts at rehydration.
+        self.created_monotonic = time.monotonic()
+        self.started_monotonic = 0.0
         self.result: dict | None = None
         self.cells_done = 0
         self.writes_done = 0
@@ -439,7 +444,14 @@ class JobManager:
         Optional :class:`JobStore`; when set, every submission and state
         change is journaled and :meth:`rehydrate` can restore jobs after
         a restart.
+    telemetry:
+        The :class:`~repro.service.telemetry.ServiceTelemetry` receiving
+        job lifecycle/phase metrics and worker heartbeats; a fresh one by
+        default (the HTTP layer serves it at ``GET /v1/metrics``).
     """
+
+    #: Seconds an idle worker waits on the queue between heartbeat ticks.
+    WORKER_POLL_S = 1.0
 
     def __init__(
         self,
@@ -450,6 +462,7 @@ class JobManager:
         default_timeout_s: float | None = None,
         max_sweep_workers: int = 4,
         store: JobStore | None = None,
+        telemetry: ServiceTelemetry | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if job_workers < 1:
@@ -461,6 +474,9 @@ class JobManager:
         self.default_timeout_s = default_timeout_s
         self.max_sweep_workers = max_sweep_workers
         self.store = store
+        self.telemetry = (
+            telemetry if telemetry is not None else ServiceTelemetry()
+        )
         self._clock = clock
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._jobs: dict[str, Job] = {}
@@ -576,6 +592,7 @@ class JobManager:
         with self._jobs_lock:
             self._jobs[job.id] = job
         self._persist(job)
+        self.telemetry.job_submitted(spec.kind)
         return job
 
     def get(self, job_id: str) -> Job:
@@ -605,26 +622,53 @@ class JobManager:
             counts[job.state] += 1
         return counts
 
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting in the queue right now (approximate, lock-free)."""
+        return self._queue.qsize()
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs currently executing on a worker thread."""
+        return sum(1 for job in self.jobs() if job.state == RUNNING)
+
     # -- execution -----------------------------------------------------------
 
     def _worker_loop(self) -> None:
+        # The bounded get() keeps the heartbeat gauge fresh even when the
+        # queue is empty — a wedged worker stops beating within one poll.
+        worker = threading.current_thread().name
         while True:
-            item = self._queue.get()
+            self.telemetry.worker_heartbeat(worker)
+            try:
+                item = self._queue.get(timeout=self.WORKER_POLL_S)
+            except queue.Empty:
+                continue
             if item is _SHUTDOWN:
                 return
+            self.telemetry.worker_heartbeat(worker, busy=True)
             try:
                 self._execute(item)
             finally:
+                self.telemetry.worker_heartbeat(worker)
                 self._queue.task_done()
 
     def _execute(self, job: Job) -> None:
         if job.cancelled_requested:
             job._transition(CANCELLED, "cancelled while queued")
             self._persist(job)
+            self.telemetry.job_finished(
+                job.spec.kind, CANCELLED, 0.0,
+                time.monotonic() - job.created_monotonic,
+            )
             return
         job.started_utc = _utc_now()
+        job.started_monotonic = time.monotonic()
         job._transition(RUNNING)
         self._persist(job)
+        self.telemetry.job_started(
+            job.spec.kind, job.started_monotonic - job.created_monotonic
+        )
         spec = job.spec
         timeout_s = (
             spec.timeout_s
@@ -704,6 +748,13 @@ class JobManager:
         except Exception as exc:  # noqa: BLE001 - jobs must never kill workers
             job._transition(FAILED, f"{type(exc).__name__}: {exc}")
         self._persist(job)
+        now = time.monotonic()
+        self.telemetry.job_finished(
+            spec.kind,
+            job.state,
+            now - job.started_monotonic,
+            now - job.created_monotonic,
+        )
 
 
 def _results_payload(results) -> dict:

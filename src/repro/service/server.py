@@ -5,8 +5,13 @@ Every route is mounted under the versioned ``/v1`` prefix; the bare paths
 remain as deprecated aliases (see *API versioning* below).  Endpoints:
 
 ============================  =================================================
-``GET  /v1/healthz``          liveness + queue/job counters + drain state +
+``GET  /v1/healthz``          liveness + uptime + queue depth/in-flight/
+                              completed counters + drain state +
                               ``api_version``
+``GET  /v1/metrics``          service telemetry (request latency histograms,
+                              job phase timings, queue gauges, worker
+                              heartbeats) as JSON, or Prometheus text with
+                              ``?format=prometheus`` / ``Accept: text/plain``
 ``POST /v1/jobs``             submit a run/sweep/experiment job (``201``;
                               ``400`` bad payload, ``429`` queue full,
                               ``503`` draining)
@@ -47,9 +52,11 @@ import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 from urllib.parse import parse_qs, urlsplit
 
 from repro.api import Session
+from repro.obs import promfmt
 from repro.service.jobs import (
     TERMINAL_STATES,
     DONE,
@@ -87,12 +94,27 @@ class SimulationServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.manager = manager
         self.session = manager.session
+        self.telemetry = manager.telemetry
         self.quiet = quiet
         self.started_monotonic = time.monotonic()
 
     @property
     def port(self) -> int:
         return self.server_address[1]
+
+
+def route_template(path: str) -> str:
+    """Collapse a request path to its bounded route template.
+
+    Metric labels must never carry raw job ids (every distinct label set
+    is a live time series); unknown paths fold to ``"other"``.
+    """
+    if path in ("/healthz", "/metrics", "/runs", "/jobs", "/"):
+        return path
+    match = _JOB_PATH.match(path)
+    if match:
+        return "/jobs/{id}" + (match.group(2) or "")
+    return "other"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -103,12 +125,37 @@ class _Handler(BaseHTTPRequestHandler):
     _prefix = ""
     #: The route path with the version prefix stripped (set per request).
     _route_path = "/"
+    #: Last status code sent on this request (for telemetry).
+    _status = 0
 
     # -- plumbing ------------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.server.quiet:
             super().log_message(format, *args)
+
+    def send_response(self, code: int, message: str | None = None) -> None:
+        self._status = code
+        super().send_response(code, message)
+
+    def _timed(self, method: str, handle: Callable[[], None]) -> None:
+        """Dispatch one request, recording latency by route template/status.
+
+        The route template is derived after the handler ran (it parses the
+        path), so labels reflect the normalized ``/jobs/{id}`` form; a
+        handler that died before sending anything records status 500.
+        """
+        t0 = time.perf_counter()
+        self._status = 0
+        try:
+            handle()
+        finally:
+            self.server.telemetry.observe_request(
+                method,
+                route_template(self._route_path),
+                self._status or 500,
+                time.perf_counter() - t0,
+            )
 
     def _route(self, raw_path: str) -> str:
         """Strip an optional ``/v1`` prefix; remember which form was used."""
@@ -144,6 +191,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in self._deprecation_headers().items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
     def _error(self, status: int, message: str, **headers: str) -> None:
         self._json(status, {"error": message}, **headers)
 
@@ -160,11 +217,22 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing -------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._timed("GET", self._do_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._timed("POST", self._do_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._timed("DELETE", self._do_delete)
+
+    def _do_get(self) -> None:
         url = urlsplit(self.path)
         query = parse_qs(url.query)
         path = self._route(url.path)
         if path == "/healthz":
             return self._get_healthz()
+        if path == "/metrics":
+            return self._get_metrics(query)
         if path == "/runs":
             return self._get_runs(query)
         if path == "/jobs":
@@ -186,7 +254,7 @@ class _Handler(BaseHTTPRequestHandler):
             return self._stream_events(job, query)
         self._error(404, f"no route for GET {url.path}")
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    def _do_post(self) -> None:
         url = urlsplit(self.path)
         path = self._route(url.path)
         if path != "/jobs":
@@ -214,7 +282,7 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
-    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+    def _do_delete(self) -> None:
         url = urlsplit(self.path)
         match = _JOB_PATH.match(self._route(url.path))
         if not match or match.group(2):
@@ -229,12 +297,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_healthz(self) -> None:
         manager = self.server.manager
+        counts = manager.counts()
         self._json(
             200,
             {
                 "status": "draining" if manager.draining else "ok",
                 "api_version": API_VERSION,
-                "jobs": manager.counts(),
+                "jobs": counts,
+                "jobs_completed": sum(
+                    counts.get(state, 0) for state in TERMINAL_STATES
+                ),
+                "queue_depth": manager.queue_depth,
+                "in_flight": manager.in_flight,
                 "job_workers": manager.job_workers,
                 "queue_capacity": manager._queue.maxsize,
                 "ledger": (
@@ -245,6 +319,40 @@ class _Handler(BaseHTTPRequestHandler):
                 "uptime_s": round(
                     time.monotonic() - self.server.started_monotonic, 3
                 ),
+            },
+        )
+
+    def _get_metrics(self, query: dict[str, list[str]]) -> None:
+        """One telemetry scrape, as JSON or Prometheus text exposition.
+
+        Queue gauges are sampled at scrape time so they reflect this
+        instant rather than the last request that happened to touch them.
+        """
+        manager = self.server.manager
+        telemetry = self.server.telemetry
+        telemetry.sample_queue(
+            depth=manager.queue_depth,
+            in_flight=manager.in_flight,
+            capacity=manager._queue.maxsize,
+            draining=manager.draining,
+        )
+        fmt = query.get("format", [""])[0].lower()
+        accept = self.headers.get("Accept", "")
+        wants_text = fmt in ("prometheus", "text") or (
+            not fmt
+            and "text/plain" in accept
+            and "application/json" not in accept
+        )
+        if wants_text:
+            return self._text(
+                200, telemetry.to_prometheus(), promfmt.CONTENT_TYPE
+            )
+        self._json(
+            200,
+            {
+                "api_version": API_VERSION,
+                "uptime_s": round(telemetry.uptime_s, 3),
+                "metrics": telemetry.snapshot(),
             },
         )
 

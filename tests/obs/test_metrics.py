@@ -3,11 +3,16 @@
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.metrics import (
     NULL_METRICS,
+    BucketHistogram,
     Counter,
     Gauge,
     Histogram,
@@ -54,6 +59,118 @@ class TestHistogram:
         snap = Histogram("empty").snapshot()
         assert snap["count"] == 0
         assert snap["min"] == 0.0 and snap["max"] == 0.0 and snap["mean"] == 0.0
+
+
+class TestBucketHistogram:
+    def test_le_semantics_value_on_bound_counts_in_that_bucket(self):
+        h = BucketHistogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 4.0, 9.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1, 1]  # last slot = +Inf overflow
+        assert h.cumulative() == [2, 3, 4, 5]
+
+    def test_overflow_bucket_catches_values_past_last_bound(self):
+        h = BucketHistogram("lat", buckets=(1.0,))
+        h.observe(100.0)
+        assert h.counts == [0, 1]
+        assert h.quantile(0.99) == 100.0  # overflow reports observed max
+
+    def test_empty_histogram_is_finite(self):
+        h = BucketHistogram("lat", buckets=(1.0, 2.0))
+        assert h.quantile(0.99) == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+        assert snap["p99"] == 0.0
+
+    def test_snapshot_buckets_are_cumulative_with_inf_terminal(self):
+        h = BucketHistogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["buckets"] == [[1.0, 1], [2.0, 2], ["+Inf", 3]]
+        assert snap["type"] == "bucket_histogram"
+        assert {"p50", "p95", "p99"} <= set(snap)
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = BucketHistogram("lat", buckets=(1.0, 2.0))
+        for _ in range(100):
+            h.observe(1.5)  # all mass in the (1, 2] bucket
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert 1.0 <= h.quantile(0.99) <= 2.0
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            BucketHistogram("x", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            BucketHistogram("x", buckets=())
+        with pytest.raises(ValueError, match="finite"):
+            BucketHistogram("x", buckets=(1.0, float("inf")))
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            BucketHistogram("x", buckets=(1.0,)).quantile(1.5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=9.99), min_size=1, max_size=80
+        ),
+        q=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_quantile_within_one_bucket_width_of_numpy(self, values, q):
+        # The estimator interpolates inside the bucket holding the target
+        # rank, so it can never drift more than one bucket width from the
+        # rank-based reference quantile (numpy's inverted_cdf).
+        buckets = (0.5, 1.0, 2.0, 4.0, 8.0, 10.0)
+        h = BucketHistogram("lat", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        reference = float(np.quantile(values, q, method="inverted_cdf"))
+        j = bisect_left(buckets, reference)
+        width = buckets[j] - (buckets[j - 1] if j else 0.0)
+        assert abs(h.quantile(q) - reference) <= width + 1e-9
+
+
+class TestRegistryLabels:
+    def test_same_labels_return_same_instrument(self):
+        m = MetricsRegistry()
+        a = m.counter("req", {"route": "/jobs"})
+        assert m.counter("req", {"route": "/jobs"}) is a
+
+    def test_different_labels_are_distinct_series(self):
+        m = MetricsRegistry()
+        a = m.counter("req", {"route": "/jobs"})
+        b = m.counter("req", {"route": "/runs"})
+        assert a is not b
+        a.inc(3)
+        assert b.value == 0
+        assert len(m) == 2
+
+    def test_label_order_does_not_matter(self):
+        m = MetricsRegistry()
+        a = m.counter("req", {"a": "1", "b": "2"})
+        assert m.counter("req", {"b": "2", "a": "1"}) is a
+
+    def test_snapshot_carries_labels_only_when_present(self):
+        m = MetricsRegistry()
+        m.counter("plain").inc()
+        m.counter("tagged", {"k": "v"}).inc()
+        plain, tagged = m.snapshot()
+        assert "labels" not in plain
+        assert tagged["labels"] == {"k": "v"}
+
+    def test_type_collision_with_labels_rejected(self):
+        m = MetricsRegistry()
+        m.counter("x", {"a": "1"})
+        with pytest.raises(TypeError, match="already registered"):
+            m.gauge("x", {"a": "1"})
+
+    def test_bucket_histogram_get_or_create(self):
+        m = MetricsRegistry()
+        h = m.bucket_histogram("lat", buckets=(1.0, 2.0))
+        assert m.bucket_histogram("lat") is h
+        assert h.buckets == (1.0, 2.0)  # creation-time bounds win
 
 
 class TestTimer:

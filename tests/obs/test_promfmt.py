@@ -1,0 +1,166 @@
+"""Prometheus text exposition: escaping, families, bucket rendering."""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import BucketHistogram, MetricsRegistry
+from repro.obs.promfmt import (
+    CONTENT_TYPE,
+    escape_label_value,
+    format_value,
+    render_prometheus,
+    sanitize_label_name,
+    sanitize_metric_name,
+)
+
+
+def _samples(text: str) -> dict[str, float]:
+    """``{sample_line_key: value}`` for every non-comment line."""
+    out = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        key, _, value = line.rpartition(" ")
+        out[key] = float(value)
+    return out
+
+
+class TestSanitization:
+    def test_metric_name_invalid_chars_fold(self):
+        assert sanitize_metric_name("http.request-count") == \
+            "http_request_count"
+        assert sanitize_metric_name("a:b_c9") == "a:b_c9"
+
+    def test_metric_name_cannot_start_with_digit(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("") == "_"
+
+    def test_label_name_has_no_colons(self):
+        assert sanitize_label_name("a:b") == "a_b"
+        assert sanitize_label_name("7th") == "_7th"
+
+
+class TestEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_escaped_value_renders_on_one_line(self):
+        m = MetricsRegistry()
+        m.counter("hits", {"path": 'we"ird\nvalue'}).inc()
+        text = render_prometheus(m)
+        assert len(text.strip().splitlines()) == 2  # TYPE + one sample
+        assert '\\"' in text and "\\n" in text
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [
+            (True, "1"),
+            (False, "0"),
+            (42, "42"),
+            (3.0, "3"),
+            (0.25, "0.25"),
+            (math.nan, "NaN"),
+            (math.inf, "+Inf"),
+            (-math.inf, "-Inf"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert format_value(value) == expected
+
+
+class TestRendering:
+    def test_counter_and_gauge(self):
+        m = MetricsRegistry()
+        m.counter("jobs_total", {"kind": "run"}).inc(3)
+        m.gauge("depth").set(2.5)
+        text = render_prometheus(m)
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{kind="run"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2.5" in text
+        assert text.endswith("\n")
+
+    def test_labels_render_sorted(self):
+        m = MetricsRegistry()
+        m.counter("c", {"z": "1", "a": "2"}).inc()
+        assert 'c{a="2",z="1"} 1' in render_prometheus(m)
+
+    def test_plain_histogram_becomes_summary(self):
+        m = MetricsRegistry()
+        h = m.histogram("phase_s")
+        h.observe(0.5)
+        h.observe(1.5)
+        text = render_prometheus(m)
+        assert "# TYPE phase_s summary" in text
+        samples = _samples(text)
+        assert samples["phase_s_sum"] == 2.0
+        assert samples["phase_s_count"] == 2
+
+    def test_bucket_histogram_renders_cumulative_buckets(self):
+        m = MetricsRegistry()
+        h = m.bucket_histogram("lat", buckets=(0.1, 0.5, 1.0))
+        for v in (0.05, 0.05, 0.3, 0.7, 9.0):
+            h.observe(v)
+        text = render_prometheus(m)
+        assert "# TYPE lat histogram" in text
+        samples = _samples(text)
+        assert samples['lat_bucket{le="0.1"}'] == 2
+        assert samples['lat_bucket{le="0.5"}'] == 3
+        assert samples['lat_bucket{le="1"}'] == 4
+        assert samples['lat_bucket{le="+Inf"}'] == 5
+        assert samples["lat_count"] == 5
+        assert samples["lat_sum"] == pytest.approx(10.1)
+
+    def test_bucket_counts_are_monotone_nondecreasing(self):
+        h = BucketHistogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 9.0):
+            h.observe(v)
+        text = render_prometheus([h.snapshot()])
+        cums = [
+            float(line.rpartition(" ")[2])
+            for line in text.splitlines()
+            if "_bucket" in line
+        ]
+        assert cums == sorted(cums)
+
+    def test_family_grouping_keeps_samples_contiguous(self):
+        # Label variants registered interleaved with another family must
+        # still render under a single # TYPE line.
+        m = MetricsRegistry()
+        m.counter("req", {"route": "/a"}).inc()
+        m.gauge("depth").set(1)
+        m.counter("req", {"route": "/b"}).inc(2)
+        text = render_prometheus(m)
+        assert text.count("# TYPE req counter") == 1
+        lines = text.strip().splitlines()
+        i = lines.index("# TYPE req counter")
+        assert lines[i + 1].startswith("req{")
+        assert lines[i + 2].startswith("req{")
+
+    def test_snapshot_list_and_registry_agree(self):
+        m = MetricsRegistry()
+        m.counter("c").inc(5)
+        assert render_prometheus(m) == render_prometheus(m.snapshot())
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_counter_monotonic_across_scrapes(self):
+        m = MetricsRegistry()
+        c = m.counter("events_total")
+        c.inc(3)
+        first = _samples(render_prometheus(m))
+        c.inc(2)
+        second = _samples(render_prometheus(m))
+        for key, value in first.items():
+            assert second[key] >= value
+        assert second["events_total"] == 5
+
+    def test_content_type_pins_exposition_version(self):
+        assert re.search(r"version=0\.0\.4", CONTENT_TYPE)

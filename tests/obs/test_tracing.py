@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.obs.tracing import (
     NULL_TRACER,
     JsonlSink,
@@ -67,6 +69,81 @@ class TestJsonlSink:
         tracer.event("x")
         tracer.close()
         assert sink._fh.closed
+
+
+class TestJsonlSinkBuffering:
+    def test_records_buffer_until_batch_size(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=3, flush_interval_s=None)
+        sink.emit({"n": 1})
+        sink.emit({"n": 2})
+        assert path.read_text() == ""  # still buffered
+        sink.emit({"n": 3})  # batch boundary
+        assert len(path.read_text().splitlines()) == 3
+        sink.close()
+
+    def test_close_flushes_partial_buffer(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=1000, flush_interval_s=None)
+        sink.emit({"n": 1})
+        sink.close()
+        assert json.loads(path.read_text()) == {"n": 1}
+
+    def test_interval_forces_flush(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=1000, flush_interval_s=0.0)
+        sink.emit({"n": 1})  # interval 0: every emit flushes
+        assert len(path.read_text().splitlines()) == 1
+        sink.close()
+
+    def test_explicit_flush(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path, flush_every=1000,
+                       flush_interval_s=None) as sink:
+            sink.emit({"n": 7})
+            sink.flush()
+            assert len(path.read_text().splitlines()) == 1
+
+
+class TestJsonlSinkRotation:
+    def test_rotation_caps_growth_and_keeps_two_generations(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=1, flush_interval_s=None,
+                         rotate_bytes=64)
+        for i in range(20):
+            sink.emit({"n": i, "pad": "x" * 10})
+        sink.close()
+        assert sink.rotated_path.exists()
+        assert path.stat().st_size <= 64 + 32  # one batch of slack
+        # Every surviving line still parses; newest records are in `path`.
+        current = [json.loads(l) for l in path.read_text().splitlines()]
+        rotated = [
+            json.loads(l) for l in sink.rotated_path.read_text().splitlines()
+        ]
+        assert current and rotated
+        assert current[-1]["n"] == 19
+        assert rotated[-1]["n"] == current[0]["n"] - 1
+
+    def test_oversized_single_batch_never_rotates_empty_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=1000, flush_interval_s=None,
+                         rotate_bytes=8)
+        sink.emit({"big": "y" * 100})
+        sink.close()
+        assert not sink.rotated_path.exists()
+        assert json.loads(path.read_text())["big"] == "y" * 100
+
+    def test_rotation_disabled_by_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path, flush_every=1, flush_interval_s=None) as sink:
+            for i in range(100):
+                sink.emit({"n": i})
+        assert not sink.rotated_path.exists()
+        assert len(path.read_text().splitlines()) == 100
+
+    def test_negative_rotate_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="rotate_bytes"):
+            JsonlSink(tmp_path / "t.jsonl", rotate_bytes=-1)
 
 
 class TestNullTracer:

@@ -80,6 +80,12 @@ class TestEndpoints:
         assert body["status"] == "ok"
         assert body["job_workers"] == 4
         assert body["ledger"]
+        # Telemetry enrichment: uptime plus queue/completion counters.
+        assert body["uptime_s"] >= 0.0
+        assert body["queue_depth"] == 0
+        assert body["in_flight"] == 0
+        assert body["jobs_completed"] == 0
+        assert body["queue_capacity"] == 16
 
     def test_submit_run_result_bit_identical(self, service):
         base, session = service
@@ -241,6 +247,18 @@ class TestBackpressure:
             )
             assert status == 429
             assert "queue" in body["error"]
+            # The rejection lands in the dedicated backpressure counter
+            # (recorded just after the response is written — poll briefly).
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                bp = next(
+                    s for s in server.telemetry.snapshot()
+                    if s["name"] == "deuce_http_backpressure_total"
+                )
+                if bp["value"]:
+                    break
+                time.sleep(0.01)
+            assert bp["value"] == 1
         finally:
             server.shutdown()
             server.server_close()
@@ -265,6 +283,81 @@ class TestBackpressure:
             server.shutdown()
             server.server_close()
             thread.join(timeout=10)
+
+
+class TestMetricsEndpoint:
+    def test_metrics_json(self, service):
+        base, _ = service
+        _request("GET", f"{base}/v1/healthz")  # generate one request first
+        status, body = _request("GET", f"{base}/v1/metrics")
+        assert status == 200
+        assert body["api_version"] == "v1"
+        assert body["uptime_s"] >= 0.0
+        names = {m["name"] for m in body["metrics"]}
+        assert "deuce_http_requests_total" in names
+        assert "deuce_queue_depth" in names
+        req = next(
+            m for m in body["metrics"]
+            if m["name"] == "deuce_http_requests_total"
+            and m.get("labels", {}).get("route") == "/healthz"
+        )
+        assert req["labels"]["status"] == "200"
+        assert req["value"] >= 1
+
+    def test_metrics_prometheus_format_param(self, service):
+        base, _ = service
+        with urllib.request.urlopen(
+            f"{base}/v1/metrics?format=prometheus", timeout=30
+        ) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            assert "version=0.0.4" in resp.headers["Content-Type"]
+            text = resp.read().decode()
+        assert "# TYPE deuce_metrics_scrapes_total counter" in text
+        assert "deuce_queue_capacity 16" in text
+
+    def test_metrics_prometheus_accept_header(self, service):
+        base, _ = service
+        req = urllib.request.Request(
+            f"{base}/v1/metrics", headers={"Accept": "text/plain"}
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+
+    def test_request_latency_labeled_by_route_template(self, service):
+        base, _ = service
+        _, body = _request(
+            "POST", f"{base}/v1/jobs", {"kind": "run", "config": RUN_CONFIG}
+        )
+        _poll_terminal(base, body["job_id"])
+        _, metrics = _request("GET", f"{base}/v1/metrics")
+        routes = {
+            m["labels"]["route"]
+            for m in metrics["metrics"]
+            if m["name"] == "deuce_http_requests_total"
+        }
+        # Raw job ids never appear as label values — bounded cardinality.
+        assert "/jobs/{id}" in routes
+        assert not any(body["job_id"] in r for r in routes)
+
+    def test_job_phase_histograms_populate(self, service):
+        base, _ = service
+        _, body = _request(
+            "POST", f"{base}/v1/jobs", {"kind": "run", "config": RUN_CONFIG}
+        )
+        _poll_terminal(base, body["job_id"])
+        _, metrics = _request("GET", f"{base}/v1/metrics")
+        phases = {
+            m["name"]: m
+            for m in metrics["metrics"]
+            if m["name"].startswith("deuce_job_")
+            and m.get("labels", {}).get("kind") == "run"
+        }
+        assert phases["deuce_job_queue_wait_seconds"]["count"] >= 1
+        assert phases["deuce_job_exec_seconds"]["count"] >= 1
+        assert phases["deuce_job_total_seconds"]["count"] >= 1
+        # healthz enrichment agrees once the job settled.
+        _, health = _request("GET", f"{base}/v1/healthz")
+        assert health["jobs_completed"] >= 1
 
 
 class TestServeProcess:
