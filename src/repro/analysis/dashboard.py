@@ -15,6 +15,14 @@ Layout
   manifest (``deuce-sim loadtest``): p99 latency and error rate judged
   against the soak's SLO targets when it set any, queue saturation, and a
   queue-depth sparkline over the soak.
+* **Perf trajectory** — one sparkline per recorded benchmark
+  (``kind="bench"`` manifests from the benchmark suite), charting its
+  headline throughput/speedup metric across git revisions, so a
+  write-path regression is visible as a dip the moment the bench lands
+  in the ledger.
+* **Write-path profile** — phase breakdown bars from the newest run that
+  carried a ``profile.json`` artifact (the chunked write loop's per-phase
+  time attribution), linking wall time to the kernel responsible.
 * **Scheme cards** — one card per scheme seen in the ledger, each with one
   sparkline per metric in :data:`TRACKED_METRICS` plotted across that
   scheme's run history (oldest left, newest right).
@@ -109,6 +117,19 @@ h2 { font-size: 15px; margin: 28px 0 10px; color: var(--ink); }
   color: var(--ink); font-size: 12px; font-variant-numeric: tabular-nums;
 }
 svg.spark { display: block; margin-top: 2px; }
+.bars { margin-top: 6px; }
+.bar-row { display: flex; align-items: center; gap: 8px; margin: 3px 0; }
+.bar-row .bar-label {
+  color: var(--ink-2); font-size: 12px; width: 110px; text-align: right;
+}
+.bar-row .bar-track {
+  flex: 1; background: var(--neutral-bg); border-radius: 3px; height: 12px;
+}
+.bar-row .bar-fill { height: 12px; border-radius: 3px; }
+.bar-row .bar-val {
+  color: var(--ink-3); font-size: 12px; width: 120px;
+  font-variant-numeric: tabular-nums;
+}
 table { border-collapse: collapse; background: var(--card); font-size: 13px; }
 th, td {
   border: 1px solid var(--border); padding: 5px 9px; text-align: left;
@@ -352,6 +373,141 @@ def _slo_tiles(ledger: "RunLedger") -> str:
     return '<div class="tiles">' + "".join(tiles) + "</div>" + meta
 
 
+#: Preference order for a bench manifest's headline metric.
+_BENCH_HEADLINE = ("writes_per_s", "speedup", "wall_s")
+
+
+def _perf_trajectory(ledger: "RunLedger") -> str:
+    """Perf-trajectory cards: one sparkline per recorded benchmark.
+
+    Charts each bench label's headline metric (throughput before speedup
+    before wall time, else the first numeric field) across its
+    ``kind="bench"`` manifests oldest→newest; the caption names the git
+    revisions spanned so a dip can be pinned to the commit range.
+    """
+    benches = ledger.list(kind="bench", limit=None)
+    by_label: dict[str, list] = {}
+    for m in benches:
+        if m.label and m.summary:
+            by_label.setdefault(m.label, []).append(m)
+    if not by_label:
+        return (
+            '<p class="empty">no benchmark emissions in the ledger yet — '
+            "run the <code>benchmarks/</code> suite to record some</p>"
+        )
+    cards = []
+    for label, manifests in sorted(by_label.items()):
+        metric = next(
+            (k for k in _BENCH_HEADLINE if k in manifests[-1].summary),
+            next(iter(manifests[-1].summary)),
+        )
+        values = [
+            float(m.summary[metric])
+            for m in manifests
+            if isinstance(m.summary.get(metric), (int, float))
+        ]
+        if not values:
+            continue
+        revs = [m.git_rev for m in manifests if m.git_rev]
+        rev_span = (
+            f"{html.escape(revs[0])} &rarr; {html.escape(revs[-1])}"
+            if len(set(revs)) > 1
+            else html.escape(revs[-1] if revs else "unknown rev")
+        )
+        title = f"{label} {metric}: latest {_fmt(values[-1])}"
+        light, dark = _PALETTE_LIGHT[2], _PALETTE_DARK[2]
+        sparks = (
+            f'<span class="light-only">'
+            f"{sparkline_svg(values, light, title=title)}</span>"
+            f'<span class="dark-only">'
+            f"{sparkline_svg(values, dark, title=title)}</span>"
+        )
+        vals = (
+            f"latest {_fmt(values[-1])} &middot; min {_fmt(min(values))} "
+            f"&middot; max {_fmt(max(values))}"
+        )
+        cards.append(
+            '<div class="card">'
+            f"<h3>{html.escape(label)}</h3>"
+            f'<div class="meta">{len(values)} emissions &middot; '
+            f"{rev_span}</div>"
+            f'<div class="metric"><span class="label">'
+            f"{html.escape(metric)}</span>{sparks}"
+            f'<div class="vals">{vals}</div></div>'
+            "</div>"
+        )
+    return '<div class="cards">' + "".join(cards) + "</div>"
+
+
+def _latest_profile(ledger: "RunLedger") -> tuple["RunManifest | None", dict]:
+    """Newest run/sweep-cell manifest carrying a ``profile.json`` artifact."""
+    import json
+
+    for m in reversed(ledger.list(limit=None)):
+        if m.kind not in ("run", "sweep-cell"):
+            continue
+        filename = m.artifacts.get("profile")
+        if not filename:
+            continue
+        try:
+            loaded = json.loads(
+                (ledger.run_dir(m.run_id) / filename).read_text()
+            )
+        except (OSError, ValueError):
+            continue
+        if isinstance(loaded, dict) and loaded:
+            return m, loaded
+    return None, {}
+
+
+def _profile_panel(ledger: "RunLedger") -> str:
+    """Phase-breakdown bars from the newest profiled run."""
+    manifest, profile = _latest_profile(ledger)
+    if manifest is None:
+        return (
+            '<p class="empty">no profiled runs yet — any recorded run '
+            "captures a write-path profile automatically</p>"
+        )
+    rows = sorted(
+        (
+            (name, float(entry.get("seconds", 0.0)), int(entry.get("count", 0)))
+            for name, entry in profile.items()
+            if isinstance(entry, dict)
+        ),
+        key=lambda row: -row[1],
+    )
+    total = sum(seconds for _, seconds, _ in rows) or 1.0
+    light, dark = _PALETTE_LIGHT[0], _PALETTE_DARK[0]
+    bars = []
+    for name, seconds, count in rows:
+        share = seconds / total
+        width = max(round(share * 100, 1), 0.5)
+        bars.append(
+            '<div class="bar-row">'
+            f'<span class="bar-label">{html.escape(name)}</span>'
+            '<span class="bar-track">'
+            f'<span class="bar-fill light-only" style="width:{width}%;'
+            f'background:{light}"></span>'
+            f'<span class="bar-fill dark-only" style="width:{width}%;'
+            f'background:{dark}"></span></span>'
+            f'<span class="bar-val">{_fmt(seconds, 4)} s &middot; '
+            f"{share:.0%}"
+            + (f" &middot; {count}&times;" if count else "")
+            + "</span></div>"
+        )
+    meta = (
+        f"{html.escape(manifest.run_id)} &middot; "
+        f"{html.escape(manifest.workload)}/{html.escape(manifest.scheme)} "
+        f"&middot; {_fmt(total, 4)} s attributed"
+    )
+    return (
+        '<div class="tiles"><div class="tile none" style="min-width:460px">'
+        f'<div class="bars">{"".join(bars)}</div>'
+        f'<div class="name">{meta}</div>'
+        "</div></div>"
+    )
+
+
 def _scheme_cards(by_scheme: dict[str, list["RunManifest"]]) -> str:
     cards = []
     for scheme, manifests in by_scheme.items():
@@ -394,7 +550,9 @@ def _scheme_cards(by_scheme: dict[str, list["RunManifest"]]) -> str:
 
 
 def _runs_table(manifests: list["RunManifest"], newest: int = 20) -> str:
-    rows = manifests[-newest:][::-1]
+    # Bench emissions chart in the perf-trajectory panel; keep the table
+    # to simulation runs so the newest N slots aren't eaten by benches.
+    rows = [m for m in manifests if m.kind != "bench"][-newest:][::-1]
     if not rows:
         return '<p class="empty">no runs recorded yet</p>'
     cols = (
@@ -465,6 +623,10 @@ def render_dashboard(
         + _gate_tiles(ledger, baselines_dir)
         + "<h2>Service SLO (latest load test)</h2>"
         + _slo_tiles(ledger)
+        + "<h2>Perf trajectory (recorded benchmarks, oldest &rarr; newest)</h2>"
+        + _perf_trajectory(ledger)
+        + "<h2>Write-path profile (newest profiled run)</h2>"
+        + _profile_panel(ledger)
         + "<h2>Scheme trajectories (oldest &rarr; newest run)</h2>"
         + schemes_html
         + "<h2>Recent runs</h2>"

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.obs.context import TraceContext
 from repro.obs.instruments import RunAborted
 from repro.obs.ledger import (
     RunLedger,
@@ -75,6 +76,7 @@ __all__ = [
     "SimConfig",
     "SweepCancelled",
     "SweepCellFailed",
+    "TraceContext",
     "resolve_workers",
 ]
 
@@ -94,12 +96,24 @@ class ObsOptions:
         (``0`` = off; implied ~100 points when only ``series_out`` is set).
     series_out:
         Write the sampled time-series as CSV to this path.
+    trace_context:
+        Optional :class:`~repro.obs.context.TraceContext` naming this
+        run's lane in a larger correlated trace; stamped into the trace
+        file's meta record so offline tools can parent the run under its
+        job/sweep span and align it on the wall clock.
+    per_write_spans:
+        With ``trace_out`` set, emit one span per write (full-fidelity
+        traces; forces the serial write loop).  The job service sets this
+        False so traced runs keep the chunked fast path with one span per
+        chunk.
     """
 
     metrics_out: str | None = None
     trace_out: str | None = None
     sample_interval: int = 0
     series_out: str | None = None
+    trace_context: TraceContext | None = None
+    per_write_spans: bool = True
 
     @property
     def any(self) -> bool:
@@ -194,6 +208,7 @@ class Session:
             return None, None, None, None
         from repro.obs import Instruments, JsonlSink, MetricsRegistry, Tracer
         from repro.obs.ledger import PhaseAccumulator
+        from repro.obs.profile import PhaseProfile
 
         metrics = (
             MetricsRegistry() if (obs.metrics_out or ledger_on) else None
@@ -201,7 +216,12 @@ class Session:
         phases = None
         tracer = None
         if obs.trace_out or ledger_on:
-            sink = JsonlSink(obs.trace_out) if obs.trace_out else None
+            sink = None
+            if obs.trace_out:
+                meta = None
+                if obs.trace_context is not None:
+                    meta = {**obs.trace_context.to_dict(), "lane": "run"}
+                sink = JsonlSink(obs.trace_out, meta=meta)
             if ledger_on:
                 phases = PhaseAccumulator(inner=sink)
                 sink = phases
@@ -210,14 +230,22 @@ class Session:
             sample_interval=sample_interval, abort=should_stop
         )
         if metrics is not None:
+            # Per-phase write-path attribution rides on timestamps the
+            # chunked loop already takes; cheap enough to keep on for any
+            # recorded run.
+            instruments.profile = PhaseProfile()
+        if metrics is not None:
             instruments.metrics = metrics
         if tracer is not None:
             instruments.tracer = tracer
-            # Write-granular spans only when a trace file was asked for;
-            # the ledger's phase totals aggregate identically from the
-            # chunked loop's one-span-per-chunk stream, so ledger-only
-            # runs keep the batched fast path.
-            instruments.per_write_spans = bool(obs.trace_out)
+            # Write-granular spans only when a trace file was asked for
+            # (and the caller did not opt into chunk-level spans); the
+            # ledger's phase totals aggregate identically from the chunked
+            # loop's one-span-per-chunk stream, so ledger-only runs keep
+            # the batched fast path.
+            instruments.per_write_spans = (
+                bool(obs.trace_out) and obs.per_write_spans
+            )
         return instruments, metrics, tracer, phases
 
     # -- checkpoint plumbing -------------------------------------------------
@@ -370,6 +398,10 @@ class Session:
                 )
             if result.series is not None:
                 artifact_text["series.csv"] = _series_csv_text(result.series)
+            if result.profile:
+                artifact_text["profile.json"] = (
+                    json.dumps(result.profile, indent=2) + "\n"
+                )
             artifacts = {}
             if obs.trace_out:
                 artifacts["trace"] = obs.trace_out
@@ -400,6 +432,8 @@ class Session:
         retry_backoff_s: float = 0.5,
         sweep_id: str | None = None,
         checkpoint: "SweepCheckpoint | str | None" = None,
+        trace_dir: str | Path | None = None,
+        trace_context: TraceContext | None = None,
     ) -> list[RunResult]:
         """Run a batch of configs through the parallel sweep engine.
 
@@ -417,8 +451,16 @@ class Session:
         (``checkpoint`` passes an explicit
         :class:`~repro.sim.checkpoint.SweepCheckpoint` or directory
         instead, e.g. for ledger-less sessions).
+
+        ``trace_dir`` turns on correlated tracing: a ``sweep.jsonl``
+        parent lane plus one ``cell-<i>.jsonl`` lane per worker cell land
+        there, exportable as one Chrome trace via ``deuce-sim trace
+        export``.  ``trace_context`` parents the sweep under an outer
+        span (the job service passes its per-job context); omitted, the
+        sweep becomes a root trace.
         """
-        from repro.sim.parallel import run_suite_parallel
+        from repro.obs.tracing import JsonlSink, Tracer
+        from repro.sim.parallel import SweepTracing, run_suite_parallel
 
         if sweep_id is not None:
             if checkpoint is not None:
@@ -427,18 +469,48 @@ class Session:
                 )
             checkpoint = self.sweep_checkpoint(sweep_id)
         resolved = [self.config(c) for c in configs]
-        return run_suite_parallel(
-            resolved,
-            max_workers=workers,
-            progress=progress,
-            heartbeat_every=heartbeat_every,
-            ledger=self.ledger,
-            ledger_label=self.label if label is None else label,
-            should_stop=should_stop,
-            retries=retries,
-            retry_backoff_s=retry_backoff_s,
-            checkpoint=checkpoint,
-        )
+        tracing = None
+        sweep_tracer = None
+        if trace_dir is not None:
+            trace_dir = Path(trace_dir)
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            ctx = (
+                trace_context.child()
+                if trace_context is not None
+                else TraceContext.new()
+            )
+            sink = JsonlSink(
+                trace_dir / "sweep.jsonl",
+                meta={**ctx.to_dict(), "lane": "sweep"},
+            )
+            sweep_tracer = Tracer(sink)
+            tracing = SweepTracing(
+                dir=trace_dir, context=ctx, tracer=sweep_tracer
+            )
+        try:
+            if sweep_tracer is not None:
+                span = sweep_tracer.span("sweep", cells=len(resolved))
+            else:
+                from repro.obs.tracing import NULL_TRACER
+
+                span = NULL_TRACER.span("sweep")
+            with span:
+                return run_suite_parallel(
+                    resolved,
+                    max_workers=workers,
+                    progress=progress,
+                    heartbeat_every=heartbeat_every,
+                    ledger=self.ledger,
+                    ledger_label=self.label if label is None else label,
+                    should_stop=should_stop,
+                    retries=retries,
+                    retry_backoff_s=retry_backoff_s,
+                    checkpoint=checkpoint,
+                    tracing=tracing,
+                )
+        finally:
+            if sweep_tracer is not None:
+                sweep_tracer.close()
 
     def experiment(
         self,

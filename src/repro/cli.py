@@ -20,6 +20,10 @@ Subcommands
     Soak the job service with concurrent clients and report latency
     percentiles, error rates, and SLO pass/fail (spawns a private
     service unless ``--url`` points at a running one).
+``trace``
+    Export a correlated trace (sweep/run/service job) as Chrome
+    trace-event JSON (``export``) or print its critical path, top spans,
+    and straggler lanes (``report``).
 ``runs``
     Query the run ledger: ``list``, ``show``, ``diff``, ``gc``.
 ``gate``
@@ -44,6 +48,7 @@ Examples
     deuce-sim experiment fig10
     deuce-sim serve --port 8787 --job-workers 2
     deuce-sim loadtest --duration 30 --clients 8 --p99-slo 500
+    deuce-sim trace export my-trace-dir --out trace.json
     deuce-sim runs list --scheme deuce
     deuce-sim gate && echo "no regressions"
     deuce-sim dashboard --output dashboard.html
@@ -168,6 +173,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             retries=args.retries,
             sweep_id=sweep_id,
             progress=renderer,
+            trace_dir=args.trace_dir,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -199,6 +205,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"sweep {sweep_id} checkpointed in "
             f"{session.ledger.root / 'sweeps' / sweep_id}"
+        )
+    if args.trace_dir:
+        print(
+            f"trace lanes written to {args.trace_dir} "
+            f"(export with: deuce-sim trace export {args.trace_dir})"
         )
     return 0
 
@@ -389,6 +400,63 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             removed = ledger.gc(keep=args.keep)
             print(f"removed {len(removed)} runs, kept {len(ledger)}")
     except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _resolve_trace_path(args: argparse.Namespace):
+    """Resolve the ``trace`` argument to a lane file or directory.
+
+    Accepts a path to a ``.jsonl`` lane, a directory of lanes, or a job id
+    — the latter resolved against ``<runs-dir>/traces/<id>`` (the place
+    the job service writes its lanes).
+    """
+    from pathlib import Path
+
+    from repro.obs.ledger import default_runs_dir
+
+    candidate = Path(args.trace)
+    if candidate.exists():
+        return candidate
+    runs_dir = Path(args.runs_dir) if args.runs_dir else default_runs_dir()
+    by_job = runs_dir / "traces" / args.trace
+    if by_job.exists():
+        return by_job
+    print(
+        f"error: no trace at {candidate} and no job trace at {by_job}",
+        file=sys.stderr,
+    )
+    return None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.traceexport import (
+        build_report,
+        export_chrome_trace,
+        load_trace,
+    )
+
+    path = _resolve_trace_path(args)
+    if path is None:
+        return 2
+    try:
+        if args.trace_command == "export":
+            out = args.out or "trace.json"
+            export_chrome_trace(path, out)
+            lanes = load_trace(path)
+            spans = sum(
+                1 for lane in lanes
+                for r in lane.records if r.get("type") == "span"
+            )
+            print(
+                f"chrome trace written to {out} "
+                f"({len(lanes)} lanes, {spans} spans; open in "
+                f"https://ui.perfetto.dev or chrome://tracing)"
+            )
+        else:
+            print(build_report(load_trace(path), top=args.top))
+    except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
@@ -636,6 +704,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full per-cell results as JSON",
     )
     p_sweep.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write correlated trace lanes (sweep.jsonl + one "
+        "cell-<i>.jsonl per cell) here; view with 'deuce-sim trace "
+        "export DIR'",
+    )
+    p_sweep.add_argument(
         "--progress",
         action=argparse.BooleanOptionalAction,
         default=None,
@@ -806,6 +882,42 @@ def build_parser() -> argparse.ArgumentParser:
             help="ledger directory (default: $DEUCE_RUNS_DIR or .deuce-runs)",
         )
     p_runs.set_defaults(func=_cmd_runs)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="export or summarize a correlated trace (from a traced "
+        "sweep, run, or service job)",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_export = trace_sub.add_parser(
+        "export",
+        help="merge trace lanes into one Chrome trace-event JSON "
+        "(open in Perfetto / chrome://tracing)",
+    )
+    p_trace_export.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output path (default: trace.json)",
+    )
+    p_trace_report = trace_sub.add_parser(
+        "report",
+        help="print the critical path, top spans, and straggler lanes",
+    )
+    p_trace_report.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the top-spans table (default: 10)",
+    )
+    for sp in (p_trace_export, p_trace_report):
+        sp.add_argument(
+            "trace",
+            help="a lane file (.jsonl), a trace directory, or a service "
+            "job id (resolved under <runs-dir>/traces/)",
+        )
+        sp.add_argument(
+            "--runs-dir", default=None, metavar="DIR",
+            help="ledger directory for job-id lookup "
+            "(default: $DEUCE_RUNS_DIR or .deuce-runs)",
+        )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_gate = sub.add_parser(
         "gate",

@@ -7,6 +7,15 @@ Four pieces, all zero-dependency and null-by-default:
   overhead when disabled.
 * :mod:`repro.obs.tracing` — span-based tracing of the run pipeline with a
   JSONL event sink (:class:`JsonlSink`); :data:`NULL_TRACER` when off.
+* :mod:`repro.obs.context` — :class:`TraceContext` carries trace/span ids
+  plus a wall-clock anchor across process boundaries, correlating service,
+  sweep, and worker lanes into one trace.
+* :mod:`repro.obs.profile` — :class:`PhaseProfile` accumulates per-phase
+  wall time inside the chunked write loop (near-zero overhead, never
+  changes simulation state).
+* :mod:`repro.obs.traceexport` — merge correlated lanes into Chrome
+  trace-event JSON (:func:`export_chrome_trace`) or a text report with
+  critical path and stragglers (:func:`build_report`).
 * :mod:`repro.obs.sampling` — :class:`IntervalSampler` snapshots flip-rate,
   pad-cache hit-rate, mode-histogram deltas, and per-bit wear percentiles
   every N writes into a :class:`TimeSeries` attached to ``RunResult``.
@@ -24,6 +33,7 @@ Four pieces, all zero-dependency and null-by-default:
 all-null default under which runs are bit-identical to uninstrumented code.
 """
 
+from repro.obs.context import TraceContext
 from repro.obs.gate import (
     GateCheck,
     GateError,
@@ -56,6 +66,7 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
     Timer,
 )
+from repro.obs.profile import PhaseProfile
 from repro.obs.promfmt import render_prometheus
 from repro.obs.progress import (
     ProgressEvent,
@@ -64,6 +75,13 @@ from repro.obs.progress import (
     format_progress,
 )
 from repro.obs.sampling import IntervalSampler, Sample, TimeSeries
+from repro.obs.traceexport import (
+    Lane,
+    build_report,
+    export_chrome_trace,
+    load_trace,
+    to_chrome_trace,
+)
 from repro.obs.tracing import (
     NULL_TRACER,
     JsonlSink,
@@ -109,6 +127,13 @@ __all__ = [
     "IntervalSampler",
     "Sample",
     "TimeSeries",
+    "TraceContext",
+    "PhaseProfile",
+    "Lane",
+    "build_report",
+    "export_chrome_trace",
+    "load_trace",
+    "to_chrome_trace",
     "NULL_TRACER",
     "JsonlSink",
     "ListSink",

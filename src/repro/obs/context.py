@@ -1,0 +1,113 @@
+"""Trace-context propagation across processes.
+
+A :class:`TraceContext` names one causally-linked trace (a job, a sweep,
+a run) and anchors its clock.  It carries:
+
+- ``trace_id`` — shared by every span lane in the trace.
+- ``span_id`` / ``parent_id`` — this lane's node in the causality tree
+  (``parent_id`` is ``""`` for the root).
+- ``epoch_unix`` + ``perf_origin`` — a wall-clock anchor paired with the
+  ``time.perf_counter`` reading taken at the same instant, so offline
+  tools can convert any ``perf_counter`` timestamp ``ts`` recorded in
+  the same process to wall time::
+
+      wall = epoch_unix + (ts - perf_origin)
+
+- ``pid`` — the anchoring process.
+
+Contexts are tiny frozen dataclasses and pickle cleanly, so they ride in
+the existing sweep cell payload.  A worker process MUST call
+:meth:`TraceContext.reanchor` after fork/spawn: ``perf_counter`` origins
+are per-process, so the parent's anchor is meaningless in the child.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from dataclasses import dataclass, replace
+from typing import Any
+
+
+def _new_id(nbytes: int = 8) -> str:
+    """A random lowercase-hex id (16 chars by default)."""
+    return uuid.uuid4().hex[: nbytes * 2]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One lane's identity + clock anchor within a correlated trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+    epoch_unix: float = 0.0
+    perf_origin: float = 0.0
+    pid: int = 0
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """Mint a root context anchored to this process's clocks."""
+        return cls(
+            trace_id=_new_id(),
+            span_id=_new_id(),
+            parent_id="",
+            epoch_unix=time.time(),
+            perf_origin=time.perf_counter(),
+            pid=os.getpid(),
+        )
+
+    def child(self) -> "TraceContext":
+        """A child lane: same trace, new span id, parented under us.
+
+        The clock anchor is re-taken so the child lane is self-anchored
+        even when it stays in the same process.
+        """
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_new_id(),
+            parent_id=self.span_id,
+            epoch_unix=time.time(),
+            perf_origin=time.perf_counter(),
+            pid=os.getpid(),
+        )
+
+    def reanchor(self) -> "TraceContext":
+        """Re-take the clock anchor in the *current* process.
+
+        Identity (trace/span/parent ids) is preserved; only the pid and
+        clock pair change.  Call this first thing inside a worker
+        process before recording any span.
+        """
+        return replace(
+            self,
+            epoch_unix=time.time(),
+            perf_origin=time.perf_counter(),
+            pid=os.getpid(),
+        )
+
+    def to_wall(self, ts: float) -> float:
+        """Convert a ``perf_counter`` timestamp from this lane to unix time."""
+        return self.epoch_unix + (ts - self.perf_origin)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "epoch_unix": self.epoch_unix,
+            "perf_origin": self.perf_origin,
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceContext":
+        return cls(
+            trace_id=str(data["trace_id"]),
+            span_id=str(data["span_id"]),
+            parent_id=str(data.get("parent_id", "")),
+            epoch_unix=float(data.get("epoch_unix", 0.0)),
+            perf_origin=float(data.get("perf_origin", 0.0)),
+            pid=int(data.get("pid", 0)),
+        )

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.profile import PhaseProfile
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 
 
@@ -64,6 +65,12 @@ class Instruments:
         traces).  Set False when the trace sink only aggregates per-phase
         totals (the run ledger's default), which frees the runner to execute
         chunked with one span per chunk under the same span names.
+    profile:
+        Optional :class:`~repro.obs.profile.PhaseProfile` the runner
+        accumulates per-phase time into (pad precompute, batch diff,
+        scatter-add accumulate, checkpoint, trace-gen).  Reuses timestamps
+        the chunked loop already takes, so enabling it costs ~two dict ops
+        per chunk phase and never changes simulation state.
     """
 
     metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
@@ -74,6 +81,7 @@ class Instruments:
     abort: Callable[[], bool] | None = None
     abort_every: int = 0
     per_write_spans: bool = True
+    profile: PhaseProfile | None = None
 
     @property
     def enabled(self) -> bool:
@@ -84,6 +92,7 @@ class Instruments:
             or self.sample_interval > 0
             or self.heartbeat is not None
             or self.abort is not None
+            or self.profile is not None
         )
 
 

@@ -171,10 +171,17 @@ class BucketHistogram:
     :meth:`quantile` interpolates linearly inside the bucket containing the
     requested rank (the Prometheus ``histogram_quantile`` estimator), so the
     estimate is always within one bucket width of the true quantile.
+
+    Observations may carry an *exemplar* — a trace id linking the bucket
+    to one concrete traced operation that landed in it (OpenMetrics-style).
+    The last exemplar per bucket is kept, so a scrape of a slow bucket
+    always points at a recent offending trace.  Exemplars appear in the
+    JSON :meth:`snapshot` only; the Prometheus text 0.0.4 renderer
+    ignores them (the format predates exemplar syntax).
     """
 
     __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max",
-                 "labels")
+                 "labels", "exemplars")
 
     kind = "bucket_histogram"
 
@@ -201,15 +208,20 @@ class BucketHistogram:
         self.min = math.inf
         self.max = -math.inf
         self.labels = dict(labels or {})
+        # bucket index -> (value, trace_id): the most recent exemplar.
+        self.exemplars: dict[int, tuple[float, str]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str = "") -> None:
         self.count += 1
         self.total += value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
-        self.counts[bisect_left(self.buckets, value)] += 1
+        index = bisect_left(self.buckets, value)
+        self.counts[index] += 1
+        if exemplar:
+            self.exemplars[index] = (value, exemplar)
 
     @property
     def mean(self) -> float:
@@ -271,6 +283,16 @@ class BucketHistogram:
             ]
             + [["+Inf", self.count]],
         }
+        if self.exemplars:
+            bounds = list(self.buckets) + ["+Inf"]
+            snap["exemplars"] = [
+                {
+                    "le": bounds[index],
+                    "value": value,
+                    "trace_id": trace_id,
+                }
+                for index, (value, trace_id) in sorted(self.exemplars.items())
+            ]
         snap.update(self.percentiles())
         return _with_labels(snap, self.labels)
 
@@ -323,7 +345,7 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str = "") -> None:
         pass
 
     def observe_many(self, total: float, count: int) -> None:

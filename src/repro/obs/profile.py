@@ -1,0 +1,72 @@
+"""Near-zero-overhead phase profiler for the chunked write path.
+
+The chunked runner already stamps ``perf_counter`` around each kernel
+(batch write, rotation, PCM apply) to drive chunk spans.  A
+:class:`PhaseProfile` reuses those deltas: attribution costs two dict
+operations per chunk phase — no extra clock reads on the hot path — so
+profiled runs stay within noise of unprofiled ones and remain
+bit-identical (the profile never touches simulation state).
+
+Phases are free-form dotted names (``write.batch``, ``accumulate``,
+``pad.fetch``, ``checkpoint``, ``trace.gen``…).  ``to_dict`` renders a
+stable summary suitable for ledger manifests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+class PhaseProfile:
+    """Accumulates ``(seconds, count)`` per named phase."""
+
+    __slots__ = ("phases",)
+
+    def __init__(self) -> None:
+        # name -> [total_seconds, count]
+        self.phases: dict[str, list[float]] = {}
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        slot = self.phases.get(name)
+        if slot is None:
+            self.phases[name] = [seconds, float(count)]
+        else:
+            slot[0] += seconds
+            slot[1] += count
+
+    def merge(self, other: "PhaseProfile") -> None:
+        for name, (secs, count) in other.phases.items():
+            self.add(name, secs, int(count))
+
+    @property
+    def total_s(self) -> float:
+        return sum(slot[0] for slot in self.phases.values())
+
+    def items(self) -> Iterable[tuple[str, float, int]]:
+        for name, (secs, count) in sorted(
+            self.phases.items(), key=lambda kv: -kv[1][0]
+        ):
+            yield name, secs, int(count)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Stable, JSON-friendly summary: name -> {seconds, count, share}."""
+        total = self.total_s
+        out: dict[str, Any] = {}
+        for name, secs, count in self.items():
+            out[name] = {
+                "seconds": round(secs, 6),
+                "count": count,
+                "share": round(secs / total, 4) if total > 0 else 0.0,
+            }
+        return out
+
+    def totals(self) -> dict[str, float]:
+        """name -> seconds, for merging into manifest ``phases``."""
+        return {name: round(secs, 6) for name, secs, _ in self.items()}
+
+    def __bool__(self) -> bool:
+        return bool(self.phases)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(f"{n}={s:.3f}s/{c}" for n, s, c in self.items())
+        return f"PhaseProfile({parts})"

@@ -1,0 +1,363 @@
+"""Offline trace stitching: merge JSONL lanes, export, and report.
+
+A correlated trace on disk is a directory of JSONL lane files (see
+:class:`repro.obs.tracing.JsonlSink`), one per process/role::
+
+    traces/<job_id>/
+        job.jsonl       service-side job lifecycle spans
+        sweep.jsonl     sweep coordination lane
+        cell-0.jsonl    worker lanes (one per sweep cell)
+        cell-1.jsonl
+
+Each file opens with a ``{"type": "meta"}`` record carrying the lane's
+:class:`~repro.obs.context.TraceContext` identity (trace/span/parent
+ids) and its clock anchor (pid, ``epoch_unix``, ``perf_origin``).
+Causality lives in the meta records — hot-loop span records stay id-free
+— and lanes are merged onto one wall-clock axis via
+``wall = epoch_unix + (ts - perf_origin)``.
+
+:func:`to_chrome_trace` emits the Chrome trace-event JSON format (an
+object with a ``traceEvents`` array of ``"X"`` complete events in
+microseconds), which loads directly in Perfetto or ``chrome://tracing``.
+:func:`build_report` renders a text summary: critical path, top span
+names, and a sweep straggler table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+
+@dataclass
+class Lane:
+    """One JSONL trace file: an anchored, causally-identified span lane."""
+
+    name: str
+    path: Path
+    pid: int = 0
+    epoch_unix: float = 0.0
+    perf_origin: float = 0.0
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_wall(self, ts: float) -> float:
+        return self.epoch_unix + (ts - self.perf_origin)
+
+    @property
+    def wall_start(self) -> float:
+        times = [self.to_wall(r["ts"]) for r in self.records if "ts" in r]
+        return min(times) if times else self.epoch_unix
+
+    @property
+    def wall_end(self) -> float:
+        times = [
+            self.to_wall(r["ts"] + r.get("dur", 0.0))
+            for r in self.records
+            if "ts" in r
+        ]
+        return max(times) if times else self.epoch_unix
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.wall_end - self.wall_start)
+
+
+def _generation_files(path: Path) -> list[Path]:
+    """``path`` plus its rotated generations, oldest first."""
+    gens: list[tuple[int, Path]] = []
+    for cand in path.parent.glob(path.name + ".*"):
+        suffix = cand.name[len(path.name) + 1 :]
+        if suffix.isdigit():
+            gens.append((int(suffix), cand))
+    ordered = [p for _, p in sorted(gens, reverse=True)]  # .N oldest
+    if path.exists():
+        ordered.append(path)
+    return ordered
+
+
+def load_lane(path: str | Path) -> Lane:
+    """Parse one lane file (including rotated generations, oldest first)."""
+    path = Path(path)
+    name = path.name
+    for ext in (".jsonl", ".json"):
+        if name.endswith(ext):
+            name = name[: -len(ext)]
+    lane = Lane(name=name, path=path)
+    seen_meta = False
+    for gen in _generation_files(path):
+        for line in gen.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # tolerate a torn final line
+            if record.get("type") == "meta":
+                if not seen_meta:
+                    seen_meta = True
+                    lane.pid = int(record.get("pid", 0))
+                    lane.epoch_unix = float(record.get("epoch_unix", 0.0))
+                    lane.perf_origin = float(record.get("perf_origin", 0.0))
+                    lane.trace_id = str(record.get("trace_id", ""))
+                    lane.span_id = str(record.get("span_id", ""))
+                    lane.parent_id = str(record.get("parent_id", ""))
+                    if record.get("lane"):
+                        lane.name = str(record["lane"])
+                continue
+            lane.records.append(record)
+    return lane
+
+
+def load_trace(path: str | Path) -> list[Lane]:
+    """Load a trace from a lane file or a directory of lane files."""
+    path = Path(path)
+    if path.is_dir():
+        files = sorted(
+            p
+            for p in path.iterdir()
+            if p.name.endswith(".jsonl") and p.is_file()
+        )
+        if not files:
+            raise FileNotFoundError(f"no .jsonl lane files in {path}")
+        lanes = [load_lane(p) for p in files]
+    else:
+        if not path.exists():
+            raise FileNotFoundError(str(path))
+        lanes = [load_lane(path)]
+    # Stable order: root lanes first, then by wall start.
+    lanes.sort(key=lambda ln: (bool(ln.parent_id), ln.wall_start, ln.name))
+    return lanes
+
+
+# --------------------------------------------------------------------------
+# Chrome trace-event export
+
+
+def to_chrome_trace(lanes: Iterable[Lane]) -> dict[str, Any]:
+    """Render lanes as a Chrome trace-event JSON object.
+
+    All timestamps are converted to a shared wall-clock axis and
+    normalized so the earliest record sits at ``ts=0`` (microseconds, as
+    the format requires).  Each lane becomes one thread row; processes
+    group rows by pid.
+    """
+    lanes = list(lanes)
+    events: list[dict[str, Any]] = []
+    starts = [ln.wall_start for ln in lanes if ln.records]
+    t0 = min(starts) if starts else 0.0
+
+    tids: dict[tuple[int, str], int] = {}
+    next_tid: dict[int, int] = {}
+    for lane in lanes:
+        tid = next_tid.get(lane.pid, 1)
+        next_tid[lane.pid] = tid + 1
+        tids[(lane.pid, lane.name)] = tid
+
+    named_pids: set[int] = set()
+    for lane in lanes:
+        tid = tids[(lane.pid, lane.name)]
+        if lane.pid not in named_pids:
+            named_pids.add(lane.pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": lane.pid,
+                    "tid": 0,
+                    "args": {"name": f"pid {lane.pid}"},
+                }
+            )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": lane.pid,
+                "tid": tid,
+                "args": {
+                    "name": lane.name
+                    + (f" (parent {lane.parent_id})" if lane.parent_id else "")
+                },
+            }
+        )
+        for record in lane.records:
+            if "ts" not in record:
+                continue
+            wall_us = (lane.to_wall(record["ts"]) - t0) * 1e6
+            args = {
+                k: v
+                for k, v in record.items()
+                if k not in ("type", "name", "ts", "dur")
+            }
+            if record.get("type") == "span":
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": record.get("name", "?"),
+                        "cat": "span",
+                        "ts": round(wall_us, 3),
+                        "dur": round(record.get("dur", 0.0) * 1e6, 3),
+                        "pid": lane.pid,
+                        "tid": tid,
+                        "args": args,
+                    }
+                )
+            else:
+                events.append(
+                    {
+                        "ph": "i",
+                        "name": record.get("name", "?"),
+                        "cat": "event",
+                        "ts": round(wall_us, 3),
+                        "pid": lane.pid,
+                        "tid": tid,
+                        "s": "t",
+                        "args": args,
+                    }
+                )
+    trace_ids = sorted({ln.trace_id for ln in lanes if ln.trace_id})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": trace_ids[0] if trace_ids else "",
+            "lanes": len(lanes),
+            "epoch_unix": t0,
+        },
+    }
+
+
+def export_chrome_trace(
+    trace_path: str | Path, out_path: str | Path
+) -> dict[str, Any]:
+    """Load, convert and write; returns the trace object for inspection."""
+    trace = to_chrome_trace(load_trace(trace_path))
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(trace) + "\n")
+    return trace
+
+
+# --------------------------------------------------------------------------
+# Text report
+
+
+def _top_spans(
+    lanes: list[Lane], top: int
+) -> list[tuple[str, float, int]]:
+    totals: dict[str, list[float]] = {}
+    for lane in lanes:
+        for record in lane.records:
+            if record.get("type") != "span":
+                continue
+            slot = totals.setdefault(record.get("name", "?"), [0.0, 0])
+            slot[0] += record.get("dur", 0.0)
+            slot[1] += 1
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1][0])
+    return [(name, dur, int(count)) for name, (dur, count) in ranked[:top]]
+
+
+def _critical_path(lanes: list[Lane]) -> list[tuple[int, str, float]]:
+    """(depth, label, seconds) rows: roots, then each level's slowest child."""
+    by_parent: dict[str, list[Lane]] = {}
+    ids = {ln.span_id for ln in lanes if ln.span_id}
+    roots: list[Lane] = []
+    for lane in lanes:
+        if lane.parent_id and lane.parent_id in ids:
+            by_parent.setdefault(lane.parent_id, []).append(lane)
+        else:
+            roots.append(lane)
+    rows: list[tuple[int, str, float]] = []
+
+    def descend(lane: Lane, depth: int) -> None:
+        rows.append((depth, lane.name, lane.duration_s))
+        children = by_parent.get(lane.span_id, [])
+        if children:
+            slowest = max(children, key=lambda ln: ln.duration_s)
+            others = len(children) - 1
+            if others:
+                rows.append(
+                    (
+                        depth + 1,
+                        f"(slowest of {len(children)} children)",
+                        slowest.duration_s,
+                    )
+                )
+            descend(slowest, depth + 1)
+
+    for root in sorted(roots, key=lambda ln: -ln.duration_s):
+        descend(root, 0)
+    return rows
+
+
+def _stragglers(lanes: list[Lane]) -> list[tuple[str, float, float]]:
+    """(lane, seconds, ratio-vs-median) for worker-style lanes.
+
+    Only leaf lanes compete: a mid-chain lane (e.g. the sweep under a
+    service job) spans all its children by construction, so comparing it
+    against the median cell would always flag it.
+    """
+    parents = {ln.parent_id for ln in lanes if ln.parent_id}
+    cells = [
+        ln
+        for ln in lanes
+        if ln.parent_id and ln.records and ln.span_id not in parents
+    ]
+    if len(cells) < 2:
+        return []
+    durations = sorted(ln.duration_s for ln in cells)
+    mid = len(durations) // 2
+    median = (
+        durations[mid]
+        if len(durations) % 2
+        else (durations[mid - 1] + durations[mid]) / 2.0
+    )
+    rows = [
+        (ln.name, ln.duration_s, ln.duration_s / median if median else 0.0)
+        for ln in cells
+    ]
+    rows.sort(key=lambda r: -r[1])
+    return rows
+
+
+def build_report(lanes: list[Lane], *, top: int = 10) -> str:
+    """Human-readable critical-path / top-span / straggler summary."""
+    lines: list[str] = []
+    trace_ids = sorted({ln.trace_id for ln in lanes if ln.trace_id})
+    starts = [ln.wall_start for ln in lanes if ln.records]
+    ends = [ln.wall_end for ln in lanes if ln.records]
+    span = (max(ends) - min(starts)) if starts else 0.0
+    n_spans = sum(
+        1 for ln in lanes for r in ln.records if r.get("type") == "span"
+    )
+    lines.append(
+        f"trace {trace_ids[0] if trace_ids else '(no id)'}: "
+        f"{len(lanes)} lanes, {n_spans} spans, {span:.3f}s wall"
+    )
+    lines.append("")
+    lines.append("critical path:")
+    for depth, label, secs in _critical_path(lanes):
+        marker = "" if depth else "* "
+        lines.append(f"  {'  ' * depth}{marker}{label:<28s} {secs:9.3f}s")
+    lines.append("")
+    lines.append(f"top {top} span names by total time:")
+    lines.append(f"  {'name':<24s} {'total':>10s} {'count':>8s} {'share':>7s}")
+    total_all = sum(d for _, d, _ in _top_spans(lanes, 10**6)) or 1.0
+    for name, dur, count in _top_spans(lanes, top):
+        lines.append(
+            f"  {name:<24s} {dur:9.3f}s {count:8d} {100 * dur / total_all:6.1f}%"
+        )
+    stragglers = _stragglers(lanes)
+    if stragglers:
+        lines.append("")
+        lines.append("sweep stragglers (vs median cell):")
+        lines.append(f"  {'lane':<24s} {'wall':>10s} {'x median':>9s}")
+        for name, secs, ratio in stragglers:
+            flag = "  <-- straggler" if ratio >= 1.5 else ""
+            lines.append(f"  {name:<24s} {secs:9.3f}s {ratio:8.2f}x{flag}")
+    return "\n".join(lines) + "\n"

@@ -13,9 +13,15 @@ as they happen and load with one ``json.loads`` per line:
 ``{"type": "span", "name": "scheme.write", "ts": 1.23, "dur": 2.1e-05,
 "write": 17, "addr": 4096}``
 
-``type`` is ``"span"`` or ``"event"``; ``ts`` is a ``time.perf_counter``
-timestamp (monotonic, comparable within one process only); ``dur`` (spans
-only) is seconds.  All remaining keys are free-form attributes.
+``type`` is ``"span"``, ``"event"`` or ``"meta"``; ``ts`` is a
+``time.perf_counter`` timestamp (monotonic within one process); ``dur``
+(spans only) is seconds.  All remaining keys are free-form attributes.
+Every :class:`JsonlSink` file opens with a ``{"type": "meta"}`` record
+carrying the pid, a wall-clock epoch (``epoch_unix``) and the
+``perf_counter`` reading taken at the same instant (``perf_origin``), so
+offline tools can align lanes from different processes on one wall-clock
+axis: ``wall = epoch_unix + (ts - perf_origin)``.  See
+:mod:`repro.obs.context` for the propagation side.
 
 :data:`NULL_TRACER` is the disabled backend: ``span()`` returns a shared
 no-op context manager and ``event()`` does nothing.
@@ -61,10 +67,18 @@ class JsonlSink:
     per record.
 
     ``rotate_bytes`` bounds on-disk growth for long soaks: when a flush
-    would push the current file past the limit, the file is renamed to
-    ``<name>.1`` (replacing any previous rotation — at most two
-    generations ever exist) and a fresh file begins.  ``0`` disables
-    rotation.
+    would push the current file past the limit, generations shift down
+    (``<name>.1`` → ``<name>.2`` … up to ``rotate_keep``, oldest dropped),
+    the file is renamed to ``<name>.1``, and a fresh file begins.
+    ``rotate_keep`` controls how many rotated generations survive
+    (default 1: at most two files ever exist).  ``rotate_bytes=0``
+    disables rotation.
+
+    Every file — the initial one and each post-rotation successor —
+    begins with a ``{"type": "meta"}`` record anchoring this process's
+    ``perf_counter`` timeline to wall clock, so each generation is
+    self-describing.  Extra lane identity (e.g. a
+    :class:`repro.obs.context.TraceContext`) rides in via ``meta``.
     """
 
     def __init__(
@@ -74,22 +88,46 @@ class JsonlSink:
         flush_every: int = 256,
         flush_interval_s: float | None = 1.0,
         rotate_bytes: int = 0,
+        rotate_keep: int = 1,
+        meta: dict[str, object] | None = None,
     ) -> None:
         if rotate_bytes < 0:
             raise ValueError(f"rotate_bytes must be >= 0, got {rotate_bytes}")
+        if rotate_keep < 1:
+            raise ValueError(f"rotate_keep must be >= 1, got {rotate_keep}")
         self.path = Path(path)
         self.flush_every = max(1, int(flush_every))
         self.flush_interval_s = flush_interval_s
         self.rotate_bytes = int(rotate_bytes)
+        self.rotate_keep = int(rotate_keep)
         self._fh = open(self.path, "w")
         self._buffer: list[str] = []
         self._written = 0  # chars in the current file (ASCII JSON: == bytes)
         self._last_flush = time.monotonic()
+        record: dict[str, object] = {
+            "type": "meta",
+            "pid": os.getpid(),
+            "epoch_unix": time.time(),
+            "perf_origin": time.perf_counter(),
+        }
+        if meta:
+            record.update(meta)
+        # Serialized once; re-emitted verbatim into each rotated-in file.
+        self._meta_line = json.dumps(record, separators=(",", ":")) + "\n"
+        self._write_meta()
+
+    def _write_meta(self) -> None:
+        self._fh.write(self._meta_line)
+        self._written += len(self._meta_line)
 
     @property
     def rotated_path(self) -> Path:
-        """Where the previous generation lands when rotation triggers."""
+        """Where the newest rotated generation lands."""
         return self.path.with_name(self.path.name + ".1")
+
+    def generation_path(self, n: int) -> Path:
+        """Path of rotated generation ``n`` (1 = newest)."""
+        return self.path.with_name(f"{self.path.name}.{n}")
 
     def emit(self, record: dict[str, object]) -> None:
         self._buffer.append(json.dumps(record, separators=(",", ":")) + "\n")
@@ -103,11 +141,12 @@ class JsonlSink:
         if self._buffer:
             data = "".join(self._buffer)
             self._buffer.clear()
-            # Never rotate an empty file (a single oversized batch would
-            # otherwise rotate forever without retaining anything).
+            # Never rotate a file holding only its meta record (a single
+            # oversized batch would otherwise rotate forever without
+            # retaining anything).
             if (
                 self.rotate_bytes
-                and self._written
+                and self._written > len(self._meta_line)
                 and self._written + len(data) > self.rotate_bytes
             ):
                 self._rotate()
@@ -118,9 +157,15 @@ class JsonlSink:
 
     def _rotate(self) -> None:
         self._fh.close()
+        # Shift surviving generations down: .N-1 -> .N, ..., .1 -> .2.
+        for n in range(self.rotate_keep, 1, -1):
+            older = self.generation_path(n - 1)
+            if older.exists():
+                os.replace(older, self.generation_path(n))
         os.replace(self.path, self.rotated_path)
         self._fh = open(self.path, "w")
         self._written = 0
+        self._write_meta()
 
     def close(self) -> None:
         if not self._fh.closed:

@@ -40,13 +40,15 @@ import queue
 import threading
 import time
 import uuid
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable
 
 from repro.api import Session
+from repro.obs.context import TraceContext
 from repro.obs.instruments import RunAborted
 from repro.obs.progress import ProgressEvent
+from repro.obs.tracing import JsonlSink, Tracer
 from repro.service.telemetry import ServiceTelemetry
 from repro.sim.config import ConfigError, SimConfig
 from repro.sim.experiments import EXPERIMENTS
@@ -256,6 +258,9 @@ class Job:
         self.result: dict | None = None
         self.cells_done = 0
         self.writes_done = 0
+        # Correlated-trace id, minted when the job starts executing;
+        # "" while queued or when the manager has nowhere to write lanes.
+        self.trace_id = ""
         self._events: list[dict] = []
         self._seq = itertools.count()
         self._cancel = threading.Event()
@@ -327,6 +332,7 @@ class Job:
                 "result": self.result,
                 "cells_done": self.cells_done,
                 "writes_done": self.writes_done,
+                "trace_id": self.trace_id,
             }
 
     @classmethod
@@ -346,6 +352,7 @@ class Job:
         job.result = record.get("result")
         job.cells_done = int(record.get("cells_done", 0))
         job.writes_done = int(record.get("writes_done", 0))
+        job.trace_id = str(record.get("trace_id", ""))
         if job.state in TERMINAL_STATES:
             job._finished.set()
         return job
@@ -368,6 +375,7 @@ class Job:
                 "started_utc": self.started_utc,
                 "finished_utc": self.finished_utc,
                 "cancel_requested": self._cancel.is_set(),
+                "trace_id": self.trace_id,
             }
 
 
@@ -653,6 +661,43 @@ class JobManager:
                 self.telemetry.worker_heartbeat(worker)
                 self._queue.task_done()
 
+    def trace_dir(self, job_id: str) -> Path | None:
+        """Where a job's correlated-trace lanes land (``None`` ledger-less).
+
+        One directory per job under ``<runs_dir>/traces/``, holding the
+        ``job.jsonl`` lane plus the run/sweep/cell lanes the session
+        writes — the input to ``deuce-sim trace export <job_id>``.
+        """
+        if self.session.ledger is None:
+            return None
+        return self.session.ledger.root / "traces" / job_id
+
+    def _start_job_trace(self, job: Job):
+        """Mint the job's trace context and open its lane (best-effort).
+
+        Tracing must never fail a job: any filesystem error leaves the
+        job untraced (``trace_id`` stays empty) and execution proceeds.
+        """
+        traces = self.trace_dir(job.id)
+        if traces is None:
+            return None, None
+        try:
+            traces.mkdir(parents=True, exist_ok=True)
+            ctx = TraceContext.new()
+            sink = JsonlSink(
+                traces / "job.jsonl",
+                meta={
+                    **ctx.to_dict(),
+                    "lane": "job",
+                    "job_id": job.id,
+                    "kind": job.spec.kind,
+                },
+            )
+            job.trace_id = ctx.trace_id
+            return ctx, Tracer(sink)
+        except OSError:
+            return None, None
+
     def _execute(self, job: Job) -> None:
         if job.cancelled_requested:
             job._transition(CANCELLED, "cancelled while queued")
@@ -664,11 +709,21 @@ class JobManager:
             return
         job.started_utc = _utc_now()
         job.started_monotonic = time.monotonic()
+        ctx, job_tracer = self._start_job_trace(job)
         job._transition(RUNNING)
         self._persist(job)
+        queue_wait_s = job.started_monotonic - job.created_monotonic
         self.telemetry.job_started(
-            job.spec.kind, job.started_monotonic - job.created_monotonic
+            job.spec.kind, queue_wait_s, trace_id=job.trace_id
         )
+        t_exec0 = time.perf_counter()
+        if job_tracer is not None:
+            # Queue wait happened before this lane's anchor; a span ending
+            # at the anchor with the measured duration still aligns right.
+            job_tracer.span_event(
+                "job.queue_wait", t_exec0 - queue_wait_s, queue_wait_s,
+                job_id=job.id, kind=job.spec.kind,
+            )
         spec = job.spec
         timeout_s = (
             spec.timeout_s
@@ -684,11 +739,24 @@ class JobManager:
 
         try:
             if spec.kind == "run":
+                run_obs = None
+                if ctx is not None:
+                    traces = self.trace_dir(job.id)
+                    # per_write_spans=False keeps the chunked fast path:
+                    # the run lane gets chunk-level spans, not one span
+                    # per simulated write.
+                    run_obs = replace(
+                        self.session.obs,
+                        trace_out=str(traces / "run.jsonl"),
+                        trace_context=ctx.child(),
+                        per_write_spans=False,
+                    )
                 result = self.session.run(
                     spec.configs[0],
                     label=spec.label,
                     progress=job.on_progress,
                     should_stop=should_stop,
+                    obs=run_obs,
                 )
                 payload = _results_payload([result])
             elif spec.kind == "sweep":
@@ -709,6 +777,10 @@ class JobManager:
                     should_stop=should_stop,
                     retries=spec.retries,
                     sweep_id=sweep_id,
+                    trace_dir=(
+                        self.trace_dir(job.id) if ctx is not None else None
+                    ),
+                    trace_context=ctx,
                 )
                 payload = _results_payload(results)
             else:
@@ -754,7 +826,14 @@ class JobManager:
             job.state,
             now - job.started_monotonic,
             now - job.created_monotonic,
+            trace_id=job.trace_id,
         )
+        if job_tracer is not None:
+            job_tracer.span_event(
+                "job.exec", t_exec0, time.perf_counter() - t_exec0,
+                job_id=job.id, kind=spec.kind, state=job.state,
+            )
+            job_tracer.close()
 
 
 def _results_payload(results) -> dict:

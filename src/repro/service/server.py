@@ -51,6 +51,7 @@ import re
 import signal
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 from urllib.parse import parse_qs, urlsplit
@@ -127,6 +128,8 @@ class _Handler(BaseHTTPRequestHandler):
     _route_path = "/"
     #: Last status code sent on this request (for telemetry).
     _status = 0
+    #: Trace id for this request (client ``X-Trace-Id`` or freshly minted).
+    _trace_id = ""
 
     # -- plumbing ------------------------------------------------------------
 
@@ -144,9 +147,16 @@ class _Handler(BaseHTTPRequestHandler):
         The route template is derived after the handler ran (it parses the
         path), so labels reflect the normalized ``/jobs/{id}`` form; a
         handler that died before sending anything records status 500.
+
+        Every request gets a trace id — the client's ``X-Trace-Id`` header
+        when sent (so callers can correlate their own traces), otherwise a
+        fresh one — echoed back on the response and attached to the latency
+        histogram bucket as an exemplar.
         """
         t0 = time.perf_counter()
         self._status = 0
+        header = (self.headers.get("X-Trace-Id") or "").strip()
+        self._trace_id = header[:64] if header else uuid.uuid4().hex[:16]
         try:
             handle()
         finally:
@@ -155,6 +165,7 @@ class _Handler(BaseHTTPRequestHandler):
                 route_template(self._route_path),
                 self._status or 500,
                 time.perf_counter() - t0,
+                trace_id=self._trace_id,
             )
 
     def _route(self, raw_path: str) -> str:
@@ -184,6 +195,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id:
+            self.send_header("X-Trace-Id", self._trace_id)
         for name, value in self._deprecation_headers().items():
             self.send_header(name, value)
         for name, value in headers.items():
@@ -196,6 +209,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id:
+            self.send_header("X-Trace-Id", self._trace_id)
         for name, value in self._deprecation_headers().items():
             self.send_header(name, value)
         self.end_headers()
@@ -391,6 +406,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
+        if self._trace_id:
+            self.send_header("X-Trace-Id", self._trace_id)
         for name, value in self._deprecation_headers().items():
             self.send_header(name, value)
         self.end_headers()

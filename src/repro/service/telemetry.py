@@ -103,12 +103,19 @@ class ServiceTelemetry:
     # -- request path --------------------------------------------------------
 
     def observe_request(
-        self, method: str, route: str, status: int, seconds: float
+        self,
+        method: str,
+        route: str,
+        status: int,
+        seconds: float,
+        trace_id: str = "",
     ) -> None:
         """Record one handled HTTP request.
 
         ``route`` must be a bounded template (``/jobs/{id}``), never a raw
-        path — every distinct label set is a live instrument.
+        path — every distinct label set is a live instrument.  ``trace_id``
+        becomes the latency bucket's exemplar, linking the histogram to
+        the concrete request that landed there.
         """
         with self._lock:
             self.registry.counter(
@@ -119,7 +126,7 @@ class ServiceTelemetry:
                 "deuce_http_request_duration_seconds",
                 {"method": method, "route": route},
                 buckets=REQUEST_BUCKETS,
-            ).observe(seconds)
+            ).observe(seconds, exemplar=trace_id)
             if status == 429:
                 self.registry.counter("deuce_http_backpressure_total").inc()
             elif status == 503:
@@ -133,28 +140,40 @@ class ServiceTelemetry:
                 "deuce_jobs_submitted_total", {"kind": kind}
             ).inc()
 
-    def job_started(self, kind: str, queue_wait_s: float) -> None:
+    def job_started(
+        self, kind: str, queue_wait_s: float, trace_id: str = ""
+    ) -> None:
         """A job left the queue; records its queue-wait phase."""
         with self._lock:
             self.registry.bucket_histogram(
                 "deuce_job_queue_wait_seconds", {"kind": kind},
                 buckets=JOB_BUCKETS,
-            ).observe(queue_wait_s)
+            ).observe(queue_wait_s, exemplar=trace_id)
 
     def job_finished(
-        self, kind: str, state: str, exec_s: float, total_s: float
+        self,
+        kind: str,
+        state: str,
+        exec_s: float,
+        total_s: float,
+        trace_id: str = "",
     ) -> None:
-        """A job reached a terminal state; records exec and total phases."""
+        """A job reached a terminal state; records exec and total phases.
+
+        ``trace_id`` (the job's correlated-trace id) becomes the bucket
+        exemplar, so a slow ``deuce_job_exec_seconds`` bucket points at an
+        exportable trace (``deuce-sim trace export <job_id>``).
+        """
         with self._lock:
             self.registry.counter(
                 "deuce_jobs_finished_total", {"kind": kind, "state": state}
             ).inc()
             self.registry.bucket_histogram(
                 "deuce_job_exec_seconds", {"kind": kind}, buckets=JOB_BUCKETS
-            ).observe(exec_s)
+            ).observe(exec_s, exemplar=trace_id)
             self.registry.bucket_histogram(
                 "deuce_job_total_seconds", {"kind": kind}, buckets=JOB_BUCKETS
-            ).observe(total_s)
+            ).observe(total_s, exemplar=trace_id)
 
     # -- queue / workers -----------------------------------------------------
 

@@ -62,10 +62,14 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.obs.context import TraceContext
 from repro.obs.instruments import Instruments, RunAborted
 from repro.obs.progress import DONE, HEARTBEAT, START, ProgressEvent
+from repro.obs.tracing import NULL_TRACER, JsonlSink, NullTracer, Tracer
 from repro.sim.checkpoint import SweepCheckpoint, config_signature
 from repro.sim.config import SimConfig
 from repro.sim.results import RunResult
@@ -127,6 +131,54 @@ class SweepCellFailed(RuntimeError):
         self.results = results if results is not None else []
 
 
+@dataclass
+class SweepTracing:
+    """Correlated-tracing hookup for one sweep.
+
+    ``context`` is the sweep lane's :class:`TraceContext`; every worker
+    cell becomes a *child* lane written to ``dir / cell-<i>.jsonl`` with
+    its own re-anchored clock, so offline tools
+    (:mod:`repro.obs.traceexport`) can merge all lanes onto one
+    wall-clock axis and parent every worker span under the sweep span.
+    ``tracer`` is the parent-process sweep lane (``cell.submit`` /
+    ``cell.done`` scheduling events); it is never pickled — workers only
+    receive the tiny dict from :meth:`cell_payload`.
+    """
+
+    dir: Path
+    context: TraceContext
+    tracer: Tracer | NullTracer = field(default=NULL_TRACER, repr=False)
+
+    def cell_payload(self, index: int) -> dict:
+        """Picklable per-cell payload riding in the worker submission."""
+        return {
+            "dir": str(self.dir),
+            "ctx": self.context.to_dict(),
+            "cell": index,
+        }
+
+
+def _cell_tracer(cell_trace: dict | None):
+    """Build the worker-side lane tracer; ``(None, None)`` when untraced.
+
+    Tracing must never fail a cell: any error opening the lane file
+    degrades to an untraced run.
+    """
+    if not cell_trace:
+        return None, None
+    try:
+        ctx = TraceContext.from_dict(cell_trace["ctx"]).child()
+        name = f"cell-{cell_trace['cell']}"
+        path = Path(cell_trace["dir"]) / f"{name}.jsonl"
+        sink = JsonlSink(
+            path,
+            meta={**ctx.to_dict(), "lane": name, "cell": cell_trace["cell"]},
+        )
+        return Tracer(sink), ctx
+    except Exception:
+        return None, None
+
+
 def resolve_workers(max_workers: int | None, n_cells: int) -> int:
     """Effective worker count for a sweep of ``n_cells`` cells.
 
@@ -163,12 +215,31 @@ def _worker_trace(spec: TraceShmSpec | None):
 
 
 def _run_cell(
-    config: SimConfig, trace_spec: TraceShmSpec | None = None
+    config: SimConfig,
+    trace_spec: TraceShmSpec | None = None,
+    cell_trace: dict | None = None,
 ) -> RunResult:
     """Worker entry point: one simulation cell (module-level for pickling)."""
     from repro.sim.runner import run
 
-    return run(config, trace=_worker_trace(trace_spec))
+    tracer, _ctx = _cell_tracer(cell_trace)
+    if tracer is None:
+        return run(config, trace=_worker_trace(trace_spec))
+    try:
+        instruments = Instruments(tracer=tracer, per_write_spans=False)
+        with tracer.span(
+            "cell.run",
+            cell=cell_trace["cell"],
+            workload=config.workload,
+            scheme=config.scheme,
+        ):
+            return run(
+                config,
+                trace=_worker_trace(trace_spec),
+                instruments=instruments,
+            )
+    finally:
+        tracer.close()
 
 
 def _run_cell_observed(
@@ -178,6 +249,7 @@ def _run_cell_observed(
     events,
     heartbeat_every: int,
     trace_spec: TraceShmSpec | None = None,
+    cell_trace: dict | None = None,
 ) -> RunResult:
     """Worker entry point streaming progress events for one cell."""
     from repro.sim.runner import run
@@ -194,13 +266,33 @@ def _run_cell_observed(
         )
 
     events.put(_event(START, 0))
+    tracer, _ctx = _cell_tracer(cell_trace)
     instruments = Instruments(
         heartbeat=lambda done, total: events.put(_event(HEARTBEAT, done)),
         heartbeat_every=heartbeat_every,
+        tracer=tracer if tracer is not None else NULL_TRACER,
+        per_write_spans=False,
     )
-    result = run(
-        config, trace=_worker_trace(trace_spec), instruments=instruments
-    )
+    try:
+        if tracer is None:
+            result = run(
+                config, trace=_worker_trace(trace_spec),
+                instruments=instruments,
+            )
+        else:
+            with tracer.span(
+                "cell.run",
+                cell=index,
+                workload=config.workload,
+                scheme=config.scheme,
+            ):
+                result = run(
+                    config, trace=_worker_trace(trace_spec),
+                    instruments=instruments,
+                )
+    finally:
+        if tracer is not None:
+            tracer.close()
     events.put(_event(DONE, config.n_writes))
     return result
 
@@ -225,6 +317,7 @@ def run_suite_parallel(
     retries: int = 0,
     retry_backoff_s: float = 0.5,
     checkpoint: "SweepCheckpoint | str | None" = None,
+    tracing: SweepTracing | None = None,
 ) -> list[RunResult]:
     """Run a batch of configs, fanned out over worker processes.
 
@@ -278,6 +371,12 @@ def run_suite_parallel(
         Restored results are exact for every simulation aggregate but
         carry no raw wear/lifetime/series detail (the headline
         ``lifetime_norm`` survives via the stored summary).
+    tracing:
+        Optional :class:`SweepTracing`: each worker cell writes a child
+        trace lane (``cell-<i>.jsonl``) under ``tracing.dir`` and the
+        parent lane records ``cell.submit``/``cell.done`` scheduling
+        events, so the whole sweep exports as one correlated trace.
+        Tracing is read-only and best-effort; results are unchanged.
     """
     configs = list(configs)
     if not configs:
@@ -302,6 +401,11 @@ def run_suite_parallel(
     def on_complete(index: int, result: RunResult) -> None:
         """Record one finished cell durably, the moment it finishes."""
         config = configs[index]
+        if tracing is not None:
+            tracing.tracer.event(
+                "cell.done", cell=index, workload=config.workload,
+                scheme=config.scheme,
+            )
         if ledger is not None:
             result.manifest = ledger.record_result(
                 result, config, kind="sweep-cell", label=ledger_label
@@ -310,11 +414,13 @@ def run_suite_parallel(
             run_id = result.manifest.run_id if result.manifest else ""
             checkpoint.record(index, config, result, run_id=run_id)
 
+    if tracing is not None:
+        Path(tracing.dir).mkdir(parents=True, exist_ok=True)
     workers = resolve_workers(max_workers, len(todo))
     if workers <= 1:
         _run_serial(
             configs, todo, results, progress, heartbeat_every,
-            should_stop, retries, retry_backoff_s, on_complete,
+            should_stop, retries, retry_backoff_s, on_complete, tracing,
         )
     else:
         # Publish each unique trace into shared memory once; workers get a
@@ -330,7 +436,7 @@ def run_suite_parallel(
             _run_pool(
                 configs, specs, todo, results, workers, progress,
                 heartbeat_every, should_stop, retries, retry_backoff_s,
-                on_complete,
+                on_complete, tracing,
             )
     return results  # type: ignore[return-value]
 
@@ -345,6 +451,7 @@ def _run_serial(
     retries: int,
     backoff_s: float,
     on_complete: Callable[[int, RunResult], None],
+    tracing: SweepTracing | None = None,
 ) -> None:
     """Serial fallback: same retry, progress, and cancellation semantics."""
     from repro.sim.runner import run
@@ -355,6 +462,11 @@ def _run_serial(
         if should_stop is not None and should_stop():
             raise SweepCancelled(
                 f"sweep cancelled before cell {i}/{n}", list(results)
+            )
+        if tracing is not None:
+            tracing.tracer.event(
+                "cell.submit", cell=i, workload=config.workload,
+                scheme=config.scheme,
             )
 
         def _event(kind: str, writes_done: int, c=config, i=i) -> ProgressEvent:
@@ -371,7 +483,14 @@ def _run_serial(
         attempt = 0
         while True:
             instruments = None
-            if progress is not None or should_stop is not None:
+            cell_tracer = None
+            if tracing is not None:
+                cell_tracer, _ctx = _cell_tracer(tracing.cell_payload(i))
+            if (
+                progress is not None
+                or should_stop is not None
+                or cell_tracer is not None
+            ):
                 heartbeat = None
                 if progress is not None:
                     progress(_event(START, 0))
@@ -382,9 +501,20 @@ def _run_serial(
                     heartbeat=heartbeat,
                     heartbeat_every=heartbeat_every,
                     abort=should_stop,
+                    tracer=(
+                        cell_tracer if cell_tracer is not None else NULL_TRACER
+                    ),
+                    per_write_spans=False,
                 )
             try:
-                result = run(config, instruments=instruments)
+                if cell_tracer is not None:
+                    with cell_tracer.span(
+                        "cell.run", cell=i, workload=config.workload,
+                        scheme=config.scheme,
+                    ):
+                        result = run(config, instruments=instruments)
+                else:
+                    result = run(config, instruments=instruments)
             except RunAborted as exc:
                 raise SweepCancelled(
                     f"sweep cancelled in cell {i}/{n}: {exc}", list(results)
@@ -402,6 +532,9 @@ def _run_serial(
                     ) from exc
                 time.sleep(_backoff_delay(attempt, backoff_s))
                 continue
+            finally:
+                if cell_tracer is not None:
+                    cell_tracer.close()
             break
         results[i] = result
         on_complete(i, result)
@@ -421,12 +554,14 @@ def _run_pool(
     retries: int,
     backoff_s: float,
     on_complete: Callable[[int, RunResult], None],
+    tracing: SweepTracing | None = None,
 ) -> None:
     """Pool front-end: sets up the event queue iff progress is wanted."""
     if progress is None:
         _run_pool_scheduler(
             configs, specs, todo, results, workers, None, None,
             heartbeat_every, should_stop, retries, backoff_s, on_complete,
+            tracing,
         )
         return
     # A manager queue carries events from workers; the main process
@@ -437,6 +572,7 @@ def _run_pool(
         _run_pool_scheduler(
             configs, specs, todo, results, workers, events, progress,
             heartbeat_every, should_stop, retries, backoff_s, on_complete,
+            tracing,
         )
 
 
@@ -453,6 +589,7 @@ def _run_pool_scheduler(
     retries: int,
     backoff_s: float,
     on_complete: Callable[[int, RunResult], None],
+    tracing: SweepTracing | None = None,
 ) -> None:
     """The fault-tolerant scheduler shared by all pool paths.
 
@@ -474,13 +611,21 @@ def _run_pool_scheduler(
     def submit(index: int) -> None:
         config = configs[index]
         spec = specs[index]
+        cell_trace = (
+            tracing.cell_payload(index) if tracing is not None else None
+        )
+        if tracing is not None:
+            tracing.tracer.event(
+                "cell.submit", cell=index, workload=config.workload,
+                scheme=config.scheme,
+            )
         if events is not None:
             future = pool.submit(
                 _run_cell_observed, index, config, n, events,
-                heartbeat_every, spec,
+                heartbeat_every, spec, cell_trace,
             )
         else:
-            future = pool.submit(_run_cell, config, spec)
+            future = pool.submit(_run_cell, config, spec, cell_trace)
         futures[future] = index
 
     def charge(index: int, exc: BaseException) -> float:

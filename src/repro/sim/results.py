@@ -61,6 +61,12 @@ class RunResult:
     #: for results restored from stored payloads (the raw wear/lifetime
     #: detail is not embedded in ``to_dict``, but the headline number is).
     restored_lifetime_norm: float | None = None
+    #: Per-phase time attribution from the write-path profiler
+    #: (:meth:`repro.obs.profile.PhaseProfile.to_dict`).  Timing metadata
+    #: like ``wall_time_s``: deliberately NOT part of :meth:`to_dict`, so
+    #: bit-identity oracles comparing payloads stay valid whether or not a
+    #: run was profiled.  The ledger records it as a run artifact instead.
+    profile: dict | None = None
 
     @property
     def avg_flips_per_write(self) -> float:

@@ -222,6 +222,7 @@ def run(
     t_start = time.perf_counter()
     obs = instruments if instruments is not None else DISABLED
     tracer = obs.tracer
+    profile = obs.profile
 
     checkpoint = None
     if resume_from is not None:
@@ -243,6 +244,7 @@ def run(
 
     if trace is None:
         with tracer.span("trace.gen", workload=config.workload):
+            tg0 = time.perf_counter()
             trace = cached_trace(
                 config.workload,
                 config.n_writes,
@@ -250,6 +252,8 @@ def run(
                 config.line_bytes,
                 abort=obs.abort if obs.enabled else None,
             )
+            if profile is not None:
+                profile.add("trace.gen", time.perf_counter() - tg0)
     scheme = build_scheme(config)
     pad_cache = _find_pad_cache(getattr(scheme, "pads", None))
     if obs.enabled and getattr(scheme, "pads", None) is not None:
@@ -269,6 +273,7 @@ def run(
         and not (tracer.enabled and obs.per_write_spans)
     )
     addresses = trace.addresses()
+    ti0 = time.perf_counter() if profile is not None else 0.0
     if checkpoint is None:
         with tracer.span("install", lines=len(addresses)):
             if use_chunked:
@@ -277,9 +282,13 @@ def run(
             else:
                 for addr in addresses:
                     scheme.install(addr, trace.initial[addr])
+        if profile is not None:
+            profile.add("install", time.perf_counter() - ti0)
     else:
         with tracer.span("resume.load", write_index=checkpoint.write_index):
             scheme.load_state_dict(checkpoint.scheme_state)
+        if profile is not None:
+            profile.add("resume.load", time.perf_counter() - ti0)
 
     meta_bits = scheme.metadata_bits_per_line
     pcm = PcmArray(
@@ -361,6 +370,14 @@ def run(
     # attaching the config cannot perturb the simulation aggregates above.
     result.wall_time_s = time.perf_counter() - t_start
     result.config = config
+    if profile is not None:
+        # Pad precompute happens inside write_batch; the instrumented pad
+        # wrapper already timed it, so attribute it from the metrics timer
+        # rather than re-stamping the hot path.
+        pad_timer = obs.metrics.timer("pad.fetch_s")
+        if pad_timer.count:
+            profile.add("pad.fetch", pad_timer.total, pad_timer.count)
+        result.profile = profile.to_dict()
     return result
 
 
@@ -455,6 +472,7 @@ def _write_loop_chunked(
     metrics = obs.metrics
     tracer = obs.tracer
     tracing = tracer.enabled
+    profile = obs.profile
     perf = time.perf_counter
 
     t_write = t_rotate = t_pcm = None
@@ -534,6 +552,14 @@ def _write_loop_chunked(
         _accumulate_batch(result, batch, line_bits)
         i = end
 
+        if profile is not None:
+            # Reuses the t0..t3 stamps the loop already takes; the only
+            # extra clock read covers the scatter-add accumulate phase.
+            t4 = perf()
+            profile.add("scheme.write", t1 - t0, k)
+            profile.add("wear.rotation", t2 - t1, k)
+            profile.add("pcm.apply", t3 - t2, k)
+            profile.add("accumulate", t4 - t3, k)
         if enabled:
             t_write.observe_many(t1 - t0, k)
             t_rotate.observe_many(t2 - t1, k)
@@ -546,7 +572,12 @@ def _write_loop_chunked(
                 tracer.span_event("wear.rotation", t1, t2 - t1, write=i, n=k)
                 tracer.span_event("pcm.apply", t2, t3 - t2, write=i, n=k)
         if checkpointer is not None:
-            checkpointer.maybe(i)
+            if profile is not None:
+                tc0 = perf()
+                checkpointer.maybe(i)
+                profile.add("checkpoint", perf() - tc0)
+            else:
+                checkpointer.maybe(i)
         if sample_every and i % sample_every == 0:
             sampler.record(i)
         if hb_every and i % hb_every == 0:
@@ -635,6 +666,10 @@ def _write_loop_instrumented(
         t_write.observe(t1 - t0)
         t_rotate.observe(t2 - t1)
         t_pcm.observe(t3 - t2)
+        if obs.profile is not None:
+            obs.profile.add("scheme.write", t1 - t0)
+            obs.profile.add("wear.rotation", t2 - t1)
+            obs.profile.add("pcm.apply", t3 - t2)
         _accumulate(result, outcome, line_bits)
         if checkpointer is not None:
             checkpointer.maybe(i)

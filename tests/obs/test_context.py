@@ -1,0 +1,71 @@
+"""TraceContext minting, child derivation, and wall-clock anchoring."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+from repro.obs.context import TraceContext
+
+
+class TestMinting:
+    def test_new_mints_ids_and_anchor(self):
+        ctx = TraceContext.new()
+        assert len(ctx.trace_id) == 16
+        assert len(ctx.span_id) == 16
+        assert ctx.parent_id == ""
+        assert ctx.pid == os.getpid()
+        assert ctx.epoch_unix > 1.6e9
+
+    def test_new_contexts_are_distinct(self):
+        a, b = TraceContext.new(), TraceContext.new()
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+
+class TestChildAndReanchor:
+    def test_child_shares_trace_and_parents_under_self(self):
+        root = TraceContext.new()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_reanchor_keeps_ids_refreshes_clock(self):
+        root = TraceContext.new()
+        time.sleep(0.005)
+        again = root.reanchor()
+        assert again.trace_id == root.trace_id
+        assert again.span_id == root.span_id
+        assert again.parent_id == root.parent_id
+        assert again.perf_origin > root.perf_origin
+
+
+class TestAlignment:
+    def test_to_wall_maps_perf_counter_onto_wall_clock(self):
+        ctx = TraceContext.new()
+        ts = time.perf_counter()
+        wall = ctx.to_wall(ts)
+        # The mapped instant must sit within a breath of time.time() now.
+        assert abs(wall - time.time()) < 0.25
+
+    def test_two_fresh_anchors_agree_on_wall_time(self):
+        # Two contexts minted moments apart (stand-ins for two processes)
+        # must map the same perf_counter instant to nearly the same wall
+        # time — this is the property lane merging relies on.
+        a = TraceContext.new()
+        time.sleep(0.002)
+        b = TraceContext.new()
+        ts = time.perf_counter()
+        assert abs(a.to_wall(ts) - b.to_wall(ts)) < 0.05
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        ctx = TraceContext.new().child()
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_picklable_for_worker_payloads(self):
+        ctx = TraceContext.new()
+        assert pickle.loads(pickle.dumps(ctx)) == ctx

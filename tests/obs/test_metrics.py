@@ -92,6 +92,23 @@ class TestBucketHistogram:
         assert snap["type"] == "bucket_histogram"
         assert {"p50", "p95", "p99"} <= set(snap)
 
+    def test_exemplars_link_buckets_to_trace_ids(self):
+        h = BucketHistogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5, exemplar="aaa")
+        h.observe(0.7, exemplar="bbb")  # same bucket: last exemplar wins
+        h.observe(9.0, exemplar="slow")  # overflow bucket
+        h.observe(1.5)  # no exemplar: bucket counted, nothing stored
+        snap = h.snapshot()
+        assert snap["exemplars"] == [
+            {"le": 1.0, "value": 0.7, "trace_id": "bbb"},
+            {"le": "+Inf", "value": 9.0, "trace_id": "slow"},
+        ]
+
+    def test_no_exemplars_key_when_none_recorded(self):
+        h = BucketHistogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        assert "exemplars" not in h.snapshot()
+
     def test_quantile_interpolates_within_bucket(self):
         h = BucketHistogram("lat", buckets=(1.0, 2.0))
         for _ in range(100):

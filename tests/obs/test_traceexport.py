@@ -1,0 +1,175 @@
+"""Lane loading, Chrome trace-event export, and the text report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.context import TraceContext
+from repro.obs.traceexport import (
+    build_report,
+    export_chrome_trace,
+    load_lane,
+    load_trace,
+    to_chrome_trace,
+)
+from repro.obs.tracing import JsonlSink, Tracer
+
+
+def _lane(path, ctx, name, spans, *, events=()):
+    """Write one lane file with the given (name, ts, dur) spans."""
+    sink = JsonlSink(path, meta={**ctx.to_dict(), "lane": name})
+    tracer = Tracer(sink)
+    for span_name, ts, dur in spans:
+        tracer.span_event(span_name, ts, dur)
+    for event_name in events:
+        tracer.event(event_name)
+    tracer.close()
+    return ctx
+
+
+class TestLoadLane:
+    def test_meta_record_sets_anchor_and_identity(self, tmp_path):
+        ctx = TraceContext.new()
+        _lane(tmp_path / "sweep.jsonl", ctx, "sweep", [("sweep", 1.0, 2.0)])
+        lane = load_lane(tmp_path / "sweep.jsonl")
+        assert lane.name == "sweep"
+        assert lane.trace_id == ctx.trace_id
+        assert lane.span_id == ctx.span_id
+        assert lane.pid == ctx.pid
+        assert lane.epoch_unix == ctx.epoch_unix
+        assert len(lane.records) == 1  # meta is absorbed, not a record
+
+    def test_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "lane.jsonl"
+        _lane(path, TraceContext.new(), "lane", [("a", 0.0, 1.0)])
+        with open(path, "a") as fh:
+            fh.write('{"type":"span","name":"torn","ts":')  # crash mid-write
+        lane = load_lane(path)
+        assert [r["name"] for r in lane.records] == ["a"]
+
+    def test_reads_rotated_generations_oldest_first(self, tmp_path):
+        path = tmp_path / "lane.jsonl"
+        sink = JsonlSink(
+            path,
+            flush_every=1,
+            flush_interval_s=None,
+            rotate_bytes=200,
+            rotate_keep=3,
+            meta=TraceContext.new().to_dict(),
+        )
+        for i in range(30):
+            sink.emit({"type": "event", "name": f"e{i}", "ts": float(i)})
+        sink.close()
+        names = [r["name"] for r in load_lane(path).records]
+        # Ordered across generations; the newest record always survives.
+        assert names == sorted(names, key=lambda n: int(n[1:]))
+        assert names[-1] == "e29"
+
+
+class TestLoadTrace:
+    def test_directory_loads_all_lanes_roots_first(self, tmp_path):
+        root = TraceContext.new()
+        _lane(tmp_path / "job.jsonl", root, "job", [("job.exec", 0.0, 5.0)])
+        _lane(
+            tmp_path / "cell-0.jsonl",
+            root.child(),
+            "cell-0",
+            [("cell.run", 1.0, 2.0)],
+        )
+        lanes = load_trace(tmp_path)
+        assert [ln.name for ln in lanes] == ["job", "cell-0"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nope.jsonl")
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path)  # exists but holds no lane files
+
+
+class TestChromeExport:
+    def _trace_dir(self, tmp_path):
+        root = TraceContext.new()
+        _lane(
+            tmp_path / "sweep.jsonl",
+            root,
+            "sweep",
+            [("sweep", root.perf_origin, 4.0)],
+        )
+        for i in range(2):
+            child = root.child()
+            _lane(
+                tmp_path / f"cell-{i}.jsonl",
+                child,
+                f"cell-{i}",
+                [("cell.run", child.perf_origin, 1.0 + i)],
+                events=("cell.start",),
+            )
+        return tmp_path
+
+    def test_export_is_valid_chrome_trace_json(self, tmp_path):
+        out = tmp_path / "out" / "trace.json"
+        export_chrome_trace(self._trace_dir(tmp_path), out)
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i"}
+        # Complete events carry microsecond ts/dur and land on a thread.
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"sweep", "cell.run"}
+        assert all(e["ts"] >= 0 and e["dur"] > 0 for e in spans)
+        assert trace["otherData"]["lanes"] == 3
+
+    def test_lanes_share_one_wall_axis(self, tmp_path):
+        trace = to_chrome_trace(load_trace(self._trace_dir(tmp_path)))
+        spans = {
+            e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        sweep = spans["sweep"]
+        # Cells started after the sweep span's start on the merged axis
+        # (children were minted later in wall time).
+        cell_ts = [
+            e["ts"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "cell.run"
+        ]
+        assert all(ts >= sweep["ts"] for ts in cell_ts)
+
+    def test_thread_names_expose_parentage(self, tmp_path):
+        trace = to_chrome_trace(load_trace(self._trace_dir(tmp_path)))
+        thread_names = [
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert any("(parent " in n for n in thread_names)
+
+
+class TestReport:
+    def test_report_names_critical_path_and_stragglers(self, tmp_path):
+        root = TraceContext.new()
+        _lane(tmp_path / "sweep.jsonl", root, "sweep",
+              [("sweep", root.perf_origin, 10.0)])
+        durations = {"cell-0": 1.0, "cell-1": 9.0, "cell-2": 1.2}
+        for name, dur in durations.items():
+            child = root.child()
+            _lane(tmp_path / f"{name}.jsonl", child, name,
+                  [("cell.run", child.perf_origin, dur)])
+        report = build_report(load_trace(tmp_path))
+        assert f"trace {root.trace_id}" in report
+        assert "critical path:" in report
+        assert "* sweep" in report  # the root of the causality tree
+        assert "<-- straggler" in report  # cell-1 is ~7x the median
+        straggler_line = next(
+            l for l in report.splitlines() if "<--" in l
+        )
+        assert "cell-1" in straggler_line
+
+    def test_single_lane_report_has_no_straggler_table(self, tmp_path):
+        ctx = TraceContext.new()
+        _lane(tmp_path / "run.jsonl", ctx, "run",
+              [("scheme.write", ctx.perf_origin, 0.5)])
+        report = build_report(load_trace(tmp_path / "run.jsonl"))
+        assert "stragglers" not in report
+        assert "scheme.write" in report

@@ -51,6 +51,15 @@ class TestTracer:
         assert [r["name"] for r in sink.records] == ["inner", "outer"]
 
 
+def _records(path):
+    """All parsed records in a lane file, excluding the meta header."""
+    return [
+        r
+        for r in (json.loads(l) for l in path.read_text().splitlines())
+        if r.get("type") != "meta"
+    ]
+
+
 class TestJsonlSink:
     def test_every_line_parses(self, tmp_path):
         path = tmp_path / "trace.jsonl"
@@ -58,10 +67,26 @@ class TestJsonlSink:
             tracer = Tracer(sink)
             with tracer.span("a", k=1):
                 tracer.event("b")
-        lines = path.read_text().splitlines()
-        assert len(lines) == 2
-        records = [json.loads(line) for line in lines]
-        assert {r["name"] for r in records} == {"a", "b"}
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(records) == 3  # meta + span + event
+        assert {r["name"] for r in records if r["type"] != "meta"} == {"a", "b"}
+
+    def test_opens_with_meta_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        JsonlSink(path).close()
+        (meta,) = [json.loads(l) for l in path.read_text().splitlines()]
+        assert meta["type"] == "meta"
+        assert meta["pid"] == __import__("os").getpid()
+        assert meta["epoch_unix"] > 1.6e9  # a sane unix wall clock
+        assert meta["perf_origin"] >= 0.0
+
+    def test_caller_meta_merges_and_wins(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        JsonlSink(path, meta={"lane": "sweep", "pid": 42}).close()
+        (meta,) = [json.loads(l) for l in path.read_text().splitlines()]
+        assert meta["lane"] == "sweep"
+        assert meta["pid"] == 42  # caller override beats the default
+        assert "epoch_unix" in meta
 
     def test_tracer_close_closes_sink(self, tmp_path):
         sink = JsonlSink(tmp_path / "t.jsonl")
@@ -77,9 +102,9 @@ class TestJsonlSinkBuffering:
         sink = JsonlSink(path, flush_every=3, flush_interval_s=None)
         sink.emit({"n": 1})
         sink.emit({"n": 2})
-        assert path.read_text() == ""  # still buffered
+        assert _records(path) == []  # still buffered (only the meta header)
         sink.emit({"n": 3})  # batch boundary
-        assert len(path.read_text().splitlines()) == 3
+        assert len(_records(path)) == 3
         sink.close()
 
     def test_close_flushes_partial_buffer(self, tmp_path):
@@ -87,13 +112,13 @@ class TestJsonlSinkBuffering:
         sink = JsonlSink(path, flush_every=1000, flush_interval_s=None)
         sink.emit({"n": 1})
         sink.close()
-        assert json.loads(path.read_text()) == {"n": 1}
+        assert _records(path) == [{"n": 1}]
 
     def test_interval_forces_flush(self, tmp_path):
         path = tmp_path / "t.jsonl"
         sink = JsonlSink(path, flush_every=1000, flush_interval_s=0.0)
         sink.emit({"n": 1})  # interval 0: every emit flushes
-        assert len(path.read_text().splitlines()) == 1
+        assert len(_records(path)) == 1
         sink.close()
 
     def test_explicit_flush(self, tmp_path):
@@ -102,27 +127,48 @@ class TestJsonlSinkBuffering:
                        flush_interval_s=None) as sink:
             sink.emit({"n": 7})
             sink.flush()
-            assert len(path.read_text().splitlines()) == 1
+            assert len(_records(path)) == 1
 
 
 class TestJsonlSinkRotation:
     def test_rotation_caps_growth_and_keeps_two_generations(self, tmp_path):
         path = tmp_path / "t.jsonl"
         sink = JsonlSink(path, flush_every=1, flush_interval_s=None,
-                         rotate_bytes=64)
+                         rotate_bytes=220)
+        meta_len = len(sink._meta_line)
         for i in range(20):
             sink.emit({"n": i, "pad": "x" * 10})
         sink.close()
         assert sink.rotated_path.exists()
-        assert path.stat().st_size <= 64 + 32  # one batch of slack
+        # Cap + the re-emitted meta header + one batch of slack.
+        assert path.stat().st_size <= 220 + meta_len + 32
         # Every surviving line still parses; newest records are in `path`.
-        current = [json.loads(l) for l in path.read_text().splitlines()]
-        rotated = [
-            json.loads(l) for l in sink.rotated_path.read_text().splitlines()
-        ]
+        current = _records(path)
+        rotated = _records(sink.rotated_path)
         assert current and rotated
         assert current[-1]["n"] == 19
         assert rotated[-1]["n"] == current[0]["n"] - 1
+
+    def test_multi_generation_rotation_under_buffered_writes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=4, flush_interval_s=None,
+                         rotate_bytes=120, rotate_keep=3)
+        for i in range(40):
+            sink.emit({"n": i})
+        sink.close()
+        generations = [sink.generation_path(n) for n in (1, 2, 3)]
+        assert all(g.exists() for g in generations)
+        assert not sink.generation_path(4).exists()  # oldest dropped
+        # Each surviving file opens with its own meta anchor, and record
+        # order is preserved across the generation chain (oldest .3 ->
+        # newest in the current file).
+        ordered = []
+        for p in (generations[2], generations[1], generations[0], path):
+            first = json.loads(p.read_text().splitlines()[0])
+            assert first["type"] == "meta"
+            ordered.extend(r["n"] for r in _records(p))
+        assert ordered == sorted(ordered)
+        assert ordered[-1] == 39
 
     def test_oversized_single_batch_never_rotates_empty_file(self, tmp_path):
         path = tmp_path / "t.jsonl"
@@ -131,7 +177,8 @@ class TestJsonlSinkRotation:
         sink.emit({"big": "y" * 100})
         sink.close()
         assert not sink.rotated_path.exists()
-        assert json.loads(path.read_text())["big"] == "y" * 100
+        (record,) = _records(path)
+        assert record["big"] == "y" * 100
 
     def test_rotation_disabled_by_default(self, tmp_path):
         path = tmp_path / "t.jsonl"
@@ -139,11 +186,15 @@ class TestJsonlSinkRotation:
             for i in range(100):
                 sink.emit({"n": i})
         assert not sink.rotated_path.exists()
-        assert len(path.read_text().splitlines()) == 100
+        assert len(_records(path)) == 100
 
     def test_negative_rotate_bytes_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="rotate_bytes"):
             JsonlSink(tmp_path / "t.jsonl", rotate_bytes=-1)
+
+    def test_rotate_keep_below_one_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="rotate_keep"):
+            JsonlSink(tmp_path / "t.jsonl", rotate_keep=0)
 
 
 class TestNullTracer:

@@ -69,6 +69,32 @@ class TestServiceTelemetry:
         assert _find(snaps, "deuce_job_total_seconds",
                      kind="run")["sum"] == pytest.approx(1.7)
 
+    def test_trace_id_exemplars_land_in_latency_buckets(self):
+        t = ServiceTelemetry()
+        t.observe_request("GET", "/jobs/{id}", 200, 0.003, trace_id="abc123")
+        t.job_started("run", 0.2, trace_id="abc123")
+        t.job_finished("run", "done", 1.5, 1.7, trace_id="abc123")
+        snaps = t.snapshot()
+        for family, labels in (
+            ("deuce_http_request_duration_seconds",
+             {"method": "GET", "route": "/jobs/{id}"}),
+            ("deuce_job_queue_wait_seconds", {"kind": "run"}),
+            ("deuce_job_exec_seconds", {"kind": "run"}),
+            ("deuce_job_total_seconds", {"kind": "run"}),
+        ):
+            snap = _find(snaps, family, **labels)
+            assert snap["exemplars"], family
+            assert snap["exemplars"][-1]["trace_id"] == "abc123"
+
+    def test_exemplars_survive_prometheus_rendering(self):
+        # The 0.0.4 text renderer must ignore the extra snapshot key
+        # rather than crash or emit malformed lines.
+        t = ServiceTelemetry()
+        t.observe_request("GET", "/healthz", 200, 0.002, trace_id="tid")
+        text = t.to_prometheus()
+        assert "deuce_http_request_duration_seconds_bucket" in text
+        assert "tid" not in text
+
     def test_scrape_counter_is_monotonic(self):
         t = ServiceTelemetry()
         first = _find(t.snapshot(), "deuce_metrics_scrapes_total")["value"]

@@ -365,6 +365,62 @@ class TestDashboardCommand:
         assert 'class="spark' in html and "deuce" in html
 
 
+class TestTraceCommand:
+    def _traced_sweep(self, tmp_path):
+        trace_dir = tmp_path / "trace"
+        assert main(
+            ["sweep", "--workloads", "mcf", "--schemes", "deuce",
+             "--writes", "150", "--workers", "1", "--no-ledger",
+             "--no-progress", "--trace-dir", str(trace_dir)]
+        ) == 0
+        return trace_dir
+
+    def test_sweep_trace_dir_writes_lanes(self, tmp_path, capsys):
+        trace_dir = self._traced_sweep(tmp_path)
+        assert "trace lanes written" in capsys.readouterr().out
+        assert (trace_dir / "sweep.jsonl").exists()
+        assert (trace_dir / "cell-0.jsonl").exists()
+
+    def test_trace_export_writes_chrome_json(self, tmp_path, capsys):
+        trace_dir = self._traced_sweep(tmp_path)
+        out = tmp_path / "trace.json"
+        assert main(["trace", "export", str(trace_dir),
+                     "--out", str(out)]) == 0
+        assert "chrome trace written" in capsys.readouterr().out
+        trace = json.loads(out.read_text())
+        assert trace["traceEvents"]
+        assert {e["ph"] for e in trace["traceEvents"]} >= {"M", "X"}
+
+    def test_trace_report_prints_critical_path(self, tmp_path, capsys):
+        trace_dir = self._traced_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "report", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "top 10 span names" in out
+
+    def test_trace_resolves_job_ids_under_runs_dir(self, tmp_path, capsys):
+        # A lane under <runs-dir>/traces/<id> is addressable by bare id.
+        runs = Path(os.environ["DEUCE_RUNS_DIR"])
+        lane_dir = runs / "traces" / "job-abc123"
+        lane_dir.mkdir(parents=True)
+        from repro.obs.context import TraceContext
+        from repro.obs.tracing import JsonlSink, Tracer
+
+        sink = JsonlSink(
+            lane_dir / "job.jsonl",
+            meta={**TraceContext.new().to_dict(), "lane": "job"},
+        )
+        Tracer(sink).span_event("job.exec", 0.0, 1.0)
+        sink.close()
+        assert main(["trace", "report", "job-abc123"]) == 0
+        assert "job.exec" in capsys.readouterr().out
+
+    def test_missing_trace_errors_cleanly(self, tmp_path, capsys):
+        assert main(["trace", "report", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

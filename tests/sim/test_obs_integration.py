@@ -151,6 +151,9 @@ class TestTraceOutput:
             json.loads(line) for line in path.read_text().splitlines()
         ]
         assert records, "trace file is empty"
+        # The opening meta record anchors the lane; spans/events follow.
+        assert records[0]["type"] == "meta"
+        records = [r for r in records if r["type"] != "meta"]
         names = {r["name"] for r in records}
         assert {
             "install",
