@@ -269,6 +269,78 @@ def _latest_loadtest(
     return manifest, report
 
 
+def _fleet_panel(ledger: "RunLedger") -> str:
+    """Per-worker tiles from the newest ``kind="fleet-sweep"`` manifest.
+
+    A fleet sweep records one summary manifest (cells, steals, requeues,
+    duplicate completions) with a ``fleet.json`` artifact carrying the
+    per-worker breakdown; each worker becomes a tile showing its share
+    of the grid and whether it survived the sweep.
+    """
+    import json
+
+    manifests = ledger.list(kind="fleet-sweep", limit=1)
+    if not manifests:
+        return (
+            '<div class="tiles"><div class="tile none">'
+            '<div class="verdict">&#9675; no fleet sweeps</div>'
+            '<div class="name">shard one with deuce-sim sweep '
+            "--workers-url ...</div>"
+            "</div></div>"
+        )
+    manifest = manifests[-1]
+    summary = manifest.summary
+    workers = []
+    filename = manifest.artifacts.get("fleet")
+    if filename:
+        try:
+            raw = (ledger.run_dir(manifest.run_id) / filename).read_text()
+            loaded = json.loads(raw)
+            if isinstance(loaded, dict):
+                workers = [
+                    w for w in loaded.get("workers", [])
+                    if isinstance(w, dict)
+                ]
+        except (OSError, ValueError):
+            workers = []
+
+    tiles = []
+    cells = int(summary.get("cells", 0) or 0)
+    for worker in workers:
+        healthy = bool(worker.get("healthy", True))
+        completed = int(worker.get("completed", 0) or 0)
+        share = f" ({completed / cells:.0%} of grid)" if cells else ""
+        cls = "pass" if healthy else "fail"
+        verdict = (
+            ("&#10003; up " if healthy else "&#10007; dead ")
+            + f"{completed} cell(s)"
+        )
+        tiles.append(
+            _slo_tile(
+                cls,
+                verdict,
+                str(worker.get("name", "worker")),
+                f"dispatched {int(worker.get('dispatched', 0) or 0)}"
+                + share,
+            )
+        )
+    steals = int(summary.get("steals", 0) or 0)
+    requeues = int(summary.get("requeues", 0) or 0)
+    duplicates = int(summary.get("duplicates", 0) or 0)
+    tiles.append(
+        _slo_tile(
+            "none",
+            f"&#9675; {cells} cells / "
+            f"{int(summary.get('workers', len(workers)) or 0)} workers",
+            "fabric totals",
+            f"{steals} steal(s) &middot; {requeues} requeue(s) &middot; "
+            f"{duplicates} duplicate(s) &middot; "
+            f"{_fmt(float(manifest.wall_time_s))} s wall",
+        )
+    )
+    return '<div class="tiles">' + "".join(tiles) + "</div>"
+
+
 def _slo_tile(cls: str, verdict: str, name: str, band: str) -> str:
     return (
         f'<div class="tile {cls}">'
@@ -623,6 +695,8 @@ def render_dashboard(
         + _gate_tiles(ledger, baselines_dir)
         + "<h2>Service SLO (latest load test)</h2>"
         + _slo_tiles(ledger)
+        + "<h2>Sweep fleet (latest fleet sweep)</h2>"
+        + _fleet_panel(ledger)
         + "<h2>Perf trajectory (recorded benchmarks, oldest &rarr; newest)</h2>"
         + _perf_trajectory(ledger)
         + "<h2>Write-path profile (newest profiled run)</h2>"

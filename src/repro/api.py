@@ -434,6 +434,7 @@ class Session:
         checkpoint: "SweepCheckpoint | str | None" = None,
         trace_dir: str | Path | None = None,
         trace_context: TraceContext | None = None,
+        executor=None,
     ) -> list[RunResult]:
         """Run a batch of configs through the parallel sweep engine.
 
@@ -458,6 +459,15 @@ class Session:
         export``.  ``trace_context`` parents the sweep under an outer
         span (the job service passes its per-job context); omitted, the
         sweep becomes a root trace.
+
+        ``executor`` swaps the local process pool for another scheduler
+        with the same ``run_suite`` contract — in practice a
+        :class:`repro.service.coordinator.FleetExecutor` sharding cells
+        across remote ``deuce-sim serve`` workers.  Ledger recording,
+        checkpoints, tracing, retries, and cancellation behave
+        identically either way, which is what makes a fleet sweep's
+        merged ledger/checkpoint interchangeable with a local one
+        (``workers`` is a pool knob and is ignored with an executor).
         """
         from repro.obs.tracing import JsonlSink, Tracer
         from repro.sim.parallel import SweepTracing, run_suite_parallel
@@ -495,6 +505,19 @@ class Session:
 
                 span = NULL_TRACER.span("sweep")
             with span:
+                if executor is not None:
+                    return executor.run_suite(
+                        resolved,
+                        progress=progress,
+                        heartbeat_every=heartbeat_every,
+                        ledger=self.ledger,
+                        ledger_label=self.label if label is None else label,
+                        should_stop=should_stop,
+                        retries=retries,
+                        retry_backoff_s=retry_backoff_s,
+                        checkpoint=checkpoint,
+                        tracing=tracing,
+                    )
                 return run_suite_parallel(
                     resolved,
                     max_workers=workers,

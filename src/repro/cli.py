@@ -165,6 +165,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for scheme in args.schemes
     ]
     sweep_id = args.resume or args.sweep_id
+    executor = None
+    if getattr(args, "workers_url", None):
+        from repro.service.coordinator import FleetExecutor
+
+        executor = FleetExecutor(
+            args.workers_url,
+            window=args.fleet_window,
+            probe_interval_s=args.fleet_probe_interval,
+        )
     renderer = _progress_renderer(args, sweep_id or "sweep")
     try:
         results = session.sweep(
@@ -174,6 +183,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             sweep_id=sweep_id,
             progress=renderer,
             trace_dir=args.trace_dir,
+            executor=executor,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -192,6 +202,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             renderer.close()
     rows = [r.summary_row() for r in results]
     print(render_table(list(rows[0]), rows))
+    if executor is not None:
+        for stats in executor.fleet_stats():
+            print(
+                f"fleet: {stats['name']} completed {stats['completed']} "
+                f"cell(s) ({'healthy' if stats['healthy'] else 'dead'})"
+            )
+        if executor.steals or executor.requeues:
+            print(
+                f"fleet: {executor.steals} steal(s), "
+                f"{executor.requeues} requeue(s), "
+                f"{executor.duplicates} duplicate completion(s)"
+            )
     if args.out:
         payload = {
             "sweep_id": sweep_id or "",
@@ -266,6 +288,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         job_timeout_s=args.job_timeout,
         max_sweep_workers=args.max_sweep_workers,
         drain_timeout_s=args.drain_timeout,
+    )
+
+
+def _cmd_coordinate(args: argparse.Namespace) -> int:
+    from repro.service.coordinator import serve_coordinator
+
+    return serve_coordinator(
+        args.host,
+        args.port,
+        session=_make_session(args),
+        worker_urls=args.workers_url,
+        window=args.fleet_window,
+        probe_interval_s=args.fleet_probe_interval,
+        request_timeout_s=args.request_timeout,
     )
 
 
@@ -718,6 +754,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="live cells-done/in-flight/ETA line on stderr "
         "(default: only when stderr is a terminal)",
     )
+    p_sweep.add_argument(
+        "--workers-url",
+        action="append",
+        dest="workers_url",
+        default=None,
+        metavar="URL",
+        help="shard cells across this 'deuce-sim serve' endpoint instead "
+        "of local processes (repeatable; e.g. --workers-url "
+        "http://a:8787 --workers-url http://b:8787)",
+    )
+    p_sweep.add_argument(
+        "--fleet-window",
+        type=int,
+        default=2,
+        metavar="N",
+        help="bounded in-flight cells per fleet worker",
+    )
+    p_sweep.add_argument(
+        "--fleet-probe-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between /v1/healthz probes per fleet worker",
+    )
     _add_ledger_flags(p_sweep)
     p_sweep.add_argument(
         "--label",
@@ -788,6 +848,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_ledger_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_coord = sub.add_parser(
+        "coordinate",
+        help="start the fleet coordinator: accepts sweep envelopes on "
+        "POST /v1/sweeps and shards their cells across 'deuce-sim "
+        "serve' workers",
+    )
+    p_coord.add_argument("--host", default="127.0.0.1")
+    p_coord.add_argument("--port", type=int, default=8788)
+    p_coord.add_argument(
+        "--workers-url",
+        action="append",
+        dest="workers_url",
+        required=True,
+        metavar="URL",
+        help="a 'deuce-sim serve' worker endpoint (repeat per worker)",
+    )
+    p_coord.add_argument(
+        "--fleet-window",
+        type=int,
+        default=2,
+        metavar="N",
+        help="bounded in-flight cells per fleet worker",
+    )
+    p_coord.add_argument(
+        "--fleet-probe-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between /v1/healthz probes per fleet worker",
+    )
+    p_coord.add_argument(
+        "--request-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-HTTP-request timeout when talking to workers",
+    )
+    _add_ledger_flags(p_coord)
+    p_coord.set_defaults(func=_cmd_coordinate)
 
     p_load = sub.add_parser(
         "loadtest",

@@ -224,6 +224,29 @@ class Blake2PadSource(_PadSourceBase):
         # hasher per call makes each pad ~2.5x cheaper than a fresh keyed
         # constructor while producing the identical digest.
         self._h0 = hashlib.blake2b(key=self._key64, digest_size=64)
+        # The write path's innermost per-pad operation: bind every global
+        # (the pre-keyed hasher's copy, struct pack, frombuffer, dtype) into
+        # a closure so each call is pure C work plus one LOAD_FAST each.
+        # Shadowing the method with an instance attribute keeps the class
+        # API unchanged; hashers are unpicklable so nothing serialized this
+        # object before either.
+        copy = self._h0.copy
+        pack = _pack_qqb
+        frombuffer = np.frombuffer
+        uint8 = np.uint8
+        fallback = self.line_pad
+
+        def line_pad_array(
+            address: int, counter: int, n_bytes: int
+        ) -> np.ndarray:
+            if 0 <= n_bytes <= 64:
+                h = copy()
+                h.update(pack(address, counter, 0))
+                arr = frombuffer(h.digest(), uint8)
+                return arr if n_bytes == 64 else arr[:n_bytes]
+            return frombuffer(fallback(address, counter, n_bytes), uint8)
+
+        self.line_pad_array = line_pad_array
 
     def _digest(self, address: int, counter: int, lane: int) -> bytes:
         h = self._h0.copy()
@@ -251,22 +274,6 @@ class Blake2PadSource(_PadSourceBase):
             produced += len(digest)
             lane += 1
         return b"".join(chunks)[:n_bytes]
-
-    def line_pad_array(
-        self, address: int, counter: int, n_bytes: int
-    ) -> np.ndarray:
-        if 0 <= n_bytes <= 64:
-            # One digest, one view: bytes own an immutable buffer, so the
-            # resulting array is already read-only.  The digest is inlined
-            # (no self._digest call) — this is the write path's innermost
-            # per-pad operation.
-            h = self._h0.copy()
-            h.update(_pack_qqb(address, counter, 0))
-            arr = np.frombuffer(h.digest(), np.uint8)
-            return arr if n_bytes == 64 else arr[:n_bytes]
-        return np.frombuffer(
-            self.line_pad(address, counter, n_bytes), np.uint8
-        )
 
     def line_pads_batch(
         self, addresses: np.ndarray, counters: np.ndarray, n_bytes: int
@@ -568,8 +575,6 @@ def make_pad_source(kind: str, key: bytes) -> PadSource:
     key:
         Secret key bytes.
     """
-    if kind == "aes":
-        return AesPadSource(key)
-    if kind == "blake2":
-        return Blake2PadSource(key)
-    raise ValueError(f"unknown pad source kind: {kind!r}")
+    from repro.registry import PAD_SOURCES
+
+    return PAD_SOURCES.create(kind, key)

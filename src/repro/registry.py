@@ -1,0 +1,278 @@
+"""Uniform named-plugin registries for every configurable backend.
+
+Schemes, wear levelers, pad sources, and workloads are all selected by
+name in :class:`~repro.sim.config.SimConfig`.  Before this module each
+family had its own bespoke lookup (``SCHEME_REGISTRY.get`` in the runner,
+an ``if``/``elif`` chain for wear levelers, :func:`make_pad_source`'s
+two-way branch, ``PROFILES[...]`` for workloads) with four different
+error-message shapes.  They now share one mechanism:
+
+* :class:`Registry` — an ordered name -> :class:`PluginSpec` table with
+  did-you-mean errors (:class:`RegistryError` carries the suggestion).
+* :data:`SCHEMES`, :data:`WEAR_LEVELERS`, :data:`PAD_SOURCES`,
+  :data:`WORKLOADS` — the four populated registries.
+
+Each :class:`PluginSpec` records the plugin's factory plus a ``schema``:
+the tuple of :class:`~repro.sim.config.SimConfig` field names the factory
+reads.  That lets generic code — ``deuce-sim serve`` workers validating a
+fleet cell spec, docs generators, the CLI — introspect what a named
+backend consumes without bespoke per-type code.
+
+Downstream lookups (``build_scheme``, ``_build_leveler``,
+``make_pad_source``, ``get_profile``, ``SimConfig.from_dict`` name
+validation) all resolve through these registries, so registering a new
+plugin here is the single step needed to make it constructible from a
+config dict, a CLI flag, or a service payload.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "PAD_SOURCES",
+    "SCHEMES",
+    "WEAR_LEVELERS",
+    "WORKLOADS",
+    "PluginSpec",
+    "Registry",
+    "RegistryError",
+    "validate_config_names",
+]
+
+
+class RegistryError(ValueError):
+    """Unknown plugin name; ``suggestion`` holds the closest match (or "")."""
+
+    def __init__(self, message: str, *, suggestion: str = "") -> None:
+        super().__init__(message)
+        self.suggestion = suggestion
+
+
+@dataclass(frozen=True)
+class PluginSpec:
+    """One registered backend.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the value used in configs/CLI flags).
+    factory:
+        Callable that builds the plugin.  Call signatures are
+        family-specific — see each registry's docstring.
+    schema:
+        ``SimConfig`` field names the factory reads; generic validators
+        use this to describe a backend without instantiating it.
+    description:
+        One-line human summary (shown by ``describe()`` and docs).
+    """
+
+    name: str
+    factory: Callable[..., Any]
+    schema: tuple[str, ...] = ()
+    description: str = ""
+
+
+class Registry:
+    """Ordered name -> :class:`PluginSpec` table with did-you-mean errors."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._specs: dict[str, PluginSpec] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., Any],
+        *,
+        schema: tuple[str, ...] = (),
+        description: str = "",
+    ) -> PluginSpec:
+        """Register ``factory`` under ``name``; re-registering replaces."""
+        spec = PluginSpec(
+            name=name,
+            factory=factory,
+            schema=tuple(schema),
+            description=description,
+        )
+        self._specs[name] = spec
+        return spec
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[PluginSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def get(self, name: str) -> PluginSpec:
+        """The spec for ``name``; :class:`RegistryError` with a suggestion."""
+        spec = self._specs.get(name)
+        if spec is not None:
+            return spec
+        matches = difflib.get_close_matches(str(name), self._specs, n=1)
+        hint = f" — did you mean {matches[0]!r}?" if matches else ""
+        raise RegistryError(
+            f"unknown {self.kind} {name!r} (choose from {self.names}){hint}",
+            suggestion=matches[0] if matches else "",
+        )
+
+    def validate(self, name: str) -> str:
+        """``name`` unchanged if registered, else :class:`RegistryError`."""
+        self.get(name)
+        return name
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Look up ``name`` and call its factory."""
+        return self.get(name).factory(*args, **kwargs)
+
+    def describe(self) -> dict[str, dict[str, object]]:
+        """JSON-friendly summary: name -> {schema, description}."""
+        return {
+            spec.name: {
+                "schema": list(spec.schema),
+                "description": spec.description,
+            }
+            for spec in self
+        }
+
+
+def _first_doc_line(obj: object) -> str:
+    doc = getattr(obj, "__doc__", None) or ""
+    return doc.strip().splitlines()[0].strip() if doc.strip() else ""
+
+
+#: Write schemes.  ``factory`` is the scheme class; construct through
+#: ``cls.from_config(config, pads=...)`` (or ``build_scheme`` which also
+#: wires the pad cache).  ``schema`` lists the config fields
+#: ``from_config`` reads (``config_fields``) plus the pad-source fields
+#: for encrypted schemes.
+SCHEMES = Registry("scheme")
+
+#: Wear levelers.  ``factory(config, n_lines, bits_per_line)`` returns a
+#: ready leveler; ``schema`` lists the config fields consumed.
+WEAR_LEVELERS = Registry("wear_leveling mode")
+
+#: Pad sources.  ``factory(key: bytes)`` returns a
+#: :class:`~repro.crypto.pads.PadSource`.
+PAD_SOURCES = Registry("pad source kind")
+
+#: Workloads.  ``factory()`` returns the
+#: :class:`~repro.workloads.profiles.WorkloadProfile`.
+WORKLOADS = Registry("workload")
+
+
+def _populate() -> None:
+    from repro.crypto.pads import AesPadSource, Blake2PadSource
+    from repro.schemes import SCHEME_REGISTRY
+    from repro.wear import (
+        HorizontalWearLeveler,
+        NoWearLeveler,
+        SecurityRefresh,
+        SecurityRefreshHWL,
+        StartGap,
+    )
+    from repro.workloads.profiles import PROFILES
+
+    for name, cls in SCHEME_REGISTRY.items():
+        schema = tuple(cls.config_fields)
+        if cls.requires_pads:
+            schema += ("pad_kind", "key", "pad_cache_lines")
+        SCHEMES.register(
+            name, cls, schema=schema, description=_first_doc_line(cls)
+        )
+
+    WEAR_LEVELERS.register(
+        "none",
+        lambda config, n_lines, bits_per_line: NoWearLeveler(),
+        description="no wear leveling (identity mapping)",
+    )
+
+    def _hwl(hashed: bool) -> Callable[..., Any]:
+        def build(config: Any, n_lines: int, bits_per_line: int) -> Any:
+            startgap = StartGap(n_lines, config.gap_write_interval)
+            return HorizontalWearLeveler(
+                startgap, bits_per_line, hashed=hashed
+            )
+
+        return build
+
+    WEAR_LEVELERS.register(
+        "hwl",
+        _hwl(False),
+        schema=("gap_write_interval",),
+        description="Start-Gap horizontal wear leveling",
+    )
+    WEAR_LEVELERS.register(
+        "hwl-hashed",
+        _hwl(True),
+        schema=("gap_write_interval",),
+        description="Start-Gap HWL with hashed line remapping",
+    )
+
+    def _sr_hwl(config: Any, n_lines: int, bits_per_line: int) -> Any:
+        refresh = SecurityRefresh(n_lines, config.gap_write_interval)
+        return SecurityRefreshHWL(refresh, bits_per_line)
+
+    WEAR_LEVELERS.register(
+        "sr-hwl",
+        _sr_hwl,
+        schema=("gap_write_interval",),
+        description="Security-Refresh horizontal wear leveling",
+    )
+
+    PAD_SOURCES.register(
+        "aes",
+        AesPadSource,
+        schema=("key",),
+        description="AES counter-mode pad source (the real cipher)",
+    )
+    PAD_SOURCES.register(
+        "blake2",
+        Blake2PadSource,
+        schema=("key",),
+        description="BLAKE2b keyed-hash pad source (fast surrogate)",
+    )
+
+    for name, profile in PROFILES.items():
+        WORKLOADS.register(
+            name,
+            (lambda p: lambda: p)(profile),
+            schema=("n_writes", "seed", "line_bytes"),
+            description=f"Table 2 workload profile {name!r}",
+        )
+
+
+_populate()
+
+
+def validate_config_names(
+    *,
+    scheme: str | None = None,
+    workload: str | None = None,
+    pad_kind: str | None = None,
+    wear_leveling: str | None = None,
+) -> None:
+    """Validate backend names in one call; ``None`` skips a family.
+
+    The shared decode path for configs: ``SimConfig.from_dict`` (and
+    through it the CLI, ``Session``, the job service, and fleet workers
+    checking a dispatched cell spec) funnels here, so an unknown name
+    fails with the same did-you-mean error everywhere.
+    """
+    if scheme is not None:
+        SCHEMES.validate(scheme)
+    if workload is not None:
+        WORKLOADS.validate(workload)
+    if pad_kind is not None:
+        PAD_SOURCES.validate(pad_kind)
+    if wear_leveling is not None:
+        WEAR_LEVELERS.validate(wear_leveling)

@@ -90,6 +90,52 @@ def new_job_id() -> str:
     return f"job-{stamp}-{uuid.uuid4().hex[:6]}"
 
 
+#: Fields that identify a pre-envelope (deprecated) submission shape.
+#: The v1 envelope carries everything but ``kind``/``config`` inside
+#: ``options``; a payload with any of these at top level decodes through
+#: the legacy path and the server answers with a ``Deprecation`` header.
+_LEGACY_PAYLOAD_FIELDS = (
+    "configs", "experiment", "workers", "timeout_s", "retries", "label",
+)
+
+#: Option keys every envelope kind understands (``options`` leftovers are
+#: experiment keyword arguments for ``kind="experiment"``, errors otherwise).
+_ENVELOPE_OPTIONS = ("workers", "timeout_s", "retries", "label")
+
+
+def _validate_common_options(source: dict) -> tuple:
+    """Validate the option fields shared by every job kind.
+
+    ``source`` is the payload itself (legacy shape) or its ``options``
+    object (envelope shape); returns ``(workers, timeout_s, retries,
+    label)`` or raises :class:`JobError` with the field that failed.
+    """
+    workers = source.get("workers", 1)
+    if workers is not None and (
+        isinstance(workers, bool) or not isinstance(workers, int)
+    ):
+        raise JobError(f"'workers' must be an integer, got {workers!r}")
+    timeout_s = source.get("timeout_s")
+    if timeout_s is not None and (
+        isinstance(timeout_s, bool)
+        or not isinstance(timeout_s, (int, float))
+        or timeout_s <= 0
+    ):
+        raise JobError(
+            f"'timeout_s' must be a positive number, got {timeout_s!r}"
+        )
+    retries = source.get("retries", 0)
+    if isinstance(retries, bool) or not isinstance(retries, int) \
+            or retries < 0:
+        raise JobError(
+            f"'retries' must be a non-negative integer, got {retries!r}"
+        )
+    label = source.get("label", "")
+    if not isinstance(label, str):
+        raise JobError(f"'label' must be a string, got {label!r}")
+    return workers, timeout_s, retries, label
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """A validated, executable description of one submitted job.
@@ -115,9 +161,100 @@ class JobSpec:
         return len(self.configs)
 
     @classmethod
-    def from_payload(cls, payload: object) -> "JobSpec":
-        """Decode and strictly validate a JSON job submission.
+    def decode(cls, payload: object) -> "tuple[JobSpec, bool]":
+        """Decode a submission; returns ``(spec, deprecated_shape)``.
 
+        The canonical v1 envelope is ``{"kind", "config", "options"}``:
+        ``config`` is the config object for ``kind="run"``, the config
+        array for ``kind="sweep"``, and the exhibit name string for
+        ``kind="experiment"``; ``options`` carries ``workers`` /
+        ``timeout_s`` / ``retries`` / ``label`` (plus experiment keyword
+        arguments for experiments).  Run, sweep, experiment, and the
+        fleet coordinator's dispatch route all share this one shape.
+
+        Payloads using the pre-envelope fields (top-level ``configs`` /
+        ``experiment`` / option fields) still decode through
+        :meth:`from_payload` but come back flagged ``deprecated_shape=True``
+        so the HTTP layer can answer with a ``Deprecation`` header, the
+        same alias pattern the bare (un-versioned) paths use.
+        """
+        if not isinstance(payload, dict):
+            raise JobError(
+                f"job payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        if any(k in payload for k in _LEGACY_PAYLOAD_FIELDS):
+            return cls.from_payload(payload), True
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise JobError(
+                f"job 'kind' must be one of {', '.join(JOB_KINDS)}, "
+                f"got {kind!r}"
+            )
+        unknown = sorted(set(payload) - {"kind", "config", "options"})
+        if unknown:
+            raise JobError(
+                "unknown job field(s): " + ", ".join(map(repr, unknown))
+                + "; the envelope is {kind, config, options}"
+            )
+        options = payload.get("options", {})
+        if not isinstance(options, dict):
+            raise JobError(f"'options' must be an object, got {options!r}")
+        workers, timeout_s, retries, label = _validate_common_options(options)
+        extra = {
+            k: v for k, v in options.items() if k not in _ENVELOPE_OPTIONS
+        }
+        config = payload.get("config")
+        configs: tuple[SimConfig, ...] = ()
+        experiment = ""
+        try:
+            if kind == "run":
+                if not isinstance(config, dict):
+                    raise JobError(
+                        "a 'run' envelope needs 'config' to be the config "
+                        "object"
+                    )
+                configs = (SimConfig.from_dict(config),)
+            elif kind == "sweep":
+                if not isinstance(config, list) or not config:
+                    raise JobError(
+                        "a 'sweep' envelope needs 'config' to be a "
+                        "non-empty array of config objects"
+                    )
+                configs = tuple(SimConfig.from_dict(c) for c in config)
+            else:  # experiment
+                if not isinstance(config, str) or config not in EXPERIMENTS:
+                    raise JobError(
+                        "an 'experiment' envelope needs 'config' to be one "
+                        "of: " + ", ".join(EXPERIMENTS)
+                    )
+                experiment = config
+        except ConfigError as exc:
+            raise JobError(str(exc)) from exc
+        if extra and kind != "experiment":
+            raise JobError(
+                "unknown option(s): " + ", ".join(map(repr, sorted(extra)))
+                + "; valid options: " + ", ".join(_ENVELOPE_OPTIONS)
+            )
+        spec = cls(
+            kind=kind,
+            configs=configs,
+            experiment=experiment,
+            options=extra,
+            workers=workers,
+            timeout_s=float(timeout_s) if timeout_s is not None else None,
+            retries=retries,
+            label=label,
+        )
+        return spec, False
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "JobSpec":
+        """Decode a pre-envelope (deprecated) JSON job submission.
+
+        The legacy shape keeps working — option fields at top level,
+        ``configs`` for sweeps, ``experiment`` + ``options`` kwargs for
+        experiments.  New clients should send the :meth:`decode` envelope.
         Raises :class:`JobError` with a client-facing message on any
         malformed field; config dicts go through the strict
         :meth:`SimConfig.from_dict <repro.sim.config.SimConfig.from_dict>`.
@@ -141,29 +278,7 @@ class JobSpec:
                 "unknown job field(s): " + ", ".join(map(repr, unknown))
                 + "; valid fields: " + ", ".join(sorted(known))
             )
-        workers = payload.get("workers", 1)
-        if workers is not None and (
-            isinstance(workers, bool) or not isinstance(workers, int)
-        ):
-            raise JobError(f"'workers' must be an integer, got {workers!r}")
-        timeout_s = payload.get("timeout_s")
-        if timeout_s is not None and (
-            isinstance(timeout_s, bool)
-            or not isinstance(timeout_s, (int, float))
-            or timeout_s <= 0
-        ):
-            raise JobError(
-                f"'timeout_s' must be a positive number, got {timeout_s!r}"
-            )
-        retries = payload.get("retries", 0)
-        if isinstance(retries, bool) or not isinstance(retries, int) \
-                or retries < 0:
-            raise JobError(
-                f"'retries' must be a non-negative integer, got {retries!r}"
-            )
-        label = payload.get("label", "")
-        if not isinstance(label, str):
-            raise JobError(f"'label' must be a string, got {label!r}")
+        workers, timeout_s, retries, label = _validate_common_options(payload)
 
         configs: tuple[SimConfig, ...] = ()
         experiment = ""

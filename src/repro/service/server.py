@@ -275,7 +275,7 @@ class _Handler(BaseHTTPRequestHandler):
         if path != "/jobs":
             return self._error(404, f"no route for POST {url.path}")
         try:
-            spec = JobSpec.from_payload(self._read_json())
+            spec, deprecated_shape = JobSpec.decode(self._read_json())
             job = self.server.manager.submit(spec)
         except JobError as exc:
             return self._error(400, str(exc))
@@ -284,8 +284,18 @@ class _Handler(BaseHTTPRequestHandler):
         except ServiceDraining as exc:
             return self._error(503, str(exc))
         # Echo the version prefix the client used, so versioned clients
-        # stay on /v1 and legacy clients keep working unchanged.
+        # stay on /v1 and legacy clients keep working unchanged.  A legacy
+        # payload *shape* is deprecated independently of the path: flag it
+        # with the same header pair the bare-path aliases use.
         base = self._prefix
+        shape_headers = (
+            {
+                "Deprecation": "true",
+                "Link": f'</{API_VERSION}/jobs>; rel="successor-version"',
+            }
+            if deprecated_shape and self._prefix
+            else {}
+        )
         self._json(
             201,
             {
@@ -295,6 +305,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "result_url": f"{base}/jobs/{job.id}/result",
                 "events_url": f"{base}/jobs/{job.id}/events",
             },
+            **shape_headers,
         )
 
     def _do_delete(self) -> None:

@@ -62,6 +62,47 @@ def config_signature(config: SimConfig) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
+@dataclass(frozen=True)
+class CellSpec:
+    """One sweep cell as a wire-serializable unit of work.
+
+    The fleet coordinator dispatches cells to remote workers as
+    ``CellSpec``s; the worker re-validates the config through
+    :meth:`SimConfig.from_dict <repro.sim.config.SimConfig.from_dict>`
+    (and so through :mod:`repro.registry`), which is what makes a cell
+    spec checkable without bespoke per-type code.  ``signature`` is the
+    dedup/resume key — the same one :class:`SweepCheckpoint` rows use.
+    """
+
+    index: int
+    config: SimConfig
+
+    @property
+    def signature(self) -> str:
+        return config_signature(self.config)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "config": self.config.to_dict(),
+            "config_signature": self.signature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellSpec":
+        spec = cls(
+            index=int(data["index"]),
+            config=SimConfig.from_dict(data["config"]),
+        )
+        claimed = data.get("config_signature")
+        if claimed is not None and str(claimed) != spec.signature:
+            raise CheckpointError(
+                f"cell spec signature mismatch: payload says {claimed!r} "
+                f"but the config hashes to {spec.signature!r}"
+            )
+        return spec
+
+
 @dataclass
 class RunCheckpoint:
     """One run's complete mutable state at ``write_index`` applied writes."""
@@ -302,3 +343,25 @@ class SweepCheckpoint:
             fh.write(json.dumps(record, sort_keys=True) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+
+    def merge_from(self, other: "SweepCheckpoint") -> int:
+        """Absorb another checkpoint's cells; returns how many were new.
+
+        Dedup is by config signature (first record wins — matching the
+        load semantics where a signature maps to one row), so merging a
+        per-worker or partial checkpoint into the coordinator's merged
+        one is idempotent.  Appended rows keep their original index,
+        run id, and result payload byte-for-byte.
+        """
+        seen = set(self.load())
+        added = 0
+        for signature, record in other.load().items():
+            if signature in seen:
+                continue
+            with open(self.path, "a") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            seen.add(signature)
+            added += 1
+        return added

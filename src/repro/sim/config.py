@@ -188,4 +188,25 @@ class SimConfig:
                     f"config key {key!r} expects {wanted}, "
                     f"got {type(value).__name__} ({value!r})"
                 )
+        # Backend names resolve through the uniform plugin registries, so
+        # a typo'd scheme/workload/pad/leveler fails decode with the same
+        # did-you-mean error everywhere a config dict enters the system
+        # (CLI, Session, job service, fleet workers validating cell specs).
+        from repro import registry
+
+        try:
+            registry.validate_config_names(
+                scheme=str(data["scheme"]),
+                workload=str(data["workload"]),
+                pad_kind=(
+                    str(data["pad_kind"]) if "pad_kind" in data else None
+                ),
+                wear_leveling=(
+                    str(data["wear_leveling"])
+                    if "wear_leveling" in data
+                    else None
+                ),
+            )
+        except registry.RegistryError as exc:
+            raise ConfigError(str(exc)) from None
         return cls(**data)  # type: ignore[arg-type]

@@ -64,7 +64,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.obs.context import TraceContext
 from repro.obs.instruments import Instruments, RunAborted
@@ -197,6 +197,52 @@ def resolve_workers(max_workers: int | None, n_cells: int) -> int:
 def _backoff_delay(attempt: int, base_s: float) -> float:
     """Capped exponential backoff before retry ``attempt`` (1-based)."""
     return min(_BACKOFF_CAP_S, base_s * (2 ** (attempt - 1)))
+
+
+class RetryBudget:
+    """Per-cell retry accounting with capped exponential backoff.
+
+    One mechanism shared by the local pool scheduler and the fleet
+    coordinator (:mod:`repro.service.coordinator`): a failed attempt —
+    a cell exception, a crashed pool worker, or a dead fleet endpoint —
+    is *charged* against the cell's budget and either earns a backoff
+    delay before requeue or raises :class:`SweepCellFailed` carrying the
+    partial results, so both executors fail and resume identically.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[SimConfig],
+        indices: Iterable[int],
+        retries: int,
+        backoff_s: float,
+    ) -> None:
+        self.configs = configs
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.attempts: dict[int, int] = dict.fromkeys(indices, 0)
+
+    def charge(
+        self,
+        index: int,
+        exc: BaseException,
+        *,
+        results: "list[RunResult | None]",
+    ) -> float:
+        """Spend one retry; return the backoff delay or fail the sweep."""
+        attempts = self.attempts[index] = self.attempts.get(index, 0) + 1
+        if attempts > self.retries:
+            config = self.configs[index]
+            raise SweepCellFailed(
+                f"cell {index}/{len(self.configs)} "
+                f"({config.workload}/{config.scheme}) "
+                f"failed after {attempts} attempt(s): {exc}",
+                index=index,
+                config=config,
+                attempts=attempts,
+                results=list(results),
+            ) from exc
+        return _backoff_delay(attempts, self.backoff_s)
 
 
 def _worker_trace(spec: TraceShmSpec | None):
@@ -605,7 +651,7 @@ def _run_pool_scheduler(
     ready: deque[int] = deque(todo)
     delayed: list[tuple[float, int]] = []
     futures: dict = {}
-    attempts = dict.fromkeys(todo, 0)
+    budget = RetryBudget(configs, todo, retries, backoff_s)
     pool = ProcessPoolExecutor(max_workers=workers)
 
     def submit(index: int) -> None:
@@ -629,19 +675,7 @@ def _run_pool_scheduler(
         futures[future] = index
 
     def charge(index: int, exc: BaseException) -> float:
-        """Spend one retry; return the backoff delay or fail the sweep."""
-        attempts[index] += 1
-        if attempts[index] > retries:
-            config = configs[index]
-            raise SweepCellFailed(
-                f"cell {index}/{n} ({config.workload}/{config.scheme}) "
-                f"failed after {attempts[index]} attempt(s): {exc}",
-                index=index,
-                config=config,
-                attempts=attempts[index],
-                results=list(results),
-            ) from exc
-        return _backoff_delay(attempts[index], backoff_s)
+        return budget.charge(index, exc, results=results)
 
     try:
         while ready or delayed or futures:

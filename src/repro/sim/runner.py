@@ -41,7 +41,7 @@ from repro.obs.instruments import (
     RunAborted,
 )
 from repro.obs.sampling import IntervalSampler
-from repro.schemes import SCHEME_NAMES, SCHEME_REGISTRY
+from repro import registry
 from repro.schemes.base import WriteOutcome, WriteScheme
 from repro.sim.checkpoint import (
     CheckpointError,
@@ -52,10 +52,8 @@ from repro.sim.checkpoint import (
 )
 from repro.sim.config import SimConfig
 from repro.sim.results import RunResult
-from repro.wear.hwl import HorizontalWearLeveler, NoWearLeveler
+from repro.wear.hwl import NoWearLeveler
 from repro.wear.lifetime import lifetime_report
-from repro.wear.security_refresh import SecurityRefresh, SecurityRefreshHWL
-from repro.wear.startgap import StartGap
 from repro.workloads.trace import Trace, generate_trace
 
 
@@ -98,11 +96,7 @@ def build_scheme(config: SimConfig) -> WriteScheme:
     ``config.pad_cache_lines`` (0 disables), so epoch-boundary re-reads of a
     hot line's trailing pad hit the cache instead of the cipher.
     """
-    cls = SCHEME_REGISTRY.get(config.scheme)
-    if cls is None:
-        raise ValueError(
-            f"unknown scheme: {config.scheme!r} (choose from {SCHEME_NAMES})"
-        )
+    cls = registry.SCHEMES.get(config.scheme).factory
     pads = None
     if cls.requires_pads:
         pads = make_pad_source(config.pad_kind, config.key)
@@ -725,19 +719,6 @@ def run_suite(
 
 
 def _build_leveler(config: SimConfig, n_lines: int, bits_per_line: int):
-    if config.wear_leveling == "none":
-        return NoWearLeveler()
-    if config.wear_leveling in ("hwl", "hwl-hashed"):
-        startgap = StartGap(n_lines, config.gap_write_interval)
-        return HorizontalWearLeveler(
-            startgap,
-            bits_per_line,
-            hashed=(config.wear_leveling == "hwl-hashed"),
-        )
-    if config.wear_leveling == "sr-hwl":
-        refresh = SecurityRefresh(n_lines, config.gap_write_interval)
-        return SecurityRefreshHWL(refresh, bits_per_line)
-    raise ValueError(
-        f"unknown wear_leveling mode {config.wear_leveling!r} "
-        "(expected 'none', 'hwl', 'hwl-hashed', or 'sr-hwl')"
+    return registry.WEAR_LEVELERS.create(
+        config.wear_leveling, config, n_lines, bits_per_line
     )

@@ -321,10 +321,14 @@ PAPER_TARGETS = {
 
 
 def get_profile(name: str) -> WorkloadProfile:
-    """Look up a workload profile by Table 2 name."""
-    try:
-        return PROFILES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
-        ) from None
+    """Look up a workload profile by Table 2 name.
+
+    Resolves through :data:`repro.registry.WORKLOADS`, so unknown names
+    fail with the registry's did-you-mean error.
+    """
+    fast = PROFILES.get(name)
+    if fast is not None:
+        return fast
+    from repro.registry import WORKLOADS
+
+    return WORKLOADS.create(name)

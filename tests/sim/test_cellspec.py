@@ -1,0 +1,96 @@
+"""Wire-level sweep-cell units: :class:`CellSpec` and checkpoint merge.
+
+These are the serialization seams the fleet coordinator leans on: a cell
+spec survives a JSON round trip (re-validating its config through the
+registry) and detects payload/config signature drift; merging sweep
+checkpoints is signature-keyed and idempotent so a coordinator can fold
+per-worker partials into one resumable record.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.sim.checkpoint import (
+    CellSpec,
+    CheckpointError,
+    SweepCheckpoint,
+    config_signature,
+)
+from repro.sim.config import SimConfig
+
+
+class TestCellSpec:
+    def test_round_trip(self):
+        config = SimConfig("mcf", "deuce", n_writes=100, seed=3)
+        spec = CellSpec(index=4, config=config)
+        wire = json.loads(json.dumps(spec.to_dict()))
+        back = CellSpec.from_dict(wire)
+        assert back.index == 4
+        assert back.config == config
+        assert back.signature == config_signature(config)
+
+    def test_signature_mismatch_rejected(self):
+        config = SimConfig("mcf", "deuce", n_writes=100)
+        wire = CellSpec(index=0, config=config).to_dict()
+        wire["config_signature"] = "0" * 16
+        with pytest.raises(CheckpointError, match="signature mismatch"):
+            CellSpec.from_dict(wire)
+
+    def test_bad_config_name_rejected_on_decode(self):
+        config = SimConfig("mcf", "deuce", n_writes=100)
+        wire = CellSpec(index=0, config=config).to_dict()
+        wire["config"] = dict(wire["config"], scheme="duece")
+        with pytest.raises(Exception, match="did you mean"):
+            CellSpec.from_dict(wire)
+
+
+class TestCheckpointMerge:
+    def _completed(self, tmp_path, name, configs):
+        checkpoint = SweepCheckpoint(tmp_path / name)
+        session = Session(ledger=False)
+        for i, config in enumerate(configs):
+            checkpoint.record(i, config, session.run(config))
+        return checkpoint
+
+    def test_merge_is_signature_keyed_and_idempotent(self, tmp_path):
+        configs = [
+            SimConfig("mcf", "deuce", n_writes=50, seed=s) for s in range(3)
+        ]
+        ours = self._completed(tmp_path, "ours", configs[:2])
+        theirs = self._completed(tmp_path, "theirs", configs[1:])
+
+        added = ours.merge_from(theirs)
+        assert added == 1  # only the cell we did not already have
+        assert set(ours.load()) == {config_signature(c) for c in configs}
+        # Merging again is a no-op.
+        assert ours.merge_from(theirs) == 0
+
+        # Merged rows are byte-preserved: the absorbed record equals the
+        # source record exactly.
+        source = theirs.load()[config_signature(configs[2])]
+        merged = ours.load()[config_signature(configs[2])]
+        assert merged == source
+
+    def test_merged_checkpoint_resumes_a_sweep(self, tmp_path):
+        configs = [
+            SimConfig("mcf", "deuce", n_writes=50, seed=s) for s in range(3)
+        ]
+        ours = self._completed(tmp_path, "ours", configs[:1])
+        theirs = self._completed(tmp_path, "theirs", configs[1:])
+        ours.merge_from(theirs)
+        # A resume over the merged record re-runs nothing.
+        session = Session(ledger=False)
+        results = session.sweep(
+            configs, workers=1, checkpoint=ours.directory
+        )
+        assert len(results) == 3
+        restored = ours.restore()
+        for config, result in zip(configs, results):
+            assert (
+                restored[config_signature(config)].to_dict()
+                == result.to_dict()
+            )

@@ -225,3 +225,45 @@ class TestProfilePanel:
         ledger = seeded_ledger(tmp_path)
         html = render_dashboard(ledger, baselines_dir=tmp_path / "none")
         assert "no profiled runs" in html
+
+
+class TestFleetPanel:
+    def test_fleet_tiles_from_newest_fleet_sweep(self, tmp_path):
+        import json
+
+        ledger = seeded_ledger(tmp_path)
+        ledger.record(
+            build_manifest(
+                kind="fleet-sweep",
+                label="grid-9",
+                n_writes=0,
+                wall_time_s=4.2,
+                summary={
+                    "cells": 8, "workers": 2, "dispatched": 9,
+                    "steals": 1, "requeues": 2, "duplicates": 1,
+                },
+            ),
+            artifact_text={
+                "fleet.json": json.dumps({
+                    "workers": [
+                        {"name": "w0:a:8787", "url": "http://a:8787",
+                         "healthy": True, "in_flight": 0,
+                         "dispatched": 5, "completed": 5},
+                        {"name": "w1:b:8787", "url": "http://b:8787",
+                         "healthy": False, "in_flight": 0,
+                         "dispatched": 4, "completed": 3},
+                    ]
+                })
+            },
+        )
+        html = render_dashboard(ledger)
+        assert_well_formed(html)
+        assert "Sweep fleet" in html
+        assert "w0:a:8787" in html and "w1:b:8787" in html
+        # The dead worker fails its tile; the fabric totals ride along.
+        assert "dead" in html
+        assert "1 steal(s)" in html and "2 requeue(s)" in html
+
+    def test_no_fleet_sweeps_renders_empty_state(self, tmp_path):
+        html = render_dashboard(seeded_ledger(tmp_path))
+        assert "no fleet sweeps" in html

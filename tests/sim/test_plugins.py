@@ -1,0 +1,102 @@
+"""The unified plugin registry (:mod:`repro.registry`).
+
+Schemes, wear levelers, pad sources, and workloads all resolve through
+the same :class:`~repro.registry.Registry` machinery, so config decoding
+gets uniform unknown-name errors (with did-you-mean suggestions) no
+matter which axis is wrong, and ``describe()`` gives tooling one schema
+surface for every plugin kind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import registry
+from repro.registry import (
+    PAD_SOURCES,
+    SCHEMES,
+    WEAR_LEVELERS,
+    WORKLOADS,
+    RegistryError,
+    validate_config_names,
+)
+from repro.sim.config import ConfigError, SimConfig
+
+
+class TestRegistryCore:
+    def test_all_axes_are_populated(self):
+        assert "deuce" in SCHEMES
+        assert "none" in WEAR_LEVELERS and "hwl" in WEAR_LEVELERS
+        assert set(PAD_SOURCES.names) == {"aes", "blake2"}
+        assert "mcf" in WORKLOADS
+
+    def test_unknown_name_suggests_nearest(self):
+        with pytest.raises(RegistryError, match="did you mean 'deuce'"):
+            SCHEMES.get("duece")
+
+    def test_registry_error_is_a_value_error(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            SCHEMES.get("nope")
+
+    def test_describe_lists_schema(self):
+        description = SCHEMES.describe()["deuce"]
+        assert "epoch_interval" in description["schema"]
+        assert description["description"]
+
+    def test_scheme_factories_match_runner(self):
+        from repro.sim.runner import build_scheme
+
+        config = SimConfig("mcf", "encr-dcw", n_writes=10)
+        built = build_scheme(config)
+        assert type(built) is SCHEMES.get("encr-dcw").factory
+
+    def test_wear_leveler_factory_builds(self):
+        config = SimConfig("mcf", "deuce", n_writes=10, wear_leveling="hwl")
+        leveler = WEAR_LEVELERS.create("hwl", config, 64, 512)
+        assert leveler is not None
+
+    def test_pad_source_factory_builds(self):
+        pads = PAD_SOURCES.create("blake2", b"k" * 16)
+        assert len(pads.line_pad(0, 0, 64)) == 64
+
+
+class TestConfigDecode:
+    def test_validate_config_names_accepts_valid(self):
+        validate_config_names(
+            scheme="deuce", workload="mcf", pad_kind="aes",
+            wear_leveling="none",
+        )
+
+    def test_from_dict_unknown_scheme_suggests(self):
+        with pytest.raises(ConfigError, match="did you mean 'deuce'"):
+            SimConfig.from_dict(
+                {"workload": "mcf", "scheme": "duece"}
+            )
+
+    def test_from_dict_unknown_workload(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            SimConfig.from_dict(
+                {"workload": "mcg", "scheme": "deuce"}
+            )
+
+    def test_from_dict_unknown_pad_kind(self):
+        with pytest.raises(ConfigError, match="unknown pad source"):
+            SimConfig.from_dict(
+                {"workload": "mcf", "scheme": "deuce",
+                 "pad_kind": "blake3"}
+            )
+
+    def test_from_dict_unknown_wear_leveling(self):
+        with pytest.raises(ConfigError, match="wear_leveling"):
+            SimConfig.from_dict(
+                {"workload": "mcf", "scheme": "deuce",
+                 "wear_leveling": "hlw"}
+            )
+
+    def test_registry_error_surfaces_suggestion_attribute(self):
+        try:
+            registry.WORKLOADS.get("mfc")
+        except RegistryError as exc:
+            assert exc.suggestion == "mcf"
+        else:  # pragma: no cover
+            pytest.fail("expected RegistryError")
