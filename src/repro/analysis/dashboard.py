@@ -621,6 +621,69 @@ def _scheme_cards(by_scheme: dict[str, list["RunManifest"]]) -> str:
     return '<div class="cards">' + "".join(cards) + "</div>"
 
 
+def _kv_phase_panel(ledger: "RunLedger", newest: int = 12) -> str:
+    """Per-phase flip/write rates for the newest phased (KV) runs.
+
+    A run is phased when its summary carries ``phase_<name>_flips_pct``
+    keys (written by ``RunResult.summary_row`` for traces with phase
+    structure); Table 2 runs never appear here.  Write rate is the
+    phase's share of the trace's writebacks — how much of the PCM write
+    budget each service phase consumed.
+    """
+    manifests = [
+        m
+        for m in ledger.list()
+        if m.kind in ("run", "sweep-cell")
+        and any(k.startswith("phase_") for k in m.summary)
+    ][-newest:][::-1]
+    if not manifests:
+        return (
+            '<p class="empty">no KV-profile runs in the ledger yet — '
+            "run <code>deuce-sim run --workload kv-udb</code> first</p>"
+        )
+    phase_names: list[str] = []
+    for m in manifests:
+        for key in m.summary:
+            if key.startswith("phase_") and key.endswith("_flips_pct"):
+                name = key[len("phase_"):-len("_flips_pct")]
+                if name not in phase_names:
+                    phase_names.append(name)
+    head = "<th>run_id</th><th>workload</th><th>scheme</th>" + "".join(
+        f"<th>{html.escape(p)} writes</th><th>{html.escape(p)} write %</th>"
+        f"<th>{html.escape(p)} flips %</th>"
+        for p in phase_names
+    ) + "<th>overall flips %</th>"
+    body = []
+    for m in manifests:
+        total_writes = m.n_writes or sum(
+            int(m.summary.get(f"phase_{p}_writes", 0)) for p in phase_names
+        )
+        cells = [m.run_id, m.workload, m.scheme]
+        for p in phase_names:
+            writes = m.summary.get(f"phase_{p}_writes")
+            flips = m.summary.get(f"phase_{p}_flips_pct")
+            share = (
+                f"{100.0 * int(writes) / total_writes:.1f}"
+                if writes is not None and total_writes
+                else ""
+            )
+            cells += [
+                "" if writes is None else str(writes),
+                share,
+                _fmt(flips if flips is not None else ""),
+            ]
+        cells.append(_fmt(m.summary.get("flips_pct", "")))
+        body.append(
+            "<tr>"
+            + "".join(f"<td>{html.escape(str(c))}</td>" for c in cells)
+            + "</tr>"
+        )
+    return (
+        "<table><thead><tr>" + head + "</tr></thead>"
+        "<tbody>" + "".join(body) + "</tbody></table>"
+    )
+
+
 def _runs_table(manifests: list["RunManifest"], newest: int = 20) -> str:
     # Bench emissions chart in the perf-trajectory panel; keep the table
     # to simulation runs so the newest N slots aren't eaten by benches.
@@ -697,6 +760,8 @@ def render_dashboard(
         + _slo_tiles(ledger)
         + "<h2>Sweep fleet (latest fleet sweep)</h2>"
         + _fleet_panel(ledger)
+        + "<h2>KV service phases (newest phased runs)</h2>"
+        + _kv_phase_panel(ledger)
         + "<h2>Perf trajectory (recorded benchmarks, oldest &rarr; newest)</h2>"
         + _perf_trajectory(ledger)
         + "<h2>Write-path profile (newest profiled run)</h2>"

@@ -60,10 +60,8 @@ import argparse
 import sys
 
 from repro.analysis.tables import render_table
-from repro.schemes import SCHEME_NAMES
 from repro.sim.config import SimConfig
 from repro.sim.experiments import EXPERIMENTS
-from repro.workloads.profiles import WORKLOAD_NAMES
 
 
 def _make_session(args: argparse.Namespace):
@@ -82,9 +80,32 @@ def _make_session(args: argparse.Namespace):
     )
 
 
+def _parse_workload_params(raw: str | None) -> dict:
+    """``--workload-params`` JSON -> dict, or exit-2-worthy ConfigError."""
+    import json
+
+    from repro.sim.config import ConfigError
+
+    if not raw:
+        return {}
+    try:
+        params = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(
+            f"--workload-params is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(params, dict):
+        raise ConfigError(
+            "--workload-params must be a JSON object, "
+            f"got {type(params).__name__}"
+        )
+    return params
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.analysis.export import summary_row
     from repro.api import CheckpointError, ObsOptions
+    from repro.sim.config import ConfigError
 
     config = None
     if args.resume is None:
@@ -94,18 +115,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        config = SimConfig(
-            workload=args.workload,
-            scheme=args.scheme,
-            n_writes=args.writes,
-            seed=args.seed,
-            word_bytes=args.word_bytes,
-            epoch_interval=args.epoch_interval,
-            wear_leveling=args.wear_leveling,
-            pad_kind=args.pad_kind,
-            pad_cache_lines=args.pad_cache_lines,
-            chunk_size=args.chunk_size,
-        )
+        # Decode through SimConfig.from_dict — the exact validation path
+        # Session and the /v1 envelope use — so a typo'd workload or a bad
+        # workload_params field fails here with the same field-path
+        # message an API client would see.
+        try:
+            config = SimConfig.from_dict(
+                {
+                    "workload": args.workload,
+                    "scheme": args.scheme,
+                    "n_writes": args.writes,
+                    "seed": args.seed,
+                    "word_bytes": args.word_bytes,
+                    "epoch_interval": args.epoch_interval,
+                    "wear_leveling": args.wear_leveling,
+                    "pad_kind": args.pad_kind,
+                    "pad_cache_lines": args.pad_cache_lines,
+                    "chunk_size": args.chunk_size,
+                    "workload_params": _parse_workload_params(
+                        args.workload_params
+                    ),
+                }
+            )
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     session = _make_session(args)
     try:
         result = session.run(
@@ -151,19 +185,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     import json
 
     from repro.api import CheckpointError, SweepCellFailed
+    from repro.sim.config import ConfigError
 
     session = _make_session(args)
-    configs = [
-        SimConfig(
-            workload,
-            scheme,
-            n_writes=args.writes,
-            seed=args.seed,
-            chunk_size=args.chunk_size,
-        )
-        for workload in args.workloads
-        for scheme in args.schemes
-    ]
+    try:
+        params = _parse_workload_params(args.workload_params)
+        configs = [
+            SimConfig.from_dict(
+                {
+                    "workload": workload,
+                    "scheme": scheme,
+                    "n_writes": args.writes,
+                    "seed": args.seed,
+                    "chunk_size": args.chunk_size,
+                    "workload_params": params,
+                }
+            )
+            for workload in args.workloads
+            for scheme in args.schemes
+        ]
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     sweep_id = args.resume or args.sweep_id
     executor = None
     if getattr(args, "workers_url", None):
@@ -573,10 +616,186 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
-    print("workloads: " + ", ".join(WORKLOAD_NAMES))
-    print("schemes:   " + ", ".join(SCHEME_NAMES))
+    from repro import registry
+
+    print("workloads: " + ", ".join(registry.WORKLOADS.names))
+    print("schemes:   " + ", ".join(registry.SCHEMES.names))
     print("experiments: " + ", ".join(EXPERIMENTS) + ", all")
     return 0
+
+
+def _cmd_plugins(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import registry
+
+    registries = registry.REGISTRIES
+    if args.plugins_verb == "describe" and not args.name:
+        print("error: 'plugins describe' needs a plugin name", file=sys.stderr)
+        return 2
+    if args.name:
+        # Search every registry for the named plugin; a name can appear in
+        # more than one (unlikely but legal), so print every match.
+        matches = {
+            kind: reg.describe()[args.name]
+            for kind, reg in registries.items()
+            if args.name in reg.names
+        }
+        if not matches:
+            all_names = sorted(
+                name for reg in registries.values() for name in reg.names
+            )
+            import difflib
+
+            close = difflib.get_close_matches(args.name, all_names, n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            print(f"error: unknown plugin {args.name!r}{hint}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(matches, indent=2, sort_keys=True))
+            return 0
+        for kind, info in matches.items():
+            print(f"{args.name} ({kind.rstrip('s')})")
+            if info["description"]:
+                print(f"  {info['description']}")
+            print("  config schema: " + ", ".join(info["schema"]))
+            if info["params"]:
+                rows = [
+                    {
+                        "param": p["name"],
+                        "type": p["type"],
+                        "default": p["default"],
+                        "range": _param_range(p),
+                        "doc": p.get("doc", ""),
+                    }
+                    for p in info["params"]
+                ]
+                print(render_table(list(rows[0]), rows))
+            else:
+                print("  parameters: none")
+        return 0
+    described = {
+        kind: reg.describe() for kind, reg in registries.items()
+    }
+    if args.json:
+        print(json.dumps(described, indent=2, sort_keys=True))
+        return 0
+    for kind, plugins in described.items():
+        print(f"{kind}:")
+        for name, info in plugins.items():
+            n_params = len(info["params"])
+            suffix = f" [{n_params} params]" if n_params else ""
+            desc = info["description"] or ""
+            print(f"  {name:<14}{suffix:<12} {desc}")
+    print(
+        "\nuse 'deuce-sim plugins describe <name>' for a plugin's "
+        "parameter schema"
+    )
+    return 0
+
+
+def _param_range(p: dict) -> str:
+    lo, hi = p.get("minimum"), p.get("maximum")
+    if p.get("choices"):
+        return "|".join(str(c) for c in p["choices"])
+    if lo is None and hi is None:
+        return ""
+    return f"[{'' if lo is None else lo}, {'' if hi is None else hi}]"
+
+
+def _cmd_kv(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import (
+        CANNED_SUITES,
+        RequestSuite,
+        build_canned_suite,
+        record_suite,
+        replay_suite,
+    )
+
+    if args.kv_command == "suites":
+        for name, spec in CANNED_SUITES.items():
+            print(
+                f"{name:<12} profile={spec['profile']:<12} "
+                f"writes={spec['n_writes']:<6} seed={spec['seed']:<3} "
+                f"params={spec['params']}"
+            )
+        return 0
+    if args.kv_command == "record":
+        from repro.sim.config import ConfigError
+
+        from repro.registry import RegistryError
+
+        if args.suite:
+            suite, trace = build_canned_suite(args.suite)
+        else:
+            try:
+                suite, trace = record_suite(
+                    args.profile,
+                    args.writes,
+                    seed=args.seed,
+                    params=_parse_workload_params(args.workload_params),
+                )
+            except (ConfigError, RegistryError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        suite.save(args.out)
+        print(
+            f"suite {suite.profile_name} (seed {suite.seed}) recorded to "
+            f"{args.out}: {len(suite.requests)} requests -> "
+            f"{trace.n_writes} writebacks, phases "
+            + ", ".join(f"{n}@{s}" for n, s in trace.phases)
+        )
+        if args.trace_out:
+            trace.save(args.trace_out)
+            print(f"writeback trace written to {args.trace_out}")
+        return 0
+    if args.kv_command == "verify":
+        suite = RequestSuite.load(args.suite_file)
+        replayed = replay_suite(suite)
+        fresh_suite, fresh = record_suite(
+            suite.profile_name,
+            suite.n_writes,
+            seed=suite.seed,
+            line_bytes=suite.line_bytes,
+            params=suite.params,
+        )
+        problems = []
+        if tuple(fresh_suite.requests) != tuple(suite.requests):
+            problems.append("request stream drifted from profile+seed")
+        if replayed.phases != fresh.phases:
+            problems.append(
+                f"phase mismatch: {replayed.phases} != {fresh.phases}"
+            )
+        n = min(len(replayed.records), len(fresh.records))
+        if len(replayed.records) != len(fresh.records):
+            problems.append(
+                f"length mismatch: {len(replayed.records)} != "
+                f"{len(fresh.records)}"
+            )
+        diverged = next(
+            (
+                i
+                for i in range(n)
+                if replayed.records[i] != fresh.records[i]
+            ),
+            None,
+        )
+        if diverged is not None:
+            problems.append(f"writeback streams diverge at write {diverged}")
+        if replayed.initial != fresh.initial:
+            problems.append("initial line sets differ")
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: replay of {args.suite_file} is bit-identical to a fresh "
+            f"{suite.profile_name} recording ({len(replayed.records)} "
+            "writebacks)"
+        )
+        return 0
+    print("error: unknown kv subcommand", file=sys.stderr)
+    return 2
 
 
 def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
@@ -605,11 +824,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one (workload, scheme) simulation")
     p_run.add_argument(
         "--workload",
-        choices=WORKLOAD_NAMES,
         default=None,
-        help="workload trace (required unless --resume is given)",
+        help="workload registry name: a Table 2 trace or a KV profile "
+        "(required unless --resume is given; see 'deuce-sim plugins'); "
+        "unknown names fail with a did-you-mean registry error",
     )
-    p_run.add_argument("--scheme", choices=SCHEME_NAMES, default="deuce")
+    p_run.add_argument(
+        "--scheme",
+        default="deuce",
+        help="scheme registry name (see 'deuce-sim plugins')",
+    )
+    p_run.add_argument(
+        "--workload-params",
+        default=None,
+        metavar="JSON",
+        help="workload parameter overrides as a JSON object, validated "
+        "against the plugin's declared schema (e.g. "
+        "'{\"zipf_alpha\": 1.2}' for kv-* profiles)",
+    )
     p_run.add_argument("--writes", type=int, default=10_000)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--word-bytes", type=int, default=2)
@@ -690,10 +922,23 @@ def build_parser() -> argparse.ArgumentParser:
         "parallel sweep engine",
     )
     p_sweep.add_argument(
-        "--workloads", nargs="+", choices=WORKLOAD_NAMES, required=True
+        "--workloads",
+        nargs="+",
+        required=True,
+        help="workload registry names (Table 2 traces and kv-* profiles)",
     )
     p_sweep.add_argument(
-        "--schemes", nargs="+", choices=SCHEME_NAMES, required=True
+        "--schemes",
+        nargs="+",
+        required=True,
+        help="scheme registry names",
+    )
+    p_sweep.add_argument(
+        "--workload-params",
+        default=None,
+        metavar="JSON",
+        help="workload parameter overrides (JSON object) applied to every "
+        "workload in the grid; schema-validated per workload",
     )
     p_sweep.add_argument("--writes", type=int, default=10_000)
     p_sweep.add_argument("--seed", type=int, default=0)
@@ -1098,13 +1343,84 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument(
         "--trace-file", help="a trace saved with Trace.save()"
     )
-    p_analyze.add_argument("--workload", choices=WORKLOAD_NAMES, default="mcf")
+    p_analyze.add_argument("--workload", default="mcf")
     p_analyze.add_argument("--writes", type=int, default=3_000)
     p_analyze.add_argument("--seed", type=int, default=0)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_list = sub.add_parser("list", help="list workloads/schemes/experiments")
     p_list.set_defaults(func=_cmd_list)
+
+    p_plugins = sub.add_parser(
+        "plugins",
+        help="list registered plugins (schemes, wear levelers, pad "
+        "sources, workloads) and their config schemas",
+    )
+    p_plugins.add_argument(
+        "plugins_verb",
+        nargs="?",
+        choices=("describe",),
+        default=None,
+        help="'describe <name>' prints one plugin's parameter schema",
+    )
+    p_plugins.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="plugin name to describe",
+    )
+    p_plugins.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable describe() output instead of tables",
+    )
+    p_plugins.set_defaults(func=_cmd_plugins)
+
+    p_kv = sub.add_parser(
+        "kv",
+        help="record / verify on-disk KV request suites "
+        "(reusable workload artifacts)",
+    )
+    kv_sub = p_kv.add_subparsers(dest="kv_command", required=True)
+    p_kv_suites = kv_sub.add_parser(
+        "suites", help="list the canned suite recipes"
+    )
+    p_kv_suites.set_defaults(func=_cmd_kv)
+    p_kv_record = kv_sub.add_parser(
+        "record",
+        help="generate a KV request stream and save it (.jsonl or .npz)",
+    )
+    p_kv_record.add_argument(
+        "--suite",
+        default=None,
+        metavar="NAME",
+        help="record a canned recipe (see 'deuce-sim kv suites') instead "
+        "of --profile/--writes",
+    )
+    p_kv_record.add_argument("--profile", default="kv-udb")
+    p_kv_record.add_argument("--writes", type=int, default=5_000)
+    p_kv_record.add_argument("--seed", type=int, default=0)
+    p_kv_record.add_argument(
+        "--workload-params",
+        default=None,
+        metavar="JSON",
+        help="profile overrides as a JSON object (schema-validated)",
+    )
+    p_kv_record.add_argument("--out", required=True, metavar="PATH")
+    p_kv_record.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also save the produced writeback trace (binary trace file)",
+    )
+    p_kv_record.set_defaults(func=_cmd_kv)
+    p_kv_verify = kv_sub.add_parser(
+        "verify",
+        help="replay a saved suite and check it is bit-identical to a "
+        "fresh recording (exit 1 on drift)",
+    )
+    p_kv_verify.add_argument("suite_file", metavar="SUITE_PATH")
+    p_kv_verify.set_defaults(func=_cmd_kv)
     return parser
 
 

@@ -12,11 +12,21 @@ error-message shapes.  They now share one mechanism:
 * :data:`SCHEMES`, :data:`WEAR_LEVELERS`, :data:`PAD_SOURCES`,
   :data:`WORKLOADS` — the four populated registries.
 
-Each :class:`PluginSpec` records the plugin's factory plus a ``schema``:
-the tuple of :class:`~repro.sim.config.SimConfig` field names the factory
-reads.  That lets generic code — ``deuce-sim serve`` workers validating a
-fleet cell spec, docs generators, the CLI — introspect what a named
-backend consumes without bespoke per-type code.
+Each :class:`PluginSpec` records the plugin's factory plus a ``schema``
+(the tuple of :class:`~repro.sim.config.SimConfig` field names the factory
+reads) and ``params`` — a tuple of :class:`FieldSpec` declaring the
+plugin's *own* keyword parameters with types, ranges, and enums.
+:meth:`Registry.validate` checks a params dict against those declarations
+and raises one uniform :class:`RegistryError` whose message names the
+offending field path (``workload_params.zipf_alpha: ...``), so
+``SimConfig.from_dict``, :class:`~repro.api.Session`, the CLI, and the
+``/v1`` service all reject an invalid value with the identical message.
+
+Out-of-tree plugins register through the ``importlib.metadata`` entry
+point group :data:`ENTRY_POINT_GROUP` (``deuce_sim.plugins``): each entry
+point resolves to a callable invoked with the registry mapping
+(:data:`REGISTRIES`), letting external packages add schemes or workloads
+without editing this repo.
 
 Downstream lookups (``build_scheme``, ``_build_leveler``,
 ``make_pad_source``, ``get_profile``, ``SimConfig.from_dict`` name
@@ -29,26 +39,131 @@ from __future__ import annotations
 
 import difflib
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 __all__ = [
+    "ENTRY_POINT_GROUP",
     "PAD_SOURCES",
+    "REGISTRIES",
     "SCHEMES",
     "WEAR_LEVELERS",
     "WORKLOADS",
+    "FieldSpec",
     "PluginSpec",
     "Registry",
     "RegistryError",
+    "load_entry_point_plugins",
     "validate_config_names",
 ]
 
+#: ``importlib.metadata`` entry-point group scanned for external plugins.
+ENTRY_POINT_GROUP = "deuce_sim.plugins"
+
 
 class RegistryError(ValueError):
-    """Unknown plugin name; ``suggestion`` holds the closest match (or "")."""
+    """Invalid plugin name or parameter value.
+
+    ``suggestion`` holds the closest name match (or "") for unknown-name
+    errors; parameter errors carry the full field path in the message
+    (e.g. ``workload_params.zipf_alpha: expected float, got str``).
+    """
 
     def __init__(self, message: str, *, suggestion: str = "") -> None:
         super().__init__(message)
         self.suggestion = suggestion
+
+
+#: Accepted runtime types per declared FieldSpec type name.  ``float``
+#: accepts ints (JSON has one number type); ``bool`` is never accepted
+#: where ``int`` is declared (Python's bool-is-int would let ``true``
+#: sneak into counters).
+_PARAM_TYPES: dict[str, tuple[type, ...]] = {
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "bool": (bool,),
+}
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One declared plugin parameter: its type, range, and enum.
+
+    Attributes
+    ----------
+    name:
+        Parameter keyword (the key in a params dict).
+    type:
+        ``"int"``, ``"float"``, ``"str"``, or ``"bool"``.  ``float``
+        accepts JSON integers too; ``int`` rejects booleans.
+    default:
+        Documented default (informational; factories own real defaults).
+    minimum / maximum:
+        Inclusive numeric bounds, when the type is numeric.
+    choices:
+        Allowed values, when the parameter is an enum.
+    doc:
+        One-line human description.
+    """
+
+    name: str
+    type: str = "str"
+    default: object = None
+    minimum: float | None = None
+    maximum: float | None = None
+    choices: tuple = ()
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in _PARAM_TYPES:
+            raise ValueError(
+                f"FieldSpec type must be one of {tuple(_PARAM_TYPES)}, "
+                f"got {self.type!r}"
+            )
+
+    def check(self, value: object, path: str) -> None:
+        """Raise :class:`RegistryError` unless ``value`` satisfies the spec.
+
+        ``path`` prefixes the message (``workload_params.zipf_alpha``) so
+        every surface that funnels here reports the same field path.
+        """
+        expected = _PARAM_TYPES[self.type]
+        ok = isinstance(value, expected) and not (
+            isinstance(value, bool) and self.type != "bool"
+        )
+        if not ok:
+            raise RegistryError(
+                f"{path}: expected {self.type}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        if self.choices and value not in self.choices:
+            raise RegistryError(
+                f"{path}: must be one of "
+                f"{', '.join(repr(c) for c in self.choices)}, got {value!r}"
+            )
+        if self.minimum is not None and value < self.minimum:  # type: ignore[operator]
+            raise RegistryError(
+                f"{path}: must be >= {self.minimum}, got {value!r}"
+            )
+        if self.maximum is not None and value > self.maximum:  # type: ignore[operator]
+            raise RegistryError(
+                f"{path}: must be <= {self.maximum}, got {value!r}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form for ``describe()`` and the plugins CLI."""
+        out: dict[str, object] = {"name": self.name, "type": self.type}
+        if self.default is not None:
+            out["default"] = self.default
+        if self.minimum is not None:
+            out["minimum"] = self.minimum
+        if self.maximum is not None:
+            out["maximum"] = self.maximum
+        if self.choices:
+            out["choices"] = list(self.choices)
+        if self.doc:
+            out["doc"] = self.doc
+        return out
 
 
 @dataclass(frozen=True)
@@ -65,6 +180,10 @@ class PluginSpec:
     schema:
         ``SimConfig`` field names the factory reads; generic validators
         use this to describe a backend without instantiating it.
+    params:
+        :class:`FieldSpec` declarations of the plugin's own keyword
+        parameters (validated by :meth:`Registry.validate`).  A plugin
+        with no declared params rejects any params dict entries.
     description:
         One-line human summary (shown by ``describe()`` and docs).
     """
@@ -72,7 +191,14 @@ class PluginSpec:
     name: str
     factory: Callable[..., Any]
     schema: tuple[str, ...] = ()
+    params: tuple[FieldSpec, ...] = ()
     description: str = ""
+
+    def param(self, name: str) -> FieldSpec | None:
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        return None
 
 
 class Registry:
@@ -88,6 +214,7 @@ class Registry:
         factory: Callable[..., Any],
         *,
         schema: tuple[str, ...] = (),
+        params: Sequence[FieldSpec] = (),
         description: str = "",
     ) -> PluginSpec:
         """Register ``factory`` under ``name``; re-registering replaces."""
@@ -95,10 +222,15 @@ class Registry:
             name=name,
             factory=factory,
             schema=tuple(schema),
+            params=tuple(params),
             description=description,
         )
         self._specs[name] = spec
         return spec
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (test plugins, hot plugin reloads)."""
+        self._specs.pop(name, None)
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -125,9 +257,42 @@ class Registry:
             suggestion=matches[0] if matches else "",
         )
 
-    def validate(self, name: str) -> str:
-        """``name`` unchanged if registered, else :class:`RegistryError`."""
-        self.get(name)
+    def validate(
+        self,
+        name: str,
+        params: Mapping[str, object] | None = None,
+        *,
+        path: str = "params",
+    ) -> str:
+        """Validate a name and (optionally) its parameter values.
+
+        With ``params`` given, every key must be declared by the plugin's
+        :class:`FieldSpec` list and every value must satisfy its declared
+        type/range/enum; violations raise :class:`RegistryError` whose
+        message starts with ``<path>.<field>`` so callers on any surface
+        (CLI, ``Session``, ``/v1``) report the identical field path.
+        Returns ``name`` unchanged.
+        """
+        spec = self.get(name)
+        if not params:
+            return name
+        declared = {f.name: f for f in spec.params}
+        for key, value in params.items():
+            field = declared.get(key)
+            if field is None:
+                if not declared:
+                    raise RegistryError(
+                        f"{path}.{key}: {self.kind} {name!r} accepts no "
+                        "parameters"
+                    )
+                close = difflib.get_close_matches(str(key), declared, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                raise RegistryError(
+                    f"{path}.{key}: unknown parameter for {self.kind} "
+                    f"{name!r}{hint}; declared: {', '.join(declared)}",
+                    suggestion=close[0] if close else "",
+                )
+            field.check(value, f"{path}.{key}")
         return name
 
     def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
@@ -135,10 +300,11 @@ class Registry:
         return self.get(name).factory(*args, **kwargs)
 
     def describe(self) -> dict[str, dict[str, object]]:
-        """JSON-friendly summary: name -> {schema, description}."""
+        """JSON-friendly summary: name -> {schema, params, description}."""
         return {
             spec.name: {
                 "schema": list(spec.schema),
+                "params": [f.to_dict() for f in spec.params],
                 "description": spec.description,
             }
             for spec in self
@@ -165,9 +331,19 @@ WEAR_LEVELERS = Registry("wear_leveling mode")
 #: :class:`~repro.crypto.pads.PadSource`.
 PAD_SOURCES = Registry("pad source kind")
 
-#: Workloads.  ``factory()`` returns the
-#: :class:`~repro.workloads.profiles.WorkloadProfile`.
+#: Workloads.  ``factory(**params)`` returns the profile object
+#: (:class:`~repro.workloads.profiles.WorkloadProfile` or
+#: :class:`~repro.workloads.kv.KvProfile`); ``params`` must satisfy the
+#: spec's declared :class:`FieldSpec` list.
 WORKLOADS = Registry("workload")
+
+#: The registry mapping handed to entry-point plugins and the CLI.
+REGISTRIES: dict[str, Registry] = {
+    "schemes": SCHEMES,
+    "wear_levelers": WEAR_LEVELERS,
+    "pad_sources": PAD_SOURCES,
+    "workloads": WORKLOADS,
+}
 
 
 def _populate() -> None:
@@ -180,6 +356,7 @@ def _populate() -> None:
         SecurityRefreshHWL,
         StartGap,
     )
+    from repro.workloads.kv import KV_PROFILES, KV_PARAM_SPECS
     from repro.workloads.profiles import PROFILES
 
     for name, cls in SCHEME_REGISTRY.items():
@@ -250,8 +427,53 @@ def _populate() -> None:
             description=f"Table 2 workload profile {name!r}",
         )
 
+    from dataclasses import replace as _replace
+
+    for name, kv_profile in KV_PROFILES.items():
+        WORKLOADS.register(
+            name,
+            (lambda p: lambda **kw: _replace(p, **kw))(kv_profile),
+            schema=("n_writes", "seed", "line_bytes", "workload_params"),
+            params=KV_PARAM_SPECS,
+            description=(
+                f"KV-service profile {name!r}: {kv_profile.summary()}"
+            ),
+        )
+
+
+def load_entry_point_plugins(entry_points=None) -> list[str]:
+    """Load out-of-tree plugins from the ``deuce_sim.plugins`` group.
+
+    Each entry point must resolve to a callable accepting the registry
+    mapping (:data:`REGISTRIES`); the callable registers whatever plugins
+    its package provides.  ``entry_points`` may be injected for tests (any
+    iterable of objects with ``.name`` and ``.load()``); by default the
+    installed-distribution metadata is scanned.  A plugin that fails to
+    import or register is skipped — an external package must not be able
+    to break ``import repro``.  Returns the entry-point names loaded.
+    """
+    if entry_points is None:
+        import importlib.metadata as metadata
+
+        try:
+            entry_points = metadata.entry_points(group=ENTRY_POINT_GROUP)
+        except TypeError:  # Python 3.9 dict-shaped API
+            entry_points = metadata.entry_points().get(ENTRY_POINT_GROUP, ())
+        except Exception:
+            return []
+    loaded: list[str] = []
+    for entry in entry_points:
+        try:
+            hook = entry.load()
+            hook(REGISTRIES)
+            loaded.append(entry.name)
+        except Exception:
+            continue
+    return loaded
+
 
 _populate()
+load_entry_point_plugins()
 
 
 def validate_config_names(
@@ -260,18 +482,22 @@ def validate_config_names(
     workload: str | None = None,
     pad_kind: str | None = None,
     wear_leveling: str | None = None,
+    workload_params: Mapping[str, object] | None = None,
 ) -> None:
-    """Validate backend names in one call; ``None`` skips a family.
+    """Validate backend names (and workload params) in one call.
 
-    The shared decode path for configs: ``SimConfig.from_dict`` (and
-    through it the CLI, ``Session``, the job service, and fleet workers
-    checking a dispatched cell spec) funnels here, so an unknown name
-    fails with the same did-you-mean error everywhere.
+    ``None`` skips a family.  The shared decode path for configs:
+    ``SimConfig.from_dict`` (and through it the CLI, ``Session``, the job
+    service, and fleet workers checking a dispatched cell spec) funnels
+    here, so an unknown name — or an out-of-range workload parameter —
+    fails with the same field-path error everywhere.
     """
     if scheme is not None:
         SCHEMES.validate(scheme)
     if workload is not None:
-        WORKLOADS.validate(workload)
+        WORKLOADS.validate(
+            workload, workload_params, path="workload_params"
+        )
     if pad_kind is not None:
         PAD_SOURCES.validate(pad_kind)
     if wear_leveling is not None:

@@ -47,6 +47,7 @@ _FIELD_TYPES: dict[str, tuple[type, ...]] = {
     "track_per_line_wear": (bool,),
     "pad_cache_lines": (int,),
     "chunk_size": (int,),
+    "workload_params": (dict,),
 }
 
 
@@ -95,6 +96,12 @@ class SimConfig:
         checkpoint, sampling, heartbeat, and wear-leveler boundaries, and
         epoch resets are handled inside the batch); larger chunks amortize
         dispatch overhead across the whole batch.
+    workload_params:
+        Per-workload parameter overrides (a KV profile's ``n_keys``,
+        ``zipf_alpha``, mix weights, ...), validated against the
+        workload plugin's declared :class:`~repro.registry.FieldSpec`
+        schema at decode time.  Table 2 workloads declare no parameters,
+        so any override there is rejected.
     """
 
     workload: str
@@ -113,6 +120,18 @@ class SimConfig:
     track_per_line_wear: bool = False
     pad_cache_lines: int = 1024
     chunk_size: int = 512
+    workload_params: dict = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        # The workload_params dict is the one unhashable field; fold it in
+        # as sorted items so equal configs keep equal hashes.
+        params = tuple(sorted(self.workload_params.items()))
+        rest = tuple(
+            getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "workload_params"
+        )
+        return hash((rest, params))
 
     def __post_init__(self) -> None:
         # Accept a hex string for ``key`` so configs survive JSON: to_dict
@@ -206,6 +225,7 @@ class SimConfig:
                     if "wear_leveling" in data
                     else None
                 ),
+                workload_params=data.get("workload_params"),  # type: ignore[arg-type]
             )
         except registry.RegistryError as exc:
             raise ConfigError(str(exc)) from None

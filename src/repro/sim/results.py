@@ -67,6 +67,13 @@ class RunResult:
     #: bit-identity oracles comparing payloads stay valid whether or not a
     #: run was profiled.  The ledger records it as a run artifact instead.
     profile: dict | None = None
+    #: Per-phase cumulative aggregates, keyed by trace phase name
+    #: (``{"start", "end", "total_flips", "data_flips", "meta_flips",
+    #: "total_slots", "epoch_resets"}``), snapshotted by the write loops
+    #: exactly when the phase's last write lands.  Cumulative (not deltas)
+    #: so checkpoint/resume restores them verbatim; :meth:`phase_summary`
+    #: derives the per-phase rates.  Empty for phase-less traces.
+    phase_stats: dict[str, dict] = field(default_factory=dict)
 
     @property
     def avg_flips_per_write(self) -> float:
@@ -106,6 +113,58 @@ class RunResult:
             self.total_words_reencrypted / self.n_writes if self.n_writes else 0.0
         )
 
+    def record_phase(self, name: str, start: int, end: int) -> None:
+        """Snapshot the cumulative aggregates at a phase's last write.
+
+        Called by the write loops when write ``end`` has just been folded
+        in, so the snapshot is exact regardless of chunking (the chunked
+        loop cuts chunks at phase boundaries).
+        """
+        self.phase_stats[name] = {
+            "start": start,
+            "end": end,
+            "total_flips": self.total_flips,
+            "data_flips": self.data_flips,
+            "meta_flips": self.meta_flips,
+            "total_slots": self.total_slots,
+            "epoch_resets": self.epoch_resets,
+        }
+
+    def phase_summary(self) -> list[dict[str, object]]:
+        """Per-phase rates derived from the cumulative snapshots.
+
+        Phases are returned in stream order with delta counts (this
+        phase's writes only) and the same normalization as the headline
+        numbers (flip %% of the line's data bits).
+        """
+        phases = sorted(self.phase_stats.items(), key=lambda kv: kv[1]["start"])
+        rows: list[dict[str, object]] = []
+        prev = {
+            "total_flips": 0, "data_flips": 0, "meta_flips": 0,
+            "total_slots": 0, "epoch_resets": 0,
+        }
+        for name, snap in phases:
+            writes = int(snap["end"]) - int(snap["start"])
+            delta = {k: int(snap[k]) - prev[k] for k in prev}
+            bits = max(writes, 1) * self.line_bits
+            rows.append({
+                "phase": name,
+                "start": int(snap["start"]),
+                "end": int(snap["end"]),
+                "writes": writes,
+                "flips_pct": round(100.0 * delta["total_flips"] / bits, 2),
+                "data_flips_pct": round(
+                    100.0 * delta["data_flips"] / bits, 2
+                ),
+                "meta_flips": delta["meta_flips"],
+                "slots_per_write": round(
+                    delta["total_slots"] / max(writes, 1), 3
+                ),
+                "epoch_resets": delta["epoch_resets"],
+            })
+            prev = {k: int(snap[k]) for k in prev}
+        return rows
+
     def to_dict(self) -> dict[str, object]:
         """Full JSON-safe aggregates (service results, stored artifacts).
 
@@ -138,6 +197,9 @@ class RunResult:
             },
             "pad_hits": self.pad_hits,
             "pad_misses": self.pad_misses,
+            "phase_stats": {
+                name: dict(snap) for name, snap in self.phase_stats.items()
+            },
             "wall_time_s": self.wall_time_s,
             "run_id": self.manifest.run_id if self.manifest else "",
             "summary": self.summary_row(),
@@ -162,6 +224,12 @@ class RunResult:
             row["lifetime_norm"] = round(self.lifetime.normalized, 3)
         elif self.restored_lifetime_norm is not None:
             row["lifetime_norm"] = self.restored_lifetime_norm
+        # Per-phase rates for phased (KV) traces; keys are distinct from
+        # RunManifest.phases (which holds tracer wall-seconds).
+        for phase in self.phase_summary():
+            prefix = f"phase_{phase['phase']}"
+            row[f"{prefix}_writes"] = phase["writes"]
+            row[f"{prefix}_flips_pct"] = phase["flips_pct"]
         return row
 
     # -- restore / checkpoint ----------------------------------------------
@@ -197,6 +265,9 @@ class RunResult:
         state["mode_histogram"] = {
             str(k): v for k, v in sorted(self.mode_histogram.items())
         }
+        state["phase_stats"] = {
+            name: dict(snap) for name, snap in self.phase_stats.items()
+        }
         return state
 
     def load_checkpoint_state(self, state: dict[str, object]) -> None:
@@ -209,6 +280,11 @@ class RunResult:
         self.mode_histogram = Counter(
             {str(k): int(v) for k, v in state["mode_histogram"].items()}
         )
+        # .get: payloads written before phases existed restore with none.
+        self.phase_stats = {
+            str(name): {k: int(v) for k, v in snap.items()}
+            for name, snap in (state.get("phase_stats") or {}).items()
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "RunResult":

@@ -20,6 +20,7 @@ identical results (there is a test for this).
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from collections import OrderedDict
@@ -63,22 +64,40 @@ _TRACE_CACHE_LOCK = threading.Lock()
 
 
 def cached_trace(
-    workload: str, n_writes: int, seed: int, line_bytes: int, abort=None
+    workload: str,
+    n_writes: int,
+    seed: int,
+    line_bytes: int,
+    abort=None,
+    params: dict | None = None,
 ) -> Trace:
     """Memoized trace generation (same stream for every scheme compared).
 
     ``abort`` is threaded into :func:`generate_trace` so a job deadline or
     cancel can interrupt synthesis of a large trace; an aborted generation
-    raises without poisoning the cache.
+    raises without poisoning the cache.  ``params`` (a config's
+    ``workload_params``) is part of the cache key — two configs differing
+    only in a KV knob get distinct traces.
     """
-    key = (workload, n_writes, seed, line_bytes)
+    key = (
+        workload,
+        n_writes,
+        seed,
+        line_bytes,
+        json.dumps(params or {}, sort_keys=True),
+    )
     with _TRACE_CACHE_LOCK:
         trace = _TRACE_CACHE.get(key)
         if trace is not None:
             _TRACE_CACHE.move_to_end(key)
             return trace
     trace = generate_trace(
-        workload, n_writes, seed=seed, line_bytes=line_bytes, abort=abort
+        workload,
+        n_writes,
+        seed=seed,
+        line_bytes=line_bytes,
+        abort=abort,
+        params=params,
     )
     with _TRACE_CACHE_LOCK:
         _TRACE_CACHE[key] = trace
@@ -180,6 +199,53 @@ def _accumulate_batch(
         result.mode_histogram[mode] += count
 
 
+class _PhaseTracker:
+    """Fires :meth:`RunResult.record_phase` at exact phase boundaries.
+
+    Built from the trace's ``phases`` declaration; each phase's end is the
+    next phase's start (the last ends at ``n_records``).  Loops call
+    :meth:`note` with the count of writes folded in so far; because the
+    chunked loop also cuts chunks at :attr:`next_end`, ``note`` always
+    sees the boundary index exactly and the cumulative snapshot is
+    bit-identical across all three write loops.  On resume, phases the
+    checkpoint already recorded are not re-recorded.
+    """
+
+    def __init__(
+        self, trace: Trace, result: RunResult, start: int = 0
+    ) -> None:
+        n_records = len(trace.records)
+        phases = trace.phases
+        self._result = result
+        pending: list[tuple[int, str, int]] = []
+        for idx, (name, p_start) in enumerate(phases):
+            p_end = (
+                phases[idx + 1][1] if idx + 1 < len(phases) else n_records
+            )
+            p_end = min(int(p_end), n_records)
+            if p_end <= int(p_start) or name in result.phase_stats:
+                continue  # empty phase, or already restored from checkpoint
+            if p_end <= start:
+                # Resumed past the boundary without a recorded snapshot
+                # (pre-phase checkpoint): the exact cumulative values are
+                # gone, so skip rather than record wrong ones.
+                continue
+            pending.append((p_end, str(name), int(p_start)))
+        pending.sort()
+        self._pending = pending
+
+    @property
+    def next_end(self) -> int | None:
+        """The next boundary index a chunk must not cross, if any."""
+        return self._pending[0][0] if self._pending else None
+
+    def note(self, i: int) -> None:
+        """Record every phase whose last write has now been folded in."""
+        while self._pending and i >= self._pending[0][0]:
+            end, name, start = self._pending.pop(0)
+            self._result.record_phase(name, start, end)
+
+
 def run(
     config: SimConfig | None = None,
     trace: Trace | None = None,
@@ -245,6 +311,7 @@ def run(
                 config.seed,
                 config.line_bytes,
                 abort=obs.abort if obs.enabled else None,
+                params=config.workload_params,
             )
             if profile is not None:
                 profile.add("trace.gen", time.perf_counter() - tg0)
@@ -337,20 +404,25 @@ def run(
             result=result,
             pad_cache=pad_cache,
         )
+    tracker = (
+        _PhaseTracker(trace, result, start=start) if trace.phases else None
+    )
     if use_chunked:
         _write_loop_chunked(
             config, trace, scheme, pcm, leveler, vwl, line_index, result, obs,
             pad_cache, start=start, checkpointer=checkpointer,
+            tracker=tracker,
         )
     elif obs.enabled:
         _write_loop_instrumented(
             config, trace, scheme, pcm, leveler, vwl, line_index, result, obs,
             pad_cache, start=start, checkpointer=checkpointer,
+            tracker=tracker,
         )
     else:
         _write_loop(
             config, trace, scheme, pcm, leveler, vwl, line_index, result,
-            start=start, checkpointer=checkpointer,
+            start=start, checkpointer=checkpointer, tracker=tracker,
         )
 
     result.wear = pcm.summary()
@@ -386,16 +458,17 @@ def _write_loop(
     result: RunResult,
     start: int = 0,
     checkpointer: RunCheckpointer | None = None,
+    tracker: "_PhaseTracker | None" = None,
 ) -> None:
     """The uninstrumented hot loop — nothing here but the simulation.
 
     ``start`` skips already-applied writes on resume.  With a checkpointer
-    the loop pays one counter and one call per write; without one the
-    original zero-overhead body runs.
+    or phase tracker the loop pays one counter and one call per write;
+    without either the original zero-overhead body runs.
     """
     line_bits = 8 * config.line_bytes
     records = trace.records if not start else trace.records[start:]
-    if checkpointer is None:
+    if checkpointer is None and tracker is None:
         for record in records:
             outcome = scheme.write(record.address, record.data)
             rotation = leveler.rotation(line_index[record.address])
@@ -413,7 +486,10 @@ def _write_loop(
             vwl.on_write()
         _accumulate(result, outcome, line_bits)
         i += 1
-        checkpointer.maybe(i)
+        if tracker is not None:
+            tracker.note(i)
+        if checkpointer is not None:
+            checkpointer.maybe(i)
 
 
 def _next_multiple(i: int, every: int) -> int:
@@ -434,6 +510,7 @@ def _write_loop_chunked(
     pad_cache: CachingPadSource | None,
     start: int = 0,
     checkpointer: RunCheckpointer | None = None,
+    tracker: "_PhaseTracker | None" = None,
 ) -> None:
     """The batched write loop: whole trace chunks through ``write_batch``.
 
@@ -508,6 +585,10 @@ def _write_loop_chunked(
             end = min(end, _next_multiple(i + 1, abort_every) - 1)
         if vwl is not None:
             end = min(end, i + vwl.writes_until_event)
+        if tracker is not None and tracker.next_end is not None:
+            # End chunks on phase boundaries so the cumulative snapshot
+            # lands exactly where the serial loops take it.
+            end = min(end, tracker.next_end)
         k = end - i
 
         t0 = perf()
@@ -545,6 +626,8 @@ def _write_loop_chunked(
             vwl.advance(k)
         _accumulate_batch(result, batch, line_bits)
         i = end
+        if tracker is not None:
+            tracker.note(i)
 
         if profile is not None:
             # Reuses the t0..t3 stamps the loop already takes; the only
@@ -607,6 +690,7 @@ def _write_loop_instrumented(
     pad_cache: CachingPadSource | None,
     start: int = 0,
     checkpointer: RunCheckpointer | None = None,
+    tracker: "_PhaseTracker | None" = None,
 ) -> None:
     """The observed write loop: timers, spans, samples, heartbeats.
 
@@ -665,6 +749,8 @@ def _write_loop_instrumented(
             obs.profile.add("wear.rotation", t2 - t1)
             obs.profile.add("pcm.apply", t3 - t2)
         _accumulate(result, outcome, line_bits)
+        if tracker is not None:
+            tracker.note(i)
         if checkpointer is not None:
             checkpointer.maybe(i)
         if tracing:

@@ -28,6 +28,7 @@ otherwise unlink the parent's segment when the first worker exits
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
@@ -52,11 +53,22 @@ class TraceShmSpec:
     line_bytes: int
     n_initial: int
     n_writes: int
+    #: Trace phase boundaries ((name, start) pairs); shape metadata like
+    #: the scalars above, carried so attached KV traces keep their
+    #: populate/steady structure (phase snapshots must be identical
+    #: between shm and regenerated runs).
+    phases: tuple[tuple[str, int], ...] = ()
 
 
-def trace_key(config: SimConfig) -> tuple[str, int, int, int]:
+def trace_key(config: SimConfig) -> tuple[str, int, int, int, str]:
     """The tuple that determines a config's trace, for deduplication."""
-    return (config.workload, config.seed, config.n_writes, config.line_bytes)
+    return (
+        config.workload,
+        config.seed,
+        config.n_writes,
+        config.line_bytes,
+        json.dumps(config.workload_params or {}, sort_keys=True),
+    )
 
 
 def _layout(
@@ -108,7 +120,11 @@ class TracePublisher:
         from repro.sim.runner import cached_trace
 
         trace = cached_trace(
-            config.workload, config.n_writes, config.seed, config.line_bytes
+            config.workload,
+            config.n_writes,
+            config.seed,
+            config.line_bytes,
+            params=config.workload_params,
         )
         addresses, data = trace.write_arrays()
         init_addresses, init_data = trace.initial_arrays()
@@ -138,6 +154,7 @@ class TracePublisher:
             line_bytes=line_bytes,
             n_initial=n_initial,
             n_writes=n_writes,
+            phases=trace.phases,
         )
         return (shm, spec)
 
@@ -219,4 +236,5 @@ def attach_trace(spec: TraceShmSpec) -> Trace:
         init_data,
         addresses,
         data,
+        phases=spec.phases,
     )

@@ -8,20 +8,47 @@ from repro.workloads.profiles import (
     WorkloadProfile,
     get_profile,
 )
+from repro.workloads.kv import (
+    KV_PROFILES,
+    KvEngine,
+    KvProfile,
+    KvRequest,
+    generate_kv_trace,
+    request_stream,
+)
 from repro.workloads.stats import TraceStats, analyze_trace, recommend_scheme
+from repro.workloads.suite import (
+    CANNED_SUITES,
+    RequestSuite,
+    build_canned_suite,
+    load_suite,
+    record_suite,
+    replay_suite,
+)
 from repro.workloads.trace import Trace, generate_trace
 
 __all__ = [
+    "CANNED_SUITES",
+    "KV_PROFILES",
+    "KvEngine",
+    "KvProfile",
+    "KvRequest",
     "PAPER_TARGETS",
     "PROFILES",
-    "WORKLOAD_NAMES",
+    "RequestSuite",
     "Trace",
     "TraceGenerator",
     "TraceStats",
+    "WORKLOAD_NAMES",
     "WorkloadProfile",
     "WriteRecord",
     "analyze_trace",
+    "build_canned_suite",
+    "generate_kv_trace",
     "generate_trace",
     "get_profile",
+    "load_suite",
+    "record_suite",
     "recommend_scheme",
+    "replay_suite",
 ]

@@ -320,15 +320,22 @@ PAPER_TARGETS = {
 }
 
 
-def get_profile(name: str) -> WorkloadProfile:
-    """Look up a workload profile by Table 2 name.
+def get_profile(name: str, params: dict | None = None):
+    """Look up a workload profile by registry name.
 
     Resolves through :data:`repro.registry.WORKLOADS`, so unknown names
-    fail with the registry's did-you-mean error.
+    fail with the registry's did-you-mean error and ``params`` (a
+    config's ``workload_params``) are validated against the plugin's
+    declared schema before the factory runs.  Table 2 names return
+    :class:`WorkloadProfile`; KV names return
+    :class:`~repro.workloads.kv.KvProfile` with ``params`` applied as
+    field overrides.
     """
-    fast = PROFILES.get(name)
-    if fast is not None:
-        return fast
+    if not params:
+        fast = PROFILES.get(name)
+        if fast is not None:
+            return fast
     from repro.registry import WORKLOADS
 
-    return WORKLOADS.create(name)
+    WORKLOADS.validate(name, params, path="workload_params")
+    return WORKLOADS.create(name, **(params or {}))

@@ -1,0 +1,299 @@
+"""On-disk KV request suites: record once, replay bit-identically.
+
+A :class:`RequestSuite` is the request-level analogue of a saved
+:class:`~repro.workloads.trace.Trace`: the exact put/get/delete sequence a
+profile+seed produced, plus everything needed to re-drive it through a
+fresh :class:`~repro.workloads.kv.KvEngine`.  Because engine store
+contents are deterministic functions of the request sequence (see
+:mod:`repro.workloads.kv`), replaying a suite yields a writeback trace
+bit-identical to the one recorded — which makes suites reusable artifacts:
+archive the JSONL next to a paper figure, replay it years later on a
+changed codebase, and diff the traces to prove the workload didn't move.
+
+Two formats, chosen by file extension:
+
+* ``.jsonl`` — one header object then one compact ``[op, key, size]``
+  array per request; greppable and diffable.
+* ``.npz`` — compressed NumPy arrays (op codes / keys / sizes) with the
+  same header as a JSON string; ~10x smaller for long streams.
+
+:data:`CANNED_SUITES` ships named recipes (profile + seed + length) so
+tests, CI's record/replay parity check, and EXPERIMENTS.md all pull the
+same workloads by name.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.workloads.kv import (
+    KV_OPS,
+    KvProfile,
+    KvRequest,
+    drive_requests,
+    request_stream,
+)
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "CANNED_SUITES",
+    "RequestSuite",
+    "build_canned_suite",
+    "load_suite",
+    "record_suite",
+    "replay_suite",
+]
+
+_FORMAT = "deuce-kv-suite"
+_VERSION = 1
+
+#: op name -> on-disk op code (npz ``ops`` array, header docs).
+_OP_CODE = {op: i for i, op in enumerate(KV_OPS)}
+
+
+@dataclass(frozen=True)
+class RequestSuite:
+    """A recorded KV request stream plus its replay context.
+
+    Attributes
+    ----------
+    profile_name:
+        Registry name the profile resolves through on replay.
+    seed:
+        Engine seed (layout shuffle + value contents), *not* consulted
+        for request generation on replay — the requests are stored.
+    line_bytes:
+        Cache line size the trace was recorded at.
+    n_writes:
+        Writeback count the recording stopped at; replay stops at the
+        same count.
+    params:
+        ``workload_params`` overrides applied to the registry profile.
+    requests:
+        The applied requests, in order, including the populate phase.
+    """
+
+    profile_name: str
+    seed: int
+    line_bytes: int
+    n_writes: int
+    params: dict = field(default_factory=dict)
+    requests: tuple[KvRequest, ...] = ()
+
+    def _header(self) -> dict:
+        return {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "profile": self.profile_name,
+            "seed": self.seed,
+            "line_bytes": self.line_bytes,
+            "n_writes": self.n_writes,
+            "params": dict(self.params),
+            "n_requests": len(self.requests),
+            "ops": list(KV_OPS),
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the suite; format chosen by extension (.jsonl / .npz)."""
+        path = Path(path)
+        if path.suffix == ".npz":
+            self._save_npz(path)
+        else:
+            self._save_jsonl(path)
+
+    def _save_jsonl(self, path: Path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(self._header(), sort_keys=True) + "\n")
+            for req in self.requests:
+                fh.write(
+                    json.dumps([req.op, req.key, req.value_size]) + "\n"
+                )
+
+    def _save_npz(self, path: Path) -> None:
+        n = len(self.requests)
+        ops = np.empty(n, dtype=np.uint8)
+        keys = np.empty(n, dtype=np.int64)
+        sizes = np.empty(n, dtype=np.int32)
+        for i, req in enumerate(self.requests):
+            ops[i] = _OP_CODE[req.op]
+            keys[i] = req.key
+            sizes[i] = req.value_size
+        np.savez_compressed(
+            path,
+            header=np.array(json.dumps(self._header(), sort_keys=True)),
+            ops=ops,
+            keys=keys,
+            sizes=sizes,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RequestSuite":
+        """Read a suite written by :meth:`save`."""
+        path = Path(path)
+        if path.suffix == ".npz":
+            return cls._load_npz(path)
+        return cls._load_jsonl(path)
+
+    @classmethod
+    def _from_header(
+        cls, header: dict, requests: tuple[KvRequest, ...], path: Path
+    ) -> "RequestSuite":
+        if header.get("format") != _FORMAT:
+            raise ValueError(f"{path}: not a {_FORMAT} file")
+        if header.get("version") != _VERSION:
+            raise ValueError(
+                f"{path}: unsupported suite version {header.get('version')}"
+            )
+        if len(requests) != header["n_requests"]:
+            raise ValueError(
+                f"{path}: truncated suite "
+                f"({len(requests)}/{header['n_requests']} requests)"
+            )
+        return cls(
+            profile_name=header["profile"],
+            seed=int(header["seed"]),
+            line_bytes=int(header["line_bytes"]),
+            n_writes=int(header["n_writes"]),
+            params=dict(header.get("params", {})),
+            requests=requests,
+        )
+
+    @classmethod
+    def _load_jsonl(cls, path: Path) -> "RequestSuite":
+        with open(path, encoding="utf-8") as fh:
+            header = json.loads(fh.readline())
+            requests = tuple(
+                KvRequest(op, int(key), int(size))
+                for op, key, size in (json.loads(line) for line in fh if line.strip())
+            )
+        return cls._from_header(header, requests, path)
+
+    @classmethod
+    def _load_npz(cls, path: Path) -> "RequestSuite":
+        with np.load(path, allow_pickle=False) as data:
+            header = json.loads(str(data["header"]))
+            ops, keys, sizes = data["ops"], data["keys"], data["sizes"]
+            requests = tuple(
+                KvRequest(KV_OPS[int(ops[i])], int(keys[i]), int(sizes[i]))
+                for i in range(ops.shape[0])
+            )
+        return cls._from_header(header, requests, path)
+
+
+def load_suite(path: str | Path) -> RequestSuite:
+    """Module-level alias for :meth:`RequestSuite.load`."""
+    return RequestSuite.load(path)
+
+
+def _resolve_profile(
+    profile: KvProfile | str, params: dict | None
+) -> tuple[KvProfile, str, dict]:
+    if isinstance(profile, str):
+        resolved = get_profile(profile, params)
+        if not isinstance(resolved, KvProfile):
+            raise ValueError(
+                f"workload {profile!r} is not a KV profile; suites record "
+                "request streams, not statistical traces"
+            )
+        return resolved, profile, dict(params or {})
+    if params:
+        profile = replace(profile, **params)
+    return profile, profile.name, dict(params or {})
+
+
+def record_suite(
+    profile: KvProfile | str,
+    n_writes: int,
+    seed: int = 0,
+    line_bytes: int = 64,
+    params: dict | None = None,
+) -> tuple[RequestSuite, Trace]:
+    """Generate a request stream and record exactly the applied prefix.
+
+    Returns the suite (ready to :meth:`~RequestSuite.save`) and the trace
+    it produced, so callers can assert replay parity without regenerating.
+    """
+    resolved, name, params = _resolve_profile(profile, params)
+    collected: list[KvRequest] = []
+    from itertools import islice
+
+    max_requests = resolved.n_keys + 64 * n_writes + 1000
+    stream = islice(request_stream(resolved, seed), max_requests)
+    trace, _engine = drive_requests(
+        resolved, seed, line_bytes, stream, n_writes, collect=collected
+    )
+    suite = RequestSuite(
+        profile_name=name,
+        seed=seed,
+        line_bytes=line_bytes,
+        n_writes=n_writes,
+        params=params,
+        requests=tuple(collected),
+    )
+    return suite, trace
+
+
+def replay_suite(
+    suite: RequestSuite, profile: KvProfile | None = None
+) -> Trace:
+    """Re-drive a recorded suite through a fresh engine.
+
+    The result is bit-identical to the trace :func:`record_suite`
+    returned: same requests, same engine seed, same deterministic store
+    contents.  ``profile`` overrides the registry lookup for profiles
+    that were never registered.
+    """
+    if profile is None:
+        profile, _, _ = _resolve_profile(suite.profile_name, suite.params)
+    trace, _engine = drive_requests(
+        profile,
+        suite.seed,
+        suite.line_bytes,
+        suite.requests,
+        suite.n_writes,
+    )
+    return trace
+
+
+#: Named recipes: (profile, n_writes, seed, params).  Short enough for CI,
+#: long enough that every recipe reaches its steady phase.
+CANNED_SUITES: dict[str, dict] = {
+    "etc-smoke": {
+        "profile": "kv-etc", "n_writes": 4000, "seed": 7, "params": {},
+    },
+    "udb-steady": {
+        "profile": "kv-udb", "n_writes": 8000, "seed": 11, "params": {},
+    },
+    "zippy-churn": {
+        "profile": "kv-zippydb", "n_writes": 6000, "seed": 13,
+        "params": {"delete_weight": 15.0},
+    },
+    "cache-hot": {
+        "profile": "kv-cache", "n_writes": 6000, "seed": 17,
+        "params": {"zipf_alpha": 1.4},
+    },
+}
+
+
+def build_canned_suite(name: str) -> tuple[RequestSuite, Trace]:
+    """Record one of :data:`CANNED_SUITES` by name."""
+    try:
+        spec = CANNED_SUITES[name]
+    except KeyError:
+        known = ", ".join(sorted(CANNED_SUITES))
+        raise ValueError(
+            f"unknown canned suite {name!r}; known: {known}"
+        ) from None
+    return record_suite(
+        spec["profile"],
+        spec["n_writes"],
+        seed=spec["seed"],
+        params=dict(spec["params"]),
+    )

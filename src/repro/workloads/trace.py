@@ -68,6 +68,11 @@ class Trace:
         address -> pristine line contents, used to install lines.
     records:
         Ordered writebacks.
+    phases:
+        ``(name, first write index)`` pairs in stream order, for traces
+        with phase structure (KV populate -> steady state).  Empty for
+        the statistical Table 2 traces; each phase runs until the next
+        phase's start (the last until ``n_writes``).
     """
 
     profile_name: str
@@ -75,6 +80,7 @@ class Trace:
     line_bytes: int
     initial: dict[int, bytes]
     records: list[WriteRecord] | _LazyRecords = field(default_factory=list)
+    phases: tuple[tuple[str, int], ...] = ()
     _arrays: tuple | None = field(
         default=None, repr=False, compare=False
     )
@@ -136,6 +142,7 @@ class Trace:
         init_data: np.ndarray,
         addresses: np.ndarray,
         data: np.ndarray,
+        phases: tuple[tuple[str, int], ...] = (),
     ) -> "Trace":
         """Build a trace view over preexisting arrays without copying.
 
@@ -154,6 +161,7 @@ class Trace:
             line_bytes=line_bytes,
             initial=initial,
             records=_LazyRecords(addresses, data),
+            phases=tuple((str(n), int(s)) for n, s in phases),
             _arrays=(addresses, data),
             _init_arrays=(init_addresses, init_data),
         )
@@ -162,16 +170,19 @@ class Trace:
 
     def save(self, path: str | Path) -> None:
         """Write the trace to a binary file."""
-        header = json.dumps(
-            {
-                "version": _VERSION,
-                "profile": self.profile_name,
-                "seed": self.seed,
-                "line_bytes": self.line_bytes,
-                "n_initial": len(self.initial),
-                "n_records": len(self.records),
-            }
-        ).encode()
+        meta: dict[str, object] = {
+            "version": _VERSION,
+            "profile": self.profile_name,
+            "seed": self.seed,
+            "line_bytes": self.line_bytes,
+            "n_initial": len(self.initial),
+            "n_records": len(self.records),
+        }
+        if self.phases:
+            # Optional key: files without it load with phases=() and old
+            # readers ignore it, so the format version stays 1.
+            meta["phases"] = [list(p) for p in self.phases]
+        header = json.dumps(meta).encode()
         with open(path, "wb") as fh:
             fh.write(_MAGIC)
             fh.write(len(header).to_bytes(4, "little"))
@@ -210,6 +221,9 @@ class Trace:
             line_bytes=line_bytes,
             initial=initial,
             records=records,
+            phases=tuple(
+                (str(n), int(s)) for n, s in header.get("phases", ())
+            ),
         )
 
 
@@ -220,6 +234,7 @@ def generate_trace(
     line_bytes: int = 64,
     abort=None,
     abort_every: int = 1024,
+    params: dict | None = None,
 ) -> Trace:
     """Materialize a trace of ``n_writes`` writebacks for a workload.
 
@@ -228,9 +243,24 @@ def generate_trace(
     stops and :class:`~repro.obs.instruments.RunAborted` is raised.  Large
     traces take long enough to synthesize that a job deadline or cancel
     must be able to interrupt this phase too, not just the write loop.
+
+    ``params`` are workload parameters forwarded to the registry factory
+    when ``profile`` is a name (a config's ``workload_params``).  Profiles
+    that synthesize their own stream (KV request engines) are dispatched
+    through their ``generate_trace`` method; everything else runs the
+    statistical :class:`TraceGenerator`.
     """
     if isinstance(profile, str):
-        profile = get_profile(profile)
+        profile = get_profile(profile, params)
+    build = getattr(profile, "generate_trace", None)
+    if build is not None:
+        return build(
+            n_writes,
+            seed=seed,
+            line_bytes=line_bytes,
+            abort=abort,
+            abort_every=abort_every,
+        )
     gen = TraceGenerator(profile, seed=seed, line_bytes=line_bytes)
     trace = Trace(
         profile_name=profile.name,

@@ -156,3 +156,73 @@ class TestDeprecationHeaders:
         )
         assert status == 201
         assert "Deprecation" not in headers
+
+KV_CONFIG = {
+    "workload": "kv-udb", "scheme": "deuce", "n_writes": 600, "seed": 0,
+    "workload_params": {"n_keys": 256, "cache_kb": 8},
+}
+
+
+def _post_error(url: str, payload: dict):
+    """POST expecting a 4xx; returns (status, body dict)."""
+    try:
+        _post(url, payload)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+    raise AssertionError("expected an HTTP error response")
+
+
+class TestKvThroughTheEnvelope:
+    """KV configs ride the registry decode path on /v1 unchanged."""
+
+    @pytest.fixture
+    def service(self, tmp_path):
+        session = Session(ledger=tmp_path / "runs")
+        manager = JobManager(
+            session, job_workers=1, queue_size=8, max_sweep_workers=1
+        ).start()
+        server = SimulationServer(("127.0.0.1", 0), manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield f"http://127.0.0.1:{server.port}"
+        finally:
+            manager.drain(10, cancel=True)
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def test_legacy_kv_payload_keeps_deprecation_headers(self, service):
+        # pinned: registry-validated workload_params must not break the
+        # legacy-shape compatibility path or its migration headers
+        status, headers, body = _post(
+            f"{service}/v1/jobs",
+            {"kind": "run", "config": KV_CONFIG, "label": "kv-legacy"},
+        )
+        assert status == 201
+        assert headers.get("Deprecation") == "true"
+        assert 'rel="successor-version"' in headers.get("Link", "")
+        assert body["job_id"]
+
+    def test_invalid_workload_param_rejected_with_field_path(
+        self, service
+    ):
+        bad = dict(KV_CONFIG, workload_params={"zipf_alpha": "hi"})
+        status, body = _post_error(
+            f"{service}/v1/jobs",
+            {"kind": "run", "config": bad, "options": {}},
+        )
+        assert status == 400
+        # identical message to SimConfig.from_dict and Session
+        assert (
+            "workload_params.zipf_alpha: expected float, got str ('hi')"
+            in body["error"]
+        )
+
+    def test_decode_matches_from_dict_for_kv(self):
+        spec, deprecated = JobSpec.decode(
+            {"kind": "run", "config": KV_CONFIG, "options": {}}
+        )
+        assert not deprecated
+        assert spec.configs[0].workload == "kv-udb"
+        assert spec.configs[0].workload_params == KV_CONFIG["workload_params"]

@@ -85,9 +85,12 @@ class TestRun:
         out = capsys.readouterr().out
         assert "pad_hit_rate" in out
 
-    def test_bad_scheme_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["run", "--workload", "mcf", "--scheme", "rot13"])
+    def test_bad_scheme_rejected(self, capsys):
+        code = main(["run", "--workload", "mcf", "--scheme", "rot13"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scheme 'rot13'" in err
+        assert "deuce" in err
 
 
 class TestRunObservability:
@@ -490,3 +493,118 @@ class TestAnalyzeCommand:
         code = main(["analyze", "--trace-file", str(path)])
         assert code == 0
         assert "encr-fnw" in capsys.readouterr().out
+
+
+class TestKvWorkloadRun:
+    def test_kv_run_prints_phase_columns(self, capsys):
+        code = main(
+            ["run", "--workload", "kv-udb", "--scheme", "deuce",
+             "--writes", "600", "--no-ledger",
+             "--workload-params", '{"n_keys": 256, "cache_kb": 8}']
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase_populate_writes" in out
+        assert "phase_steady_flips_pct" in out
+
+    def test_invalid_param_exits_2_with_field_path(self, capsys):
+        code = main(
+            ["run", "--workload", "kv-udb", "--scheme", "deuce",
+             "--writes", "100", "--no-ledger",
+             "--workload-params", '{"zipf_alpha": "hi"}']
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert (
+            "workload_params.zipf_alpha: expected float, got str ('hi')"
+            in err
+        )
+
+    def test_malformed_params_json_exits_2(self, capsys):
+        code = main(
+            ["run", "--workload", "kv-udb", "--scheme", "deuce",
+             "--writes", "100", "--no-ledger",
+             "--workload-params", "{not json"]
+        )
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_sweep_accepts_kv_profiles(self, capsys):
+        code = main(
+            ["sweep", "--workloads", "kv-cache", "--schemes",
+             "deuce", "noencr-dcw", "--writes", "1500", "--workers", "1",
+             "--no-ledger", "--no-progress",
+             "--workload-params", '{"n_keys": 256, "cache_kb": 8}']
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kv-cache" in out and "phase_steady_flips_pct" in out
+
+
+class TestPluginsCommand:
+    def test_plugins_lists_every_registry(self, capsys):
+        assert main(["plugins"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("schemes", "wear_levelers", "pad_sources", "workloads"):
+            assert kind in out
+        assert "deuce" in out and "kv-udb" in out
+
+    def test_describe_renders_param_schema(self, capsys):
+        assert main(["plugins", "describe", "kv-udb"]) == 0
+        out = capsys.readouterr().out
+        assert "zipf_alpha" in out
+        assert "float" in out
+
+    def test_describe_unknown_name_suggests(self, capsys):
+        assert main(["plugins", "describe", "kv-ubd"]) == 2
+        assert "kv-udb" in capsys.readouterr().err
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["plugins", "describe", "kv-udb", "--json"]) == 0
+        described = json.loads(capsys.readouterr().out)
+        params = {p["name"] for p in described["workloads"]["params"]}
+        assert "zipf_alpha" in params and "n_keys" in params
+
+
+class TestKvSuiteCommand:
+    def test_suites_lists_canned_recipes(self, capsys):
+        assert main(["kv", "suites"]) == 0
+        out = capsys.readouterr().out
+        assert "etc-smoke" in out and "udb-steady" in out
+
+    def test_record_then_verify_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "suite.jsonl"
+        code = main(
+            ["kv", "record", "--profile", "kv-udb", "--writes", "600",
+             "--seed", "4", "--out", str(path),
+             "--workload-params", '{"n_keys": 256, "cache_kb": 8}']
+        )
+        assert code == 0
+        assert "recorded to" in capsys.readouterr().out
+        assert path.exists()
+        assert main(["kv", "verify", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_record_canned_suite_by_name(self, tmp_path, capsys):
+        path = tmp_path / "etc.npz"
+        assert main(["kv", "record", "--suite", "etc-smoke",
+                     "--out", str(path)]) == 0
+        assert path.exists()
+        assert main(["kv", "verify", str(path)]) == 0
+
+    def test_verify_detects_tampering(self, tmp_path, capsys):
+        path = tmp_path / "suite.jsonl"
+        assert main(
+            ["kv", "record", "--profile", "kv-udb", "--writes", "600",
+             "--out", str(path),
+             "--workload-params", '{"n_keys": 256, "cache_kb": 8}']
+        ) == 0
+        lines = path.read_text().splitlines()
+        # swap one steady-phase op's key for another valid key
+        tampered = json.loads(lines[-1])
+        tampered[1] = (tampered[1] + 1) % 256
+        lines[-1] = json.dumps(tampered)
+        path.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["kv", "verify", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().err

@@ -1,0 +1,135 @@
+"""On-disk KV request suites (:mod:`repro.workloads.suite`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workloads.kv import KvProfile, KvRequest
+from repro.workloads.suite import (
+    CANNED_SUITES,
+    RequestSuite,
+    build_canned_suite,
+    load_suite,
+    record_suite,
+    replay_suite,
+)
+
+PROFILE = KvProfile(
+    "kv-suite-test", n_keys=256, value_bytes=64, value_sigma=0.3,
+    zipf_alpha=1.0, get_weight=40.0, put_weight=60.0, cache_kb=8,
+)
+
+
+def assert_traces_identical(a, b):
+    assert a.records == b.records
+    assert a.initial == b.initial
+    assert a.phases == b.phases
+    assert (a.profile_name, a.seed, a.line_bytes) == (
+        b.profile_name, b.seed, b.line_bytes
+    )
+
+
+class TestRecordReplay:
+    def test_replay_is_bit_identical(self):
+        suite, trace = record_suite(PROFILE, 600, seed=3)
+        assert_traces_identical(replay_suite(suite, profile=PROFILE), trace)
+
+    def test_registry_profile_by_name(self):
+        suite, trace = record_suite("kv-udb", 1200, seed=5)
+        assert suite.profile_name == "kv-udb"
+        assert_traces_identical(replay_suite(suite), trace)
+
+    def test_params_travel_with_the_suite(self):
+        suite, trace = record_suite(
+            "kv-udb", 1000, seed=2, params={"zipf_alpha": 1.6}
+        )
+        assert suite.params == {"zipf_alpha": 1.6}
+        # replay resolves the profile with the stored overrides
+        assert_traces_identical(replay_suite(suite), trace)
+
+    def test_non_kv_workload_rejected(self):
+        with pytest.raises(ValueError, match="not a KV profile"):
+            record_suite("mcf", 100)
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("ext", ["jsonl", "npz"])
+    def test_save_load_replay_round_trip(self, tmp_path, ext):
+        suite, trace = record_suite(PROFILE, 500, seed=7)
+        path = tmp_path / f"suite.{ext}"
+        suite.save(path)
+        loaded = load_suite(path)
+        assert loaded == suite
+        assert_traces_identical(replay_suite(loaded, profile=PROFILE), trace)
+
+    def test_jsonl_is_line_oriented_and_greppable(self, tmp_path):
+        suite, _ = record_suite(PROFILE, 300, seed=1)
+        path = tmp_path / "s.jsonl"
+        suite.save(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == "deuce-kv-suite"
+        assert header["n_requests"] == len(lines) - 1
+        op, key, size = json.loads(lines[1])
+        assert op == "put"  # populate phase leads
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(ValueError, match="not a deuce-kv-suite"):
+            load_suite(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        suite, _ = record_suite(PROFILE, 200, seed=0)
+        header = suite._header()
+        header["version"] = 99
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="unsupported suite version"):
+            load_suite(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        suite, _ = record_suite(PROFILE, 200, seed=0)
+        path = tmp_path / "s.jsonl"
+        suite.save(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        with pytest.raises(ValueError, match="truncated suite"):
+            load_suite(path)
+
+
+class TestCannedSuites:
+    def test_recipes_record_and_replay(self):
+        # etc-smoke is the shortest recipe; the others are covered by the
+        # CI kv-smoke job so the unit run stays fast.
+        suite, trace = build_canned_suite("etc-smoke")
+        spec = CANNED_SUITES["etc-smoke"]
+        assert suite.profile_name == spec["profile"]
+        assert trace.n_writes == spec["n_writes"]
+        assert dict(trace.phases)["steady"] > 0
+        assert_traces_identical(replay_suite(suite), trace)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="unknown canned suite"):
+            build_canned_suite("nope")
+
+    def test_all_recipes_reference_registered_profiles(self):
+        from repro.workloads.kv import KV_PROFILES
+
+        for spec in CANNED_SUITES.values():
+            assert spec["profile"] in KV_PROFILES
+
+
+class TestRequestSuiteValue:
+    def test_requests_are_value_objects(self):
+        suite = RequestSuite(
+            "p", seed=0, line_bytes=64, n_writes=1,
+            requests=(KvRequest("put", 3, 10),),
+        )
+        again = RequestSuite(
+            "p", seed=0, line_bytes=64, n_writes=1,
+            requests=(KvRequest("put", 3, 10),),
+        )
+        assert suite == again
